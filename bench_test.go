@@ -1,0 +1,266 @@
+// Package repro's root benchmark harness: one benchmark per paper
+// figure plus ablation benches for the design choices in DESIGN.md.
+//
+// Each figure benchmark regenerates the corresponding figure's series
+// at reduced (Quick) repetition counts and reports its headline metric
+// via b.ReportMetric; `go run ./cmd/figures` produces the full-scale
+// tables. Simulated time is deterministic, so a single iteration is a
+// complete, reproducible measurement.
+package repro_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/experiments"
+	"hpsockets/internal/sim"
+)
+
+func quick() experiments.Options { return experiments.QuickOptions() }
+
+// BenchmarkFig4aLatency regenerates Figure 4(a) and reports the
+// 4-byte one-way latencies (us).
+func BenchmarkFig4aLatency(b *testing.B) {
+	o := quick()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4aLatency(o)
+	}
+	b.ReportMetric(experiments.VIALatency(4, o.MicroIters).Micros(), "via_us")
+	b.ReportMetric(experiments.SocketsLatency(core.KindSocketVIA, 4, o.MicroIters).Micros(), "socketvia_us")
+	b.ReportMetric(experiments.SocketsLatency(core.KindTCP, 4, o.MicroIters).Micros(), "tcp_us")
+}
+
+// BenchmarkFig4bBandwidth regenerates Figure 4(b) and reports the
+// peak bandwidths (Mbps).
+func BenchmarkFig4bBandwidth(b *testing.B) {
+	o := quick()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4bBandwidth(o)
+	}
+	b.ReportMetric(experiments.VIABandwidth(64*1024, o.MicroMsgs), "via_mbps")
+	b.ReportMetric(experiments.SocketsBandwidth(core.KindSocketVIA, 64*1024, o.MicroMsgs), "socketvia_mbps")
+	b.ReportMetric(experiments.SocketsBandwidth(core.KindTCP, 64*1024, o.MicroMsgs), "tcp_mbps")
+}
+
+// benchFig7 reports the latency improvement of repartitioned SocketVIA
+// over TCP at the paper's highest TCP-feasible update guarantee.
+func benchFig7(b *testing.B, compute bool) {
+	o := quick()
+	var tcpUS, drUS float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7(o, compute)
+		// Find the first target where TCP has a point.
+		for xi := range t.X {
+			if !isNaN(t.Series[0].Y[xi]) {
+				tcpUS, drUS = t.Series[0].Y[xi], t.Series[2].Y[xi]
+				break
+			}
+		}
+	}
+	b.ReportMetric(tcpUS, "tcp_us")
+	b.ReportMetric(drUS, "socketvia_dr_us")
+	if drUS > 0 {
+		b.ReportMetric(tcpUS/drUS, "improvement_x")
+	}
+}
+
+// BenchmarkFig7aLatencyUnderUpdateGuarantee regenerates Figure 7(a).
+func BenchmarkFig7aLatencyUnderUpdateGuarantee(b *testing.B) { benchFig7(b, false) }
+
+// BenchmarkFig7bLatencyUnderUpdateGuarantee regenerates Figure 7(b)
+// (with the 18 ns/byte computation).
+func BenchmarkFig7bLatencyUnderUpdateGuarantee(b *testing.B) { benchFig7(b, true) }
+
+// benchFig8 reports the update rates at the loosest latency guarantee.
+func benchFig8(b *testing.B, compute bool) {
+	o := quick()
+	var tcp, dr float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8(o, compute)
+		tcp, dr = t.Series[0].Y[0], t.Series[2].Y[0]
+	}
+	b.ReportMetric(tcp, "tcp_ups")
+	b.ReportMetric(dr, "socketvia_dr_ups")
+}
+
+// BenchmarkFig8aUpdatesUnderLatencyGuarantee regenerates Figure 8(a).
+func BenchmarkFig8aUpdatesUnderLatencyGuarantee(b *testing.B) { benchFig8(b, false) }
+
+// BenchmarkFig8bUpdatesUnderLatencyGuarantee regenerates Figure 8(b).
+func BenchmarkFig8bUpdatesUnderLatencyGuarantee(b *testing.B) { benchFig8(b, true) }
+
+// benchFig9 reports the response times at a 50/50 query mix with 64
+// partitions.
+func benchFig9(b *testing.B, compute bool) {
+	o := quick()
+	var tcpMS, svMS float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9(o, compute)
+		// Series order: sv noparts, sv 8, sv 64, tcp noparts, tcp 8, tcp 64.
+		mid := len(t.X) / 2
+		svMS, tcpMS = t.Series[2].Y[mid], t.Series[5].Y[mid]
+	}
+	b.ReportMetric(tcpMS, "tcp_ms")
+	b.ReportMetric(svMS, "socketvia_ms")
+}
+
+// BenchmarkFig9aQueryMixResponse regenerates Figure 9(a).
+func BenchmarkFig9aQueryMixResponse(b *testing.B) { benchFig9(b, false) }
+
+// BenchmarkFig9bQueryMixResponse regenerates Figure 9(b).
+func BenchmarkFig9bQueryMixResponse(b *testing.B) { benchFig9(b, true) }
+
+// BenchmarkFig10RoundRobinReaction regenerates Figure 10 and reports
+// the reaction-time ratio at heterogeneity factor 4.
+func BenchmarkFig10RoundRobinReaction(b *testing.B) {
+	o := quick()
+	var sv, tcp float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10(o)
+		sv, tcp = t.Series[0].Y[1], t.Series[1].Y[1] // factor 4
+	}
+	b.ReportMetric(sv, "socketvia_us")
+	b.ReportMetric(tcp, "tcp_us")
+	if sv > 0 {
+		b.ReportMetric(tcp/sv, "ratio_x")
+	}
+}
+
+// BenchmarkFig11DemandDriven regenerates Figure 11 and reports the
+// factor-8, 90%-probability execution times.
+func BenchmarkFig11DemandDriven(b *testing.B) {
+	o := quick()
+	var sv, tcp float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig11(o)
+		last := len(t.X) - 1
+		sv, tcp = t.Series[2].Y[last], t.Series[5].Y[last]
+	}
+	b.ReportMetric(sv/1000, "socketvia_ms")
+	b.ReportMetric(tcp/1000, "tcp_ms")
+}
+
+// BenchmarkPerfectPipelining regenerates the Section 5.2.3 block-size
+// sweep and reports efficiency at the paper's chosen blocks.
+func BenchmarkPerfectPipelining(b *testing.B) {
+	o := quick()
+	var sv, tcp float64
+	for i := 0; i < b.N; i++ {
+		sv = experiments.PipelineEfficiency(o, core.KindSocketVIA, experiments.PipeliningBlock(core.KindSocketVIA))
+		tcp = experiments.PipelineEfficiency(o, core.KindTCP, experiments.PipeliningBlock(core.KindTCP))
+	}
+	b.ReportMetric(sv, "socketvia_eff_2K")
+	b.ReportMetric(tcp, "tcp_eff_16K")
+}
+
+// BenchmarkAblationEagerChunkSize (A2) sweeps the SocketVIA eager
+// chunk size.
+func BenchmarkAblationEagerChunkSize(b *testing.B) {
+	for _, chunk := range []int{2048, 4096, 8192, 16384} {
+		chunk := chunk
+		b.Run(byteLabel(chunk), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = experiments.AblationEagerChunk(chunk, 64*1024, 100)
+			}
+			b.ReportMetric(mbps, "Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationCredits (A1) sweeps the SocketVIA credit count.
+func BenchmarkAblationCredits(b *testing.B) {
+	for _, credits := range []int{2, 4, 8, 16, 32} {
+		credits := credits
+		b.Run(intLabel(credits), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = experiments.AblationCredits(credits, 64*1024, 100)
+			}
+			b.ReportMetric(mbps, "Mbps")
+		})
+	}
+}
+
+// BenchmarkAblationRendezvous (A6) compares eager SocketVIA with the
+// zero-copy RDMA rendezvous path (the paper's future-work push model).
+func BenchmarkAblationRendezvous(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		threshold int
+	}{{"eager", 0}, {"zerocopy", 16 * 1024}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var mbps, cpu float64
+			for i := 0; i < b.N; i++ {
+				mbps, cpu = experiments.AblationRendezvous(mode.threshold, 64*1024, 100)
+			}
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(cpu*100, "sender_cpu_pct")
+		})
+	}
+}
+
+// BenchmarkAblationTCPMSS (A3) sweeps the kernel path's MSS.
+func BenchmarkAblationTCPMSS(b *testing.B) {
+	for _, mss := range []int{536, 1460, 4312, 8960} {
+		mss := mss
+		b.Run(intLabel(mss), func(b *testing.B) {
+			var mbps float64
+			var lat sim.Time
+			for i := 0; i < b.N; i++ {
+				mbps, lat = experiments.AblationTCPMSS(mss, 64*1024, 100)
+			}
+			b.ReportMetric(mbps, "Mbps")
+			b.ReportMetric(lat.Micros(), "latency_us")
+		})
+	}
+}
+
+// BenchmarkAblationTransparentCopies (A5) sweeps the pipeline's
+// transparent copy count.
+func BenchmarkAblationTransparentCopies(b *testing.B) {
+	o := quick()
+	for _, chains := range []int{1, 2, 3, 4} {
+		chains := chains
+		b.Run(intLabel(chains), func(b *testing.B) {
+			var ups float64
+			for i := 0; i < b.N; i++ {
+				ups = experiments.AblationChains(o, core.KindSocketVIA, chains, 32*1024)
+			}
+			b.ReportMetric(ups, "updates_per_sec")
+		})
+	}
+}
+
+// BenchmarkAblationDemandWindow (A4) sweeps the demand-driven window.
+func BenchmarkAblationDemandWindow(b *testing.B) {
+	o := quick()
+	for _, window := range []int{1, 2, 4, 8, 0} { // 0 = unbounded
+		window := window
+		b.Run(intLabel(window), func(b *testing.B) {
+			var makespan sim.Time
+			for i := 0; i < b.N; i++ {
+				makespan = experiments.AblationDemandWindow(o, core.KindTCP, window)
+			}
+			b.ReportMetric(makespan.Millis(), "makespan_ms")
+		})
+	}
+}
+
+func isNaN(f float64) bool { return f != f }
+
+func intLabel(n int) string {
+	digits := "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var out []byte
+	for n > 0 {
+		out = append([]byte{digits[n%10]}, out...)
+		n /= 10
+	}
+	return string(out)
+}
+
+func byteLabel(n int) string { return intLabel(n/1024) + "KB" }

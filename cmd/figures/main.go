@@ -1,0 +1,84 @@
+// Command figures regenerates the paper's evaluation figures on the
+// simulated testbed and prints each as an aligned table.
+//
+// Usage:
+//
+//	figures              # every figure (full parameters; minutes)
+//	figures -quick       # every figure at reduced repetition counts
+//	figures -fig 7a      # one figure: 4a 4b 7a 7b 8a 8b 9a 9b 10 11 pp micro
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpsockets/internal/experiments"
+	"hpsockets/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,4a,4b,7a,7b,8a,8b,9a,9b,10,11,pp,micro or all")
+	quick := flag.Bool("quick", false, "reduced repetition counts")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	render := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	runners := []struct {
+		name string
+		run  func()
+	}{
+		{"micro", func() { printMicro(o) }},
+		{"2", func() { render(experiments.Fig2Crossover(o)) }},
+		{"4a", func() { render(experiments.Fig4aLatency(o)) }},
+		{"4b", func() { render(experiments.Fig4bBandwidth(o)) }},
+		{"7a", func() { render(experiments.Fig7(o, false)) }},
+		{"7b", func() { render(experiments.Fig7(o, true)) }},
+		{"8a", func() { render(experiments.Fig8(o, false)) }},
+		{"8b", func() { render(experiments.Fig8(o, true)) }},
+		{"9a", func() { render(experiments.Fig9(o, false)) }},
+		{"9b", func() { render(experiments.Fig9(o, true)) }},
+		{"10", func() { render(experiments.Fig10(o)) }},
+		{"11", func() { render(experiments.Fig11(o)) }},
+		{"pp", func() { render(experiments.PerfectPipelining(o)) }},
+	}
+
+	want := strings.ToLower(*fig)
+	ran := false
+	for _, r := range runners {
+		if want == "all" || want == r.name {
+			r.run()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printMicro(o experiments.Options) {
+	m := experiments.Micro(o)
+	fmt.Println("Section 5.1 micro-benchmark headline numbers (paper in parens):")
+	fmt.Printf("  VIA       latency %8.1f us  (paper: <9.5)    peak %6.0f Mbps (paper: 795)\n",
+		m.VIALatency.Micros(), m.VIAPeak)
+	fmt.Printf("  SocketVIA latency %8.1f us  (paper: 9.5)     peak %6.0f Mbps (paper: 763)\n",
+		m.SocketVIALatency.Micros(), m.SocketVIAPeak)
+	fmt.Printf("  TCP       latency %8.1f us  (paper: ~5x SV)  peak %6.0f Mbps (paper: 510)\n",
+		m.TCPLatency.Micros(), m.TCPPeak)
+	fmt.Printf("  latency improvement: %.1fx   bandwidth improvement: %.0f%%\n\n",
+		float64(m.TCPLatency)/float64(m.SocketVIALatency),
+		(m.SocketVIAPeak/m.TCPPeak-1)*100)
+}

@@ -1,0 +1,87 @@
+// Command lbsim runs the Figure 6 load-balancing experiments: a data
+// repository/load balancer feeding compute filters under round-robin
+// or demand-driven scheduling, with optional heterogeneity.
+//
+// Usage:
+//
+//	lbsim -sched rr -factor 4                 # Figure 10 style point
+//	lbsim -sched dd -factor 8 -prob 0.5       # Figure 11 style point
+//	lbsim -sweep                              # perfect-pipelining sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/experiments"
+	"hpsockets/internal/vizapp"
+)
+
+func main() {
+	sched := flag.String("sched", "dd", "rr or dd")
+	transport := flag.String("transport", "", "tcp, socketvia, or empty for both")
+	factor := flag.Float64("factor", 1, "heterogeneity factor of the slow node")
+	prob := flag.Float64("prob", 0, "probability the slow node is slow per block (0 = static)")
+	block := flag.Int("block", 0, "block size (0 = paper's perfect-pipelining size)")
+	total := flag.Int("total", 16<<20, "workload bytes")
+	local := flag.Bool("local", true, "declustered data: ship directives, process locally")
+	sweep := flag.Bool("sweep", false, "run the perfect-pipelining block-size sweep instead")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.LBBytes = *total
+
+	if *sweep {
+		fmt.Println(experiments.PerfectPipelining(o).Render())
+		for _, kind := range kinds(*transport) {
+			if b, ok := experiments.PerfectPipeliningBlock(o, kind, 0.9); ok {
+				fmt.Printf("%s: knee of the efficiency curve (90%% of plateau): %d bytes (paper: %d)\n",
+					kind, b, experiments.PipeliningBlock(kind))
+			}
+		}
+		return
+	}
+
+	for _, kind := range kinds(*transport) {
+		b := *block
+		if b == 0 {
+			b = experiments.PipeliningBlock(kind)
+		}
+		cfg := vizapp.DefaultLBConfig(kind, b)
+		cfg.TotalBytes = *total
+		cfg.DataLocal = *local
+		cfg.RecordAcks = true
+		if *sched == "rr" {
+			cfg.Policy = datacutter.RoundRobin
+		}
+		if *factor > 1 {
+			cfg.SlowNode = 1
+			cfg.SlowFactor = *factor
+			cfg.SlowProb = *prob
+		}
+		res := vizapp.RunLoadBalancer(cfg)
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", kind, res.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s sched=%s block=%d factor=%g prob=%g:\n", kind, *sched, b, *factor, *prob)
+		fmt.Printf("  makespan %v, blocks per node %v\n", res.Makespan, res.BlocksPerNode)
+		if *factor > 1 {
+			fmt.Printf("  reaction time to slow node: %v\n", res.ReactionTime(1))
+		}
+	}
+}
+
+func kinds(transport string) []core.Kind {
+	switch transport {
+	case "tcp":
+		return []core.Kind{core.KindTCP}
+	case "socketvia":
+		return []core.Kind{core.KindSocketVIA}
+	default:
+		return []core.Kind{core.KindSocketVIA, core.KindTCP}
+	}
+}

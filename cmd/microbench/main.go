@@ -1,0 +1,57 @@
+// Command microbench runs the Section 5.1 micro-benchmarks (Figure 4)
+// on the simulated testbed: ping-pong latency and streaming bandwidth
+// for raw VIA, SocketVIA and kernel TCP.
+//
+// Usage:
+//
+//	microbench            # latency and bandwidth tables
+//	microbench -table     # headline numbers only
+//	microbench -size 4096 # one size, all transports
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/experiments"
+)
+
+func main() {
+	table := flag.Bool("table", false, "print only the headline summary")
+	size := flag.Int("size", 0, "measure a single message size")
+	quick := flag.Bool("quick", false, "reduced repetition counts")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+
+	if *size > 0 {
+		fmt.Printf("message size %d bytes:\n", *size)
+		fmt.Printf("  VIA       %10v  %8.0f Mbps\n",
+			experiments.VIALatency(*size, o.MicroIters), experiments.VIABandwidth(*size, o.MicroMsgs))
+		fmt.Printf("  SocketVIA %10v  %8.0f Mbps\n",
+			experiments.SocketsLatency(core.KindSocketVIA, *size, o.MicroIters),
+			experiments.SocketsBandwidth(core.KindSocketVIA, *size, o.MicroMsgs))
+		fmt.Printf("  TCP       %10v  %8.0f Mbps\n",
+			experiments.SocketsLatency(core.KindTCP, *size, o.MicroIters),
+			experiments.SocketsBandwidth(core.KindTCP, *size, o.MicroMsgs))
+		return
+	}
+
+	m := experiments.Micro(o)
+	fmt.Println("Section 5.1 headline numbers (paper values in parens):")
+	fmt.Printf("  VIA       latency %6.1f us (<9.5)      peak %5.0f Mbps (795)\n", m.VIALatency.Micros(), m.VIAPeak)
+	fmt.Printf("  SocketVIA latency %6.1f us (9.5)       peak %5.0f Mbps (763)\n", m.SocketVIALatency.Micros(), m.SocketVIAPeak)
+	fmt.Printf("  TCP       latency %6.1f us (~5x SV)    peak %5.0f Mbps (510)\n", m.TCPLatency.Micros(), m.TCPPeak)
+	fmt.Printf("  improvements: latency %.1fx, bandwidth %.0f%%\n",
+		float64(m.TCPLatency)/float64(m.SocketVIALatency), (m.SocketVIAPeak/m.TCPPeak-1)*100)
+	if *table {
+		return
+	}
+	fmt.Println()
+	fmt.Println(experiments.Fig4aLatency(o).Render())
+	fmt.Println(experiments.Fig4bBandwidth(o).Render())
+}

@@ -1,0 +1,101 @@
+// Command vizsim runs one visualization-server pipeline experiment
+// (the Figure 5 setup) with explicit parameters and reports per-query
+// response times and the steady-state update rate.
+//
+// Usage:
+//
+//	vizsim -transport socketvia -block 2048 -queries 5 -qtype complete
+//	vizsim -transport tcp -block 65536 -qtype partial -compute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/trace"
+	"hpsockets/internal/vizapp"
+)
+
+func main() {
+	transport := flag.String("transport", "socketvia", "tcp or socketvia")
+	block := flag.Int("block", 64*1024, "distribution block size in bytes")
+	image := flag.Int("image", 16<<20, "bytes per complete image")
+	chains := flag.Int("chains", 3, "transparent copies per pipeline stage")
+	queries := flag.Int("queries", 5, "number of queries")
+	qtype := flag.String("qtype", "complete", "complete, partial or zoom")
+	compute := flag.Bool("compute", false, "apply the 18 ns/byte computation at each stage")
+	sequential := flag.Bool("sequential", false, "gate each query on the previous completion")
+	traceN := flag.Int("trace", 0, "record protocol events and print the last N")
+	flag.Parse()
+
+	kind := core.KindSocketVIA
+	switch *transport {
+	case "socketvia":
+	case "tcp":
+		kind = core.KindTCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+
+	cfg := vizapp.DefaultPipelineConfig(kind, *block)
+	cfg.ImageBytes = *image
+	cfg.Chains = *chains
+	cfg.Sequential = *sequential
+	if *compute {
+		cfg.ComputePerByte = 18 * sim.Nanosecond
+	}
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.New()
+		rec.Max = *traceN
+		cfg.Hook = rec.Attach
+	}
+
+	var q vizapp.Query
+	switch *qtype {
+	case "complete":
+		q = cfg.CompleteQuery()
+	case "partial":
+		q = vizapp.PartialQuery()
+		cfg.Sequential = true
+	case "zoom":
+		q = cfg.ZoomQuery(4)
+		cfg.Sequential = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown query type %q\n", *qtype)
+		os.Exit(2)
+	}
+	qs := make([]vizapp.Query, *queries)
+	for i := range qs {
+		qs[i] = q
+	}
+
+	res := vizapp.RunPipeline(cfg, qs)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "pipeline failed: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("transport=%s block=%d image=%dMB chains=%d qtype=%s (%d blocks/query) compute=%v\n",
+		kind, *block, *image>>20, *chains, *qtype, q.Blocks, *compute)
+	for i, rt := range res.ResponseTimes() {
+		fmt.Printf("  query %2d: response %v\n", i, rt)
+	}
+	fmt.Printf("mean response (excl. first): %v\n", res.MeanResponse())
+	if *qtype == "complete" && *queries >= 3 {
+		fmt.Printf("steady-state rate: %.2f full updates/sec\n", res.UpdatesPerSec())
+	}
+	fmt.Println("node CPU utilization:")
+	for _, node := range []string{"repo0", "f1n0", "f2n0", "viz"} {
+		if u, ok := res.Utilization[node]; ok {
+			fmt.Printf("  %-6s %5.1f%%\n", node, u*100)
+		}
+	}
+	if rec != nil {
+		fmt.Printf("\nprotocol event counts:\n%s\nlast %d events:\n", rec.Summary(), rec.Len())
+		rec.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,59 @@
+// Browse: a pathologist's interactive session over a digitized slide,
+// with the Figure 1 block geometry made explicit.
+//
+// The slide is a 4096x4096 image stored as a grid of blocks. Every
+// viewport move fetches whole blocks — including pixels outside the
+// viewport (the paper's "unnecessary data"). The example serves the
+// same session with coarse blocks (what TCP's bandwidth profile wants)
+// and fine blocks (what SocketVIA affords), printing the per-action
+// response time and the wasted bytes.
+//
+// Run with: go run ./examples/browse
+package main
+
+import (
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/vizapp"
+)
+
+func main() {
+	script := []vizapp.Interaction{
+		vizapp.Open(),
+		vizapp.Zoom(4),
+		vizapp.Pan(256, 0),
+		vizapp.Pan(0, 256),
+		vizapp.Pan(-128, -128),
+		vizapp.Zoom(2),
+	}
+
+	configs := []struct {
+		label   string
+		kind    core.Kind
+		blockPx int
+	}{
+		{"TCP, 2048px blocks (4 MB chunks)", core.KindTCP, 2048},
+		{"SocketVIA, 2048px blocks (4 MB chunks)", core.KindSocketVIA, 2048},
+		{"SocketVIA, 256px blocks (64 KB chunks, repartitioned)", core.KindSocketVIA, 256},
+	}
+
+	for _, c := range configs {
+		ds := vizapp.NewDataset(4096, 4096, 1, c.blockPx, c.blockPx)
+		cfg := vizapp.DefaultPipelineConfig(c.kind, 0)
+		cfg.ComputePerByte = 18 * sim.Nanosecond
+		res := vizapp.RunSession(cfg, ds, script)
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		fmt.Printf("== %s (%d blocks on the slide) ==\n", c.label, ds.Blocks())
+		fmt.Printf("   %-16s %8s %12s %12s %14s\n", "action", "blocks", "fetched", "wasted", "response")
+		for _, st := range res.Steps {
+			fmt.Printf("   %-16s %8d %10.2fMB %10.2fMB %14v\n",
+				st.Op.Describe(), st.Blocks,
+				float64(st.Fetched)/(1<<20), float64(st.Wasted)/(1<<20), st.Response)
+		}
+		fmt.Println()
+	}
+}

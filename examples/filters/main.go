@@ -1,0 +1,115 @@
+// Filters: building a custom DataCutter filter group on the public
+// runtime API — a three-stage text-processing pipeline with
+// transparent copies and demand-driven scheduling, carrying real
+// payload bytes end to end.
+//
+// A reader filter splits a document into lines, two transparent
+// copies of a tokenizer filter uppercase them (data parallelism), and
+// a collector reassembles the result in arrival order.
+//
+// Run with: go run ./examples/filters
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+const document = `the challenging issues in supporting data intensive applications
+include efficient movement of large volumes of data
+and efficient coordination of data movement and processing
+to achieve high performance with guarantees
+and adaptability to heterogeneous environments`
+
+// reader streams one line per buffer.
+type reader struct{}
+
+func (reader) Init(*datacutter.Context) error { return nil }
+func (reader) Process(ctx *datacutter.Context) error {
+	out := ctx.Output("lines")
+	for i, line := range strings.Split(document, "\n") {
+		buf := &datacutter.Buffer{Size: len(line), Data: []byte(line), Tag: int64(i)}
+		if err := out.Write(ctx.Proc(), buf); err != nil {
+			return err
+		}
+	}
+	return out.EndOfWork(ctx.Proc())
+}
+func (reader) Finalize(*datacutter.Context) error { return nil }
+
+// tokenizer uppercases each line, paying a per-byte compute cost.
+type tokenizer struct{ copy int }
+
+func (tokenizer) Init(*datacutter.Context) error { return nil }
+func (t tokenizer) Process(ctx *datacutter.Context) error {
+	in, out := ctx.Input("lines"), ctx.Output("tokens")
+	for {
+		b, ok := in.Read(ctx.Proc())
+		if !ok {
+			return out.EndOfWork(ctx.Proc())
+		}
+		ctx.Compute(sim.Time(b.Size) * 50) // 50 ns/byte of "parsing"
+		up := []byte(strings.ToUpper(string(b.Data)))
+		if err := out.Write(ctx.Proc(), &datacutter.Buffer{Size: len(up), Data: up, Tag: b.Tag}); err != nil {
+			return err
+		}
+	}
+}
+func (tokenizer) Finalize(*datacutter.Context) error { return nil }
+
+// collector gathers the processed lines.
+type collector struct{ got map[int64]string }
+
+func (c *collector) Init(*datacutter.Context) error { return nil }
+func (c *collector) Process(ctx *datacutter.Context) error {
+	in := ctx.Input("tokens")
+	for {
+		b, ok := in.Read(ctx.Proc())
+		if !ok {
+			return nil
+		}
+		c.got[b.Tag] = string(b.Data)
+	}
+}
+func (c *collector) Finalize(*datacutter.Context) error { return nil }
+
+func main() {
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for _, n := range []string{"src", "w0", "w1", "dst"} {
+		cl.AddNode(n, cluster.DefaultConfig())
+	}
+	fab := core.NewFabric(cl, core.KindSocketVIA, prof)
+	rt := datacutter.NewRuntime(cl, fab)
+
+	sink := &collector{got: map[int64]string{}}
+	g := rt.Instantiate(datacutter.GroupSpec{
+		Filters: []datacutter.FilterSpec{
+			{Name: "reader", New: func(int) datacutter.Filter { return reader{} }, Placement: []string{"src"}},
+			{Name: "tokenizer", New: func(c int) datacutter.Filter { return tokenizer{copy: c} }, Placement: []string{"w0", "w1"}},
+			{Name: "collector", New: func(int) datacutter.Filter { return sink }, Placement: []string{"dst"}},
+		},
+		Streams: []datacutter.StreamSpec{
+			{Name: "lines", From: "reader", To: "tokenizer", Policy: datacutter.DemandDriven},
+			{Name: "tokens", From: "tokenizer", To: "collector"},
+		},
+	})
+	g.Start(1)
+	end := k.RunAll()
+	if err := g.Err(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("processed %d lines across 2 tokenizer copies in %v (virtual):\n\n", len(sink.got), end)
+	for i := 0; i < len(sink.got); i++ {
+		fmt.Println(sink.got[int64(i)])
+	}
+}

@@ -1,0 +1,67 @@
+// Microscopy: an interactive digitized-microscopy session against the
+// Figure 5 visualization-server pipeline — the paper's motivating
+// application.
+//
+// A pathologist opens a slide (complete update), pans around it
+// (partial updates) and zooms in (zoom query). The example runs the
+// session over kernel TCP with the coarse partitioning TCP's bandwidth
+// profile requires, then over SocketVIA with the dataset repartitioned
+// into fine chunks (the paper's "DR"), and prints the per-interaction
+// response times.
+//
+// Run with: go run ./examples/microscopy
+package main
+
+import (
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/vizapp"
+)
+
+func main() {
+	// The paper's digitized slide: 16 MB per viewed image, 18 ns/byte
+	// of processing in the visualization chain.
+	session := []struct {
+		action string
+		query  func(cfg vizapp.PipelineConfig) vizapp.Query
+	}{
+		{"open slide (complete update)", func(cfg vizapp.PipelineConfig) vizapp.Query { return cfg.CompleteQuery() }},
+		{"pan right (partial update)", func(vizapp.PipelineConfig) vizapp.Query { return vizapp.PartialQuery() }},
+		{"pan down (partial update)", func(vizapp.PipelineConfig) vizapp.Query { return vizapp.PartialQuery() }},
+		{"zoom 4x (zoom query)", func(cfg vizapp.PipelineConfig) vizapp.Query { return cfg.ZoomQuery(4) }},
+		{"new slide (complete update)", func(cfg vizapp.PipelineConfig) vizapp.Query { return cfg.CompleteQuery() }},
+	}
+
+	configs := []struct {
+		label string
+		kind  core.Kind
+		block int
+	}{
+		{"TCP, 64 KB blocks (bandwidth-oriented partitioning)", core.KindTCP, 64 * 1024},
+		{"SocketVIA, 64 KB blocks (no repartitioning)", core.KindSocketVIA, 64 * 1024},
+		{"SocketVIA, 2 KB blocks (repartitioned for SocketVIA)", core.KindSocketVIA, 2 * 1024},
+	}
+
+	for _, c := range configs {
+		cfg := vizapp.DefaultPipelineConfig(c.kind, c.block)
+		cfg.ComputePerByte = 18 * sim.Nanosecond
+		cfg.Sequential = true // an interactive user issues one query at a time
+
+		queries := make([]vizapp.Query, len(session))
+		for i, s := range session {
+			queries[i] = s.query(cfg)
+		}
+		res := vizapp.RunPipeline(cfg, queries)
+		if res.Err != nil {
+			panic(res.Err)
+		}
+
+		fmt.Printf("== %s ==\n", c.label)
+		for i, rt := range res.ResponseTimes() {
+			fmt.Printf("  %-32s %10v\n", session[i].action, rt)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: bring up a two-node simulated cluster, open a SocketVIA
+// connection and a kernel-TCP connection, and compare a simple
+// request/response exchange on both.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+func main() {
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		fmt.Printf("== %s ==\n", kind)
+		run(kind)
+	}
+}
+
+func run(kind core.Kind) {
+	// The simulated testbed: a kernel (virtual time), the cLAN-like
+	// switch fabric, and two dual-CPU nodes.
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("client", cluster.DefaultConfig())
+	cl.AddNode("server", cluster.DefaultConfig())
+
+	// One sockets endpoint per node; the transport kind is the only
+	// thing that changes between the two runs.
+	fab := core.NewFabric(cl, kind, prof)
+
+	listener := fab.Endpoint("server").Listen(80)
+	k.Go("server", func(p *sim.Proc) {
+		conn, err := listener.Accept(p)
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 64)
+		n, _ := conn.Recv(p, buf)
+		fmt.Printf("  server got %q at t=%v\n", buf[:n], p.Now())
+		conn.Send(p, []byte("hello back"))
+		conn.Close(p)
+	})
+
+	k.Go("client", func(p *sim.Proc) {
+		conn, err := fab.Endpoint("client").Dial(p, "server", 80)
+		if err != nil {
+			panic(err)
+		}
+		start := p.Now()
+		conn.Send(p, []byte("hello"))
+		buf := make([]byte, 64)
+		n, _ := conn.RecvFull(p, buf[:10])
+		fmt.Printf("  client got %q, round trip %v\n", buf[:n], p.Now()-start)
+		conn.Close(p)
+	})
+
+	k.RunAll()
+}

@@ -1,0 +1,3 @@
+module hpsockets
+
+go 1.22

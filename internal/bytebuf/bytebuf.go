@@ -1,0 +1,135 @@
+// Package bytebuf implements a byte-stream buffer whose contents may
+// mix real data with size-only ("accounting") regions.
+//
+// The simulated transports carry application payloads end to end; for
+// large synthetic workloads the applications may send size-only
+// payloads so that the simulation does not shuffle gigabytes of real
+// memory. A stream then interleaves real regions (message framing
+// headers, control structures) with size-only regions (bulk payload),
+// and every split or copy must preserve which bytes are real.
+package bytebuf
+
+import "fmt"
+
+// Chunk is a contiguous stream region. Data == nil marks a size-only
+// region; otherwise len(Data) == Size.
+type Chunk struct {
+	Size int
+	Data []byte
+}
+
+// Real reports whether the chunk carries actual bytes.
+func (c Chunk) Real() bool { return c.Data != nil }
+
+// Buffer is a FIFO byte-stream buffer. The zero value is an empty
+// buffer ready to use.
+type Buffer struct {
+	chunks []Chunk
+	size   int
+}
+
+// Len reports the buffered byte count.
+func (b *Buffer) Len() int { return b.size }
+
+// Append adds a chunk to the tail.
+func (b *Buffer) Append(c Chunk) {
+	if c.Size < 0 || (c.Data != nil && len(c.Data) != c.Size) {
+		panic(fmt.Sprintf("bytebuf: inconsistent chunk size=%d len=%d", c.Size, len(c.Data)))
+	}
+	if c.Size == 0 {
+		return
+	}
+	b.chunks = append(b.chunks, c)
+	b.size += c.Size
+}
+
+// AppendBytes adds real data to the tail. The buffer keeps a reference
+// to data; callers must not mutate it afterwards.
+func (b *Buffer) AppendBytes(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	b.Append(Chunk{Size: len(data), Data: data})
+}
+
+// AppendSize adds n size-only bytes to the tail.
+func (b *Buffer) AppendSize(n int) {
+	if n == 0 {
+		return
+	}
+	b.Append(Chunk{Size: n})
+}
+
+// AppendChunks adds a sequence of chunks to the tail.
+func (b *Buffer) AppendChunks(cs []Chunk) {
+	for _, c := range cs {
+		b.Append(c)
+	}
+}
+
+// Take removes exactly n bytes from the head and returns them as
+// chunks, splitting a boundary chunk if needed. It panics if n exceeds
+// Len: transports must check first.
+func (b *Buffer) Take(n int) []Chunk {
+	if n < 0 || n > b.size {
+		panic(fmt.Sprintf("bytebuf: take %d of %d", n, b.size))
+	}
+	if n == 0 {
+		return nil
+	}
+	var out []Chunk
+	for n > 0 {
+		head := &b.chunks[0]
+		if head.Size <= n {
+			out = append(out, *head)
+			n -= head.Size
+			b.size -= head.Size
+			b.chunks[0] = Chunk{}
+			b.chunks = b.chunks[1:]
+			continue
+		}
+		part := Chunk{Size: n}
+		if head.Data != nil {
+			part.Data = head.Data[:n]
+			head.Data = head.Data[n:]
+		}
+		head.Size -= n
+		b.size -= n
+		out = append(out, part)
+		n = 0
+	}
+	return out
+}
+
+// CopyOut removes up to len(dst) bytes from the head, copying real
+// regions into dst at their stream offsets (size-only regions leave
+// dst untouched), and reports the number of bytes consumed.
+func (b *Buffer) CopyOut(dst []byte) int {
+	n := len(dst)
+	if n > b.size {
+		n = b.size
+	}
+	if n == 0 {
+		return 0
+	}
+	off := 0
+	for _, c := range b.Take(n) {
+		if c.Data != nil {
+			copy(dst[off:], c.Data)
+		}
+		off += c.Size
+	}
+	return n
+}
+
+// RealBytes reports how many buffered bytes are real data (used by
+// tests and integrity checks).
+func (b *Buffer) RealBytes() int {
+	total := 0
+	for _, c := range b.chunks {
+		if c.Data != nil {
+			total += c.Size
+		}
+	}
+	return total
+}

@@ -1,0 +1,230 @@
+package bytebuf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndLen(t *testing.T) {
+	var b Buffer
+	b.AppendBytes([]byte("hello"))
+	b.AppendSize(10)
+	b.AppendBytes([]byte("!"))
+	if b.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", b.Len())
+	}
+	if b.RealBytes() != 6 {
+		t.Fatalf("RealBytes = %d, want 6", b.RealBytes())
+	}
+}
+
+func TestAppendEmptyIsNoop(t *testing.T) {
+	var b Buffer
+	b.AppendBytes(nil)
+	b.AppendSize(0)
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", b.Len())
+	}
+}
+
+func TestTakeSplitsRealChunk(t *testing.T) {
+	var b Buffer
+	b.AppendBytes([]byte("abcdef"))
+	got := b.Take(4)
+	if len(got) != 1 || string(got[0].Data) != "abcd" || got[0].Size != 4 {
+		t.Fatalf("Take(4) = %+v", got)
+	}
+	rest := b.Take(2)
+	if string(rest[0].Data) != "ef" {
+		t.Fatalf("rest = %+v", rest)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining", b.Len())
+	}
+}
+
+func TestTakeSplitsSizeOnlyChunk(t *testing.T) {
+	var b Buffer
+	b.AppendSize(100)
+	got := b.Take(30)
+	if len(got) != 1 || got[0].Size != 30 || got[0].Data != nil {
+		t.Fatalf("Take = %+v", got)
+	}
+	if b.Len() != 70 {
+		t.Fatalf("Len = %d, want 70", b.Len())
+	}
+}
+
+func TestTakeAcrossChunks(t *testing.T) {
+	var b Buffer
+	b.AppendBytes([]byte("ab"))
+	b.AppendSize(3)
+	b.AppendBytes([]byte("cd"))
+	got := b.Take(6)
+	if len(got) != 3 {
+		t.Fatalf("Take = %+v", got)
+	}
+	if string(got[0].Data) != "ab" || got[1].Size != 3 || got[1].Real() || string(got[2].Data) != "c" {
+		t.Fatalf("Take = %+v", got)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestTakeBeyondLenPanics(t *testing.T) {
+	var b Buffer
+	b.AppendSize(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-take did not panic")
+		}
+	}()
+	b.Take(6)
+}
+
+func TestCopyOutMixedRegions(t *testing.T) {
+	var b Buffer
+	b.AppendBytes([]byte("AB"))
+	b.AppendSize(2)
+	b.AppendBytes([]byte("CD"))
+	dst := []byte("......")
+	n := b.CopyOut(dst)
+	if n != 6 {
+		t.Fatalf("n = %d, want 6", n)
+	}
+	if string(dst) != "AB..CD" {
+		t.Fatalf("dst = %q, want AB..CD", dst)
+	}
+}
+
+func TestCopyOutPartial(t *testing.T) {
+	var b Buffer
+	b.AppendBytes([]byte("hello world"))
+	dst := make([]byte, 5)
+	if n := b.CopyOut(dst); n != 5 || string(dst) != "hello" {
+		t.Fatalf("CopyOut = %d %q", n, dst)
+	}
+	dst2 := make([]byte, 20)
+	n := b.CopyOut(dst2)
+	if n != 6 || string(dst2[:n]) != " world" {
+		t.Fatalf("second CopyOut = %d %q", n, dst2[:n])
+	}
+}
+
+func TestCopyOutEmptyBuffer(t *testing.T) {
+	var b Buffer
+	if n := b.CopyOut(make([]byte, 4)); n != 0 {
+		t.Fatalf("CopyOut on empty = %d", n)
+	}
+}
+
+func TestAppendChunks(t *testing.T) {
+	var b Buffer
+	b.AppendChunks([]Chunk{{Size: 3, Data: []byte("abc")}, {Size: 5}})
+	if b.Len() != 8 || b.RealBytes() != 3 {
+		t.Fatalf("Len=%d Real=%d", b.Len(), b.RealBytes())
+	}
+}
+
+func TestInconsistentChunkPanics(t *testing.T) {
+	var b Buffer
+	defer func() {
+		if recover() == nil {
+			t.Error("inconsistent chunk did not panic")
+		}
+	}()
+	b.Append(Chunk{Size: 3, Data: []byte("ab")})
+}
+
+// TestPropertyStreamIntegrity pushes random mixtures of real and
+// size-only data through random Take splits and re-assembles them,
+// checking that real bytes come out exactly where they went in.
+func TestPropertyStreamIntegrity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Buffer
+		var want []byte // -1 regions encoded as 0xFF sentinel map
+		mask := []bool{}
+		total := 0
+		for i := 0; i < rng.Intn(10)+1; i++ {
+			n := rng.Intn(50) + 1
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				b.AppendBytes(data)
+				want = append(want, data...)
+				for j := 0; j < n; j++ {
+					mask = append(mask, true)
+				}
+			} else {
+				b.AppendSize(n)
+				want = append(want, make([]byte, n)...)
+				for j := 0; j < n; j++ {
+					mask = append(mask, false)
+				}
+			}
+			total += n
+		}
+		// Shuttle through random-size takes into a second buffer.
+		var b2 Buffer
+		for b.Len() > 0 {
+			n := rng.Intn(b.Len()) + 1
+			b2.AppendChunks(b.Take(n))
+		}
+		if b2.Len() != total {
+			return false
+		}
+		got := make([]byte, total)
+		if b2.CopyOut(got) != total {
+			return false
+		}
+		for i := range got {
+			if mask[i] && got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLenInvariant checks Len consistency across arbitrary
+// operation sequences.
+func TestPropertyLenInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var b Buffer
+		expect := 0
+		for _, op := range ops {
+			n := int(op%32) + 1
+			switch op % 3 {
+			case 0:
+				b.AppendSize(n)
+				expect += n
+			case 1:
+				b.AppendBytes(bytes.Repeat([]byte{op}, n))
+				expect += n
+			case 2:
+				if b.Len() > 0 {
+					take := n % b.Len()
+					if take == 0 {
+						take = b.Len()
+					}
+					b.Take(take)
+					expect -= take
+				}
+			}
+			if b.Len() != expect {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

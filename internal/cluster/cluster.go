@@ -1,0 +1,168 @@
+// Package cluster models the compute side of the testbed: nodes with
+// a fixed number of CPUs, attached to the interconnect, with optional
+// heterogeneity in processing speed.
+//
+// The paper's cluster is 16 dual-1GHz-PIII nodes; heterogeneity is
+// emulated (as in the paper) by making some nodes process data more
+// than once, i.e. by scaling computation time while communication
+// costs stay constant.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// Node is one machine in the cluster.
+type Node struct {
+	name string
+	k    *sim.Kernel
+	cpu  *sim.Resource
+	port *netsim.Port
+
+	// factor scales computation time (1 = nominal). The paper's
+	// "factor of heterogeneity" is the ratio of the fastest to the
+	// slowest node's processing speed.
+	factor float64
+	// slowProb makes the node slow probabilistically, per unit of
+	// work: with probability slowProb a computation takes factor times
+	// longer, otherwise it runs at nominal speed (Figure 11 setup).
+	slowProb float64
+	rng      *rand.Rand
+
+	computeBusy sim.Time // total CPU time spent in Compute
+}
+
+// Cluster is a set of nodes sharing a kernel and a network.
+type Cluster struct {
+	k     *sim.Kernel
+	net   *netsim.Network
+	nodes map[string]*Node
+	order []*Node
+}
+
+// Config describes node hardware.
+type Config struct {
+	// CPUsPerNode is the number of processors per node (2 in the
+	// testbed's dual-PIII nodes).
+	CPUsPerNode int
+}
+
+// DefaultConfig matches the paper's testbed.
+func DefaultConfig() Config { return Config{CPUsPerNode: 2} }
+
+// New returns an empty cluster.
+func New(k *sim.Kernel, net *netsim.Network) *Cluster {
+	return &Cluster{k: k, net: net, nodes: make(map[string]*Node)}
+}
+
+// Kernel reports the cluster's simulation kernel.
+func (c *Cluster) Kernel() *sim.Kernel { return c.k }
+
+// Network reports the cluster's interconnect.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// AddNode creates a node with the given name and hardware config.
+func (c *Cluster) AddNode(name string, cfg Config) *Node {
+	if _, ok := c.nodes[name]; ok {
+		panic(fmt.Sprintf("cluster: duplicate node %q", name))
+	}
+	if cfg.CPUsPerNode <= 0 {
+		panic("cluster: node needs at least one CPU")
+	}
+	n := &Node{
+		name:   name,
+		k:      c.k,
+		cpu:    sim.NewResource(c.k, cfg.CPUsPerNode),
+		port:   c.net.Attach(name),
+		factor: 1,
+	}
+	c.nodes[name] = n
+	c.order = append(c.order, n)
+	return n
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Nodes returns all nodes in creation order.
+func (c *Cluster) Nodes() []*Node { return c.order }
+
+// Name reports the node name.
+func (n *Node) Name() string { return n.name }
+
+// Kernel reports the node's simulation kernel.
+func (n *Node) Kernel() *sim.Kernel { return n.k }
+
+// CPU reports the node's CPU resource. Protocol stacks and application
+// computation share it, as they do on real hosts.
+func (n *Node) CPU() *sim.Resource { return n.cpu }
+
+// Port reports the node's network port.
+func (n *Node) Port() *netsim.Port { return n.port }
+
+// SetSlowFactor makes every computation on the node take factor times
+// its nominal duration. Communication processing is not scaled: the
+// paper's heterogeneity emulation repeats only the data processing.
+func (n *Node) SetSlowFactor(factor float64) {
+	if factor < 1 {
+		panic("cluster: slow factor below 1")
+	}
+	n.factor = factor
+}
+
+// SetProbabilisticSlowdown makes the node slow (by factor) with the
+// given probability independently for each computation, using a
+// deterministic seed.
+func (n *Node) SetProbabilisticSlowdown(factor, prob float64, seed int64) {
+	if factor < 1 || prob < 0 || prob > 1 {
+		panic("cluster: bad probabilistic slowdown parameters")
+	}
+	n.factor = factor
+	n.slowProb = prob
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// SlowFactor reports the configured factor.
+func (n *Node) SlowFactor() float64 { return n.factor }
+
+// computeScale picks the slowdown for one unit of computation.
+func (n *Node) computeScale() float64 {
+	if n.rng != nil {
+		if n.rng.Float64() < n.slowProb {
+			return n.factor
+		}
+		return 1
+	}
+	return n.factor
+}
+
+// Compute occupies one CPU for the nominal duration scaled by the
+// node's heterogeneity model. It blocks p for the scaled duration plus
+// any CPU queueing.
+func (n *Node) Compute(p *sim.Proc, nominal sim.Time) {
+	if nominal < 0 {
+		panic("cluster: negative compute time")
+	}
+	if nominal == 0 {
+		return
+	}
+	d := sim.Time(float64(nominal)*n.computeScale() + 0.5)
+	n.cpu.Use(p, 1, d)
+	n.computeBusy += d
+}
+
+// Overhead occupies one CPU for exactly d, unscaled. Protocol
+// processing uses this: the paper's emulation slows computation only.
+func (n *Node) Overhead(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	n.cpu.Use(p, 1, d)
+}
+
+// ComputeBusy reports total (scaled) CPU time consumed via Compute.
+func (n *Node) ComputeBusy() sim.Time { return n.computeBusy }

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"testing"
+
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+func testCluster(k *sim.Kernel) *Cluster {
+	net := netsim.New(k, netsim.CLANConfig())
+	return New(k, net)
+}
+
+func TestComputeTakesNominalTime(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", DefaultConfig())
+	var done sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		n.Compute(p, 100*sim.Microsecond)
+		done = p.Now()
+	})
+	k.RunAll()
+	if done != 100*sim.Microsecond {
+		t.Fatalf("done at %v, want 100us", done)
+	}
+}
+
+func TestComputeScalesWithSlowFactor(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", DefaultConfig())
+	n.SetSlowFactor(4)
+	var done sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		n.Compute(p, 10*sim.Microsecond)
+		done = p.Now()
+	})
+	k.RunAll()
+	if done != 40*sim.Microsecond {
+		t.Fatalf("done at %v, want 40us", done)
+	}
+}
+
+func TestOverheadUnaffectedBySlowFactor(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", DefaultConfig())
+	n.SetSlowFactor(8)
+	var done sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		n.Overhead(p, 10*sim.Microsecond)
+		done = p.Now()
+	})
+	k.RunAll()
+	if done != 10*sim.Microsecond {
+		t.Fatalf("done at %v, want 10us (overhead must not scale)", done)
+	}
+}
+
+func TestDualCPUAllowsTwoParallelComputations(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", Config{CPUsPerNode: 2})
+	var ends []sim.Time
+	for i := 0; i < 4; i++ {
+		k.Go("w", func(p *sim.Proc) {
+			n.Compute(p, 10)
+			ends = append(ends, p.Now())
+		})
+	}
+	k.RunAll()
+	want := []sim.Time{10, 10, 20, 20}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestProbabilisticSlowdownIsDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		k := sim.NewKernel()
+		c := testCluster(k)
+		n := c.AddNode("n0", DefaultConfig())
+		n.SetProbabilisticSlowdown(4, 0.5, 42)
+		k.Go("w", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				n.Compute(p, 10)
+			}
+		})
+		return k.RunAll()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	// With p=0.5 and factor 4, expected total is 100*10*2.5 = 2500;
+	// allow generous slack for the finite sample.
+	if a < 1800 || a > 3200 {
+		t.Fatalf("total = %v, want around 2500", a)
+	}
+}
+
+func TestProbabilisticSlowdownZeroProbIsNominal(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", DefaultConfig())
+	n.SetProbabilisticSlowdown(8, 0, 1)
+	k.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			n.Compute(p, 10)
+		}
+	})
+	if end := k.RunAll(); end != 100 {
+		t.Fatalf("end = %v, want 100", end)
+	}
+}
+
+func TestZeroComputeIsFree(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", DefaultConfig())
+	k.Go("w", func(p *sim.Proc) { n.Compute(p, 0) })
+	if end := k.RunAll(); end != 0 {
+		t.Fatalf("end = %v, want 0", end)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	c.AddNode("n0", DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode did not panic")
+		}
+	}()
+	c.AddNode("n0", DefaultConfig())
+}
+
+func TestNodeLookupAndOrder(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	for _, name := range []string{"a", "b", "c"} {
+		c.AddNode(name, DefaultConfig())
+	}
+	if c.Node("b") == nil || c.Node("b").Name() != "b" {
+		t.Fatal("Node lookup failed")
+	}
+	if c.Node("zzz") != nil {
+		t.Fatal("unknown node not nil")
+	}
+	nodes := c.Nodes()
+	if len(nodes) != 3 || nodes[0].Name() != "a" || nodes[2].Name() != "c" {
+		t.Fatalf("order = %v", nodes)
+	}
+}
+
+func TestComputeBusyAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	c := testCluster(k)
+	n := c.AddNode("n0", DefaultConfig())
+	n.SetSlowFactor(2)
+	k.Go("w", func(p *sim.Proc) {
+		n.Compute(p, 10)
+		n.Compute(p, 10)
+	})
+	k.RunAll()
+	if n.ComputeBusy() != 40 {
+		t.Fatalf("busy = %v, want 40", n.ComputeBusy())
+	}
+}

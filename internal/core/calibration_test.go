@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"hpsockets/internal/sim"
+)
+
+// measureLatency returns one-way latency via ping-pong over the given
+// transport.
+func measureLatency(kind Kind, size, iters int) sim.Time {
+	r := newRig(2, kind)
+	l := r.f.Endpoint("b").Listen(1)
+	var oneWay sim.Time
+	r.k.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			c.RecvFull(p, buf)
+			c.SendSize(p, size)
+		}
+	})
+	r.k.Go("cli", func(p *sim.Proc) {
+		c, _ := r.f.Endpoint("a").Dial(p, "b", 1)
+		p.Sleep(sim.Millisecond)
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			c.SendSize(p, size)
+			c.RecvFull(p, buf)
+		}
+		oneWay = (p.Now() - start) / sim.Time(2*iters)
+	})
+	r.k.RunAll()
+	return oneWay
+}
+
+// measureBandwidth returns streaming Mbps over the given transport.
+func measureBandwidth(kind Kind, size, count int) float64 {
+	r := newRig(2, kind)
+	l := r.f.Endpoint("b").Listen(1)
+	var mbps float64
+	r.k.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, 64*1024)
+		total := 0
+		start := sim.Time(-1)
+		for {
+			n, err := c.Recv(p, buf)
+			if start < 0 && n > 0 {
+				start = p.Now()
+			}
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		mbps = sim.BitsPerSec(int64(total), p.Now()-start)
+	})
+	r.k.Go("cli", func(p *sim.Proc) {
+		c, _ := r.f.Endpoint("a").Dial(p, "b", 1)
+		p.Sleep(sim.Millisecond)
+		for i := 0; i < count; i++ {
+			c.SendSize(p, size)
+		}
+		c.Close(p)
+	})
+	r.k.RunAll()
+	return mbps
+}
+
+func TestCalibrationSocketVIALatency(t *testing.T) {
+	got := measureLatency(KindSocketVIA, 4, 100)
+	// Paper: SocketVIA gives a latency as low as 9.5 us.
+	if got < 9*sim.Microsecond || got > 10500*sim.Nanosecond {
+		t.Fatalf("SocketVIA 4-byte latency = %v, want ~9.5 us", got)
+	}
+}
+
+func TestCalibrationSocketVIABandwidth(t *testing.T) {
+	got := measureBandwidth(KindSocketVIA, 64*1024, 200)
+	// Paper: SocketVIA peaks at 763 Mbps.
+	if got < 735 || got > 790 {
+		t.Fatalf("SocketVIA 64K bandwidth = %.1f Mbps, want ~763", got)
+	}
+}
+
+func TestCalibrationLatencyRatioVsTCP(t *testing.T) {
+	sv := measureLatency(KindSocketVIA, 4, 50)
+	tcp := measureLatency(KindTCP, 4, 50)
+	ratio := float64(tcp) / float64(sv)
+	// Paper: "nearly a factor of five improvement".
+	if ratio < 4.2 || ratio > 5.8 {
+		t.Fatalf("TCP/SocketVIA latency ratio = %.2f (tcp=%v sv=%v), want ~5", ratio, tcp, sv)
+	}
+}
+
+func TestCalibrationBandwidthImprovementVsTCP(t *testing.T) {
+	sv := measureBandwidth(KindSocketVIA, 64*1024, 100)
+	tcp := measureBandwidth(KindTCP, 64*1024, 100)
+	imp := sv / tcp
+	// Paper: "an improvement of nearly 50%".
+	if imp < 1.35 || imp > 1.65 {
+		t.Fatalf("bandwidth improvement = %.2fx (sv=%.0f tcp=%.0f), want ~1.5x", imp, sv, tcp)
+	}
+}
+
+func TestCalibrationBandwidthAtSmallSizesFavorsSocketVIA(t *testing.T) {
+	// Figure 2(a): the high performance substrate reaches a given
+	// bandwidth at a much smaller message size. At 2 KB messages,
+	// SocketVIA should already beat TCP's peak bandwidth.
+	sv2k := measureBandwidth(KindSocketVIA, 2048, 500)
+	tcpPeak := measureBandwidth(KindTCP, 64*1024, 100)
+	if sv2k <= tcpPeak {
+		t.Fatalf("SocketVIA at 2K = %.0f Mbps, TCP peak = %.0f Mbps; want crossover", sv2k, tcpPeak)
+	}
+}

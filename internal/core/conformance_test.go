@@ -1,0 +1,259 @@
+package core
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpsockets/internal/sim"
+)
+
+// Conformance battery: behaviours every transport must share, run
+// against both implementations.
+
+func TestConformanceZeroLengthOps(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				if err := c.Send(p, nil); err != nil {
+					t.Errorf("empty send: %v", err)
+				}
+				if err := c.SendSize(p, 0); err != nil {
+					t.Errorf("zero SendSize: %v", err)
+				}
+				c.Send(p, []byte("x"))
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				if n, err := c.Recv(p, nil); n != 0 || err != nil {
+					t.Errorf("zero-length recv = %d, %v", n, err)
+				}
+				buf := make([]byte, 4)
+				n, err := c.Recv(p, buf)
+				if n != 1 || err != nil || buf[0] != 'x' {
+					t.Errorf("recv = %d %v %q", n, err, buf[:n])
+				}
+			},
+		)
+	})
+}
+
+func TestConformanceSingleHugeSend(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		const n = 16 << 20
+		var got int
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				if err := c.SendSize(p, n); err != nil {
+					t.Errorf("send: %v", err)
+				}
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, 256*1024)
+				for {
+					m, err := c.Recv(p, buf)
+					got += m
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						t.Errorf("recv: %v", err)
+						return
+					}
+				}
+			},
+		)
+		if got != n {
+			t.Fatalf("received %d of %d", got, n)
+		}
+	})
+}
+
+func TestConformanceSequentialConnections(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		l := r.f.Endpoint("b").Listen(7)
+		const conns = 5
+		var served int
+		r.k.Go("srv", func(p *sim.Proc) {
+			for i := 0; i < conns; i++ {
+				c, err := l.Accept(p)
+				if err != nil {
+					t.Errorf("accept %d: %v", i, err)
+					return
+				}
+				buf := make([]byte, 8)
+				if _, err := c.RecvFull(p, buf[:5]); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				served++
+				c.Close(p)
+			}
+		})
+		r.k.Go("cli", func(p *sim.Proc) {
+			for i := 0; i < conns; i++ {
+				c, err := r.f.Endpoint("a").Dial(p, "b", 7)
+				if err != nil {
+					t.Errorf("dial %d: %v", i, err)
+					return
+				}
+				c.Send(p, []byte("hello"))
+				c.Close(p)
+				// Wait for the peer's FIN before dialing again so the
+				// test stays deterministic and simple.
+				buf := make([]byte, 1)
+				c.Recv(p, buf)
+			}
+		})
+		r.k.RunAll()
+		if served != conns {
+			t.Fatalf("served %d of %d connections", served, conns)
+		}
+	})
+}
+
+func TestConformanceEchoLargeRoundTrips(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		sizes := []int{1, 100, 4096, 70_000, 300_000}
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				for _, n := range sizes {
+					c.SendSize(p, n)
+					buf := make([]byte, n)
+					if _, err := c.RecvFull(p, buf); err != nil {
+						t.Errorf("echo %d: %v", n, err)
+						return
+					}
+				}
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				for _, n := range sizes {
+					buf := make([]byte, n)
+					if _, err := c.RecvFull(p, buf); err != nil {
+						t.Errorf("server recv %d: %v", n, err)
+						return
+					}
+					c.SendSize(p, n)
+				}
+			},
+		)
+	})
+}
+
+func TestConformanceTransportNames(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		var connName, epName string
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				connName = c.Transport()
+				if c.LocalNode().Name() != "a" {
+					t.Errorf("LocalNode = %q", c.LocalNode().Name())
+				}
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {},
+		)
+		epName = r.f.Endpoint("a").Transport()
+		if connName != kind.String() || epName != kind.String() {
+			t.Fatalf("names: conn=%q ep=%q want %q", connName, epName, kind)
+		}
+	})
+}
+
+func TestConformanceVirtualTimeAdvancesWithTransfers(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		small := transferTime(t, kind, 1024)
+		large := transferTime(t, kind, 1<<20)
+		if large <= small {
+			t.Fatalf("1MB (%v) not slower than 1KB (%v)", large, small)
+		}
+	})
+}
+
+func transferTime(t *testing.T, kind Kind, n int) sim.Time {
+	t.Helper()
+	r := newRig(2, kind)
+	var done sim.Time
+	r.pair(t,
+		func(p *sim.Proc, c Conn) {
+			c.SendSize(p, n)
+			c.Close(p)
+		},
+		func(p *sim.Proc, c Conn) {
+			buf := make([]byte, 64*1024)
+			for {
+				if _, err := c.Recv(p, buf); err != nil {
+					done = p.Now()
+					return
+				}
+			}
+		},
+	)
+	return done
+}
+
+// TestPropertyConformanceRandomTraffic drives random traffic patterns
+// through both transports, checking byte conservation.
+func TestPropertyConformanceRandomTraffic(t *testing.T) {
+	for _, kind := range []Kind{KindTCP, KindSocketVIA} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				r := newRig(2, kind)
+				total := 0
+				nSends := rng.Intn(10) + 1
+				sizes := make([]int, nSends)
+				for i := range sizes {
+					sizes[i] = rng.Intn(60_000) + 1
+					total += sizes[i]
+				}
+				got := 0
+				ok := true
+				l := r.f.Endpoint("b").Listen(1)
+				r.k.Go("srv", func(p *sim.Proc) {
+					c, err := l.Accept(p)
+					if err != nil {
+						ok = false
+						return
+					}
+					buf := make([]byte, rng.Intn(30_000)+100)
+					for {
+						n, err := c.Recv(p, buf)
+						got += n
+						if err != nil {
+							return
+						}
+					}
+				})
+				r.k.Go("cli", func(p *sim.Proc) {
+					c, err := r.f.Endpoint("a").Dial(p, "b", 1)
+					if err != nil {
+						ok = false
+						return
+					}
+					for _, n := range sizes {
+						c.SendSize(p, n)
+						if rng.Intn(3) == 0 {
+							p.Sleep(sim.Time(rng.Intn(1000)) * sim.Microsecond)
+						}
+					}
+					c.Close(p)
+				})
+				r.k.RunAll()
+				return ok && got == total
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

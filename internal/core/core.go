@@ -1,0 +1,81 @@
+// Package core is the high-performance sockets substrate the paper
+// studies: a sockets-style stream API with two interchangeable
+// implementations.
+//
+//   - SocketVIA: a user-level sockets layer over the VIA emulation,
+//     reproducing the design of the paper's substrate (and of SOVIA /
+//     Shah et al.): pre-registered eager buffer pools, chunked
+//     transmission, credit-based flow control so the reliable-delivery
+//     VIA never sees a message without a posted receive descriptor,
+//     and a per-connection progress process that services the
+//     completion queue.
+//   - SocketTCP: a thin shim over the kernel TCP path (package ktcp).
+//
+// Applications written against Conn/Listener/Endpoint run unchanged on
+// either transport, which is exactly the property the paper's sockets
+// layer provides to TCP applications on cLAN hardware.
+package core
+
+import (
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/sim"
+)
+
+// Conn is a reliable, in-order byte-stream connection.
+//
+// Send blocks until the data is accepted by the transport's buffering
+// (not until it is delivered). SendSize behaves like Send for n bytes
+// of synthetic payload that carries no real data, so large simulated
+// workloads avoid shuffling real memory; real and size-only regions
+// may be interleaved freely and framing bytes are preserved exactly.
+type Conn interface {
+	// Send writes real bytes to the stream. The connection may retain
+	// data until it drains; callers must not mutate it.
+	Send(p *sim.Proc, data []byte) error
+	// SendSize writes n size-only bytes.
+	SendSize(p *sim.Proc, n int) error
+	// Recv reads up to len(buf) bytes, blocking while the stream is
+	// empty; it returns io.EOF at end of stream.
+	Recv(p *sim.Proc, buf []byte) (int, error)
+	// RecvFull reads exactly len(buf) bytes unless the stream ends.
+	RecvFull(p *sim.Proc, buf []byte) (int, error)
+	// Close flushes buffered data and signals end of stream to the
+	// peer. The receive direction remains readable.
+	Close(p *sim.Proc) error
+	// Transport names the implementation ("tcp" or "socketvia").
+	Transport() string
+	// LocalNode reports the node this endpoint lives on.
+	LocalNode() *cluster.Node
+}
+
+// Listener accepts inbound connections on a service number.
+type Listener interface {
+	Accept(p *sim.Proc) (Conn, error)
+	Close()
+}
+
+// Endpoint is a node's attachment to one transport.
+type Endpoint interface {
+	// Node reports the host of this endpoint.
+	Node() *cluster.Node
+	// Listen binds a service number.
+	Listen(svc int) Listener
+	// Dial opens a connection to a service on a remote node (by port
+	// name), blocking for connection setup.
+	Dial(p *sim.Proc, remote string, svc int) (Conn, error)
+	// Transport names the implementation.
+	Transport() string
+}
+
+// recvFull implements RecvFull on top of Recv for both transports.
+func recvFull(c Conn, p *sim.Proc, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Recv(p, buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

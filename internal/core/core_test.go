@@ -1,0 +1,402 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// rig is an n-node cluster with one fabric.
+type rig struct {
+	k  *sim.Kernel
+	cl *cluster.Cluster
+	f  *Fabric
+}
+
+func newRig(n int, kind Kind) *rig {
+	prof := CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for i := 0; i < n; i++ {
+		cl.AddNode(string(rune('a'+i)), cluster.DefaultConfig())
+	}
+	return &rig{k: k, cl: cl, f: NewFabric(cl, kind, prof)}
+}
+
+// pair runs a client on node a and server on node b over service 1.
+func (r *rig) pair(t *testing.T, client, server func(p *sim.Proc, c Conn)) {
+	t.Helper()
+	l := r.f.Endpoint("b").Listen(1)
+	r.k.Go("server", func(p *sim.Proc) {
+		c, err := l.Accept(p)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		server(p, c)
+	})
+	r.k.Go("client", func(p *sim.Proc) {
+		c, err := r.f.Endpoint("a").Dial(p, "b", 1)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		client(p, c)
+	})
+	r.k.RunAll()
+}
+
+// kinds runs a subtest against both transports.
+func kinds(t *testing.T, fn func(t *testing.T, kind Kind)) {
+	t.Helper()
+	for _, kind := range []Kind{KindTCP, KindSocketVIA} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
+
+func TestConnDeliversBytesInOrder(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		msg := make([]byte, 50_000)
+		for i := range msg {
+			msg[i] = byte(i * 13)
+		}
+		var got []byte
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				if err := c.Send(p, msg); err != nil {
+					t.Errorf("send: %v", err)
+				}
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, len(msg))
+				if _, err := c.RecvFull(p, buf); err != nil {
+					t.Errorf("recv: %v", err)
+				}
+				got = buf
+			},
+		)
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("corrupted at %d: %d != %d", i, got[i], msg[i])
+			}
+		}
+	})
+}
+
+func TestConnEOFAfterClose(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		var finalErr error
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				c.Send(p, []byte("last words"))
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, 10)
+				if _, err := c.RecvFull(p, buf); err != nil {
+					t.Errorf("recv body: %v", err)
+				}
+				_, finalErr = c.Recv(p, buf)
+			},
+		)
+		if finalErr != io.EOF {
+			t.Fatalf("err = %v, want EOF", finalErr)
+		}
+	})
+}
+
+func TestConnSendAfterCloseFails(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				c.Close(p)
+				if err := c.Send(p, []byte("x")); err == nil {
+					t.Error("send after close succeeded")
+				}
+			},
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, 1)
+				c.Recv(p, buf)
+			},
+		)
+	})
+}
+
+func TestConnMixedRealAndSizeOnlyFraming(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		var head, tail [6]byte
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				c.Send(p, []byte("HEADER"))
+				c.SendSize(p, 100_000)
+				c.Send(p, []byte("FOOTER"))
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				c.RecvFull(p, head[:])
+				skip := make([]byte, 100_000)
+				c.RecvFull(p, skip)
+				c.RecvFull(p, tail[:])
+			},
+		)
+		if string(head[:]) != "HEADER" || string(tail[:]) != "FOOTER" {
+			t.Fatalf("framing lost: %q %q", head, tail)
+		}
+	})
+}
+
+func TestConnBidirectionalTraffic(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		const rounds = 30
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, 4)
+				for i := 0; i < rounds; i++ {
+					c.Send(p, []byte{byte(i), 0, 0, 0})
+					if _, err := c.RecvFull(p, buf); err != nil {
+						t.Errorf("client recv: %v", err)
+						return
+					}
+					if buf[0] != byte(i)+1 {
+						t.Errorf("round %d: echo %d", i, buf[0])
+						return
+					}
+				}
+			},
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, 4)
+				for i := 0; i < rounds; i++ {
+					if _, err := c.RecvFull(p, buf); err != nil {
+						t.Errorf("server recv: %v", err)
+						return
+					}
+					buf[0]++
+					out := append([]byte(nil), buf...)
+					c.Send(p, out)
+				}
+			},
+		)
+	})
+}
+
+func TestConnSlowConsumerBackpressure(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		const total = 2 << 20
+		var sendDone, readStart sim.Time
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				c.SendSize(p, total)
+				sendDone = p.Now()
+				c.Close(p)
+			},
+			func(p *sim.Proc, c Conn) {
+				p.Sleep(100 * sim.Millisecond)
+				readStart = p.Now()
+				buf := make([]byte, 64*1024)
+				for {
+					if _, err := c.Recv(p, buf); err != nil {
+						return
+					}
+				}
+			},
+		)
+		if sendDone < readStart {
+			t.Fatalf("%s: sender finished at %v before reader started at %v", kind, sendDone, readStart)
+		}
+	})
+}
+
+func TestConnManyConnectionsConverge(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(4, kind)
+		l := r.f.Endpoint("d").Listen(9)
+		const per = 200_000
+		var total int
+		done := sim.NewBarrier(r.k, 3)
+		for i := 0; i < 3; i++ {
+			name := string(rune('a' + i))
+			r.k.Go("cli-"+name, func(p *sim.Proc) {
+				c, err := r.f.Endpoint(name).Dial(p, "d", 9)
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				c.SendSize(p, per)
+				c.Close(p)
+			})
+			r.k.Go("srv", func(p *sim.Proc) {
+				c, err := l.Accept(p)
+				if err != nil {
+					t.Errorf("accept: %v", err)
+					return
+				}
+				buf := make([]byte, 32*1024)
+				for {
+					n, err := c.Recv(p, buf)
+					total += n
+					if err != nil {
+						done.Arrive()
+						return
+					}
+				}
+			})
+		}
+		r.k.RunAll()
+		if total != 3*per {
+			t.Fatalf("received %d, want %d", total, 3*per)
+		}
+	})
+}
+
+func TestFabricDeterministicReplay(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		run := func() sim.Time {
+			r := newRig(3, kind)
+			l := r.f.Endpoint("c").Listen(5)
+			for i := 0; i < 2; i++ {
+				name := string(rune('a' + i))
+				r.k.Go("cli", func(p *sim.Proc) {
+					c, _ := r.f.Endpoint(name).Dial(p, "c", 5)
+					for j := 0; j < 20; j++ {
+						c.SendSize(p, 10_000)
+					}
+					c.Close(p)
+				})
+				r.k.Go("srv", func(p *sim.Proc) {
+					c, _ := l.Accept(p)
+					buf := make([]byte, 8192)
+					for {
+						if _, err := c.Recv(p, buf); err != nil {
+							return
+						}
+					}
+				})
+			}
+			return r.k.RunAll()
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("replay diverged: %v vs %v", a, b)
+		}
+	})
+}
+
+func TestSocketVIAFlowControlPreventsRNR(t *testing.T) {
+	// Blast far more chunks than there are credits at a reader that
+	// drains slowly; the credit protocol must keep the reliable VIA
+	// connection alive (an RNR would break it).
+	r := newRig(2, KindSocketVIA)
+	const total = 4 << 20
+	var got int
+	var gotErr error
+	r.pair(t,
+		func(p *sim.Proc, c Conn) {
+			if err := c.SendSize(p, total); err != nil {
+				t.Errorf("send: %v", err)
+			}
+			c.Close(p)
+		},
+		func(p *sim.Proc, c Conn) {
+			buf := make([]byte, 1000) // deliberately unaligned with chunks
+			for {
+				n, err := c.Recv(p, buf)
+				got += n
+				if err != nil {
+					gotErr = err
+					return
+				}
+				p.Sleep(10 * sim.Microsecond)
+			}
+		},
+	)
+	if gotErr != io.EOF {
+		t.Fatalf("reader ended with %v, want EOF", gotErr)
+	}
+	if got != total {
+		t.Fatalf("received %d, want %d", got, total)
+	}
+}
+
+func TestSocketVIASmallSendsShareChunks(t *testing.T) {
+	// Many tiny sends must each arrive intact (each is its own eager
+	// chunk in this design) and in order.
+	r := newRig(2, KindSocketVIA)
+	const count = 300
+	var ok bool
+	r.pair(t,
+		func(p *sim.Proc, c Conn) {
+			for i := 0; i < count; i++ {
+				c.Send(p, []byte{byte(i), byte(i >> 8)})
+			}
+			c.Close(p)
+		},
+		func(p *sim.Proc, c Conn) {
+			buf := make([]byte, 2)
+			for i := 0; i < count; i++ {
+				if _, err := c.RecvFull(p, buf); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				if int(buf[0])|int(buf[1])<<8 != i {
+					t.Errorf("message %d corrupted: % x", i, buf)
+					return
+				}
+			}
+			ok = true
+		},
+	)
+	if !ok {
+		t.Fatal("receiver did not finish")
+	}
+}
+
+func TestSocketVIABufferReuseDoesNotCorrupt(t *testing.T) {
+	// Send more distinct real payloads than there are send buffers;
+	// recycled buffers must not corrupt earlier in-flight chunks.
+	r := newRig(2, KindSocketVIA)
+	prof := CLANProfile()
+	chunk := prof.SV.ChunkSize
+	const msgs = 64
+	payload := func(i int) []byte {
+		b := make([]byte, chunk)
+		for j := range b {
+			b[j] = byte(i ^ j)
+		}
+		return b
+	}
+	r.pair(t,
+		func(p *sim.Proc, c Conn) {
+			for i := 0; i < msgs; i++ {
+				c.Send(p, payload(i))
+			}
+			c.Close(p)
+		},
+		func(p *sim.Proc, c Conn) {
+			buf := make([]byte, chunk)
+			for i := 0; i < msgs; i++ {
+				if _, err := c.RecvFull(p, buf); err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				want := payload(i)
+				for j := range buf {
+					if buf[j] != want[j] {
+						t.Errorf("message %d corrupted at %d", i, j)
+						return
+					}
+				}
+			}
+		},
+	)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/via"
+)
+
+// ErrBroken reports that the underlying VIA connection broke.
+var ErrBroken = errors.New("core: connection broken")
+
+// ErrConnClosed reports sending on a locally closed connection.
+var ErrConnClosed = errors.New("core: connection closed")
+
+// SocketVIA message kinds, carried in the descriptor immediate data.
+const (
+	svData uint64 = iota + 1
+	svCredit
+	svFIN
+	svReady
+	svRendReq
+	svRendCTS
+	svRendDone
+)
+
+func svImm(kind uint64, val int) uint64 { return kind<<32 | uint64(uint32(val)) }
+func svKind(imm uint64) uint64          { return imm >> 32 }
+func svVal(imm uint64) int              { return int(uint32(imm)) }
+
+// ctrlTag marks control descriptors in completions.
+type ctrlTag struct{}
+
+// svEndpoint is a node's SocketVIA attachment.
+type svEndpoint struct {
+	pr  *via.Provider
+	cfg SVConfig
+}
+
+// NewSocketVIAEndpoint attaches the user-level sockets layer over a
+// fresh VIA provider on the node.
+func NewSocketVIAEndpoint(node *cluster.Node, net *netsim.Network, viaCfg via.Config, cfg SVConfig) Endpoint {
+	cfg.validate()
+	if cfg.ChunkSize > viaCfg.MaxTransfer {
+		panic("core: chunk size exceeds VIA max transfer")
+	}
+	return &svEndpoint{pr: via.NewProvider(node, net, viaCfg), cfg: cfg}
+}
+
+func (e *svEndpoint) Node() *cluster.Node { return e.pr.Node() }
+func (e *svEndpoint) Transport() string   { return "socketvia" }
+
+func (e *svEndpoint) Listen(svc int) Listener {
+	return &svListener{ep: e, acc: e.pr.Listen(svc)}
+}
+
+// Dial opens a SocketVIA connection: it registers and pre-posts the
+// receive pools before the VIA connect so the peer's first message
+// always finds a descriptor, then waits for the peer's ready message.
+func (e *svEndpoint) Dial(p *sim.Proc, remote string, svc int) (Conn, error) {
+	c := e.newConn(p)
+	if err := e.pr.Connect(p, c.vi, remote, svc); err != nil {
+		return nil, err
+	}
+	p.Wait(c.readySig)
+	if c.broken {
+		return nil, ErrBroken
+	}
+	return c, nil
+}
+
+type svListener struct {
+	ep  *svEndpoint
+	acc *via.Acceptor
+}
+
+// Accept completes a SocketVIA connection: the VIA accept, pool setup,
+// and the ready message that releases the dialer.
+func (l *svListener) Accept(p *sim.Proc) (Conn, error) {
+	c := l.ep.newConnDeferred(p)
+	vi, err := l.acc.Accept(p, c.cq, c.cq)
+	if err != nil {
+		return nil, err
+	}
+	c.bind(p, vi)
+	c.sendCtrl(p, svReady, 0)
+	c.readySig.Fire(nil)
+	return c, nil
+}
+
+func (l *svListener) Close() { l.acc.Close() }
+
+// newConn builds a connection with its own VI (dialer side).
+func (e *svEndpoint) newConn(p *sim.Proc) *svConn {
+	c := e.newConnDeferred(p)
+	c.bind(p, e.pr.NewVI(c.cq, c.cq))
+	return c
+}
+
+// newConnDeferred builds the connection state without a VI (the
+// acceptor side receives its VI from Accept).
+func (e *svEndpoint) newConnDeferred(p *sim.Proc) *svConn {
+	k := e.pr.Node().Kernel()
+	c := &svConn{
+		ep:       e,
+		cq:       e.pr.NewCQ(),
+		credits:  e.cfg.Credits,
+		credCond: sim.NewCond(k),
+		rcvCond:  sim.NewCond(k),
+		rendCond: sim.NewCond(k),
+		readySig: sim.NewSignal(k),
+		sendPool: sim.NewQueue[*via.Desc](k, 0),
+		ctrlPool: sim.NewQueue[*via.Desc](k, 0),
+	}
+	return c
+}
+
+// bind attaches the VI, registers the buffer pools, pre-posts every
+// receive descriptor and starts the progress process.
+func (c *svConn) bind(p *sim.Proc, vi *via.VI) {
+	e := c.ep
+	cfg := e.cfg
+	c.vi = vi
+	node := e.pr.Node()
+
+	recvN := cfg.Credits + cfg.ctrlSlack()
+	recvRegion := e.pr.RegisterMem(p, recvN*cfg.ChunkSize)
+	for i := 0; i < recvN; i++ {
+		d := &via.Desc{Region: recvRegion, Len: cfg.ChunkSize}
+		if err := vi.PostRecv(p, d); err != nil {
+			panic("core: pre-post failed: " + err.Error())
+		}
+	}
+
+	sendN := cfg.Credits
+	sendRegion := e.pr.RegisterMem(p, sendN*cfg.ChunkSize)
+	backing := make([]byte, sendN*cfg.ChunkSize)
+	for i := 0; i < sendN; i++ {
+		d := &via.Desc{Region: sendRegion}
+		d.Ctx = backing[i*cfg.ChunkSize : (i+1)*cfg.ChunkSize]
+		c.sendPool.TryPut(d)
+	}
+
+	ctrlN := cfg.ctrlSlack()
+	ctrlRegion := e.pr.RegisterMem(p, ctrlN*64)
+	for i := 0; i < ctrlN; i++ {
+		c.ctrlPool.TryPut(&via.Desc{Region: ctrlRegion, Ctx: ctrlTag{}})
+	}
+
+	node.Kernel().Go("sv-pump/"+node.Name(), c.pump)
+}

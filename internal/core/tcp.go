@@ -1,0 +1,66 @@
+package core
+
+import (
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/ktcp"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// tcpEndpoint adapts a kernel TCP stack to the Endpoint interface.
+type tcpEndpoint struct {
+	st *ktcp.Stack
+}
+
+// NewTCPEndpoint attaches the kernel-path sockets implementation to a
+// node.
+func NewTCPEndpoint(node *cluster.Node, net *netsim.Network, cfg ktcp.Config) Endpoint {
+	return &tcpEndpoint{st: ktcp.NewStack(node, net, cfg)}
+}
+
+func (e *tcpEndpoint) Node() *cluster.Node { return e.st.Node() }
+func (e *tcpEndpoint) Transport() string   { return "tcp" }
+
+func (e *tcpEndpoint) Listen(svc int) Listener {
+	return &tcpListener{ep: e, l: e.st.Listen(svc)}
+}
+
+func (e *tcpEndpoint) Dial(p *sim.Proc, remote string, svc int) (Conn, error) {
+	c, err := e.st.Connect(p, remote, svc)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{ep: e, c: c}, nil
+}
+
+type tcpListener struct {
+	ep *tcpEndpoint
+	l  *ktcp.Listener
+}
+
+func (l *tcpListener) Accept(p *sim.Proc) (Conn, error) {
+	c, err := l.l.Accept(p)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{ep: l.ep, c: c}, nil
+}
+
+func (l *tcpListener) Close() { l.l.Close() }
+
+type tcpConn struct {
+	ep *tcpEndpoint
+	c  *ktcp.Conn
+}
+
+func (c *tcpConn) Send(p *sim.Proc, data []byte) error { return c.c.Send(p, data) }
+func (c *tcpConn) SendSize(p *sim.Proc, n int) error   { return c.c.SendSize(p, n) }
+func (c *tcpConn) Recv(p *sim.Proc, buf []byte) (int, error) {
+	return c.c.Recv(p, buf)
+}
+func (c *tcpConn) RecvFull(p *sim.Proc, buf []byte) (int, error) {
+	return c.c.RecvFull(p, buf)
+}
+func (c *tcpConn) Close(p *sim.Proc) error  { return c.c.Close(p) }
+func (c *tcpConn) Transport() string        { return "tcp" }
+func (c *tcpConn) LocalNode() *cluster.Node { return c.ep.st.Node() }

@@ -1,0 +1,92 @@
+// Package datacutter reproduces the DataCutter filter-stream runtime
+// the paper uses as its application substrate (Beynon et al., Parallel
+// Computing 27(11)).
+//
+// Applications are filter groups: filters with init/process/finalize
+// interfaces connected by logical unidirectional streams that carry
+// data buffers and end-of-work markers. A filter may have transparent
+// copies placed on different nodes; the runtime maintains the illusion
+// of a single logical stream by distributing buffers across copies
+// with either a round-robin (RR) or a demand-driven (DD) policy. Under
+// DD, a consumer acknowledges a buffer when it begins processing it
+// and the producer routes each buffer to the copy with the fewest
+// unacknowledged buffers, exactly as described in the paper.
+//
+// Streams run over the core sockets substrate, so an entire filter
+// group can be switched between kernel TCP and SocketVIA without
+// touching application code — the property the paper exploits.
+package datacutter
+
+import "fmt"
+
+// Buffer is an array of data elements transferred from one filter to
+// another. Data may be nil for size-only modelling; Size is always the
+// accounted byte count.
+type Buffer struct {
+	UOW  int
+	Size int
+	Data []byte
+	// Tag carries application metadata (block ids etc.) out of band;
+	// it does not contribute to the wire size.
+	Tag int64
+
+	// src identifies the connection the buffer arrived on so that the
+	// demand-driven ack can be routed back; it is nil on the producer
+	// side.
+	src *streamConn
+}
+
+// wire message kinds.
+const (
+	wireData uint8 = iota + 1
+	wireEOW
+	wireAck
+)
+
+// headerSize is the on-stream framing header: kind, flags, uow, size,
+// tag.
+const headerSize = 24
+
+// header flags.
+const flagReal uint8 = 1 // payload carries real bytes
+
+// putHeader encodes the framing header.
+func putHeader(dst []byte, kind, flags uint8, uow int, size int, tag int64) {
+	if len(dst) < headerSize {
+		panic("datacutter: short header buffer")
+	}
+	dst[0] = kind
+	dst[1] = flags
+	dst[2], dst[3] = 0, 0
+	put32(dst[4:], uint32(uow))
+	put64(dst[8:], uint64(size))
+	put64(dst[16:], uint64(tag))
+}
+
+func parseHeader(src []byte) (kind, flags uint8, uow int, size int, tag int64) {
+	if len(src) < headerSize {
+		panic("datacutter: short header")
+	}
+	return src[0], src[1], int(get32(src[4:])), int(get64(src[8:])), int64(get64(src[16:]))
+}
+
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func put64(b []byte, v uint64) {
+	put32(b, uint32(v))
+	put32(b[4:], uint32(v>>32))
+}
+
+func get64(b []byte) uint64 {
+	return uint64(get32(b)) | uint64(get32(b[4:]))<<32
+}
+
+func (b *Buffer) String() string {
+	return fmt.Sprintf("buf{uow=%d size=%d tag=%d}", b.UOW, b.Size, b.Tag)
+}

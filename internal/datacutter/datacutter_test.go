@@ -1,0 +1,571 @@
+package datacutter
+
+import (
+	"fmt"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// rig is a cluster plus runtime on one transport.
+type rig struct {
+	k  *sim.Kernel
+	cl *cluster.Cluster
+	rt *Runtime
+}
+
+func newRig(nodes int, kind core.Kind) *rig {
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for i := 0; i < nodes; i++ {
+		cl.AddNode(fmt.Sprintf("n%d", i), cluster.DefaultConfig())
+	}
+	fab := core.NewFabric(cl, kind, prof)
+	return &rig{k: k, cl: cl, rt: NewRuntime(cl, fab)}
+}
+
+func kinds(t *testing.T, fn func(t *testing.T, kind core.Kind)) {
+	t.Helper()
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
+
+// funcFilter adapts closures to the Filter interface.
+type funcFilter struct {
+	init     func(ctx *Context) error
+	process  func(ctx *Context) error
+	finalize func(ctx *Context) error
+}
+
+func (f *funcFilter) Init(ctx *Context) error {
+	if f.init == nil {
+		return nil
+	}
+	return f.init(ctx)
+}
+
+func (f *funcFilter) Process(ctx *Context) error { return f.process(ctx) }
+
+func (f *funcFilter) Finalize(ctx *Context) error {
+	if f.finalize == nil {
+		return nil
+	}
+	return f.finalize(ctx)
+}
+
+// source emits count buffers of the given size per unit of work.
+func source(count, size int) func(int) Filter {
+	return func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("s")
+			for i := 0; i < count; i++ {
+				if err := out.Write(ctx.Proc(), &Buffer{Size: size, Tag: int64(i)}); err != nil {
+					return err
+				}
+			}
+			return out.EndOfWork(ctx.Proc())
+		}}
+	}
+}
+
+// run instantiates, starts and drains the group.
+func (r *rig) run(t *testing.T, g *Group, uows int) sim.Time {
+	t.Helper()
+	g.Start(uows)
+	end := r.k.RunAll()
+	if !g.Done().Fired() {
+		t.Fatal("group did not finish (deadlock?)")
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("group error: %v", err)
+	}
+	return end
+}
+
+func TestPipelineDeliversBuffers(t *testing.T) {
+	kinds(t, func(t *testing.T, kind core.Kind) {
+		r := newRig(2, kind)
+		var got []int64
+		sink := func(int) Filter {
+			return &funcFilter{process: func(ctx *Context) error {
+				in := ctx.Input("s")
+				for {
+					b, ok := in.Read(ctx.Proc())
+					if !ok {
+						return nil
+					}
+					got = append(got, b.Tag)
+				}
+			}}
+		}
+		g := r.rt.Instantiate(GroupSpec{
+			Filters: []FilterSpec{
+				{Name: "src", New: source(10, 4096), Placement: []string{"n0"}},
+				{Name: "dst", New: sink, Placement: []string{"n1"}},
+			},
+			Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+		})
+		r.run(t, g, 1)
+		if len(got) != 10 {
+			t.Fatalf("got %d buffers, want 10", len(got))
+		}
+		for i, tag := range got {
+			if tag != int64(i) {
+				t.Fatalf("order = %v", got)
+			}
+		}
+	})
+}
+
+func TestRealPayloadSurvivesPipeline(t *testing.T) {
+	kinds(t, func(t *testing.T, kind core.Kind) {
+		r := newRig(2, kind)
+		payload := []byte("the quick brown fox jumps over the lazy dog")
+		var got []byte
+		src := func(int) Filter {
+			return &funcFilter{process: func(ctx *Context) error {
+				out := ctx.Output("s")
+				out.Write(ctx.Proc(), &Buffer{Size: len(payload), Data: payload})
+				return out.EndOfWork(ctx.Proc())
+			}}
+		}
+		sink := func(int) Filter {
+			return &funcFilter{process: func(ctx *Context) error {
+				in := ctx.Input("s")
+				for {
+					b, ok := in.Read(ctx.Proc())
+					if !ok {
+						return nil
+					}
+					got = b.Data
+				}
+			}}
+		}
+		g := r.rt.Instantiate(GroupSpec{
+			Filters: []FilterSpec{
+				{Name: "src", New: src, Placement: []string{"n0"}},
+				{Name: "dst", New: sink, Placement: []string{"n1"}},
+			},
+			Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+		})
+		r.run(t, g, 1)
+		if string(got) != string(payload) {
+			t.Fatalf("payload = %q", got)
+		}
+	})
+}
+
+func TestMultipleUnitsOfWork(t *testing.T) {
+	kinds(t, func(t *testing.T, kind core.Kind) {
+		r := newRig(2, kind)
+		perUOW := map[int]int{}
+		sink := func(int) Filter {
+			return &funcFilter{process: func(ctx *Context) error {
+				in := ctx.Input("s")
+				for {
+					b, ok := in.Read(ctx.Proc())
+					if !ok {
+						return nil
+					}
+					if b.UOW != ctx.UOW() {
+						t.Errorf("buffer uow %d during uow %d", b.UOW, ctx.UOW())
+					}
+					perUOW[ctx.UOW()]++
+				}
+			}}
+		}
+		g := r.rt.Instantiate(GroupSpec{
+			Filters: []FilterSpec{
+				{Name: "src", New: source(5, 1024), Placement: []string{"n0"}},
+				{Name: "dst", New: sink, Placement: []string{"n1"}},
+			},
+			Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+		})
+		r.run(t, g, 3)
+		for uow := 0; uow < 3; uow++ {
+			if perUOW[uow] != 5 {
+				t.Fatalf("uow %d got %d buffers, want 5: %v", uow, perUOW[uow], perUOW)
+			}
+		}
+	})
+}
+
+func TestInitProcessFinalizeSequence(t *testing.T) {
+	r := newRig(2, core.KindSocketVIA)
+	var calls []string
+	src := func(int) Filter {
+		return &funcFilter{
+			init: func(ctx *Context) error { calls = append(calls, fmt.Sprintf("i%d", ctx.UOW())); return nil },
+			process: func(ctx *Context) error {
+				calls = append(calls, fmt.Sprintf("p%d", ctx.UOW()))
+				out := ctx.Output("s")
+				out.Write(ctx.Proc(), &Buffer{Size: 64})
+				return out.EndOfWork(ctx.Proc())
+			},
+			finalize: func(ctx *Context) error { calls = append(calls, fmt.Sprintf("f%d", ctx.UOW())); return nil },
+		}
+	}
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	r.run(t, g, 2)
+	want := []string{"i0", "p0", "f0", "i1", "p1", "f1"}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsEvenly(t *testing.T) {
+	r := newRig(4, core.KindSocketVIA)
+	counts := make([]int, 3)
+	sink := func(copy int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+				counts[copy]++
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: source(30, 2048), Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1", "n2", "n3"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst", Policy: RoundRobin}},
+	})
+	r.run(t, g, 1)
+	for i, c := range counts {
+		if c != 10 {
+			t.Fatalf("copy %d got %d buffers, want 10: %v", i, c, counts)
+		}
+	}
+}
+
+func TestDemandDrivenFavorsFastCopies(t *testing.T) {
+	r := newRig(4, core.KindSocketVIA)
+	// Copy 0 is on a node 8x slower; demand-driven routing should give
+	// it far fewer buffers than the fast copies.
+	r.cl.Node("n1").SetSlowFactor(8)
+	counts := make([]int, 3)
+	sink := func(copy int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				b, ok := in.Read(ctx.Proc())
+				if !ok {
+					return nil
+				}
+				ctx.Compute(sim.Time(b.Size) * 18) // 18 ns/byte
+				counts[copy]++
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: source(120, 2048), Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1", "n2", "n3"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst", Policy: DemandDriven}},
+	})
+	r.run(t, g, 1)
+	total := counts[0] + counts[1] + counts[2]
+	if total != 120 {
+		t.Fatalf("total = %d, want 120", total)
+	}
+	if counts[0] >= counts[1] || counts[0] >= counts[2] {
+		t.Fatalf("slow copy got %d, fast copies %d/%d: DD not demand driven", counts[0], counts[1], counts[2])
+	}
+}
+
+func TestFanInCountsEOWFromAllProducers(t *testing.T) {
+	r := newRig(4, core.KindSocketVIA)
+	var got int
+	var uowsCompleted int
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				_, ok := in.Read(ctx.Proc())
+				if !ok {
+					uowsCompleted++
+					return nil
+				}
+				got++
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: source(4, 1024), Placement: []string{"n0", "n1", "n2"}},
+			{Name: "dst", New: sink, Placement: []string{"n3"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	r.run(t, g, 2)
+	if got != 2*3*4 {
+		t.Fatalf("got %d buffers, want 24", got)
+	}
+	if uowsCompleted != 2 {
+		t.Fatalf("uows completed = %d, want 2", uowsCompleted)
+	}
+}
+
+func TestFourStagePipelineOverlaps(t *testing.T) {
+	// A 4-stage pipeline with per-buffer computation should take far
+	// less than the sum of stage times thanks to pipelining.
+	r := newRig(4, core.KindSocketVIA)
+	const buffers, size = 64, 16 * 1024
+	const perByte = 18 * sim.Nanosecond
+	relay := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in, out := ctx.Input("in"), ctx.Output("out")
+			for {
+				b, ok := in.Read(ctx.Proc())
+				if !ok {
+					return out.EndOfWork(ctx.Proc())
+				}
+				ctx.Compute(sim.Time(b.Size) * perByte / sim.Nanosecond)
+				if err := out.Write(ctx.Proc(), &Buffer{Size: b.Size, Tag: b.Tag}); err != nil {
+					return err
+				}
+			}
+		}}
+	}
+	var sinkDone sim.Time
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("out2")
+			for {
+				b, ok := in.Read(ctx.Proc())
+				if !ok {
+					sinkDone = ctx.Now()
+					return nil
+				}
+				ctx.Compute(sim.Time(b.Size) * perByte / sim.Nanosecond)
+			}
+		}}
+	}
+	srcSpec := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("in")
+			for i := 0; i < buffers; i++ {
+				if err := out.Write(ctx.Proc(), &Buffer{Size: size, Tag: int64(i)}); err != nil {
+					return err
+				}
+			}
+			return out.EndOfWork(ctx.Proc())
+		}}
+	}
+	relay2 := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in, out := ctx.Input("out"), ctx.Output("out2")
+			for {
+				b, ok := in.Read(ctx.Proc())
+				if !ok {
+					return out.EndOfWork(ctx.Proc())
+				}
+				ctx.Compute(sim.Time(b.Size) * perByte / sim.Nanosecond)
+				if err := out.Write(ctx.Proc(), &Buffer{Size: b.Size, Tag: b.Tag}); err != nil {
+					return err
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: srcSpec, Placement: []string{"n0"}},
+			{Name: "f1", New: relay, Placement: []string{"n1"}},
+			{Name: "f2", New: relay2, Placement: []string{"n2"}},
+			{Name: "viz", New: sink, Placement: []string{"n3"}},
+		},
+		Streams: []StreamSpec{
+			{Name: "in", From: "src", To: "f1"},
+			{Name: "out", From: "f1", To: "f2"},
+			{Name: "out2", From: "f2", To: "viz"},
+		},
+	})
+	r.run(t, g, 1)
+	// Each stage's compute is buffers*size*18ns = 18.9 ms; three
+	// compute stages serialized would be ~57 ms plus transfers. With
+	// pipelining the makespan should be close to one stage's time plus
+	// a pipeline fill, well under 2x a single stage.
+	perStage := sim.Time(buffers) * sim.Time(size) * perByte
+	if sinkDone >= 2*perStage {
+		t.Fatalf("pipeline took %v, want < %v (2x one stage)", sinkDone, 2*perStage)
+	}
+}
+
+func TestWriteToExplicitTarget(t *testing.T) {
+	r := newRig(3, core.KindSocketVIA)
+	counts := make([]int, 2)
+	src := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("s")
+			for i := 0; i < 10; i++ {
+				if err := out.WriteTo(ctx.Proc(), 1, &Buffer{Size: 512}); err != nil {
+					return err
+				}
+			}
+			return out.EndOfWork(ctx.Proc())
+		}}
+	}
+	sink := func(copy int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+				counts[copy]++
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1", "n2"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	r.run(t, g, 1)
+	if counts[0] != 0 || counts[1] != 10 {
+		t.Fatalf("counts = %v, want [0 10]", counts)
+	}
+}
+
+func TestGroupDeterministicReplay(t *testing.T) {
+	kinds(t, func(t *testing.T, kind core.Kind) {
+		run := func() sim.Time {
+			r := newRig(4, kind)
+			sink := func(int) Filter {
+				return &funcFilter{process: func(ctx *Context) error {
+					in := ctx.Input("s")
+					for {
+						b, ok := in.Read(ctx.Proc())
+						if !ok {
+							return nil
+						}
+						ctx.Compute(sim.Time(b.Size) * 18)
+					}
+				}}
+			}
+			g := r.rt.Instantiate(GroupSpec{
+				Filters: []FilterSpec{
+					{Name: "src", New: source(40, 4096), Placement: []string{"n0"}},
+					{Name: "dst", New: sink, Placement: []string{"n1", "n2", "n3"}},
+				},
+				Streams: []StreamSpec{{Name: "s", From: "src", To: "dst", Policy: DemandDriven}},
+			})
+			g.Start(2)
+			return r.k.RunAll()
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("replay diverged: %v vs %v", a, b)
+		}
+	})
+}
+
+func TestContextAccessors(t *testing.T) {
+	r := newRig(2, core.KindTCP)
+	src := func(int) Filter {
+		return &funcFilter{
+			init: func(ctx *Context) error {
+				ctx.SetUserData(42)
+				return nil
+			},
+			process: func(ctx *Context) error {
+				if ctx.Name() != "src" {
+					t.Errorf("Name = %q", ctx.Name())
+				}
+				if idx, total := ctx.Copy(); idx != 0 || total != 1 {
+					t.Errorf("Copy = %d/%d", idx, total)
+				}
+				if ctx.Node().Name() != "n0" {
+					t.Errorf("Node = %q", ctx.Node().Name())
+				}
+				if ctx.UserData() != 42 {
+					t.Errorf("UserData = %v", ctx.UserData())
+				}
+				out := ctx.Output("s")
+				out.Write(ctx.Proc(), &Buffer{Size: 8})
+				return out.EndOfWork(ctx.Proc())
+			},
+		}
+	}
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	r.run(t, g, 1)
+}
+
+func TestReaderWriterStats(t *testing.T) {
+	r := newRig(2, core.KindSocketVIA)
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: source(7, 256), Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	r.run(t, g, 1)
+	if got := g.ReaderOf("dst", 0, "s").Received(); got != 7 {
+		t.Fatalf("reader received = %d, want 7", got)
+	}
+	sent := g.WriterOf("src", 0, "s").Sent()
+	if len(sent) != 1 || sent[0] != 7 {
+		t.Fatalf("writer sent = %v, want [7]", sent)
+	}
+}

@@ -1,0 +1,91 @@
+package datacutter_test
+
+import (
+	"fmt"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// doubler multiplies each incoming value by two.
+type doubler struct{}
+
+func (doubler) Init(*datacutter.Context) error { return nil }
+func (doubler) Process(ctx *datacutter.Context) error {
+	in, out := ctx.Input("nums"), ctx.Output("doubled")
+	for {
+		b, ok := in.Read(ctx.Proc())
+		if !ok {
+			return out.EndOfWork(ctx.Proc())
+		}
+		if err := out.Write(ctx.Proc(), &datacutter.Buffer{Size: b.Size, Tag: b.Tag * 2}); err != nil {
+			return err
+		}
+	}
+}
+func (doubler) Finalize(*datacutter.Context) error { return nil }
+
+// ExampleRuntime_Instantiate builds a three-filter group — source,
+// doubler, sink — over SocketVIA and runs one unit of work.
+func ExampleRuntime_Instantiate() {
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for _, name := range []string{"n0", "n1", "n2"} {
+		cl.AddNode(name, cluster.DefaultConfig())
+	}
+	rt := datacutter.NewRuntime(cl, core.NewFabric(cl, core.KindSocketVIA, prof))
+
+	src := func(int) datacutter.Filter {
+		return filterFunc(func(ctx *datacutter.Context) error {
+			out := ctx.Output("nums")
+			for i := int64(1); i <= 3; i++ {
+				if err := out.Write(ctx.Proc(), &datacutter.Buffer{Size: 8, Tag: i}); err != nil {
+					return err
+				}
+			}
+			return out.EndOfWork(ctx.Proc())
+		})
+	}
+	var got []int64
+	sink := func(int) datacutter.Filter {
+		return filterFunc(func(ctx *datacutter.Context) error {
+			in := ctx.Input("doubled")
+			for {
+				b, ok := in.Read(ctx.Proc())
+				if !ok {
+					return nil
+				}
+				got = append(got, b.Tag)
+			}
+		})
+	}
+
+	g := rt.Instantiate(datacutter.GroupSpec{
+		Filters: []datacutter.FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "double", New: func(int) datacutter.Filter { return doubler{} }, Placement: []string{"n1"}},
+			{Name: "sink", New: sink, Placement: []string{"n2"}},
+		},
+		Streams: []datacutter.StreamSpec{
+			{Name: "nums", From: "src", To: "double"},
+			{Name: "doubled", From: "double", To: "sink"},
+		},
+	})
+	g.Start(1)
+	k.RunAll()
+	fmt.Println(got)
+	// Output:
+	// [2 4 6]
+}
+
+// filterFunc adapts a process function to the Filter interface.
+type filterFunc func(ctx *datacutter.Context) error
+
+func (filterFunc) Init(*datacutter.Context) error          { return nil }
+func (f filterFunc) Process(ctx *datacutter.Context) error { return f(ctx) }
+func (filterFunc) Finalize(*datacutter.Context) error      { return nil }

@@ -1,0 +1,273 @@
+package datacutter
+
+import (
+	"fmt"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+)
+
+// Runtime instantiates filter groups on a cluster over one transport
+// fabric.
+type Runtime struct {
+	cl      *cluster.Cluster
+	fab     *core.Fabric
+	nextSvc int
+}
+
+// NewRuntime returns a runtime over the given cluster and fabric.
+func NewRuntime(cl *cluster.Cluster, fab *core.Fabric) *Runtime {
+	return &Runtime{cl: cl, fab: fab, nextSvc: 1000}
+}
+
+// Fabric reports the transport fabric in use.
+func (rt *Runtime) Fabric() *core.Fabric { return rt.fab }
+
+// filterCopy is one transparent copy of a filter.
+type filterCopy struct {
+	spec    FilterSpec
+	idx     int
+	node    *cluster.Node
+	filter  Filter
+	inputs  map[string]*StreamReader
+	outputs map[string]*StreamWriter
+}
+
+// Group is an instantiated filter group.
+type Group struct {
+	rt       *Runtime
+	spec     GroupSpec
+	copies   []*filterCopy
+	byName   map[string][]*filterCopy
+	setup    *sim.Barrier
+	doneLeft int
+	doneSig  *sim.Signal
+	errs     []error
+}
+
+// Instantiate builds the filter copies, binds every logical stream's
+// point-to-point connections (the runtime establishes all connections
+// before execution starts, as DataCutter does) and returns the group.
+// Call Start to begin processing units of work.
+func (rt *Runtime) Instantiate(spec GroupSpec) *Group {
+	k := rt.cl.Kernel()
+	g := &Group{
+		rt:      rt,
+		spec:    spec,
+		byName:  make(map[string][]*filterCopy),
+		doneSig: sim.NewSignal(k),
+	}
+	for fi := range spec.Filters {
+		fs := spec.Filters[fi]
+		if len(fs.Placement) == 0 {
+			panic("datacutter: filter " + fs.Name + " has no placement")
+		}
+		if fs.InboxDepth == 0 {
+			fs.InboxDepth = 2
+		}
+		for i, nodeName := range fs.Placement {
+			node := rt.cl.Node(nodeName)
+			if node == nil {
+				panic(fmt.Sprintf("datacutter: unknown node %q for filter %s", nodeName, fs.Name))
+			}
+			fc := &filterCopy{
+				spec:    fs,
+				idx:     i,
+				node:    node,
+				filter:  fs.New(i),
+				inputs:  make(map[string]*StreamReader),
+				outputs: make(map[string]*StreamWriter),
+			}
+			g.copies = append(g.copies, fc)
+			g.byName[fs.Name] = append(g.byName[fs.Name], fc)
+		}
+	}
+	g.doneLeft = len(g.copies)
+
+	// Count connection-setup arrivals: one per side per connection.
+	totalConns := 0
+	for _, ss := range spec.Streams {
+		totalConns += len(g.byName[ss.From]) * len(g.byName[ss.To])
+	}
+	if totalConns == 0 {
+		// Degenerate single-filter groups still need a fired barrier.
+		g.setup = sim.NewBarrier(k, 1)
+		g.setup.Arrive()
+	} else {
+		g.setup = sim.NewBarrier(k, 2*totalConns)
+	}
+
+	for si := range spec.Streams {
+		g.wireStream(spec.Streams[si])
+	}
+	return g
+}
+
+// wireStream connects every producer copy to every consumer copy of
+// one logical stream.
+func (g *Group) wireStream(ss StreamSpec) {
+	rt := g.rt
+	k := rt.cl.Kernel()
+	prods := g.byName[ss.From]
+	conss := g.byName[ss.To]
+	if len(prods) == 0 || len(conss) == 0 {
+		panic(fmt.Sprintf("datacutter: stream %s references unknown filters %s -> %s", ss.Name, ss.From, ss.To))
+	}
+
+	writers := make([]*StreamWriter, len(prods))
+	for i, pc := range prods {
+		w := &StreamWriter{
+			name: ss.Name, policy: ss.Policy,
+			targets:    make([]*streamConn, len(conss)),
+			maxUnacked: ss.MaxUnacked,
+			ackCond:    sim.NewCond(k),
+		}
+		if _, dup := pc.outputs[ss.Name]; dup {
+			panic("datacutter: duplicate stream name " + ss.Name)
+		}
+		pc.outputs[ss.Name] = w
+		writers[i] = w
+	}
+
+	for j, cc := range conss {
+		r := &StreamReader{
+			name:    ss.Name,
+			policy:  ss.Policy,
+			acks:    ss.Acks,
+			inbox:   sim.NewQueue[inboxItem](k, cc.spec.InboxDepth),
+			nconns:  len(prods),
+			eowSeen: make(map[int]int),
+		}
+		if _, dup := cc.inputs[ss.Name]; dup {
+			panic("datacutter: duplicate stream name " + ss.Name)
+		}
+		cc.inputs[ss.Name] = r
+
+		svc := rt.nextSvc
+		rt.nextSvc++
+		listener := rt.fab.Endpoint(cc.node.Name()).Listen(svc)
+		remaining := len(prods)
+		closedOne := func() {
+			remaining--
+			if remaining == 0 {
+				r.inbox.Close()
+			}
+		}
+
+		// Acceptor: one inbound connection per producer copy.
+		j := j
+		k.Go(fmt.Sprintf("dc-accept/%s/%s.%d", ss.Name, ss.To, j), func(p *sim.Proc) {
+			for n := 0; n < len(prods); n++ {
+				conn, err := listener.Accept(p)
+				if err != nil {
+					g.errs = append(g.errs, err)
+					return
+				}
+				sc := &streamConn{conn: conn}
+				k.Go(fmt.Sprintf("dc-read/%s/%s.%d.%d", ss.Name, ss.To, j, n), r.connReaderLoop(sc, closedOne))
+				g.setup.Arrive()
+			}
+			listener.Close()
+		})
+
+		// Dialers: each producer copy connects to this consumer copy.
+		for i, pc := range prods {
+			i, pc := i, pc
+			w := writers[i]
+			k.Go(fmt.Sprintf("dc-dial/%s/%s.%d->%s.%d", ss.Name, ss.From, i, ss.To, j), func(p *sim.Proc) {
+				conn, err := rt.fab.Endpoint(pc.node.Name()).Dial(p, cc.node.Name(), svc)
+				if err != nil {
+					g.errs = append(g.errs, err)
+					return
+				}
+				sc := &streamConn{conn: conn, record: ss.RecordAckLatency}
+				w.targets[j] = sc
+				if ss.Policy == DemandDriven || ss.Acks {
+					k.Go(fmt.Sprintf("dc-ack/%s/%s.%d<-%s.%d", ss.Name, ss.From, i, ss.To, j), w.ackReaderLoop(sc))
+				}
+				g.setup.Arrive()
+			})
+		}
+	}
+}
+
+// Start launches every filter copy's driver for the given number of
+// units of work. Drivers wait for all stream connections first.
+func (g *Group) Start(uows int) {
+	if uows <= 0 {
+		panic("datacutter: Start needs a positive unit-of-work count")
+	}
+	k := g.rt.cl.Kernel()
+	for _, fc := range g.copies {
+		fc := fc
+		k.Go(fmt.Sprintf("dc-filter/%s.%d", fc.spec.Name, fc.idx), func(p *sim.Proc) {
+			g.setup.Wait(p)
+			ctx := &Context{
+				p:       p,
+				node:    fc.node,
+				name:    fc.spec.Name,
+				copyIdx: fc.idx,
+				copies:  len(g.byName[fc.spec.Name]),
+				inputs:  fc.inputs,
+				outputs: fc.outputs,
+			}
+			for uow := 0; uow < uows; uow++ {
+				ctx.uow = uow
+				if err := g.step(ctx, fc, uow); err != nil {
+					g.errs = append(g.errs, err)
+					break
+				}
+			}
+			for _, w := range fc.outputs {
+				w.Close(p)
+			}
+			g.doneLeft--
+			if g.doneLeft == 0 {
+				g.doneSig.Fire(nil)
+			}
+		})
+	}
+}
+
+func (g *Group) step(ctx *Context, fc *filterCopy, uow int) error {
+	if err := fc.filter.Init(ctx); err != nil {
+		return fmt.Errorf("%s.%d init uow %d: %w", fc.spec.Name, fc.idx, uow, err)
+	}
+	if err := fc.filter.Process(ctx); err != nil {
+		return fmt.Errorf("%s.%d process uow %d: %w", fc.spec.Name, fc.idx, uow, err)
+	}
+	if err := fc.filter.Finalize(ctx); err != nil {
+		return fmt.Errorf("%s.%d finalize uow %d: %w", fc.spec.Name, fc.idx, uow, err)
+	}
+	return nil
+}
+
+// Done returns a signal fired when every filter copy has finished all
+// units of work.
+func (g *Group) Done() *sim.Signal { return g.doneSig }
+
+// WaitDone blocks p until the group finishes.
+func (g *Group) WaitDone(p *sim.Proc) { p.Wait(g.doneSig) }
+
+// Err returns the first error any copy reported, or nil.
+func (g *Group) Err() error {
+	if len(g.errs) == 0 {
+		return nil
+	}
+	return g.errs[0]
+}
+
+// Copies returns the transparent copies of the named filter (for
+// experiment instrumentation).
+func (g *Group) Copies(filter string) int { return len(g.byName[filter]) }
+
+// ReaderOf exposes a copy's input stream reader for instrumentation.
+func (g *Group) ReaderOf(filter string, copy int, stream string) *StreamReader {
+	return g.byName[filter][copy].inputs[stream]
+}
+
+// WriterOf exposes a copy's output stream writer for instrumentation.
+func (g *Group) WriterOf(filter string, copy int, stream string) *StreamWriter {
+	return g.byName[filter][copy].outputs[stream]
+}

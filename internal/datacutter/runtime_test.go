@@ -1,0 +1,266 @@
+package datacutter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+)
+
+func TestFilterErrorPropagatesToGroup(t *testing.T) {
+	r := newRig(2, core.KindSocketVIA)
+	boom := errors.New("boom")
+	src := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("s")
+			out.Write(ctx.Proc(), &Buffer{Size: 64})
+			out.EndOfWork(ctx.Proc())
+			return boom
+		}}
+	}
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	g.Start(3) // the error must stop src after uow 0
+	r.k.RunAll()
+	err := g.Err()
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("group err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "src.0 process uow 0") {
+		t.Fatalf("error lacks context: %v", err)
+	}
+}
+
+func TestInitErrorSkipsProcess(t *testing.T) {
+	r := newRig(2, core.KindTCP)
+	processed := false
+	src := func(int) Filter {
+		return &funcFilter{
+			init: func(ctx *Context) error { return errors.New("init failed") },
+			process: func(ctx *Context) error {
+				processed = true
+				return nil
+			},
+		}
+	}
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	g.Start(1)
+	r.k.RunAll()
+	if processed {
+		t.Fatal("Process ran after Init error")
+	}
+	if g.Err() == nil {
+		t.Fatal("init error not reported")
+	}
+}
+
+func TestTwoStreamsBetweenSameFilters(t *testing.T) {
+	r := newRig(2, core.KindSocketVIA)
+	var meta, data []int64
+	src := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			m, d := ctx.Output("meta"), ctx.Output("data")
+			for i := 0; i < 5; i++ {
+				m.Write(ctx.Proc(), &Buffer{Size: 16, Tag: int64(i)})
+				d.Write(ctx.Proc(), &Buffer{Size: 4096, Tag: int64(i * 100)})
+			}
+			m.EndOfWork(ctx.Proc())
+			return d.EndOfWork(ctx.Proc())
+		}}
+	}
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			m, d := ctx.Input("meta"), ctx.Input("data")
+			for {
+				b, ok := m.Read(ctx.Proc())
+				if !ok {
+					break
+				}
+				meta = append(meta, b.Tag)
+			}
+			for {
+				b, ok := d.Read(ctx.Proc())
+				if !ok {
+					break
+				}
+				data = append(data, b.Tag)
+			}
+			return nil
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{
+			{Name: "meta", From: "src", To: "dst"},
+			{Name: "data", From: "src", To: "dst"},
+		},
+	})
+	r.run(t, g, 1)
+	if len(meta) != 5 || len(data) != 5 {
+		t.Fatalf("meta=%v data=%v", meta, data)
+	}
+	for i := 0; i < 5; i++ {
+		if meta[i] != int64(i) || data[i] != int64(i*100) {
+			t.Fatalf("stream crosstalk: meta=%v data=%v", meta, data)
+		}
+	}
+}
+
+func TestConcurrentGroupsShareCluster(t *testing.T) {
+	// Two filter groups (the paper: "multiple filter groups allow
+	// concurrency among multiple queries") run on the same nodes.
+	r := newRig(2, core.KindSocketVIA)
+	counts := [2]int{}
+	mkGroup := func(idx int) *Group {
+		sink := func(int) Filter {
+			return &funcFilter{process: func(ctx *Context) error {
+				in := ctx.Input("s")
+				for {
+					if _, ok := in.Read(ctx.Proc()); !ok {
+						return nil
+					}
+					counts[idx]++
+				}
+			}}
+		}
+		return r.rt.Instantiate(GroupSpec{
+			Filters: []FilterSpec{
+				{Name: "src", New: source(8, 2048), Placement: []string{"n0"}},
+				{Name: "dst", New: sink, Placement: []string{"n1"}},
+			},
+			Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+		})
+	}
+	g1, g2 := mkGroup(0), mkGroup(1)
+	g1.Start(1)
+	g2.Start(1)
+	r.k.RunAll()
+	if g1.Err() != nil || g2.Err() != nil {
+		t.Fatalf("errs: %v %v", g1.Err(), g2.Err())
+	}
+	if counts[0] != 8 || counts[1] != 8 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestUOWSkewStashesFutureBuffers(t *testing.T) {
+	// Producer copy 0 races ahead into uow 1 while copy 1 is slow to
+	// finish uow 0; the consumer must not see uow-1 buffers early.
+	r := newRig(3, core.KindSocketVIA)
+	var order []string
+	src := func(copy int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("s")
+			if copy == 1 && ctx.UOW() == 0 {
+				ctx.Proc().Sleep(5 * sim.Millisecond) // straggler
+			}
+			out.Write(ctx.Proc(), &Buffer{Size: 256, Tag: int64(copy)})
+			return out.EndOfWork(ctx.Proc())
+		}}
+	}
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				b, ok := in.Read(ctx.Proc())
+				if !ok {
+					return nil
+				}
+				if b.UOW != ctx.UOW() {
+					t.Errorf("uow %d buffer delivered during uow %d", b.UOW, ctx.UOW())
+				}
+				order = append(order, string(rune('0'+b.UOW)))
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0", "n1"}},
+			{Name: "dst", New: sink, Placement: []string{"n2"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	r.run(t, g, 2)
+	want := "0011"
+	if got := strings.Join(order, ""); got != want {
+		t.Fatalf("uow order = %q, want %q", got, want)
+	}
+}
+
+func TestGroupAccessorsPanicsAndEdges(t *testing.T) {
+	r := newRig(2, core.KindTCP)
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: source(1, 64), Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1"}},
+		},
+		Streams: []StreamSpec{{Name: "s", From: "src", To: "dst"}},
+	})
+	if g.Copies("src") != 1 || g.Copies("missing") != 0 {
+		t.Fatal("Copies accessor wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Start(0) did not panic")
+		}
+	}()
+	g.Start(0)
+}
+
+func TestUnknownPlacementPanics(t *testing.T) {
+	r := newRig(1, core.KindTCP)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown node placement did not panic")
+		}
+	}()
+	r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{{Name: "f", New: source(1, 1), Placement: []string{"mars"}}},
+	})
+}

@@ -1,0 +1,137 @@
+package datacutter
+
+import (
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/sim"
+)
+
+// Filter is the DataCutter filter interface: init acquires resources,
+// process reads input streams and writes output streams for one unit
+// of work, finalize releases resources. The functions are called again
+// for each unit of work.
+type Filter interface {
+	Init(ctx *Context) error
+	Process(ctx *Context) error
+	Finalize(ctx *Context) error
+}
+
+// Policy selects how a producer distributes buffers among the
+// transparent copies of a consumer filter.
+type Policy int
+
+const (
+	// RoundRobin cycles through consumer copies.
+	RoundRobin Policy = iota
+	// DemandDriven sends each buffer to the copy with the fewest
+	// unacknowledged buffers; consumers acknowledge a buffer when they
+	// begin processing it.
+	DemandDriven
+)
+
+func (p Policy) String() string {
+	if p == DemandDriven {
+		return "dd"
+	}
+	return "rr"
+}
+
+// FilterSpec declares one filter and the placement of its transparent
+// copies (one copy per listed node).
+type FilterSpec struct {
+	Name string
+	// New constructs the filter instance for one copy.
+	New func(copy int) Filter
+	// Placement lists the node for each transparent copy.
+	Placement []string
+	// InboxDepth bounds buffers queued at each copy per input stream
+	// before transport backpressure kicks in (default 2).
+	InboxDepth int
+}
+
+// StreamSpec declares a logical stream between two filters.
+type StreamSpec struct {
+	Name   string
+	From   string
+	To     string
+	Policy Policy
+	// Acks forces begin-of-processing acknowledgments even under the
+	// round-robin policy (demand-driven always acknowledges). The
+	// load-balancer experiments use this to observe a round-robin
+	// scheduler's reaction time.
+	Acks bool
+	// RecordAckLatency makes producer copies record the send-to-ack
+	// latency of every buffer, per target copy.
+	RecordAckLatency bool
+	// MaxUnacked bounds the unacknowledged buffers a demand-driven
+	// producer keeps outstanding per consumer copy (0 = unbounded).
+	// When data flows on the stream, transport backpressure bounds the
+	// queue naturally; workloads that ship cheap directives need this
+	// explicit demand window for min-unacked routing to stay
+	// demand-driven.
+	MaxUnacked int
+}
+
+// GroupSpec declares a filter group.
+type GroupSpec struct {
+	Filters []FilterSpec
+	Streams []StreamSpec
+}
+
+// Context is a filter copy's view of the runtime.
+type Context struct {
+	p        *sim.Proc
+	node     *cluster.Node
+	name     string
+	copyIdx  int
+	copies   int
+	uow      int
+	inputs   map[string]*StreamReader
+	outputs  map[string]*StreamWriter
+	userdata any
+}
+
+// Proc returns the copy's simulation process.
+func (ctx *Context) Proc() *sim.Proc { return ctx.p }
+
+// Node returns the hosting node.
+func (ctx *Context) Node() *cluster.Node { return ctx.node }
+
+// Name returns the filter name.
+func (ctx *Context) Name() string { return ctx.name }
+
+// Copy returns this copy's index and the total number of copies.
+func (ctx *Context) Copy() (idx, total int) { return ctx.copyIdx, ctx.copies }
+
+// UOW returns the current unit-of-work number.
+func (ctx *Context) UOW() int { return ctx.uow }
+
+// Now returns the current virtual time.
+func (ctx *Context) Now() sim.Time { return ctx.p.Now() }
+
+// Compute spends nominal CPU time on the hosting node, subject to the
+// node's heterogeneity model.
+func (ctx *Context) Compute(nominal sim.Time) { ctx.node.Compute(ctx.p, nominal) }
+
+// Input returns the named input stream reader.
+func (ctx *Context) Input(stream string) *StreamReader {
+	r, ok := ctx.inputs[stream]
+	if !ok {
+		panic("datacutter: filter " + ctx.name + " has no input stream " + stream)
+	}
+	return r
+}
+
+// Output returns the named output stream writer.
+func (ctx *Context) Output(stream string) *StreamWriter {
+	w, ok := ctx.outputs[stream]
+	if !ok {
+		panic("datacutter: filter " + ctx.name + " has no output stream " + stream)
+	}
+	return w
+}
+
+// SetUserData stashes per-copy state across init/process/finalize.
+func (ctx *Context) SetUserData(v any) { ctx.userdata = v }
+
+// UserData returns the stashed per-copy state.
+func (ctx *Context) UserData() any { return ctx.userdata }

@@ -1,0 +1,307 @@
+package datacutter
+
+import (
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+)
+
+// streamConn is one point-to-point connection of a logical stream.
+// The producer side tracks unacknowledged buffers for demand-driven
+// scheduling; the consumer side uses it to route acks back.
+type streamConn struct {
+	conn    core.Conn
+	unacked int
+	sent    uint64
+
+	// Producer-side ack latency instrumentation. Acks arrive in send
+	// order on a connection, so a FIFO of send times suffices.
+	record       bool
+	pendingSends []sim.Time
+	ackLatencies []sim.Time
+}
+
+// StreamWriter is a producer copy's handle on a logical stream: it
+// distributes buffers among the transparent copies of the consumer.
+type StreamWriter struct {
+	name       string
+	policy     Policy
+	targets    []*streamConn
+	rr         int
+	uow        int
+	closed     bool
+	maxUnacked int
+	ackCond    *sim.Cond // signalled on every ack when maxUnacked > 0
+}
+
+// Targets reports the number of consumer copies.
+func (w *StreamWriter) Targets() int { return len(w.targets) }
+
+// Unacked reports the per-target unacknowledged buffer counts (only
+// meaningful under the demand-driven policy).
+func (w *StreamWriter) Unacked() []int {
+	out := make([]int, len(w.targets))
+	for i, t := range w.targets {
+		out[i] = t.unacked
+	}
+	return out
+}
+
+// Sent reports per-target buffer counts.
+func (w *StreamWriter) Sent() []uint64 {
+	out := make([]uint64, len(w.targets))
+	for i, t := range w.targets {
+		out[i] = t.sent
+	}
+	return out
+}
+
+// pick chooses the destination copy for the next buffer, blocking
+// under demand-driven routing while every copy is at its demand
+// window.
+func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
+	switch w.policy {
+	case RoundRobin:
+		t := w.targets[w.rr]
+		w.rr = (w.rr + 1) % len(w.targets)
+		return t
+	case DemandDriven:
+		for {
+			var best *streamConn
+			for _, t := range w.targets {
+				if w.maxUnacked > 0 && t.unacked >= w.maxUnacked {
+					continue
+				}
+				if best == nil || t.unacked < best.unacked {
+					best = t
+				}
+			}
+			if best != nil {
+				return best
+			}
+			w.ackCond.Wait(p)
+		}
+	}
+	panic("datacutter: unknown policy")
+}
+
+// Write sends a buffer to one consumer copy chosen by the stream's
+// policy. It blocks until the transport has buffered the bytes.
+func (w *StreamWriter) Write(p *sim.Proc, buf *Buffer) error {
+	if w.closed {
+		panic("datacutter: write on closed stream " + w.name)
+	}
+	t := w.pick(p)
+	return w.writeTo(p, t, buf)
+}
+
+// WriteTo sends a buffer to an explicit consumer copy, for application
+// level schedulers that bypass the built-in policies.
+func (w *StreamWriter) WriteTo(p *sim.Proc, target int, buf *Buffer) error {
+	return w.writeTo(p, w.targets[target], buf)
+}
+
+func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
+	var flags uint8
+	if buf.Data != nil {
+		flags |= flagReal
+		if len(buf.Data) != buf.Size {
+			panic("datacutter: buffer data/size mismatch")
+		}
+	}
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, wireData, flags, w.uow, buf.Size, buf.Tag)
+	p.Kernel().Trace("datacutter", "buffer-out", int64(buf.Size), w.name)
+	t.unacked++
+	t.sent++
+	if t.record {
+		t.pendingSends = append(t.pendingSends, p.Now())
+	}
+	if err := t.conn.Send(p, hdr); err != nil {
+		return err
+	}
+	if buf.Data != nil {
+		return t.conn.Send(p, buf.Data)
+	}
+	return t.conn.SendSize(p, buf.Size)
+}
+
+// EndOfWork broadcasts the end-of-work marker for the current unit of
+// work to every consumer copy and advances the writer to the next one.
+func (w *StreamWriter) EndOfWork(p *sim.Proc) error {
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, wireEOW, 0, w.uow, 0, 0)
+	for _, t := range w.targets {
+		if err := t.conn.Send(p, append([]byte(nil), hdr...)); err != nil {
+			return err
+		}
+	}
+	w.uow++
+	return nil
+}
+
+// Close shuts down the stream's connections.
+func (w *StreamWriter) Close(p *sim.Proc) {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, t := range w.targets {
+		t.conn.Close(p)
+	}
+}
+
+// ackReaderLoop runs on the producer side of each connection of a
+// demand-driven stream, absorbing acknowledgments.
+func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		hdr := make([]byte, headerSize)
+		for {
+			if _, err := t.conn.RecvFull(p, hdr); err != nil {
+				return
+			}
+			kind, _, _, _, _ := parseHeader(hdr)
+			if kind != wireAck {
+				panic("datacutter: unexpected reverse-stream message")
+			}
+			if t.unacked > 0 {
+				t.unacked--
+			}
+			if t.record && len(t.pendingSends) > 0 {
+				t.ackLatencies = append(t.ackLatencies, p.Now()-t.pendingSends[0])
+				t.pendingSends = t.pendingSends[1:]
+			}
+			if w.ackCond != nil {
+				w.ackCond.Broadcast()
+			}
+		}
+	}
+}
+
+// inboxItem is one delivered stream element on the consumer side.
+type inboxItem struct {
+	buf *Buffer
+	eow bool
+	uow int // for eow markers: the unit of work they terminate
+}
+
+// StreamReader is a consumer copy's handle on a logical stream,
+// merging the connections from all producer copies.
+type StreamReader struct {
+	name   string
+	policy Policy
+	acks   bool
+	inbox  *sim.Queue[inboxItem]
+	nconns int
+	// eowSeen counts end-of-work markers per unit of work: a fast
+	// producer may deliver its next-UOW marker while a straggler is
+	// still finishing the current one.
+	eowSeen map[int]int
+	uow     int
+	stash   []*Buffer // buffers that arrived for a future unit of work
+
+	received uint64
+}
+
+// Received reports the number of data buffers delivered to the filter.
+func (r *StreamReader) Received() uint64 { return r.received }
+
+// Read returns the next buffer of the current unit of work. ok is
+// false when the unit of work is complete (all producer copies sent
+// their end-of-work markers) or the stream closed; the reader then
+// advances to the next unit of work. Under the demand-driven policy,
+// Read acknowledges the buffer to its producer — the "consumer begins
+// processing" signal of the paper.
+func (r *StreamReader) Read(p *sim.Proc) (*Buffer, bool) {
+	// Serve buffers that arrived early for what is now the current UOW.
+	for i, b := range r.stash {
+		if b.UOW == r.uow {
+			r.stash = append(r.stash[:i], r.stash[i+1:]...)
+			r.deliver(p, b)
+			return b, true
+		}
+	}
+	for {
+		item, ok := r.inbox.Get(p)
+		if !ok {
+			return nil, false // stream closed
+		}
+		if item.eow {
+			r.eowSeen[item.uow]++
+			if r.eowSeen[r.uow] == r.nconns {
+				delete(r.eowSeen, r.uow)
+				r.uow++
+				return nil, false
+			}
+			continue
+		}
+		if item.buf.UOW != r.uow {
+			r.stash = append(r.stash, item.buf)
+			continue
+		}
+		r.deliver(p, item.buf)
+		return item.buf, true
+	}
+}
+
+// deliver counts the buffer and acknowledges it when the stream's
+// policy calls for acks.
+func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
+	r.received++
+	p.Kernel().Trace("datacutter", "buffer-in", int64(b.Size), r.name)
+	if (r.policy == DemandDriven || r.acks) && b.src != nil {
+		hdr := make([]byte, headerSize)
+		putHeader(hdr, wireAck, 0, b.UOW, 0, 0)
+		b.src.conn.Send(p, hdr)
+	}
+}
+
+// AckLatencies returns the recorded send-to-ack latencies for one
+// target copy (requires StreamSpec.RecordAckLatency).
+func (w *StreamWriter) AckLatencies(target int) []sim.Time {
+	return w.targets[target].ackLatencies
+}
+
+// connReaderLoop parses one inbound connection into the shared inbox.
+func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		hdr := make([]byte, headerSize)
+		var scratch [32 * 1024]byte
+		for {
+			if _, err := sc.conn.RecvFull(p, hdr); err != nil {
+				closed()
+				return
+			}
+			kind, flags, uow, size, tag := parseHeader(hdr)
+			switch kind {
+			case wireEOW:
+				r.inbox.Put(p, inboxItem{eow: true, uow: uow})
+			case wireData:
+				buf := &Buffer{UOW: uow, Size: size, Tag: tag, src: sc}
+				if flags&flagReal != 0 {
+					buf.Data = make([]byte, size)
+					if _, err := sc.conn.RecvFull(p, buf.Data); err != nil {
+						closed()
+						return
+					}
+				} else {
+					remaining := size
+					for remaining > 0 {
+						n := remaining
+						if n > len(scratch) {
+							n = len(scratch)
+						}
+						m, err := sc.conn.RecvFull(p, scratch[:n])
+						remaining -= m
+						if err != nil {
+							closed()
+							return
+						}
+					}
+				}
+				r.inbox.Put(p, inboxItem{buf: buf})
+			default:
+				panic("datacutter: unexpected forward-stream message")
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/vizapp"
+)
+
+// Ablations for the design choices called out in DESIGN.md. Each
+// returns the metric the corresponding bench reports.
+
+// SVWithConfig builds a two-node SocketVIA fabric with a modified
+// sockets-layer configuration and returns kernel and fabric.
+func svWithConfig(mod func(*core.SVConfig)) (*sim.Kernel, *core.Fabric) {
+	prof := core.CLANProfile()
+	mod(&prof.SV)
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	return k, core.NewFabric(cl, core.KindSocketVIA, prof)
+}
+
+// measureFabricBandwidth streams count messages of the given size over
+// a fabric and returns Mbps.
+func measureFabricBandwidth(k *sim.Kernel, fab *core.Fabric, size, count int) float64 {
+	l := fab.Endpoint("b").Listen(1)
+	var mbps float64
+	k.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, 64*1024)
+		total := 0
+		start := sim.Time(-1)
+		for {
+			n, err := c.Recv(p, buf)
+			if start < 0 && n > 0 {
+				start = p.Now()
+			}
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		mbps = sim.BitsPerSec(int64(total), p.Now()-start)
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		c, _ := fab.Endpoint("a").Dial(p, "b", 1)
+		p.Sleep(sim.Millisecond)
+		for i := 0; i < count; i++ {
+			c.SendSize(p, size)
+		}
+		c.Close(p)
+	})
+	k.RunAll()
+	return mbps
+}
+
+// AblationEagerChunk (A2) measures SocketVIA bandwidth as a function
+// of the eager chunk size: small chunks cost per-descriptor overhead,
+// huge chunks reduce copy/DMA pipelining within the pool.
+func AblationEagerChunk(chunk, msgSize, count int) float64 {
+	k, fab := svWithConfig(func(sv *core.SVConfig) { sv.ChunkSize = chunk })
+	return measureFabricBandwidth(k, fab, msgSize, count)
+}
+
+// AblationCredits (A1) measures SocketVIA bandwidth as a function of
+// the credit count: too few credits stall the sender on credit
+// updates.
+func AblationCredits(credits, msgSize, count int) float64 {
+	k, fab := svWithConfig(func(sv *core.SVConfig) {
+		sv.Credits = credits
+		sv.CreditBatch = credits / 2
+		if sv.CreditBatch == 0 {
+			sv.CreditBatch = 1
+		}
+	})
+	return measureFabricBandwidth(k, fab, msgSize, count)
+}
+
+// AblationRendezvous (A6, the paper's future-work push model)
+// compares eager and zero-copy rendezvous SocketVIA for one message
+// size: bandwidth plus the sender's CPU utilization.
+func AblationRendezvous(threshold, msgSize, count int) (mbps, senderCPU float64) {
+	prof := core.CLANProfile()
+	prof.SV.RendezvousThreshold = threshold
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	fab := core.NewFabric(cl, core.KindSocketVIA, prof)
+	mbps = measureFabricBandwidth(k, fab, msgSize, count)
+	return mbps, cl.Node("a").CPU().Utilization()
+}
+
+// AblationTCPMSS (A3) measures kernel TCP bandwidth and small-message
+// latency as a function of the MSS, isolating the segmentation costs
+// behind the Figure 4 TCP curve.
+func AblationTCPMSS(mss, msgSize, count int) (mbps float64, latency sim.Time) {
+	prof := core.CLANProfile()
+	prof.TCP.MSS = mss
+	build := func() (*sim.Kernel, *core.Fabric) {
+		k := sim.NewKernel()
+		net := netsim.New(k, prof.Wire)
+		cl := cluster.New(k, net)
+		cl.AddNode("a", cluster.DefaultConfig())
+		cl.AddNode("b", cluster.DefaultConfig())
+		return k, core.NewFabric(cl, core.KindTCP, prof)
+	}
+	k, fab := build()
+	mbps = measureFabricBandwidth(k, fab, msgSize, count)
+
+	k2, fab2 := build()
+	l := fab2.Endpoint("b").Listen(1)
+	k2.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, 4)
+		for i := 0; i < 20; i++ {
+			c.RecvFull(p, buf)
+			c.SendSize(p, 4)
+		}
+	})
+	k2.Go("cli", func(p *sim.Proc) {
+		c, _ := fab2.Endpoint("a").Dial(p, "b", 1)
+		p.Sleep(sim.Millisecond)
+		buf := make([]byte, 4)
+		start := p.Now()
+		for i := 0; i < 20; i++ {
+			c.SendSize(p, 4)
+			c.RecvFull(p, buf)
+		}
+		latency = (p.Now() - start) / 40
+	})
+	k2.RunAll()
+	return mbps, latency
+}
+
+// AblationChains (A5) measures the pipeline's steady-state update rate
+// as a function of the number of transparent copies per stage.
+func AblationChains(o Options, kind core.Kind, chains, block int) float64 {
+	cfg := vizapp.DefaultPipelineConfig(kind, block)
+	cfg.ImageBytes = o.ImageBytes
+	cfg.Chains = chains
+	queries := make([]vizapp.Query, o.ThroughputQueries)
+	for i := range queries {
+		queries[i] = cfg.CompleteQuery()
+	}
+	res := vizapp.RunPipeline(cfg, queries)
+	if res.Err != nil {
+		panic("experiments: chains ablation failed: " + res.Err.Error())
+	}
+	return res.UpdatesPerSec()
+}
+
+// AblationDemandWindow (A4) measures the demand-driven makespan as a
+// function of the per-target demand window: window 0 (unbounded)
+// degenerates to an eager uniform spread; large windows approach it.
+func AblationDemandWindow(o Options, kind core.Kind, window int) sim.Time {
+	cfg := vizapp.DefaultLBConfig(kind, PipeliningBlock(kind))
+	cfg.TotalBytes = o.LBBytes
+	cfg.Policy = datacutter.DemandDriven
+	cfg.SlowNode = 2
+	cfg.SlowFactor = 8
+	cfg.DataLocal = true
+	cfg.MaxUnacked = window
+	res := vizapp.RunLoadBalancer(cfg)
+	if res.Err != nil {
+		panic("experiments: window ablation failed: " + res.Err.Error())
+	}
+	return res.Makespan
+}

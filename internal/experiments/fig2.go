@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"math"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/stats"
+)
+
+// Fig2Crossover quantifies the conceptual Figure 2 of the paper: the
+// message size each transport needs to attain a given bandwidth
+// ("high performance substrates achieve a required bandwidth at a much
+// lower message size"), and the latency at those sizes. The U1/U2
+// message sizes of the paper's sketch become measured numbers.
+func Fig2Crossover(o Options) *stats.Table {
+	targets := []float64{100, 200, 300, 400, 500}
+	t := &stats.Table{
+		Title:  "Figure 2 (quantified): message size needed to attain a bandwidth",
+		XLabel: "required_Mbps",
+		YLabel: "smallest message size (bytes) reaching the target",
+		YFmt:   "%.0f",
+	}
+	for _, target := range targets {
+		t.X = append(t.X, target)
+	}
+	sizes := fig4bSizes
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		bw := make([]float64, len(sizes))
+		for i, s := range sizes {
+			bw[i] = SocketsBandwidth(kind, s, o.MicroMsgs)
+		}
+		var ys []float64
+		for _, target := range targets {
+			y := math.NaN()
+			for i, s := range sizes {
+				if bw[i] >= target {
+					y = float64(s)
+					break
+				}
+			}
+			ys = append(ys, y)
+		}
+		t.AddSeries(kind.String()+"_bytes", ys)
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/stats"
+	"hpsockets/internal/vizapp"
+)
+
+// PipeliningBlock is the distribution block size at which perfect
+// pipelining of communication and computation was observed, per
+// transport (Section 5.2.3: 16 KB for TCP, 2 KB for SocketVIA).
+func PipeliningBlock(kind core.Kind) int {
+	if kind == core.KindSocketVIA {
+		return 2 * 1024
+	}
+	return 16 * 1024
+}
+
+func (o Options) lbConfig(kind core.Kind, block int) vizapp.LBConfig {
+	cfg := vizapp.DefaultLBConfig(kind, block)
+	cfg.TotalBytes = o.LBBytes
+	cfg.ComputePerByte = o.ComputePerByte
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// fig10Factors is the paper's heterogeneity-factor axis.
+var fig10Factors = []float64{2, 4, 6, 8, 10}
+
+// Fig10 reproduces Figure 10: the reaction time of the round-robin
+// load balancer to a slow node, versus the factor of heterogeneity.
+// Reaction time is the send-to-ack latency of the first block routed
+// to the slow node: the time until the balancer could learn about its
+// first mistake.
+func Fig10(o Options) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 10: Load Balancer Reaction time to Heterogeneity (Round-Robin)",
+		XLabel: "heterogeneity_factor",
+		YLabel: "reaction time (us)",
+		X:      fig10Factors,
+	}
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		var ys []float64
+		for _, factor := range fig10Factors {
+			cfg := o.lbConfig(kind, PipeliningBlock(kind))
+			cfg.Policy = datacutter.RoundRobin
+			cfg.RecordAcks = true
+			cfg.SlowNode = 1
+			cfg.SlowFactor = factor
+			cfg.DataLocal = true
+			res := vizapp.RunLoadBalancer(cfg)
+			if res.Err != nil {
+				panic("experiments: fig10 run failed: " + res.Err.Error())
+			}
+			ys = append(ys, res.ReactionTime(1).Micros())
+		}
+		t.AddSeries(fmt.Sprintf("%s_us", kind), ys)
+	}
+	return t
+}
+
+// fig11Probs is the paper's probability-of-being-slow axis (percent).
+var fig11Probs = []float64{10, 20, 30, 40, 50, 60, 70, 80, 90}
+
+// fig11Factors are the heterogeneity factors of the Figure 11 legends.
+var fig11Factors = []float64{2, 4, 8}
+
+// Fig11 reproduces Figure 11: total execution time under demand-driven
+// scheduling when one compute node is slow with a given probability
+// per block.
+func Fig11(o Options) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 11: Effect of Heterogeneity in the Cluster (Demand-Driven)",
+		XLabel: "prob_slow_pct",
+		YLabel: "execution time (us)",
+		X:      fig11Probs,
+	}
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		for _, factor := range fig11Factors {
+			var ys []float64
+			for _, prob := range fig11Probs {
+				cfg := o.lbConfig(kind, PipeliningBlock(kind))
+				cfg.Policy = datacutter.DemandDriven
+				cfg.SlowNode = 2
+				cfg.SlowFactor = factor
+				cfg.SlowProb = prob / 100
+				cfg.DataLocal = true
+				res := vizapp.RunLoadBalancer(cfg)
+				if res.Err != nil {
+					panic("experiments: fig11 run failed: " + res.Err.Error())
+				}
+				ys = append(ys, float64(res.Makespan)/1000)
+			}
+			t.AddSeries(fmt.Sprintf("%s(%g)_us", kind, factor), ys)
+		}
+	}
+	return t
+}
+
+// PerfectPipelining sweeps the block size of a one-producer,
+// one-consumer pipeline with the 18 ns/byte computation and reports
+// pipeline efficiency (compute time / makespan) per block size. The
+// paper observed perfect pipelining at 16 KB for TCP and 2 KB for
+// SocketVIA.
+func PerfectPipelining(o Options) *stats.Table {
+	t := &stats.Table{
+		Title:  "Section 5.2.3: Perfect-pipelining block size sweep",
+		XLabel: "block_bytes",
+		YLabel: "pipeline efficiency (compute time / makespan)",
+		X:      toF(o.BlockLadder),
+	}
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		var ys []float64
+		for _, block := range o.BlockLadder {
+			ys = append(ys, PipelineEfficiency(o, kind, block))
+		}
+		t.AddSeries(fmt.Sprintf("%s_eff", kind), ys)
+	}
+	return t
+}
+
+// PipelineEfficiency measures compute-bound efficiency of streaming
+// the workload through a single compute filter at one block size,
+// under round-robin distribution (no ack traffic), as in the paper's
+// Section 5.2.3 setting.
+func PipelineEfficiency(o Options, kind core.Kind, block int) float64 {
+	cfg := o.lbConfig(kind, block)
+	cfg.Computes = 1
+	cfg.Policy = datacutter.RoundRobin
+	res := vizapp.RunLoadBalancer(cfg)
+	if res.Err != nil {
+		panic("experiments: pipelining run failed: " + res.Err.Error())
+	}
+	ideal := float64(o.LBBytes) * float64(o.ComputePerByte)
+	return ideal / float64(res.Makespan)
+}
+
+// PerfectPipeliningBlock finds the knee of the efficiency curve: the
+// smallest ladder block whose pipeline efficiency reaches the given
+// fraction (e.g. 0.9) of the transport's plateau efficiency. This is
+// the measured counterpart of PipeliningBlock: growing the block
+// beyond it buys almost nothing, and load-balancing granularity
+// suffers.
+func PerfectPipeliningBlock(o Options, kind core.Kind, fractionOfPlateau float64) (int, bool) {
+	effs := make([]float64, len(o.BlockLadder))
+	plateau := 0.0
+	for i, block := range o.BlockLadder {
+		effs[i] = PipelineEfficiency(o, kind, block)
+		if effs[i] > plateau {
+			plateau = effs[i]
+		}
+	}
+	if plateau == 0 {
+		return 0, false
+	}
+	for i, block := range o.BlockLadder {
+		if effs[i] >= fractionOfPlateau*plateau {
+			return block, true
+		}
+	}
+	return 0, false
+}

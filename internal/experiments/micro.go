@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/stats"
+	"hpsockets/internal/via"
+)
+
+// microRig is a two-node testbed with raw VIA providers.
+type microRig struct {
+	k      *sim.Kernel
+	pa, pb *via.Provider
+}
+
+func newMicroRig() *microRig {
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	a := cl.AddNode("a", cluster.DefaultConfig())
+	b := cl.AddNode("b", cluster.DefaultConfig())
+	return &microRig{
+		k:  k,
+		pa: via.NewProvider(a, net, prof.VIA),
+		pb: via.NewProvider(b, net, prof.VIA),
+	}
+}
+
+// VIALatency measures raw VIA one-way latency by ping-pong.
+func VIALatency(size, iters int) sim.Time {
+	r := newMicroRig()
+	acc := r.pb.Listen(1)
+	var oneWay sim.Time
+	r.k.Go("srv", func(p *sim.Proc) {
+		scq, rcq := r.pb.NewCQ(), r.pb.NewCQ()
+		vi, _ := acc.Accept(p, scq, rcq)
+		reg := r.pb.RegisterMem(p, 64*1024)
+		for i := 0; i < iters; i++ {
+			vi.PostRecv(p, &via.Desc{Region: reg, Len: 64 * 1024})
+			rcq.Wait(p)
+			vi.PostSend(p, &via.Desc{Region: reg, Len: size})
+			scq.Wait(p)
+		}
+	})
+	r.k.Go("cli", func(p *sim.Proc) {
+		scq, rcq := r.pa.NewCQ(), r.pa.NewCQ()
+		vi := r.pa.NewVI(scq, rcq)
+		r.pa.Connect(p, vi, "b", 1)
+		reg := r.pa.RegisterMem(p, 64*1024)
+		p.Sleep(sim.Millisecond)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			vi.PostRecv(p, &via.Desc{Region: reg, Len: 64 * 1024})
+			vi.PostSend(p, &via.Desc{Region: reg, Len: size})
+			scq.Wait(p)
+			rcq.Wait(p)
+		}
+		oneWay = (p.Now() - start) / sim.Time(2*iters)
+	})
+	r.k.RunAll()
+	return oneWay
+}
+
+// VIABandwidth measures raw VIA streaming bandwidth in Mbps.
+func VIABandwidth(size, count int) float64 {
+	r := newMicroRig()
+	acc := r.pb.Listen(1)
+	var mbps float64
+	r.k.Go("srv", func(p *sim.Proc) {
+		scq, rcq := r.pb.NewCQ(), r.pb.NewCQ()
+		vi, _ := acc.Accept(p, scq, rcq)
+		reg := r.pb.RegisterMem(p, 64*1024)
+		for i := 0; i < count; i++ {
+			vi.PostRecv(p, &via.Desc{Region: reg, Len: 64 * 1024})
+		}
+		start := p.Now()
+		for i := 0; i < count; i++ {
+			rcq.Wait(p)
+		}
+		mbps = sim.BitsPerSec(int64(size)*int64(count), p.Now()-start)
+	})
+	r.k.Go("cli", func(p *sim.Proc) {
+		scq, rcq := r.pa.NewCQ(), r.pa.NewCQ()
+		vi := r.pa.NewVI(scq, rcq)
+		r.pa.Connect(p, vi, "b", 1)
+		reg := r.pa.RegisterMem(p, 64*1024)
+		p.Sleep(sim.Millisecond)
+		const window = 16
+		inflight := 0
+		for i := 0; i < count; i++ {
+			for inflight >= window {
+				scq.Wait(p)
+				inflight--
+			}
+			vi.PostSend(p, &via.Desc{Region: reg, Len: size})
+			inflight++
+		}
+	})
+	r.k.RunAll()
+	return mbps
+}
+
+// SocketsLatency measures one-way latency of a sockets transport by
+// ping-pong between two nodes.
+func SocketsLatency(kind core.Kind, size, iters int) sim.Time {
+	k, fab := newSocketsPair(kind)
+	l := fab.Endpoint("b").Listen(1)
+	var oneWay sim.Time
+	k.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			c.RecvFull(p, buf)
+			c.SendSize(p, size)
+		}
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		c, _ := fab.Endpoint("a").Dial(p, "b", 1)
+		p.Sleep(sim.Millisecond)
+		buf := make([]byte, size)
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			c.SendSize(p, size)
+			c.RecvFull(p, buf)
+		}
+		oneWay = (p.Now() - start) / sim.Time(2*iters)
+	})
+	k.RunAll()
+	return oneWay
+}
+
+// SocketsBandwidth measures streaming throughput (Mbps) of a sockets
+// transport for back-to-back messages of one size.
+func SocketsBandwidth(kind core.Kind, size, count int) float64 {
+	k, fab := newSocketsPair(kind)
+	l := fab.Endpoint("b").Listen(1)
+	var mbps float64
+	k.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, 64*1024)
+		total := 0
+		start := sim.Time(-1)
+		for {
+			n, err := c.Recv(p, buf)
+			if start < 0 && n > 0 {
+				start = p.Now()
+			}
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		mbps = sim.BitsPerSec(int64(total), p.Now()-start)
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		c, _ := fab.Endpoint("a").Dial(p, "b", 1)
+		p.Sleep(sim.Millisecond)
+		for i := 0; i < count; i++ {
+			c.SendSize(p, size)
+		}
+		c.Close(p)
+	})
+	k.RunAll()
+	return mbps
+}
+
+func newSocketsPair(kind core.Kind) (*sim.Kernel, *core.Fabric) {
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	return k, core.NewFabric(cl, kind, prof)
+}
+
+// fig4aSizes are the paper's latency micro-benchmark message sizes.
+var fig4aSizes = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// fig4bSizes are the paper's bandwidth micro-benchmark message sizes.
+var fig4bSizes = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Fig4aLatency reproduces Figure 4(a): one-way latency of VIA,
+// SocketVIA and TCP across message sizes.
+func Fig4aLatency(o Options) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 4(a): Micro-Benchmarks: Latency",
+		XLabel: "msg_bytes",
+		YLabel: "one-way latency (us)",
+		X:      toF(fig4aSizes),
+	}
+	var viaY, svY, tcpY []float64
+	for _, s := range fig4aSizes {
+		viaY = append(viaY, VIALatency(s, o.MicroIters).Micros())
+		svY = append(svY, SocketsLatency(core.KindSocketVIA, s, o.MicroIters).Micros())
+		tcpY = append(tcpY, SocketsLatency(core.KindTCP, s, o.MicroIters).Micros())
+	}
+	t.AddSeries("VIA_us", viaY)
+	t.AddSeries("SocketVIA_us", svY)
+	t.AddSeries("TCP_us", tcpY)
+	return t
+}
+
+// Fig4bBandwidth reproduces Figure 4(b): streaming bandwidth of VIA,
+// SocketVIA and TCP across message sizes.
+func Fig4bBandwidth(o Options) *stats.Table {
+	t := &stats.Table{
+		Title:  "Figure 4(b): Micro-Benchmarks: Bandwidth",
+		XLabel: "msg_bytes",
+		YLabel: "bandwidth (Mbps)",
+		X:      toF(fig4bSizes),
+	}
+	var viaY, svY, tcpY []float64
+	for _, s := range fig4bSizes {
+		viaY = append(viaY, VIABandwidth(s, o.MicroMsgs))
+		svY = append(svY, SocketsBandwidth(core.KindSocketVIA, s, o.MicroMsgs))
+		tcpY = append(tcpY, SocketsBandwidth(core.KindTCP, s, o.MicroMsgs))
+	}
+	t.AddSeries("VIA_Mbps", viaY)
+	t.AddSeries("SocketVIA_Mbps", svY)
+	t.AddSeries("TCP_Mbps", tcpY)
+	return t
+}
+
+// MicroSummary reports the headline numbers the paper quotes in
+// Section 5.1.
+type MicroSummary struct {
+	VIALatency       sim.Time
+	SocketVIALatency sim.Time
+	TCPLatency       sim.Time
+	VIAPeak          float64
+	SocketVIAPeak    float64
+	TCPPeak          float64
+}
+
+// Micro measures the Section 5.1 headline numbers.
+func Micro(o Options) MicroSummary {
+	return MicroSummary{
+		VIALatency:       VIALatency(4, o.MicroIters),
+		SocketVIALatency: SocketsLatency(core.KindSocketVIA, 4, o.MicroIters),
+		TCPLatency:       SocketsLatency(core.KindTCP, 4, o.MicroIters),
+		VIAPeak:          VIABandwidth(64*1024, o.MicroMsgs),
+		SocketVIAPeak:    SocketsBandwidth(core.KindSocketVIA, 64*1024, o.MicroMsgs),
+		TCPPeak:          SocketsBandwidth(core.KindTCP, 64*1024, o.MicroMsgs),
+	}
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

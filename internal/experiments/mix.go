@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/stats"
+	"hpsockets/internal/vizapp"
+	"hpsockets/internal/workload"
+)
+
+// fig9Fractions is the paper's x axis: the fraction of queries that
+// are complete updates.
+var fig9Fractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// fig9Partitions are the paper's dataset partitionings: none, 8 and 64
+// partitions per image.
+var fig9Partitions = []int{1, 8, 64}
+
+// zoomChunks is the number of data chunks a zoom query retrieves.
+const zoomChunks = 4
+
+// mixResponse runs one query-mix point sequentially and returns the
+// mean response time in milliseconds.
+func mixResponse(o Options, kind core.Kind, compute bool, partitions int, frac float64) float64 {
+	block := o.ImageBytes / partitions
+	cfg := o.pipeConfig(kind, block, compute, true)
+	mix := workload.Mix(o.Seed, o.MixQueries, frac, workload.Zoom)
+	queries := make([]vizapp.Query, len(mix))
+	for i, q := range mix {
+		switch q {
+		case workload.Complete:
+			queries[i] = cfg.CompleteQuery()
+		default:
+			// Without partitioning a query has to access the entire
+			// data; otherwise a zoom touches four chunks.
+			if partitions == 1 {
+				queries[i] = cfg.CompleteQuery()
+			} else {
+				queries[i] = cfg.ZoomQuery(zoomChunks)
+			}
+		}
+	}
+	res := vizapp.RunPipeline(cfg, queries)
+	if res.Err != nil {
+		panic("experiments: mix run failed: " + res.Err.Error())
+	}
+	return res.MeanResponse().Millis()
+}
+
+// Fig9 reproduces Figure 9: average response time versus the fraction
+// of complete-update queries, for the dataset left unpartitioned or
+// split into 8 or 64 chunks, on both transports.
+func Fig9(o Options, compute bool) *stats.Table {
+	variant := "(No Computation)"
+	if compute {
+		variant = "(Linear Computation)"
+	}
+	t := &stats.Table{
+		Title:  "Figure 9: Effect of Multiple Queries on Average Response Time " + variant,
+		XLabel: "fraction_complete",
+		YLabel: "average response time (ms)",
+		XFmt:   "%.1f",
+		X:      fig9Fractions,
+	}
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		for _, parts := range fig9Partitions {
+			var ys []float64
+			for _, f := range fig9Fractions {
+				ys = append(ys, mixResponse(o, kind, compute, parts, f))
+			}
+			label := fmt.Sprintf("%dparts_%s_ms", parts, kind)
+			if parts == 1 {
+				label = fmt.Sprintf("noparts_%s_ms", kind)
+			}
+			t.AddSeries(label, ys)
+		}
+	}
+	return t
+}

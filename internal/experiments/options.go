@@ -1,0 +1,76 @@
+// Package experiments reproduces every figure of the paper's
+// evaluation section. Each FigNN function runs the corresponding
+// experiment on the simulated testbed and returns the same series the
+// paper plots, as a renderable table.
+//
+// The experiments are deterministic: same options, same output.
+package experiments
+
+import "hpsockets/internal/sim"
+
+// Options scales the experiments. Defaults reproduce the paper's
+// setup; Quick shrinks repetition counts for use in unit tests and Go
+// benchmarks.
+type Options struct {
+	// ImageBytes is the data volume of one complete image.
+	ImageBytes int
+	// Chains is the number of transparent copies per pipeline stage.
+	Chains int
+	// ComputePerByte is the linear computation cost used by the
+	// "(Linear Computation)" variants.
+	ComputePerByte sim.Time
+	// ThroughputQueries is the number of back-to-back complete updates
+	// per rate measurement.
+	ThroughputQueries int
+	// LatencyQueries is the number of sequential partial updates per
+	// latency measurement.
+	LatencyQueries int
+	// MixQueries is the number of queries per Figure 9 point.
+	MixQueries int
+	// BlockLadder is the candidate set of distribution block sizes for
+	// the repartitioning searches.
+	BlockLadder []int
+	// MicroIters is the ping-pong repetition count of the
+	// micro-benchmarks; MicroMsgs the message count per bandwidth
+	// point.
+	MicroIters int
+	MicroMsgs  int
+	// LBBytes is the workload volume of the load-balancing runs.
+	LBBytes int
+	// Seed drives every randomized workload.
+	Seed int64
+}
+
+// DefaultOptions reproduces the paper's experimental parameters.
+func DefaultOptions() Options {
+	return Options{
+		ImageBytes:        16 << 20,
+		Chains:            3,
+		ComputePerByte:    18 * sim.Nanosecond,
+		ThroughputQueries: 4,
+		LatencyQueries:    5,
+		MixQueries:        10,
+		BlockLadder: []int{
+			512, 1 << 10, 2 << 10, 4 << 10, 8 << 10,
+			16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10,
+		},
+		MicroIters: 50,
+		MicroMsgs:  150,
+		LBBytes:    16 << 20,
+		Seed:       42,
+	}
+}
+
+// QuickOptions shrinks everything for tests and benches while keeping
+// the paper's 16 MB image (the figures' rates depend on it).
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.ThroughputQueries = 3
+	o.LatencyQueries = 3
+	o.MixQueries = 6
+	o.BlockLadder = []int{2 << 10, 8 << 10, 32 << 10, 128 << 10}
+	o.MicroIters = 20
+	o.MicroMsgs = 60
+	o.LBBytes = 4 << 20
+	return o
+}

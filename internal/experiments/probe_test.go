@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/vizapp"
+)
+
+// TestProbeOneHop prints raw one-hop sockets latencies.
+func TestProbeOneHop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		for _, b := range []int{2048, 8192, 32768} {
+			fmt.Printf("%s size=%6d: one-way=%v\n", kind, b, SocketsLatency(kind, b, 20))
+		}
+	}
+}
+
+// TestProbePartialLatency prints the partial-update latency table.
+func TestProbePartialLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	o := QuickOptions()
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		for _, b := range []int{2048, 32768} {
+			fmt.Printf("%s block=%6d: latency=%v\n", kind, b, PartialLatency(o, kind, false, b))
+		}
+	}
+}
+
+// TestProbeFig11Distribution diagnoses demand-driven behaviour under
+// probabilistic slowness. Run with -run ProbeFig11 -v.
+func TestProbeFig11Distribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	o := DefaultOptions()
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		cfg := o.lbConfig(kind, PipeliningBlock(kind))
+		cfg.Policy = datacutter.DemandDriven
+		cfg.SlowNode = 2
+		cfg.SlowFactor = 8
+		cfg.SlowProb = 0.9
+		cfg.DataLocal = true
+		res := vizapp.RunLoadBalancer(cfg)
+		fmt.Printf("%s: makespan=%v blocks=%v\n", kind, res.Makespan, res.BlocksPerNode)
+	}
+}
+
+// TestProbeLBDelivery is a diagnostic: raw delivery rate of the LB
+// topology without computation. Run with -run ProbeLB -v.
+func TestProbeLBDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		for _, block := range []int{2048, 16384, 131072} {
+			cfg := vizapp.DefaultLBConfig(kind, block)
+			cfg.TotalBytes = 4 << 20
+			cfg.Computes = 1
+			cfg.ComputePerByte = 0
+			res := vizapp.RunLoadBalancer(cfg)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			mbps := sim.BitsPerSec(int64(cfg.TotalBytes), res.Makespan)
+			fmt.Printf("%s block=%6d: %6.0f Mbps (makespan %v)\n", kind, block, mbps, res.Makespan)
+		}
+	}
+}

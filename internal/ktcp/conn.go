@@ -1,0 +1,262 @@
+package ktcp
+
+import (
+	"errors"
+	"io"
+
+	"hpsockets/internal/bytebuf"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// ErrClosed reports an operation on a locally closed connection.
+var ErrClosed = errors.New("ktcp: connection closed")
+
+// Conn is one endpoint of an established TCP connection: an in-order
+// reliable byte stream with kernel-path costs.
+type Conn struct {
+	st       *Stack
+	id       uint32
+	peerPort string
+	peerConn uint32
+
+	established bool
+	connSig     *sim.Signal
+	closeDone   *sim.Signal
+	closing     bool
+
+	// Send side. sent/acked are cumulative stream offsets; sndLimit is
+	// the highest offset the peer's advertised window permits.
+	sndBuf   bytebuf.Buffer
+	sent     int64
+	acked    int64
+	sndLimit int64
+	sndCond  *sim.Cond
+
+	// Receive side.
+	rcvBuf       bytebuf.Buffer
+	rcvd         int64
+	read         int64
+	rcvEOF       bool
+	rcvCond      *sim.Cond
+	ackPending   int
+	ackTimer     *sim.Timer
+	lastAdvLimit int64
+}
+
+// ID reports the connection id on its stack.
+func (c *Conn) ID() uint32 { return c.id }
+
+// PeerPort reports the remote node's port name.
+func (c *Conn) PeerPort() string { return c.peerPort }
+
+// Established reports whether the handshake completed.
+func (c *Conn) Established() bool { return c.established }
+
+// rwndAvail is the window the receive buffer can still absorb.
+func (c *Conn) rwndAvail() int {
+	avail := c.st.cfg.RcvBuf - c.rcvBuf.Len()
+	if avail < 0 {
+		avail = 0
+	}
+	return avail
+}
+
+// inflight reports unacknowledged bytes in the network.
+func (c *Conn) inflight() int { return int(c.sent - c.acked) }
+
+// applyAckInfo absorbs the cumulative ack and advertised window
+// carried by any established-state segment.
+func (c *Conn) applyAckInfo(seg *segment) {
+	if limit := seg.cumAck + int64(seg.rwnd); limit > c.sndLimit {
+		c.sndLimit = limit
+	}
+	if seg.cumAck > c.acked {
+		c.acked = seg.cumAck
+	}
+	c.sndCond.Broadcast()
+}
+
+// Send writes real bytes to the stream. It returns once the data is
+// copied into the send buffer (blocking while the buffer is full), not
+// when it is acknowledged, so pipelined producers behave like real
+// sockets. The connection keeps a reference to data; callers must not
+// mutate it until it has drained.
+func (c *Conn) Send(p *sim.Proc, data []byte) error {
+	return c.send(p, bytebuf.Chunk{Size: len(data), Data: data})
+}
+
+// SendSize writes n size-only bytes: the stream accounts for them at
+// full cost but carries no real payload.
+func (c *Conn) SendSize(p *sim.Proc, n int) error {
+	return c.send(p, bytebuf.Chunk{Size: n})
+}
+
+func (c *Conn) send(p *sim.Proc, ch bytebuf.Chunk) error {
+	if c.closing {
+		return ErrClosed
+	}
+	if ch.Size == 0 {
+		return nil
+	}
+	if !c.established {
+		p.Wait(c.connSig)
+	}
+	cfg := c.st.cfg
+	c.st.node.Overhead(p, cfg.SendSyscall)
+	offset := 0
+	for offset < ch.Size {
+		if c.closing {
+			return ErrClosed
+		}
+		space := cfg.SndBuf - c.sndBuf.Len() - c.inflight()
+		if space <= 0 {
+			c.sndCond.Wait(p)
+			continue
+		}
+		n := ch.Size - offset
+		if n > space {
+			n = space
+		}
+		// The user->kernel copy of this portion.
+		c.st.node.Overhead(p, sim.Time(float64(n)*cfg.CopyPerByteSend+0.5))
+		part := bytebuf.Chunk{Size: n}
+		if ch.Data != nil {
+			part.Data = ch.Data[offset : offset+n]
+		}
+		c.sndBuf.Append(part)
+		offset += n
+		c.sndCond.Broadcast()
+	}
+	return nil
+}
+
+// Recv reads up to len(buf) bytes from the stream, blocking while it
+// is empty. At end of stream it returns 0, io.EOF.
+func (c *Conn) Recv(p *sim.Proc, buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	cfg := c.st.cfg
+	c.st.node.Overhead(p, cfg.RecvSyscall)
+	blocked := false
+	for c.rcvBuf.Len() == 0 {
+		if c.rcvEOF {
+			return 0, io.EOF
+		}
+		blocked = true
+		c.rcvCond.Wait(p)
+	}
+	if blocked {
+		c.st.node.Overhead(p, cfg.WakeupCost)
+	}
+	n := c.rcvBuf.CopyOut(buf)
+	c.read += int64(n)
+	// Window update: if the last advertised limit has fallen half a
+	// buffer behind what we could now advertise, push a fresh ack so a
+	// window-blocked sender resumes.
+	if c.read+int64(cfg.RcvBuf)-c.lastAdvLimit >= int64(cfg.RcvBuf)/2 {
+		c.st.softQ.TryPut(softItem{flush: &ackFlush{conn: c, force: true}})
+	}
+	return n, nil
+}
+
+// RecvFull reads exactly len(buf) bytes unless the stream ends first,
+// in which case it returns the count read and io.EOF.
+func (c *Conn) RecvFull(p *sim.Proc, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Recv(p, buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Close drains the send buffer, emits a FIN and returns once the FIN
+// is on the wire. Reads of data the peer already sent still succeed.
+func (c *Conn) Close(p *sim.Proc) error {
+	if c.closing {
+		p.Wait(c.closeDone)
+		return nil
+	}
+	c.closing = true
+	c.sndCond.Broadcast()
+	p.Wait(c.closeDone)
+	return nil
+}
+
+// Buffered reports bytes waiting in the receive buffer.
+func (c *Conn) Buffered() int { return c.rcvBuf.Len() }
+
+// txLoop is the per-connection transmit engine: it segments the send
+// buffer at the MSS, honours the peer's advertised window, charges
+// per-segment protocol processing under the stack lock, and hands
+// segments to the DMA engine and wire.
+func (c *Conn) txLoop(p *sim.Proc) {
+	st := c.st
+	cfg := st.cfg
+	p.Wait(c.connSig)
+	for {
+		var n int
+		for {
+			avail := c.sndBuf.Len()
+			if c.closing && avail == 0 {
+				c.transmitFIN(p)
+				return
+			}
+			wnd := int(c.sndLimit - c.sent)
+			if avail > 0 && wnd > 0 {
+				n = cfg.MSS
+				if avail < n {
+					n = avail
+				}
+				if wnd < n {
+					n = wnd
+				}
+				// Nagle: hold back a sub-MSS segment while earlier
+				// data is unacknowledged and more may be coming.
+				if !(cfg.Nagle && n < cfg.MSS && c.inflight() > 0 && !c.closing) {
+					break
+				}
+			}
+			c.sndCond.Wait(p)
+		}
+		chunks := c.sndBuf.Take(n)
+		c.sndCond.Broadcast() // send-buffer space freed
+		st.stackLock.Acquire(p, 1)
+		p.Sleep(cfg.TxPerSegment)
+		st.stackLock.Release(1)
+		seg := &segment{
+			kind: segData, srcPort: st.node.Name(), srcConn: c.id, dstConn: c.peerConn,
+			seq: c.sent, length: n, data: chunks,
+			cumAck: c.rcvd, rwnd: c.rwndAvail(),
+		}
+		c.sent += int64(n)
+		st.segsOut++
+		st.node.Kernel().Trace("ktcp", "segment-out", int64(n), c.peerPort)
+		st.nicQ.Put(p, &netsim.Frame{
+			Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
+			Size: cfg.HeaderSize + n, Payload: seg,
+		})
+	}
+}
+
+func (c *Conn) transmitFIN(p *sim.Proc) {
+	st := c.st
+	cfg := st.cfg
+	st.stackLock.Acquire(p, 1)
+	p.Sleep(cfg.TxPerSegment)
+	st.stackLock.Release(1)
+	seg := &segment{
+		kind: segFIN, srcPort: st.node.Name(), srcConn: c.id, dstConn: c.peerConn,
+		seq: c.sent, cumAck: c.rcvd, rwnd: c.rwndAvail(),
+	}
+	st.nicQ.Put(p, &netsim.Frame{
+		Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
+		Size: cfg.HeaderSize, Payload: seg,
+	})
+	c.closeDone.Fire(nil)
+}

@@ -1,0 +1,133 @@
+package ktcp
+
+import (
+	"fmt"
+
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// softnetLoop is the single protocol-processing process of a node's
+// receive path. All inbound segments of all connections funnel through
+// it, so a node's aggregate TCP receive throughput is bounded by one
+// CPU's worth of protocol work regardless of its second processor —
+// the Linux 2.2 big-kernel-lock behaviour the paper's numbers reflect.
+func (st *Stack) softnetLoop(p *sim.Proc) {
+	cfg := st.cfg
+	for {
+		item, ok := st.softQ.Get(p)
+		if !ok {
+			return
+		}
+		if item.flush != nil {
+			c := item.flush.conn
+			if c.ackPending > 0 || item.flush.force {
+				st.emitAck(p, c)
+			}
+			continue
+		}
+		seg := item.seg
+		st.segsIn++
+		switch seg.kind {
+		case segSYN:
+			l := st.listeners[seg.svc]
+			if l == nil {
+				panic(fmt.Sprintf("ktcp: connect to unbound service %d on %s", seg.svc, st.node.Name()))
+			}
+			l.q.TryPut(seg)
+		case segSYNACK:
+			c := st.conns[seg.dstConn]
+			if c == nil {
+				continue
+			}
+			c.peerConn = seg.srcConn
+			c.established = true
+			c.sndLimit = int64(cfg.RcvBuf) // peer buffer, symmetric config
+			c.connSig.Fire(nil)
+		case segData:
+			c := st.conns[seg.dstConn]
+			if c == nil {
+				continue
+			}
+			st.node.Kernel().Trace("ktcp", "segment-in", int64(seg.length), seg.srcPort)
+			cost := cfg.RxPerSegment + sim.Time(float64(seg.length)*cfg.CopyPerByteRecv+0.5)
+			st.node.Overhead(p, cost)
+			c.applyAckInfo(seg)
+			c.rcvBuf.AppendChunks(seg.data)
+			c.rcvd += int64(seg.length)
+			c.rcvCond.Broadcast()
+			c.ackPending++
+			if c.ackPending >= cfg.AckEvery {
+				st.emitAck(p, c)
+			} else {
+				st.armAckTimer(c)
+			}
+		case segAck:
+			c := st.conns[seg.dstConn]
+			if c == nil {
+				continue
+			}
+			st.node.Overhead(p, cfg.AckProcessing)
+			c.applyAckInfo(seg)
+		case segFIN:
+			c := st.conns[seg.dstConn]
+			if c == nil {
+				continue
+			}
+			c.applyAckInfo(seg)
+			c.rcvEOF = true
+			c.rcvCond.Broadcast()
+			st.emitAck(p, c)
+		}
+	}
+}
+
+// armAckTimer starts the delayed-ack timer if it is not running.
+func (st *Stack) armAckTimer(c *Conn) {
+	if c.ackTimer != nil {
+		return
+	}
+	c.ackTimer = st.node.Kernel().After(st.cfg.AckTimeout, func() {
+		c.ackTimer = nil
+		st.softQ.TryPut(softItem{flush: &ackFlush{conn: c}})
+	})
+}
+
+// emitAck generates a cumulative ack for the connection and queues it
+// for transmission.
+func (st *Stack) emitAck(p *sim.Proc, c *Conn) {
+	c.ackPending = 0
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+		c.ackTimer = nil
+	}
+	st.node.Overhead(p, st.cfg.AckGen)
+	st.node.Kernel().Trace("ktcp", "ack-out", c.rcvd, c.peerPort)
+	rwnd := c.rwndAvail()
+	c.lastAdvLimit = c.rcvd + int64(rwnd)
+	st.ackQ.TryPut(&segment{
+		kind: segAck, srcPort: st.node.Name(), srcConn: c.id, dstConn: c.peerConn,
+		cumAck: c.rcvd, rwnd: rwnd,
+	})
+	st.acksOut++
+}
+
+// ackTxLoop drains generated acks onto the wire so softnet itself
+// never blocks on the uplink.
+func (st *Stack) ackTxLoop(p *sim.Proc) {
+	for {
+		seg, ok := st.ackQ.Get(p)
+		if !ok {
+			return
+		}
+		c := st.conns[seg.srcConn]
+		if c == nil || c.peerConn == 0 {
+			continue
+		}
+		seg.dstConn = c.peerConn
+		st.nicQ.Put(p, &netsim.Frame{
+			Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
+			Size: st.cfg.AckSize, Payload: seg,
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package ktcp
+
+import (
+	"errors"
+	"fmt"
+
+	"hpsockets/internal/bytebuf"
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// segment kinds.
+type segKind uint8
+
+const (
+	segSYN segKind = iota
+	segSYNACK
+	segData
+	segAck
+	segFIN
+)
+
+// segment is the TCP/IP wire unit carried in netsim frames. Every
+// segment from an established connection piggybacks the current
+// cumulative ack and advertised window.
+type segment struct {
+	kind    segKind
+	srcPort string
+	srcConn uint32
+	dstConn uint32
+	svc     int
+
+	seq    int64
+	length int
+	data   []bytebuf.Chunk
+
+	cumAck int64
+	rwnd   int
+}
+
+// ackFlush is queued into softnet by the delayed-ack timer, or with
+// force set by a reader that opened the advertised window.
+type ackFlush struct {
+	conn  *Conn
+	force bool
+}
+
+// softItem is one unit of softnet work.
+type softItem struct {
+	seg   *segment
+	flush *ackFlush
+}
+
+// Listener accepts inbound connections on a service number.
+type Listener struct {
+	st  *Stack
+	svc int
+	q   *sim.Queue[*segment]
+}
+
+// Stack is the kernel network stack of one node.
+type Stack struct {
+	node *cluster.Node
+	net  *netsim.Network
+	cfg  Config
+
+	dma *sim.Resource
+	// stackLock serializes per-segment transmit processing, modelling
+	// the coarse kernel locking of Linux 2.2.
+	stackLock *sim.Resource
+
+	softQ     *sim.Queue[softItem]
+	ackQ      *sim.Queue[*segment]
+	nicQ      *sim.Queue[*netsim.Frame]
+	wireFIFO  *sim.Queue[*netsim.Frame]
+	conns     map[uint32]*Conn
+	nextConn  uint32
+	listeners map[int]*Listener
+
+	segsIn  uint64
+	segsOut uint64
+	acksOut uint64
+}
+
+// NewStack attaches a kernel TCP stack to the node and starts its
+// softnet and ack-transmit processes.
+func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
+	if cfg.MSS <= 0 || cfg.SndBuf < cfg.MSS || cfg.RcvBuf < cfg.MSS {
+		panic("ktcp: invalid config")
+	}
+	k := node.Kernel()
+	st := &Stack{
+		node:      node,
+		net:       net,
+		cfg:       cfg,
+		dma:       sim.NewResource(k, 1),
+		stackLock: sim.NewResource(k, 1),
+		softQ:     sim.NewQueue[softItem](k, 0),
+		ackQ:      sim.NewQueue[*segment](k, 0),
+		nicQ:      sim.NewQueue[*netsim.Frame](k, 32),
+		wireFIFO:  sim.NewQueue[*netsim.Frame](k, 2),
+		conns:     make(map[uint32]*Conn),
+		nextConn:  1,
+		listeners: make(map[int]*Listener),
+	}
+	node.Port().Handle(netsim.ProtoIP, func(f *netsim.Frame) {
+		st.softQ.TryPut(softItem{seg: f.Payload.(*segment)})
+	})
+	k.Go("ktcp-softnet/"+node.Name(), st.softnetLoop)
+	k.Go("ktcp-acktx/"+node.Name(), st.ackTxLoop)
+	k.Go("ktcp-nicdma/"+node.Name(), st.nicDMALoop)
+	k.Go("ktcp-wiretx/"+node.Name(), st.wireTxLoop)
+	return st
+}
+
+// Node reports the stack's host.
+func (st *Stack) Node() *cluster.Node { return st.node }
+
+// Config reports the stack configuration.
+func (st *Stack) Config() Config { return st.cfg }
+
+// SegmentsIn and SegmentsOut report wire segment counters.
+func (st *Stack) SegmentsIn() uint64 { return st.segsIn }
+
+// SegmentsOut reports transmitted data segment count.
+func (st *Stack) SegmentsOut() uint64 { return st.segsOut }
+
+// Listen binds a service number.
+func (st *Stack) Listen(svc int) *Listener {
+	if _, ok := st.listeners[svc]; ok {
+		panic(fmt.Sprintf("ktcp: service %d already bound on %s", svc, st.node.Name()))
+	}
+	l := &Listener{st: st, svc: svc, q: sim.NewQueue[*segment](st.node.Kernel(), 0)}
+	st.listeners[svc] = l
+	return l
+}
+
+// Close unbinds the listener; blocked Accepts fail.
+func (l *Listener) Close() {
+	l.q.Close()
+	delete(l.st.listeners, l.svc)
+}
+
+// Accept blocks for an inbound connection and completes the handshake.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	syn, ok := l.q.Get(p)
+	if !ok {
+		return nil, errors.New("ktcp: listener closed")
+	}
+	st := l.st
+	st.node.Overhead(p, st.cfg.ConnSetupCPU)
+	c := st.newConn()
+	c.peerPort = syn.srcPort
+	c.peerConn = syn.srcConn
+	c.established = true
+	c.sndLimit = int64(st.cfg.RcvBuf) // peer buffer, symmetric config
+	c.connSig.Fire(nil)
+	st.transmitControl(p, syn.srcPort, &segment{
+		kind: segSYNACK, srcPort: st.node.Name(), srcConn: c.id, dstConn: syn.srcConn,
+	})
+	return c, nil
+}
+
+// Connect opens a connection to a service on a remote node, blocking
+// for the handshake round trip.
+func (st *Stack) Connect(p *sim.Proc, remote string, svc int) (*Conn, error) {
+	st.node.Overhead(p, st.cfg.ConnSetupCPU)
+	c := st.newConn()
+	c.peerPort = remote
+	st.transmitControl(p, remote, &segment{
+		kind: segSYN, srcPort: st.node.Name(), srcConn: c.id, svc: svc,
+	})
+	p.Wait(c.connSig)
+	if !c.established {
+		return nil, errors.New("ktcp: connect failed")
+	}
+	return c, nil
+}
+
+func (st *Stack) newConn() *Conn {
+	k := st.node.Kernel()
+	c := &Conn{
+		st:        st,
+		id:        st.nextConn,
+		connSig:   sim.NewSignal(k),
+		closeDone: sim.NewSignal(k),
+		sndCond:   sim.NewCond(k),
+		rcvCond:   sim.NewCond(k),
+	}
+	st.nextConn++
+	st.conns[c.id] = c
+	k.Go(fmt.Sprintf("ktcp-tx/%s/%d", st.node.Name(), c.id), c.txLoop)
+	return c
+}
+
+// transmitControl queues a handshake segment to the NIC.
+func (st *Stack) transmitControl(p *sim.Proc, dst string, seg *segment) {
+	st.nicQ.Put(p, &netsim.Frame{
+		Src: st.node.Name(), Dst: dst, Proto: netsim.ProtoIP,
+		Size: st.cfg.HeaderSize, Payload: seg,
+	})
+}
+
+// nicDMALoop is the adapter's host-memory DMA stage: it fetches each
+// queued frame's payload across the PCI bus and hands it to the wire
+// stage; the bounded wireFIFO pipelines the two.
+func (st *Stack) nicDMALoop(p *sim.Proc) {
+	for {
+		f, ok := st.nicQ.Get(p)
+		if !ok {
+			return
+		}
+		seg := f.Payload.(*segment)
+		st.dma.Use(p, 1, st.cfg.DMAPerOp+sim.Time(float64(seg.length)*st.cfg.DMAPerByte+0.5))
+		st.wireFIFO.Put(p, f)
+	}
+}
+
+// wireTxLoop drains DMA-complete frames onto the wire.
+func (st *Stack) wireTxLoop(p *sim.Proc) {
+	for {
+		f, ok := st.wireFIFO.Get(p)
+		if !ok {
+			return
+		}
+		st.net.Transmit(p, f)
+	}
+}

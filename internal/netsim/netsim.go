@@ -1,0 +1,184 @@
+// Package netsim models the physical interconnect of the testbed: a
+// central switch with a full-duplex point-to-point link per host, as
+// in the GigaNet cLAN 5300 cluster the paper measured.
+//
+// Both protocol stacks (the VIA emulation and the kernel TCP path)
+// share one physical port per host, so they contend for the same wire,
+// exactly as LANE/IP traffic and native VIA traffic shared the cLAN
+// adapter.
+//
+// Model: a frame sent from A to B first serializes onto A's uplink
+// (a sim.Resource, so concurrent senders on one host queue FIFO), then
+// crosses the switch after a fixed cut-through latency, then
+// serializes on B's downlink. Downlink serialization is computed with
+// event arithmetic (a per-port horizon) rather than a process: it is
+// exact for FIFO links and keeps the per-frame cost low.
+package netsim
+
+import (
+	"fmt"
+
+	"hpsockets/internal/sim"
+)
+
+// Proto identifies which stack a frame belongs to, for demux at the
+// receiving port.
+type Proto uint8
+
+const (
+	// ProtoVIA frames carry native VIA packets.
+	ProtoVIA Proto = iota
+	// ProtoIP frames carry IP (kernel TCP) segments.
+	ProtoIP
+	numProtos
+)
+
+// Frame is one unit of wire transmission. Size is the on-wire size in
+// bytes including all headers; Payload is stack-specific.
+type Frame struct {
+	Src, Dst string
+	Proto    Proto
+	Size     int
+	Payload  any
+}
+
+// Handler consumes frames arriving at a port for one protocol. It runs
+// in event context and must not block; stacks typically enqueue into a
+// sim.Queue and return.
+type Handler func(*Frame)
+
+// Port is one host's attachment to the switch.
+type Port struct {
+	net  *Network
+	name string
+
+	uplink *sim.Resource // egress serialization, shared across stacks
+	// downHorizon is the time the downlink becomes free; arrival times
+	// are computed against it (event-arithmetic serialization).
+	downHorizon sim.Time
+
+	handlers [numProtos]Handler
+
+	// counters
+	sent     uint64
+	received uint64
+	txBytes  int64
+	rxBytes  int64
+}
+
+// Name reports the port name.
+func (p *Port) Name() string { return p.name }
+
+// Sent reports the number of frames transmitted.
+func (p *Port) Sent() uint64 { return p.sent }
+
+// Received reports the number of frames delivered.
+func (p *Port) Received() uint64 { return p.received }
+
+// TxBytes reports total bytes transmitted.
+func (p *Port) TxBytes() int64 { return p.txBytes }
+
+// RxBytes reports total bytes delivered.
+func (p *Port) RxBytes() int64 { return p.rxBytes }
+
+// Handle registers the frame handler for one protocol. Registering
+// twice replaces the handler.
+func (p *Port) Handle(proto Proto, h Handler) { p.handlers[proto] = h }
+
+// Config describes the interconnect.
+type Config struct {
+	// LinkMbps is the signalling rate of each host link (1250 for the
+	// 1.25 Gbps cLAN links of the testbed).
+	LinkMbps float64
+	// WireLatency is the fixed propagation plus cut-through switch
+	// latency for one traversal.
+	WireLatency sim.Time
+}
+
+// CLANConfig returns the interconnect of the paper's testbed.
+func CLANConfig() Config {
+	return Config{LinkMbps: 1250, WireLatency: 500 * sim.Nanosecond}
+}
+
+// Network is the switch plus all attached ports.
+type Network struct {
+	k    *sim.Kernel
+	cfg  Config
+	port map[string]*Port
+}
+
+// New returns an empty network on kernel k.
+func New(k *sim.Kernel, cfg Config) *Network {
+	if cfg.LinkMbps <= 0 {
+		panic("netsim: non-positive link bandwidth")
+	}
+	return &Network{k: k, cfg: cfg, port: make(map[string]*Port)}
+}
+
+// Config reports the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach creates (or returns) the port with the given name.
+func (n *Network) Attach(name string) *Port {
+	if p, ok := n.port[name]; ok {
+		return p
+	}
+	p := &Port{net: n, name: name, uplink: sim.NewResource(n.k, 1)}
+	n.port[name] = p
+	return p
+}
+
+// LookupPort returns the named port, or nil.
+func (n *Network) LookupPort(name string) *Port { return n.port[name] }
+
+// serialization reports how long size bytes occupy a link.
+func (n *Network) serialization(size int) sim.Time {
+	return sim.TransferTime(size, n.cfg.LinkMbps)
+}
+
+// Transmit sends a frame, blocking p for the egress serialization of
+// the frame on the source uplink (and behind any queued frames).
+// Delivery at the destination happens asynchronously after the wire
+// latency and downlink serialization.
+func (n *Network) Transmit(p *sim.Proc, f *Frame) {
+	src, ok := n.port[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: transmit from unknown port %q", f.Src))
+	}
+	dst, ok := n.port[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: transmit to unknown port %q", f.Dst))
+	}
+	if f.Size <= 0 {
+		panic("netsim: frame with non-positive size")
+	}
+	ser := n.serialization(f.Size)
+	src.uplink.Acquire(p, 1)
+	p.Sleep(ser)
+	src.uplink.Release(1)
+	src.sent++
+	src.txBytes += int64(f.Size)
+
+	// Cut-through switching: when the downlink is idle, bits flow
+	// through the switch while the uplink is still serializing, so the
+	// tail arrives one wire latency after it left the uplink. When the
+	// downlink is draining earlier frames (converging traffic), this
+	// frame queues behind them and pays its own serialization.
+	tailAt := n.k.Now() + n.cfg.WireLatency
+	arrival := tailAt
+	if q := dst.downHorizon + ser; q > arrival {
+		arrival = q
+	}
+	dst.downHorizon = arrival
+	n.k.At(arrival, func() { dst.deliver(f) })
+}
+
+func (p *Port) deliver(f *Frame) {
+	p.received++
+	p.rxBytes += int64(f.Size)
+	h := p.handlers[f.Proto]
+	if h == nil {
+		panic(fmt.Sprintf("netsim: no handler for proto %d at port %q", f.Proto, p.name))
+	}
+	h(f)
+}

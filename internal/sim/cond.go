@@ -1,0 +1,38 @@
+package sim
+
+// Cond is a broadcast condition variable for simulation processes.
+// Unlike Signal it can fire repeatedly: each Broadcast wakes the
+// current waiters and arms a fresh generation. Use it in the classic
+// loop shape:
+//
+//	for !predicate() {
+//		cond.Wait(p)
+//	}
+type Cond struct {
+	k   *Kernel
+	sig *Signal
+}
+
+// NewCond returns a condition variable on kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k, sig: NewSignal(k)} }
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	s := c.sig
+	p.Wait(s)
+}
+
+// WaitTimeout parks p until the next Broadcast or until d elapses; it
+// reports whether a broadcast arrived.
+func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
+	s := c.sig
+	_, ok := p.WaitTimeout(s, d)
+	return ok
+}
+
+// Broadcast wakes all current waiters.
+func (c *Cond) Broadcast() {
+	s := c.sig
+	c.sig = NewSignal(c.k)
+	s.Fire(nil)
+}

@@ -1,0 +1,134 @@
+package sim
+
+import "testing"
+
+func TestCondBroadcastWakesAllWaiters(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	k.GoAfter(10, "b", func(p *Proc) { c.Broadcast() })
+	k.RunAll()
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+}
+
+func TestCondSupportsRepeatedGenerations(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k)
+	value := 0
+	var seen []int
+	k.Go("consumer", func(p *Proc) {
+		for value < 3 {
+			c.Wait(p)
+			seen = append(seen, value)
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			value = i
+			c.Broadcast()
+		}
+	})
+	k.RunAll()
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestCondWaiterAfterBroadcastWaitsForNext(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k)
+	c.Broadcast() // nobody waiting; must not satisfy future waiters
+	var wokeAt Time
+	k.Go("w", func(p *Proc) {
+		c.Wait(p)
+		wokeAt = p.Now()
+	})
+	k.GoAfter(50, "b", func(p *Proc) { c.Broadcast() })
+	k.RunAll()
+	if wokeAt != 50 {
+		t.Fatalf("woke at %v, want 50 (stale broadcast leaked)", wokeAt)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k)
+	var gotBroadcast bool
+	var at Time
+	k.Go("w", func(p *Proc) {
+		gotBroadcast = c.WaitTimeout(p, 30)
+		at = p.Now()
+	})
+	k.RunAll()
+	if gotBroadcast || at != 30 {
+		t.Fatalf("timeout wait: ok=%v at=%v", gotBroadcast, at)
+	}
+	// And the signalled case.
+	k2 := NewKernel()
+	c2 := NewCond(k2)
+	k2.Go("w", func(p *Proc) {
+		if !c2.WaitTimeout(p, 100) {
+			t.Error("broadcast not seen")
+		}
+	})
+	k2.GoAfter(5, "b", func(p *Proc) { c2.Broadcast() })
+	k2.RunAll()
+}
+
+func TestKernelCounters(t *testing.T) {
+	k := NewKernel()
+	k.Go("a", func(p *Proc) { p.Sleep(5) })
+	k.Go("b", func(p *Proc) {})
+	k.RunAll()
+	if k.ProcsSpawned() != 2 {
+		t.Fatalf("spawned = %d", k.ProcsSpawned())
+	}
+	if k.EventsFired() == 0 {
+		t.Fatal("no events fired")
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	k := NewKernel()
+	p := k.Go("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel mismatch")
+		}
+		p.Sleep(7)
+	})
+	k.RunAll()
+	if !p.Done() {
+		t.Fatal("proc not done")
+	}
+	if !p.Term().Fired() {
+		t.Fatal("term signal not fired")
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := NewKernel()
+	k.Go("w", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep did not panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	k.RunAll()
+}

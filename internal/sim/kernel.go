@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event      { return h[0] }
+func (h *eventHeap) push(e *event)    { heap.Push(h, e) }
+func (h *eventHeap) popEvent() *event { return heap.Pop(h).(*event) }
+
+// Timer is a handle to a scheduled callback that can be stopped.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is safe to call after the timer fired, in
+// which case it reports false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+
+	// process handoff
+	yield chan struct{} // procs signal the kernel here when they park
+	procs int           // live (started, not terminated) processes
+
+	// stats
+	fired   uint64
+	spawned uint64
+
+	// optional trace sink (see trace.go)
+	trace TraceFunc
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired reports the number of events executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// ProcsSpawned reports the number of processes ever started.
+func (k *Kernel) ProcsSpawned() uint64 { return k.spawned }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: that is always a modelling bug.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	k.heap.push(e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the heap is empty, Stop is called, or
+// until (when horizon > 0) the clock would pass the horizon. It
+// reports the time at which it stopped. Processes still blocked when
+// Run returns are simply never resumed; their goroutines are parked
+// forever, which Go collects at process exit. Tests that care use
+// Drain.
+func (k *Kernel) Run(horizon Time) Time {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		e := k.heap.peek()
+		if horizon > 0 && e.at > horizon {
+			k.now = horizon
+			return k.now
+		}
+		k.heap.popEvent()
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunAll runs with no horizon.
+func (k *Kernel) RunAll() Time { return k.Run(0) }
+
+// Pending reports the number of scheduled (possibly canceled) events.
+func (k *Kernel) Pending() int { return len(k.heap) }

@@ -1,0 +1,141 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine that cooperates with the
+// kernel so that exactly one process (or the kernel loop) runs at a
+// time. Procs are created with Kernel.Go and must only call their
+// blocking methods (Sleep, Wait, ...) from their own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     uint64
+	resume chan any
+	parked bool
+	done   bool
+	term   *Signal // fired on termination with the proc's result
+}
+
+// Go starts fn as a new process at the current time. The name is used
+// only for diagnostics.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.GoAfter(0, name, fn)
+}
+
+// GoAfter starts fn as a new process d from now.
+func (k *Kernel) GoAfter(d Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.spawned,
+		resume: make(chan any),
+		parked: true, // a fresh proc waits for its first activation
+	}
+	p.term = NewSignal(k)
+	k.spawned++
+	k.procs++
+	go func() {
+		<-p.resume // first activation
+		p.parked = false
+		fn(p)
+		p.done = true
+		k.procs--
+		p.term.Fire(nil)
+		k.yield <- struct{}{}
+	}()
+	k.After(d, func() { k.dispatch(p, nil) })
+	return p
+}
+
+// dispatch hands control to a parked process and waits for it to park
+// again or terminate. It must only be called from kernel (event)
+// context.
+func (k *Kernel) dispatch(p *Proc, v any) {
+	if p.done {
+		panic(fmt.Sprintf("sim: dispatch to terminated proc %q", p.name))
+	}
+	if !p.parked {
+		panic(fmt.Sprintf("sim: dispatch to running proc %q", p.name))
+	}
+	p.resume <- v
+	<-k.yield
+}
+
+// park gives control back to the kernel and blocks until the next
+// dispatch, returning the value it carries.
+func (p *Proc) park() any {
+	p.parked = true
+	p.k.yield <- struct{}{}
+	v := <-p.resume
+	p.parked = false
+	return v
+}
+
+// Name reports the diagnostic name of the process.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel reports the kernel the process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Term returns a signal fired when the process terminates; waiting on
+// it joins the process.
+func (p *Proc) Term() *Signal { return p.term }
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	if d == 0 {
+		// Still round-trip through the scheduler so that zero-length
+		// sleeps act as a yield point with deterministic ordering.
+	}
+	p.k.After(d, func() { p.k.dispatch(p, nil) })
+	p.park()
+}
+
+// Wait blocks until the signal fires and returns the fired value. If
+// the signal already fired it returns immediately.
+func (p *Proc) Wait(s *Signal) any {
+	if s.fired {
+		return s.value
+	}
+	s.addWaiter(&waiter{p: p})
+	return p.park()
+}
+
+// timeoutSentinel is delivered to a proc when a timed wait expires.
+type timeoutSentinel struct{}
+
+// WaitTimeout blocks until the signal fires or d elapses. ok reports
+// whether the signal fired (true) as opposed to the timeout expiring.
+func (p *Proc) WaitTimeout(s *Signal, d Time) (v any, ok bool) {
+	if s.fired {
+		return s.value, true
+	}
+	w := &waiter{p: p}
+	s.addWaiter(w)
+	t := p.k.After(d, func() {
+		if w.canceled {
+			return
+		}
+		w.canceled = true
+		p.k.dispatch(p, timeoutSentinel{})
+	})
+	got := p.park()
+	if _, isTimeout := got.(timeoutSentinel); isTimeout {
+		return nil, false
+	}
+	t.Stop()
+	return got, true
+}
+
+// Join blocks until q terminates. Joining an already-terminated
+// process returns immediately.
+func (p *Proc) Join(q *Proc) { p.Wait(q.term) }

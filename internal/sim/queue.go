@@ -1,0 +1,169 @@
+package sim
+
+// closeSentinel wakes getters parked on a queue that gets closed.
+type closeSentinel struct{}
+
+// queuePutter is a parked producer holding the item it wants to add.
+type queuePutter[T any] struct {
+	p    *Proc
+	item T
+}
+
+// Queue is a FIFO channel between processes. A capacity of 0 means
+// unbounded; otherwise Put blocks while the queue is full. Get blocks
+// while the queue is empty. Closing wakes all blocked parties.
+type Queue[T any] struct {
+	k       *Kernel
+	cap     int
+	items   []T
+	getters []*Proc
+	putters []*queuePutter[T]
+	closed  bool
+
+	puts uint64
+	gets uint64
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](k *Kernel, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic("sim: negative queue capacity")
+	}
+	return &Queue[T]{k: k, cap: capacity}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Puts reports the total number of items ever accepted.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Gets reports the total number of items ever delivered.
+func (q *Queue[T]) Gets() uint64 { return q.gets }
+
+// Put adds an item, blocking while a bounded queue is full. It reports
+// false if the queue was closed before the item could be accepted.
+func (q *Queue[T]) Put(p *Proc, item T) bool {
+	if q.closed {
+		return false
+	}
+	// Direct hand-off to a parked getter preserves FIFO wake order.
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.puts++
+		q.gets++
+		q.k.At(q.k.now, func() { q.k.dispatch(g, item) })
+		return true
+	}
+	if q.cap == 0 || len(q.items) < q.cap {
+		q.items = append(q.items, item)
+		q.puts++
+		return true
+	}
+	w := &queuePutter[T]{p: p, item: item}
+	q.putters = append(q.putters, w)
+	v := p.park()
+	if _, wasClosed := v.(closeSentinel); wasClosed {
+		return false
+	}
+	return true
+}
+
+// TryPut adds an item without blocking; it reports whether the item
+// was accepted.
+func (q *Queue[T]) TryPut(item T) bool {
+	if q.closed {
+		return false
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.puts++
+		q.gets++
+		q.k.At(q.k.now, func() { q.k.dispatch(g, item) })
+		return true
+	}
+	if q.cap == 0 || len(q.items) < q.cap {
+		q.items = append(q.items, item)
+		q.puts++
+		return true
+	}
+	return false
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false when the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
+	if len(q.items) > 0 {
+		item = q.pop()
+		q.admitPutter()
+		return item, true
+	}
+	if q.closed {
+		var zero T
+		return zero, false
+	}
+	q.getters = append(q.getters, p)
+	v := p.park()
+	if _, wasClosed := v.(closeSentinel); wasClosed {
+		var zero T
+		return zero, false
+	}
+	return v.(T), true
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (item T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item = q.pop()
+	q.admitPutter()
+	return item, true
+}
+
+func (q *Queue[T]) pop() T {
+	item := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.gets++
+	return item
+}
+
+// admitPutter moves one parked producer's item into freed space.
+func (q *Queue[T]) admitPutter() {
+	if len(q.putters) == 0 {
+		return
+	}
+	w := q.putters[0]
+	q.putters = q.putters[1:]
+	q.items = append(q.items, w.item)
+	q.puts++
+	q.k.At(q.k.now, func() { q.k.dispatch(w.p, nil) })
+}
+
+// Close marks the queue closed and wakes every blocked getter and
+// putter. Buffered items remain retrievable; Get drains them before
+// reporting closure. Closing twice is a no-op.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	gs, ps := q.getters, q.putters
+	q.getters, q.putters = nil, nil
+	for _, g := range gs {
+		g := g
+		q.k.At(q.k.now, func() { q.k.dispatch(g, closeSentinel{}) })
+	}
+	for _, w := range ps {
+		w := w
+		q.k.At(q.k.now, func() { q.k.dispatch(w.p, closeSentinel{}) })
+	}
+}

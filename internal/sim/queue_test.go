@@ -1,0 +1,296 @@
+package sim
+
+import "testing"
+
+func TestQueueFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var got []int
+	k.Go("prod", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	k.Go("cons", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.RunAll()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestQueueBoundedBlocksProducer(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	var putDone Time
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1) // fits
+		q.Put(p, 2) // blocks until consumer takes item 1 at t=50
+		putDone = p.Now()
+	})
+	k.GoAfter(50, "cons", func(p *Proc) {
+		q.Get(p)
+	})
+	k.RunAll()
+	if putDone != 50 {
+		t.Fatalf("second Put completed at %v, want 50", putDone)
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string](k, 0)
+	var got string
+	var at Time
+	k.Go("cons", func(p *Proc) {
+		got, _ = q.Get(p)
+		at = p.Now()
+	})
+	k.GoAfter(70, "prod", func(p *Proc) { q.Put(p, "x") })
+	k.RunAll()
+	if got != "x" || at != 70 {
+		t.Fatalf("got %q at %v, want x at 70", got, at)
+	}
+}
+
+func TestQueueHandoffPreservesGetterOrder(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.GoAfter(Time(i), "cons", func(p *Proc) {
+			v, _ := q.Get(p)
+			order = append(order, i*100+v)
+		})
+	}
+	k.GoAfter(10, "prod", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			q.Put(p, i)
+		}
+	})
+	k.RunAll()
+	// Getter 0 parked first so it gets item 0, and so on.
+	want := []int{0, 101, 202}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueCloseDrainsBufferedItems(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var got []int
+	var sawClose bool
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Close()
+	})
+	k.GoAfter(10, "cons", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				sawClose = true
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 || !sawClose {
+		t.Fatalf("got %v close=%v", got, sawClose)
+	}
+}
+
+func TestQueueCloseWakesBlockedGetter(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var ok = true
+	var at Time
+	k.Go("cons", func(p *Proc) {
+		_, ok = q.Get(p)
+		at = p.Now()
+	})
+	k.GoAfter(40, "closer", func(p *Proc) { q.Close() })
+	k.RunAll()
+	if ok || at != 40 {
+		t.Fatalf("ok=%v at=%v, want false at 40", ok, at)
+	}
+}
+
+func TestQueueCloseWakesBlockedPutter(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	var second bool
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1)
+		second = q.Put(p, 2) // blocks, then queue closes
+	})
+	k.GoAfter(20, "closer", func(p *Proc) { q.Close() })
+	k.RunAll()
+	if second {
+		t.Fatal("Put on closed queue reported true")
+	}
+}
+
+func TestQueuePutAfterCloseRejected(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	q.Close()
+	var ok bool
+	k.Go("prod", func(p *Proc) { ok = q.Put(p, 1) })
+	k.RunAll()
+	if ok {
+		t.Fatal("Put after Close accepted")
+	}
+}
+
+func TestQueueTryPutTryGet(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue succeeded")
+	}
+	if !q.TryPut(5) {
+		t.Fatal("TryPut on empty queue failed")
+	}
+	if q.TryPut(6) {
+		t.Fatal("TryPut on full queue succeeded")
+	}
+	v, ok := q.TryGet()
+	if !ok || v != 5 {
+		t.Fatalf("TryGet = %v %v", v, ok)
+	}
+	if q.Puts() != 1 || q.Gets() != 1 {
+		t.Fatalf("counters = %d/%d", q.Puts(), q.Gets())
+	}
+}
+
+func TestQueueCountsHandoffs(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	k.Go("cons", func(p *Proc) { q.Get(p) })
+	k.GoAfter(1, "prod", func(p *Proc) { q.Put(p, 9) })
+	k.RunAll()
+	if q.Puts() != 1 || q.Gets() != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", q.Puts(), q.Gets())
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	var spans [][2]Time
+	for i := 0; i < 3; i++ {
+		k.Go("u", func(p *Proc) {
+			r.Acquire(p, 1)
+			start := p.Now()
+			p.Sleep(10)
+			r.Release(1)
+			spans = append(spans, [2]Time{start, p.Now()})
+		})
+	}
+	k.RunAll()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %v", spans)
+	}
+	for i := 1; i < 3; i++ {
+		if spans[i][0] < spans[i-1][1] {
+			t.Fatalf("overlapping critical sections: %v", spans)
+		}
+	}
+}
+
+func TestResourceCapacityTwoAllowsPairs(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		k.Go("u", func(p *Proc) {
+			r.Use(p, 1, 10)
+			ends = append(ends, p.Now())
+		})
+	}
+	k.RunAll()
+	// Two run in [0,10], two in [10,20].
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceFIFOAdmission(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	var order []int
+	k.Go("holder", func(p *Proc) { r.Use(p, 1, 100) })
+	for i := 0; i < 3; i++ {
+		i := i
+		k.GoAfter(Time(i+1), "w", func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, i)
+			r.Release(1)
+		})
+	}
+	k.RunAll()
+	for i := 0; i < 3; i++ {
+		if order[i] != i {
+			t.Fatalf("admission order = %v", order)
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire on free resource failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	r.Release(1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	k.Go("u", func(p *Proc) {
+		r.Use(p, 1, 50)
+		p.Sleep(50)
+	})
+	k.RunAll()
+	got := r.Utilization()
+	if got < 0.49 || got > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", got)
+	}
+}
+
+func TestResourceOverReleasePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	r.Release(1)
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "fmt"
+
+// resWaiter is a parked process waiting to acquire n units.
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// Resource is a counted semaphore with a FIFO wait queue, used to
+// model contended hardware such as CPUs, DMA engines and I/O ports. It
+// also integrates utilization over time for experiment reporting.
+type Resource struct {
+	k     *Kernel
+	cap   int
+	inUse int
+	queue []*resWaiter
+
+	lastChange Time
+	busyInt    float64 // integral of inUse over time, unit-ns
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{k: k, cap: capacity}
+}
+
+// Cap reports the capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse reports the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of parked acquirers.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.k.now
+	r.busyInt += float64(r.inUse) * float64(now-r.lastChange)
+	r.lastChange = now
+}
+
+// Utilization reports mean busy fraction (0..1 per unit of capacity)
+// since the start of the simulation.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	if r.lastChange == 0 {
+		return 0
+	}
+	return r.busyInt / float64(r.lastChange) / float64(r.cap)
+}
+
+// Acquire takes n units, blocking FIFO behind earlier acquirers while
+// insufficient units are free.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.cap {
+		panic(fmt.Sprintf("sim: acquire %d of capacity %d", n, r.cap))
+	}
+	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+		r.account()
+		r.inUse += n
+		return
+	}
+	r.queue = append(r.queue, &resWaiter{p: p, n: n})
+	p.park()
+}
+
+// TryAcquire takes n units without blocking and reports success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.cap {
+		panic(fmt.Sprintf("sim: acquire %d of capacity %d", n, r.cap))
+	}
+	if len(r.queue) == 0 && r.inUse+n <= r.cap {
+		r.account()
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and admits as many parked acquirers as now
+// fit, in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d with %d in use", n, r.inUse))
+	}
+	r.account()
+	r.inUse -= n
+	for len(r.queue) > 0 && r.inUse+r.queue[0].n <= r.cap {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inUse += w.n
+		r.k.At(r.k.now, func() { r.k.dispatch(w.p, nil) })
+	}
+}
+
+// Use acquires n units, holds them for d, and releases them. This is
+// the idiom for "spend d of CPU time".
+func (r *Resource) Use(p *Proc, n int, d Time) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}

@@ -1,0 +1,84 @@
+package sim
+
+// waiter is a parked process waiting on a signal. canceled entries are
+// skipped at fire time (used by timed waits).
+type waiter struct {
+	p        *Proc
+	canceled bool
+}
+
+// Signal is a one-shot broadcast event. Processes Wait on it; Fire
+// wakes all current and future waiters with the fired value. The
+// kernel wakes waiters via zero-delay events so firing is safe from
+// both process and event context.
+type Signal struct {
+	k       *Kernel
+	fired   bool
+	value   any
+	waiters []*waiter
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the fired value (nil before firing).
+func (s *Signal) Value() any { return s.value }
+
+// Fire fires the signal with v, waking every waiter. Firing twice
+// panics: one-shot semantics keep protocol state machines honest.
+func (s *Signal) Fire(v any) {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	s.value = v
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.k.At(s.k.now, func() {
+			if w.canceled {
+				return
+			}
+			w.canceled = true
+			s.k.dispatch(w.p, v)
+		})
+	}
+}
+
+func (s *Signal) addWaiter(w *waiter) { s.waiters = append(s.waiters, w) }
+
+// Barrier counts down from n and fires an underlying signal when all
+// parties have arrived. The zero value is not usable; use NewBarrier.
+type Barrier struct {
+	remaining int
+	sig       *Signal
+}
+
+// NewBarrier returns a barrier expecting n arrivals.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier needs a positive count")
+	}
+	return &Barrier{remaining: n, sig: NewSignal(k)}
+}
+
+// Arrive records one arrival; the last arrival fires the barrier.
+func (b *Barrier) Arrive() {
+	if b.remaining <= 0 {
+		panic("sim: barrier arrival after completion")
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		b.sig.Fire(nil)
+	}
+}
+
+// Wait blocks p until all parties have arrived.
+func (b *Barrier) Wait(p *Proc) { p.Wait(b.sig) }
+
+// Remaining reports how many arrivals are still outstanding.
+func (b *Barrier) Remaining() int { return b.remaining }

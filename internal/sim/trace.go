@@ -1,0 +1,20 @@
+package sim
+
+// TraceFunc receives one trace event. Components report events
+// unconditionally; the kernel drops them when no tracer is attached,
+// so tracing costs nothing unless enabled.
+type TraceFunc func(at Time, component, event string, size int64, detail string)
+
+// SetTrace attaches (or with nil detaches) a trace sink.
+func (k *Kernel) SetTrace(fn TraceFunc) { k.trace = fn }
+
+// Tracing reports whether a trace sink is attached; components use it
+// to skip building expensive detail strings.
+func (k *Kernel) Tracing() bool { return k.trace != nil }
+
+// Trace reports one event to the attached sink, if any.
+func (k *Kernel) Trace(component, event string, size int64, detail string) {
+	if k.trace != nil {
+		k.trace(k.now, component, event, size, detail)
+	}
+}

@@ -1,0 +1,212 @@
+// Package stats provides the small statistics and table-rendering
+// toolkit the experiment harnesses use to report figure series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	Stddev float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Stddev = math.Sqrt(sq / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 50)
+	s.P95 = Percentile(sorted, 95)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending
+// sorted slice using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Series is one plotted line of a figure.
+type Series struct {
+	Label string
+	// Y[i] corresponds to the table's X[i]; NaN marks a missing point
+	// (e.g. "TCP drops out").
+	Y []float64
+}
+
+// Table is a figure rendered as aligned text: one X column and one
+// column per series, matching the paper's plots.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	XFmt   string // e.g. "%.2f"; defaults to %g
+	YFmt   string
+	Series []Series
+}
+
+// AddSeries appends a series, padding or truncating to len(X).
+func (t *Table) AddSeries(label string, ys []float64) {
+	padded := make([]float64, len(t.X))
+	for i := range padded {
+		if i < len(ys) {
+			padded[i] = ys[i]
+		} else {
+			padded[i] = math.NaN()
+		}
+	}
+	t.Series = append(t.Series, Series{Label: label, Y: padded})
+}
+
+// CSV renders the table as comma-separated values for external
+// plotting tools; missing points are empty fields.
+func (t *Table) CSV() string {
+	xfmt := t.XFmt
+	if xfmt == "" {
+		xfmt = "%g"
+	}
+	yfmt := t.YFmt
+	if yfmt == "" {
+		yfmt = "%.4f"
+	}
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.X {
+		fmt.Fprintf(&b, xfmt, x)
+		for _, s := range t.Series {
+			b.WriteByte(',')
+			if i < len(s.Y) && !math.IsNaN(s.Y[i]) {
+				fmt.Fprintf(&b, yfmt, s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	xfmt := t.XFmt
+	if xfmt == "" {
+		xfmt = "%g"
+	}
+	yfmt := t.YFmt
+	if yfmt == "" {
+		yfmt = "%.2f"
+	}
+	headers := []string{t.XLabel}
+	for _, s := range t.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := [][]string{headers}
+	for i, x := range t.X {
+		row := []string{fmt.Sprintf(xfmt, x)}
+		for _, s := range t.Series {
+			if i < len(s.Y) && !math.IsNaN(s.Y[i]) {
+				row = append(row, fmt.Sprintf(yfmt, s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "(y: %s)\n", t.YLabel)
+	}
+	for r, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			for c := range row {
+				if c > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", widths[c]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Stddev < 1.41 || s.Stddev > 1.42 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("summary of empty = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.P95 != 7 || s.Stddev != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("P50 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 0); got != 0 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Fatalf("P100 = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean([2 4]) != 3")
+	}
+}
+
+func TestTableRenderAlignsColumns(t *testing.T) {
+	tab := &Table{
+		Title:  "Figure X",
+		XLabel: "size",
+		X:      []float64{1, 10, 100},
+	}
+	tab.AddSeries("tcp", []float64{1.5, 2.5, 3.5})
+	tab.AddSeries("via", []float64{0.5, 1.0})
+	out := tab.Render()
+	if !strings.Contains(out, "Figure X") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "tcp") || !strings.Contains(out, "via") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	// The short series is padded with "-" for missing points.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing padding marker:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+1+3 { // title, header, rule, 3 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNaNRendersDash(t *testing.T) {
+	tab := &Table{XLabel: "x", X: []float64{1, 2}}
+	tab.AddSeries("s", []float64{math.NaN(), 5})
+	out := tab.Render()
+	if !strings.Contains(out, "-") || !strings.Contains(out, "5.00") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if len(clean) == 0 {
+			return s.Count == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.P50 <= s.P95+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(clean, pa) <= Percentile(clean, pb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{XLabel: "x", X: []float64{1, 2}}
+	tab.AddSeries("a", []float64{1.5, math.NaN()})
+	tab.AddSeries("b", []float64{2.5, 3.5})
+	got := tab.CSV()
+	want := "x,a,b\n1,1.5000,2.5000\n2,,3.5000\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

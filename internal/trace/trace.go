@@ -1,0 +1,144 @@
+// Package trace records and analyzes protocol events from a
+// simulation run: descriptor postings, segments, credit grants,
+// rendezvous handshakes. Attach a Recorder to a kernel, run, then
+// inspect, count or render the timeline — the primary debugging tool
+// for protocol work on this codebase.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hpsockets/internal/sim"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	At        sim.Time
+	Component string
+	Kind      string
+	Size      int64
+	Detail    string
+}
+
+func (e Event) String() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%12v  %-10s %-16s %8d  %s", e.At, e.Component, e.Kind, e.Size, e.Detail)
+	}
+	return fmt.Sprintf("%12v  %-10s %-16s %8d", e.At, e.Component, e.Kind, e.Size)
+}
+
+// Recorder collects events, optionally filtered and bounded.
+type Recorder struct {
+	events []Event
+	// Max bounds the number of retained events (0 = unbounded); when
+	// full, older events are dropped (the recorder keeps a tail).
+	Max int
+	// Components restricts recording to the named components (empty =
+	// all).
+	Components []string
+
+	dropped uint64
+}
+
+// New returns an unbounded, unfiltered recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Attach hooks the recorder into a kernel.
+func (r *Recorder) Attach(k *sim.Kernel) {
+	k.SetTrace(func(at sim.Time, component, event string, size int64, detail string) {
+		r.record(Event{At: at, Component: component, Kind: event, Size: size, Detail: detail})
+	})
+}
+
+func (r *Recorder) record(e Event) {
+	if len(r.Components) > 0 {
+		ok := false
+		for _, c := range r.Components {
+			if c == e.Component {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	if r.Max > 0 && len(r.events) >= r.Max {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:len(r.events)-1]
+		r.dropped++
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the retained events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports the retained event count.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped reports events discarded by the Max bound.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// CountByKind tallies events per "component/kind".
+func (r *Recorder) CountByKind() map[string]int {
+	out := make(map[string]int)
+	for _, e := range r.events {
+		out[e.Component+"/"+e.Kind]++
+	}
+	return out
+}
+
+// BytesByKind sums the Size field per "component/kind".
+func (r *Recorder) BytesByKind() map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range r.events {
+		out[e.Component+"/"+e.Kind] += e.Size
+	}
+	return out
+}
+
+// Between returns the events in the half-open virtual-time window.
+func (r *Recorder) Between(from, to sim.Time) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.At >= from && e.At < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render writes the timeline to w.
+func (r *Recorder) Render(w io.Writer) error {
+	for _, e := range r.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", r.dropped)
+	}
+	return nil
+}
+
+// Summary renders the per-kind counts, sorted lexicographically.
+func (r *Recorder) Summary() string {
+	counts := r.CountByKind()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ { // insertion sort: tiny key sets
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-32s %8d\n", k, counts[k])
+	}
+	return b.String()
+}

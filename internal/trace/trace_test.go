@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// runTransfer moves one message over the given transport with the
+// recorder attached.
+func runTransfer(r *Recorder, kind core.Kind, size int) {
+	prof := core.CLANProfile()
+	k := sim.NewKernel()
+	r.Attach(k)
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	fab := core.NewFabric(cl, kind, prof)
+	l := fab.Endpoint("b").Listen(1)
+	k.Go("srv", func(p *sim.Proc) {
+		c, _ := l.Accept(p)
+		buf := make([]byte, size)
+		c.RecvFull(p, buf)
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		c, _ := fab.Endpoint("a").Dial(p, "b", 1)
+		c.SendSize(p, size)
+		c.Close(p)
+	})
+	k.RunAll()
+}
+
+func TestRecorderCapturesSocketVIAProtocol(t *testing.T) {
+	r := New()
+	runTransfer(r, core.KindSocketVIA, 40*1024)
+	counts := r.CountByKind()
+	// 40 KB over 8 KB eager chunks: five chunks.
+	if got := counts["socketvia/eager-chunk"]; got != 5 {
+		t.Fatalf("eager-chunk count = %d, want 5 (counts: %v)", got, counts)
+	}
+	// Every VIA post-send eventually completes.
+	if counts["via/post-send"] == 0 || counts["via/send-complete"] != counts["via/post-send"] {
+		t.Fatalf("send completions %d != posts %d", counts["via/send-complete"], counts["via/post-send"])
+	}
+	// Credits flow back as the reader drains.
+	if counts["socketvia/credit-grant"] == 0 {
+		t.Fatalf("no credit grants recorded: %v", counts)
+	}
+}
+
+func TestRecorderCapturesTCPSegments(t *testing.T) {
+	r := New()
+	runTransfer(r, core.KindTCP, 14600)
+	counts := r.CountByKind()
+	// 14600 B at MSS 1460 = 10 data segments each way counted once.
+	if got := counts["ktcp/segment-out"]; got < 10 {
+		t.Fatalf("segment-out = %d, want >= 10", got)
+	}
+	if counts["ktcp/segment-in"] != counts["ktcp/segment-out"] {
+		t.Fatalf("segments in %d != out %d", counts["ktcp/segment-in"], counts["ktcp/segment-out"])
+	}
+	if counts["ktcp/ack-out"] == 0 {
+		t.Fatal("no acks recorded")
+	}
+	// Byte conservation across the wire.
+	bytes := r.BytesByKind()
+	if bytes["ktcp/segment-in"] != bytes["ktcp/segment-out"] {
+		t.Fatalf("segment bytes in %d != out %d", bytes["ktcp/segment-in"], bytes["ktcp/segment-out"])
+	}
+}
+
+func TestRecorderComponentFilter(t *testing.T) {
+	r := New()
+	r.Components = []string{"ktcp"}
+	runTransfer(r, core.KindTCP, 4096)
+	for _, e := range r.Events() {
+		if e.Component != "ktcp" {
+			t.Fatalf("filter leaked component %q", e.Component)
+		}
+	}
+	if r.Len() == 0 {
+		t.Fatal("filter recorded nothing")
+	}
+}
+
+func TestRecorderMaxKeepsTail(t *testing.T) {
+	r := New()
+	r.Max = 10
+	runTransfer(r, core.KindSocketVIA, 100*1024)
+	if r.Len() != 10 {
+		t.Fatalf("retained %d, want 10", r.Len())
+	}
+	if r.Dropped() == 0 {
+		t.Fatal("nothing dropped despite bound")
+	}
+	// The tail is the most recent events: times must not decrease.
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order: %v after %v", evs[i].At, evs[i-1].At)
+		}
+	}
+}
+
+func TestRecorderRenderAndSummary(t *testing.T) {
+	r := New()
+	runTransfer(r, core.KindSocketVIA, 8192)
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "eager-chunk") {
+		t.Fatalf("render missing events:\n%s", b.String())
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "via/post-send") {
+		t.Fatalf("summary missing kinds:\n%s", sum)
+	}
+}
+
+func TestRecorderBetweenWindow(t *testing.T) {
+	r := New()
+	runTransfer(r, core.KindTCP, 4096)
+	all := r.Events()
+	mid := all[len(all)/2].At
+	early := r.Between(0, mid)
+	late := r.Between(mid, all[len(all)-1].At+1)
+	if len(early)+len(late) != len(all) {
+		t.Fatalf("window split %d + %d != %d", len(early), len(late), len(all))
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	k := sim.NewKernel()
+	if k.Tracing() {
+		t.Fatal("tracing on by default")
+	}
+	// Trace with no sink must be a no-op.
+	k.Trace("x", "y", 1, "z")
+}

@@ -1,0 +1,151 @@
+package via
+
+import (
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// measureLatency runs a VIA ping-pong of the given message size and
+// returns the one-way latency (half the average round trip).
+func measureLatency(size, iters int) sim.Time {
+	k := sim.NewKernel()
+	net := netsim.New(k, netsim.CLANConfig())
+	cl := cluster.New(k, net)
+	a := cl.AddNode("a", cluster.DefaultConfig())
+	b := cl.AddNode("b", cluster.DefaultConfig())
+	pa := NewProvider(a, net, CLANConfig())
+	pb := NewProvider(b, net, CLANConfig())
+	acc := pb.Listen(1)
+	var oneWay sim.Time
+	k.Go("srv", func(p *sim.Proc) {
+		scq, rcq := pb.NewCQ(), pb.NewCQ()
+		vi, _ := acc.Accept(p, scq, rcq)
+		reg := pb.RegisterMem(p, 64*1024)
+		for i := 0; i < iters; i++ {
+			rd := &Desc{Region: reg, Len: 64 * 1024}
+			vi.PostRecv(p, rd)
+			vi.recvCQ.Wait(p)
+			sd := &Desc{Region: reg, Len: size}
+			vi.PostSend(p, sd)
+			vi.sendCQ.Wait(p)
+		}
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		scq, rcq := pa.NewCQ(), pa.NewCQ()
+		vi := pa.NewVI(scq, rcq)
+		pa.Connect(p, vi, "b", 1)
+		reg := pa.RegisterMem(p, 64*1024)
+		p.Sleep(sim.Millisecond) // let the server pre-post
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			rd := &Desc{Region: reg, Len: 64 * 1024}
+			vi.PostRecv(p, rd)
+			sd := &Desc{Region: reg, Len: size}
+			vi.PostSend(p, sd)
+			vi.sendCQ.Wait(p)
+			vi.recvCQ.Wait(p)
+		}
+		oneWay = (p.Now() - start) / sim.Time(2*iters)
+	})
+	k.RunAll()
+	return oneWay
+}
+
+// measureBandwidth streams count messages of the given size with a
+// window of outstanding sends and returns the achieved Mbps.
+func measureBandwidth(size, count int) float64 {
+	k := sim.NewKernel()
+	net := netsim.New(k, netsim.CLANConfig())
+	cl := cluster.New(k, net)
+	a := cl.AddNode("a", cluster.DefaultConfig())
+	b := cl.AddNode("b", cluster.DefaultConfig())
+	pa := NewProvider(a, net, CLANConfig())
+	pb := NewProvider(b, net, CLANConfig())
+	acc := pb.Listen(1)
+	var mbps float64
+	done := sim.NewSignal(k)
+	k.Go("srv", func(p *sim.Proc) {
+		scq, rcq := pb.NewCQ(), pb.NewCQ()
+		vi, _ := acc.Accept(p, scq, rcq)
+		reg := pb.RegisterMem(p, 64*1024)
+		// Pre-post everything: the bandwidth test is not descriptor
+		// limited.
+		for i := 0; i < count; i++ {
+			vi.PostRecv(p, &Desc{Region: reg, Len: 64 * 1024})
+		}
+		start := p.Now()
+		for i := 0; i < count; i++ {
+			vi.recvCQ.Wait(p)
+		}
+		mbps = sim.BitsPerSec(int64(size)*int64(count), p.Now()-start)
+		done.Fire(nil)
+	})
+	k.Go("cli", func(p *sim.Proc) {
+		scq, rcq := pa.NewCQ(), pa.NewCQ()
+		vi := pa.NewVI(scq, rcq)
+		pa.Connect(p, vi, "b", 1)
+		reg := pa.RegisterMem(p, 64*1024)
+		p.Sleep(sim.Millisecond)
+		const window = 16
+		inflight := 0
+		for i := 0; i < count; i++ {
+			for inflight >= window {
+				vi.sendCQ.Wait(p)
+				inflight--
+			}
+			vi.PostSend(p, &Desc{Region: reg, Len: size})
+			inflight++
+		}
+		for inflight > 0 {
+			vi.sendCQ.Wait(p)
+			inflight--
+		}
+		p.Wait(done)
+	})
+	k.RunAll()
+	return mbps
+}
+
+func TestCalibrationSmallMessageLatency(t *testing.T) {
+	got := measureLatency(4, 100)
+	// Paper: base VIA latency just under SocketVIA's 9.5 us; target
+	// 8-9 us one-way.
+	if got < 7500*sim.Nanosecond || got > 9200*sim.Nanosecond {
+		t.Fatalf("VIA 4-byte latency = %v, want 8-9 us", got)
+	}
+}
+
+func TestCalibrationPeakBandwidth(t *testing.T) {
+	got := measureBandwidth(64*1024, 200)
+	// Paper: 795 Mbps peak for base VIA at 64 KB.
+	if got < 770 || got > 820 {
+		t.Fatalf("VIA 64K bandwidth = %.1f Mbps, want ~795", got)
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	sizes := []int{4, 64, 512, 4096}
+	var prev sim.Time
+	for _, s := range sizes {
+		l := measureLatency(s, 20)
+		if l <= prev {
+			t.Fatalf("latency not increasing: %v at %d after %v", l, s, prev)
+		}
+		prev = l
+	}
+}
+
+func TestBandwidthMonotoneInSize(t *testing.T) {
+	sizes := []int{256, 1024, 4096, 16384, 65536}
+	prev := 0.0
+	for _, s := range sizes {
+		bw := measureBandwidth(s, 100)
+		if bw <= prev {
+			t.Fatalf("bandwidth not increasing: %.1f at %d after %.1f", bw, s, prev)
+		}
+		prev = bw
+	}
+}

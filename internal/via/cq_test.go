@@ -1,0 +1,147 @@
+package via
+
+import (
+	"testing"
+
+	"hpsockets/internal/sim"
+)
+
+func TestCQSharedAcrossVIs(t *testing.T) {
+	// Two VIs on one provider complete into one shared CQ; the waiter
+	// sees completions from both, each attributed to its VI.
+	r := newRig(t, CLANConfig())
+	acc2 := r.pb.Listen(2)
+	sharedDone := make(map[uint32]int)
+	r.k.Go("server-shared", func(p *sim.Proc) {
+		shared := r.pb.NewCQ()
+		vi1, err := r.acceptor.Accept(p, r.pb.NewCQ(), shared)
+		if err != nil {
+			t.Errorf("accept1: %v", err)
+			return
+		}
+		vi2, err := acc2.Accept(p, r.pb.NewCQ(), shared)
+		if err != nil {
+			t.Errorf("accept2: %v", err)
+			return
+		}
+		reg := r.pb.RegisterMem(p, 4096)
+		for i := 0; i < 2; i++ {
+			vi1.PostRecv(p, &Desc{Region: reg, Len: 1024})
+			vi2.PostRecv(p, &Desc{Region: reg, Len: 1024})
+		}
+		for i := 0; i < 4; i++ {
+			c := shared.Wait(p)
+			if c.Status != StatusOK || !c.IsRecv {
+				t.Errorf("completion %d: %+v", i, c)
+			}
+			sharedDone[c.VI.ID()]++
+		}
+	})
+	r.k.Go("client-shared", func(p *sim.Proc) {
+		scq, rcq := r.pa.NewCQ(), r.pa.NewCQ()
+		via1 := r.pa.NewVI(scq, rcq)
+		if err := r.pa.Connect(p, via1, "b", 1); err != nil {
+			t.Errorf("connect1: %v", err)
+			return
+		}
+		via2 := r.pa.NewVI(scq, rcq)
+		if err := r.pa.Connect(p, via2, "b", 2); err != nil {
+			t.Errorf("connect2: %v", err)
+			return
+		}
+		reg := r.pa.RegisterMem(p, 4096)
+		for i := 0; i < 2; i++ {
+			sendMsg(t, p, via1, reg, nil, 100)
+			sendMsg(t, p, via2, reg, nil, 200)
+		}
+	})
+	r.k.RunAll()
+	total := 0
+	for _, n := range sharedDone {
+		if n != 2 {
+			t.Fatalf("per-VI completions = %v, want 2 each", sharedDone)
+		}
+		total += n
+	}
+	if total != 4 {
+		t.Fatalf("total completions = %d", total)
+	}
+}
+
+func TestCQPollNonBlocking(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	r.k.Go("poller", func(p *sim.Proc) {
+		cq := r.pa.NewCQ()
+		if _, ok := cq.Poll(); ok {
+			t.Error("Poll on empty CQ returned a completion")
+		}
+		if cq.Len() != 0 {
+			t.Errorf("Len = %d", cq.Len())
+		}
+	})
+	r.k.RunAll()
+}
+
+func TestProviderCounters(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			reg := vi.Provider().RegisterMem(p, 4096)
+			for i := 0; i < 3; i++ {
+				sendMsg(t, p, vi, reg, nil, 512)
+			}
+		},
+		func(p *sim.Proc, vi *VI) {
+			reg := vi.Provider().RegisterMem(p, 4096)
+			for i := 0; i < 3; i++ {
+				recvMsg(t, p, vi, reg, 4096)
+			}
+		},
+	)
+	if r.pa.DescsSent() != 3 {
+		t.Fatalf("descs sent = %d", r.pa.DescsSent())
+	}
+	if r.pb.DescsRecv() != 3 {
+		t.Fatalf("descs recv = %d", r.pb.DescsRecv())
+	}
+}
+
+func TestAcceptorCloseFailsPendingAccept(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	acc := r.pa.Listen(5)
+	var acceptErr error
+	done := sim.NewSignal(r.k)
+	r.k.Go("acceptor", func(p *sim.Proc) {
+		_, acceptErr = acc.Accept(p, r.pa.NewCQ(), r.pa.NewCQ())
+		done.Fire(nil)
+	})
+	r.k.GoAfter(10, "closer", func(p *sim.Proc) { acc.Close() })
+	r.k.Go("waiter", func(p *sim.Proc) { p.Wait(done) })
+	r.k.RunAll()
+	if acceptErr == nil {
+		t.Fatal("Accept on closed acceptor succeeded")
+	}
+}
+
+func TestDuplicateListenPanics(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	r.pa.Listen(9)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Listen did not panic")
+		}
+	}()
+	r.pa.Listen(9)
+}
+
+func TestConnectOnConnectedVIFails(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			if err := r.pa.Connect(p, vi, "b", 1); err == nil {
+				t.Error("second Connect on same VI succeeded")
+			}
+		},
+		func(p *sim.Proc, vi *VI) {},
+	)
+}

@@ -1,0 +1,361 @@
+package via
+
+import (
+	"fmt"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// packet kinds on the wire.
+type pkKind uint8
+
+const (
+	pkData pkKind = iota
+	pkRDMA
+	pkConnReq
+	pkConnAck
+	pkBreak
+	pkDisconnect
+)
+
+// packet is the VIA wire format carried in netsim frames.
+type packet struct {
+	kind    pkKind
+	srcPort string
+	srcVI   uint32
+	dstVI   uint32
+	svc     int // service number for connect requests
+
+	// data fragments
+	msgLen  int
+	fragLen int
+	frag    []byte
+	first   bool
+	last    bool
+	imm     uint64
+
+	// RDMA write targeting
+	rdmaHandle uint32
+	rdmaOffset int
+}
+
+// sendWork is one posted send descriptor awaiting the NIC.
+type sendWork struct {
+	vi   *VI
+	desc *Desc
+
+	rdma       bool
+	rdmaHandle uint32
+	rdmaOffset int
+}
+
+// connReq is a pending inbound connection.
+type connReq struct {
+	srcPort string
+	srcVI   uint32
+}
+
+// Acceptor delivers inbound connection requests for one service.
+type Acceptor struct {
+	pr  *Provider
+	svc int
+	q   *sim.Queue[*connReq]
+}
+
+// Provider is the emulated VIA adapter of one node: the user-level
+// library state plus the NIC engines (descriptor fetch, DMA, wire TX,
+// RX) running as simulation processes.
+type Provider struct {
+	node *cluster.Node
+	net  *netsim.Network
+	cfg  Config
+	dma  *sim.Resource
+
+	vis    map[uint32]*VI
+	nextVI uint32
+
+	rdmaRegions map[uint32]*MemRegion
+	nextRDMA    uint32
+
+	sendWQ    *sim.Queue[*sendWork]
+	txFIFO    *sim.Queue[*netsim.Frame]
+	rxQ       *sim.Queue[*packet]
+	listeners map[int]*Acceptor
+
+	descsSent uint64
+	descsRecv uint64
+}
+
+// NewProvider attaches an emulated VIA adapter to the node and starts
+// its NIC engines.
+func NewProvider(node *cluster.Node, net *netsim.Network, cfg Config) *Provider {
+	if cfg.MTU <= 0 || cfg.MaxTransfer <= 0 || cfg.PageSize <= 0 {
+		panic("via: invalid config")
+	}
+	k := node.Kernel()
+	pr := &Provider{
+		node:        node,
+		net:         net,
+		cfg:         cfg,
+		dma:         sim.NewResource(k, 1),
+		vis:         make(map[uint32]*VI),
+		nextVI:      1,
+		rdmaRegions: make(map[uint32]*MemRegion),
+		sendWQ:      sim.NewQueue[*sendWork](k, 0),
+		txFIFO:      sim.NewQueue[*netsim.Frame](k, cfg.TxFIFODepth),
+		rxQ:         sim.NewQueue[*packet](k, 0),
+		listeners:   make(map[int]*Acceptor),
+	}
+	node.Port().Handle(netsim.ProtoVIA, func(f *netsim.Frame) {
+		pr.rxQ.TryPut(f.Payload.(*packet))
+	})
+	k.Go("via-txdesc/"+node.Name(), pr.txDescLoop)
+	k.Go("via-txwire/"+node.Name(), pr.txWireLoop)
+	k.Go("via-rx/"+node.Name(), pr.rxLoop)
+	return pr
+}
+
+// Node reports the provider's host.
+func (pr *Provider) Node() *cluster.Node { return pr.node }
+
+// Config reports the cost model in use.
+func (pr *Provider) Config() Config { return pr.cfg }
+
+// DescsSent and DescsRecv report completed descriptor counts.
+func (pr *Provider) DescsSent() uint64 { return pr.descsSent }
+
+// DescsRecv reports completed receive descriptor counts.
+func (pr *Provider) DescsRecv() uint64 { return pr.descsRecv }
+
+// RegisterMem registers a buffer of the given size, charging the
+// kernel-mediated pin/translate cost, and returns the region handle.
+func (pr *Provider) RegisterMem(p *sim.Proc, size int) *MemRegion {
+	if size <= 0 {
+		panic("via: register non-positive size")
+	}
+	pages := (size + pr.cfg.PageSize - 1) / pr.cfg.PageSize
+	pr.node.Overhead(p, pr.cfg.RegBase+sim.Time(pages)*pr.cfg.RegPerPage)
+	return &MemRegion{size: size, registered: true}
+}
+
+// Listen registers a service number and returns its acceptor.
+func (pr *Provider) Listen(svc int) *Acceptor {
+	if _, ok := pr.listeners[svc]; ok {
+		panic(fmt.Sprintf("via: service %d already listening on %s", svc, pr.node.Name()))
+	}
+	a := &Acceptor{pr: pr, svc: svc, q: sim.NewQueue[*connReq](pr.node.Kernel(), 0)}
+	pr.listeners[svc] = a
+	return a
+}
+
+// dmaUse charges one DMA transaction of n bytes on the shared engine.
+func (pr *Provider) dmaUse(p *sim.Proc, n int) {
+	d := pr.cfg.DMAPerOp + sim.Time(float64(n)*pr.cfg.DMAPerByte+0.5)
+	pr.dma.Use(p, 1, d)
+}
+
+// sendControl queues a small control frame directly to the wire stage.
+func (pr *Provider) sendControl(p *sim.Proc, dst string, pk *packet) {
+	f := &netsim.Frame{
+		Src:     pr.node.Name(),
+		Dst:     dst,
+		Proto:   netsim.ProtoVIA,
+		Size:    pr.cfg.HeaderSize + 16,
+		Payload: pk,
+	}
+	pr.txFIFO.Put(p, f)
+}
+
+// txDescLoop is the NIC descriptor-fetch and DMA engine: it drains the
+// send work queue, fragments each descriptor at the MTU, DMAs each
+// fragment across the PCI bus and hands frames to the wire stage.
+func (pr *Provider) txDescLoop(p *sim.Proc) {
+	for {
+		w, ok := pr.sendWQ.Get(p)
+		if !ok {
+			return
+		}
+		vi, desc := w.vi, w.desc
+		if vi.state != viConnected {
+			desc.Status = StatusBroken
+			vi.sendCQ.post(Completion{VI: vi, Desc: desc, Status: StatusBroken})
+			continue
+		}
+		p.Sleep(pr.cfg.NICTxPerDesc)
+		remaining := desc.Len
+		offset := 0
+		first := true
+		for {
+			n := remaining
+			if n > pr.cfg.MTU {
+				n = pr.cfg.MTU
+			}
+			var frag []byte
+			if desc.Data != nil {
+				// The DMA engine reads the bytes out of host memory
+				// here; the wire carries this private copy, so the
+				// host buffer may be reused as soon as the send
+				// completes.
+				frag = append([]byte(nil), desc.Data[offset:offset+n]...)
+			}
+			pr.dmaUse(p, n)
+			p.Sleep(pr.cfg.NICTxPerFrame)
+			pk := &packet{
+				kind:    pkData,
+				srcPort: pr.node.Name(),
+				srcVI:   vi.id,
+				dstVI:   vi.peerVI,
+				msgLen:  desc.Len,
+				fragLen: n,
+				frag:    frag,
+				first:   first,
+				last:    remaining-n == 0,
+				imm:     desc.Imm,
+			}
+			if w.rdma {
+				pk.kind = pkRDMA
+				pk.rdmaHandle = w.rdmaHandle
+				pk.rdmaOffset = w.rdmaOffset + offset
+			}
+			f := &netsim.Frame{
+				Src:     pr.node.Name(),
+				Dst:     vi.peerPort,
+				Proto:   netsim.ProtoVIA,
+				Size:    pr.cfg.HeaderSize + n,
+				Payload: pk,
+			}
+			pr.txFIFO.Put(p, f)
+			first = false
+			offset += n
+			remaining -= n
+			if remaining == 0 {
+				break
+			}
+		}
+		p.Sleep(pr.cfg.CQDeliver)
+		desc.Status = StatusOK
+		desc.XferLen = desc.Len
+		pr.descsSent++
+		pr.node.Kernel().Trace("via", "send-complete", int64(desc.Len), vi.peerPort)
+		vi.sendCQ.post(Completion{VI: vi, Desc: desc, Status: StatusOK})
+	}
+}
+
+// txWireLoop drains the NIC transmit FIFO onto the wire; it pipelines
+// with the DMA stage through the bounded txFIFO.
+func (pr *Provider) txWireLoop(p *sim.Proc) {
+	for {
+		f, ok := pr.txFIFO.Get(p)
+		if !ok {
+			return
+		}
+		pr.net.Transmit(p, f)
+	}
+}
+
+// rxLoop is the NIC receive engine: per-frame processing, DMA into
+// registered host memory, descriptor matching and completion delivery.
+func (pr *Provider) rxLoop(p *sim.Proc) {
+	for {
+		pk, ok := pr.rxQ.Get(p)
+		if !ok {
+			return
+		}
+		switch pk.kind {
+		case pkConnReq:
+			a := pr.listeners[pk.svc]
+			if a == nil {
+				panic(fmt.Sprintf("via: connect to unbound service %d on %s", pk.svc, pr.node.Name()))
+			}
+			a.q.TryPut(&connReq{srcPort: pk.srcPort, srcVI: pk.srcVI})
+		case pkConnAck:
+			vi := pr.vis[pk.dstVI]
+			if vi == nil {
+				continue
+			}
+			vi.peerPort = pk.srcPort
+			vi.peerVI = pk.srcVI
+			vi.state = viConnected
+			vi.connSig.Fire(nil)
+		case pkBreak:
+			vi := pr.vis[pk.dstVI]
+			if vi == nil || vi.state == viBroken {
+				continue
+			}
+			vi.breakLocal()
+		case pkDisconnect:
+			vi := pr.vis[pk.dstVI]
+			if vi == nil {
+				continue
+			}
+			vi.remoteClosed = true
+			if vi.closeSig != nil && !vi.closeSig.Fired() {
+				vi.closeSig.Fire(nil)
+			}
+		case pkData:
+			pr.rxData(p, pk)
+		case pkRDMA:
+			pr.rxRDMA(p, pk)
+		}
+	}
+}
+
+func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
+	vi := pr.vis[pk.dstVI]
+	if vi == nil || vi.state == viBroken {
+		return // stale frame after teardown: drop
+	}
+	p.Sleep(pr.cfg.NICRxPerFrame)
+	pr.dmaUse(p, pk.fragLen)
+	if pk.first {
+		vi.curLen = 0
+		vi.curParts = vi.curParts[:0]
+	}
+	vi.curLen += pk.fragLen
+	if pk.frag != nil {
+		vi.curParts = append(vi.curParts, pk.frag)
+	}
+	if !pk.last {
+		return
+	}
+	// Message complete: match the head receive descriptor.
+	desc, ok := vi.recvDescs.TryGet()
+	if !ok || desc.Len < vi.curLen {
+		// Reliable delivery with no (or too small a) receive
+		// descriptor: the connection breaks. Notify the peer.
+		pr.node.Kernel().Trace("via", "rnr-break", int64(vi.curLen), pk.srcPort)
+		vi.breakLocal()
+		pr.sendControl(p, vi.peerPort, &packet{
+			kind: pkBreak, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
+		})
+		if !ok {
+			vi.recvCQ.post(Completion{VI: vi, IsRecv: true, Status: StatusRNR})
+		} else {
+			desc.Status = StatusRNR
+			vi.recvCQ.post(Completion{VI: vi, Desc: desc, IsRecv: true, Status: StatusRNR})
+		}
+		return
+	}
+	desc.Status = StatusOK
+	desc.XferLen = vi.curLen
+	desc.Imm = pk.imm
+	if len(vi.curParts) == 1 {
+		desc.Data = vi.curParts[0]
+	} else if len(vi.curParts) > 1 {
+		buf := make([]byte, 0, vi.curLen)
+		for _, part := range vi.curParts {
+			buf = append(buf, part...)
+		}
+		desc.Data = buf
+	} else {
+		desc.Data = nil
+	}
+	vi.curParts = vi.curParts[:0]
+	vi.rxMsgs++
+	pr.descsRecv++
+	pr.node.Kernel().Trace("via", "recv-complete", int64(desc.XferLen), pk.srcPort)
+	p.Sleep(pr.cfg.CQDeliver)
+	vi.recvCQ.post(Completion{VI: vi, Desc: desc, IsRecv: true, Status: StatusOK})
+}

@@ -1,0 +1,181 @@
+package via
+
+import (
+	"testing"
+
+	"hpsockets/internal/sim"
+)
+
+func TestRDMAWriteLandsData(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	var handle uint32
+	var region *MemRegion
+	handleReady := sim.NewSignal(r.k)
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			p.Wait(handleReady)
+			reg := vi.Provider().RegisterMem(p, 4096)
+			d := &Desc{Region: reg, Len: 11, Data: []byte("rdma hello!")}
+			if err := vi.PostRDMAWrite(p, d, handle, 100); err != nil {
+				t.Errorf("rdma write: %v", err)
+				return
+			}
+			c := vi.sendCQ.Wait(p)
+			if c.Status != StatusOK {
+				t.Errorf("rdma completion status %v", c.Status)
+			}
+			// Notify the peer in band; VI ordering puts it after the
+			// written data.
+			sendMsg(t, p, vi, reg, nil, 1)
+		},
+		func(p *sim.Proc, vi *VI) {
+			region, handle = vi.Provider().RegisterMemRDMA(p, 4096)
+			handleReady.Fire(nil)
+			reg := vi.Provider().RegisterMem(p, 64)
+			recvMsg(t, p, vi, reg, 64) // the notification
+			if got := string(region.RDMABytes()[100:111]); got != "rdma hello!" {
+				t.Errorf("landed data = %q", got)
+			}
+			if vi.RDMABytesReceived() != 11 {
+				t.Errorf("rdma bytes = %d", vi.RDMABytesReceived())
+			}
+		},
+	)
+}
+
+func TestRDMAWriteConsumesNoRecvDescriptor(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	var handle uint32
+	handleReady := sim.NewSignal(r.k)
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			p.Wait(handleReady)
+			reg := vi.Provider().RegisterMem(p, 64*1024)
+			// Several RDMA writes with NO receive descriptors posted at
+			// the peer: reliable delivery must not break.
+			for i := 0; i < 5; i++ {
+				d := &Desc{Region: reg, Len: 32 * 1024}
+				if err := vi.PostRDMAWrite(p, d, handle, 0); err != nil {
+					t.Errorf("write %d: %v", i, err)
+				}
+				vi.sendCQ.Wait(p)
+			}
+			p.Sleep(sim.Millisecond)
+			if vi.Broken() {
+				t.Error("connection broke on descriptor-free RDMA writes")
+			}
+		},
+		func(p *sim.Proc, vi *VI) {
+			_, handle = vi.Provider().RegisterMemRDMA(p, 32*1024)
+			handleReady.Fire(nil)
+			p.Sleep(2 * sim.Millisecond)
+			if vi.RecvPosted() != 0 {
+				t.Error("rdma write consumed a receive descriptor")
+			}
+			if vi.Broken() {
+				t.Error("receiver side broke")
+			}
+		},
+	)
+}
+
+func TestRDMAWriteOutOfBoundsBreaksConnection(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	var handle uint32
+	handleReady := sim.NewSignal(r.k)
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			p.Wait(handleReady)
+			reg := vi.Provider().RegisterMem(p, 4096)
+			d := &Desc{Region: reg, Len: 2048}
+			// Offset pushes the write past the 1 KB target region.
+			if err := vi.PostRDMAWrite(p, d, handle, 512); err != nil {
+				t.Errorf("post: %v", err)
+			}
+			vi.sendCQ.Wait(p)
+			p.Sleep(sim.Millisecond)
+			if !vi.Broken() {
+				t.Error("client VI not broken after protection violation")
+			}
+		},
+		func(p *sim.Proc, vi *VI) {
+			_, handle = vi.Provider().RegisterMemRDMA(p, 1024)
+			handleReady.Fire(nil)
+			p.Sleep(2 * sim.Millisecond)
+			if !vi.Broken() {
+				t.Error("server VI not broken after protection violation")
+			}
+		},
+	)
+}
+
+func TestRDMAWriteToUnexportedRegionRejected(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			reg := vi.Provider().RegisterMem(p, 64)
+			d := &Desc{Region: reg, Len: 8}
+			if err := vi.PostRDMAWrite(p, d, 9999, 0); err != nil {
+				t.Errorf("post: %v", err) // rejected at the target, not locally
+			}
+			vi.sendCQ.Wait(p)
+			p.Sleep(sim.Millisecond)
+			if !vi.Broken() {
+				t.Error("write to unknown handle did not break the connection")
+			}
+		},
+		func(p *sim.Proc, vi *VI) { p.Sleep(2 * sim.Millisecond) },
+	)
+}
+
+func TestRDMAWriteNegativeOffsetRejectedLocally(t *testing.T) {
+	r := newRig(t, CLANConfig())
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			reg := vi.Provider().RegisterMem(p, 64)
+			d := &Desc{Region: reg, Len: 8}
+			if err := vi.PostRDMAWrite(p, d, 1, -4); err != ErrRDMAProtection {
+				t.Errorf("negative offset: %v, want ErrRDMAProtection", err)
+			}
+		},
+		func(p *sim.Proc, vi *VI) {},
+	)
+}
+
+func TestRDMAWriteFragmentsLargeTransfers(t *testing.T) {
+	cfg := CLANConfig()
+	r := newRig(t, cfg)
+	var handle uint32
+	var region *MemRegion
+	handleReady := sim.NewSignal(r.k)
+	const n = 48 * 1024 // many MTU-sized fragments
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	r.connectPair(t,
+		func(p *sim.Proc, vi *VI) {
+			p.Wait(handleReady)
+			reg := vi.Provider().RegisterMem(p, n)
+			d := &Desc{Region: reg, Len: n, Data: payload}
+			if err := vi.PostRDMAWrite(p, d, handle, 0); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			vi.sendCQ.Wait(p)
+			reg2 := vi.Provider().RegisterMem(p, 64)
+			sendMsg(t, p, vi, reg2, nil, 1)
+		},
+		func(p *sim.Proc, vi *VI) {
+			region, handle = vi.Provider().RegisterMemRDMA(p, n)
+			handleReady.Fire(nil)
+			reg := vi.Provider().RegisterMem(p, 64)
+			recvMsg(t, p, vi, reg, 64)
+			got := region.RDMABytes()
+			for i := range payload {
+				if got[i] != payload[i] {
+					t.Fatalf("landed data corrupted at %d", i)
+				}
+			}
+		},
+	)
+}

@@ -1,0 +1,224 @@
+package via
+
+import (
+	"errors"
+	"fmt"
+
+	"hpsockets/internal/sim"
+)
+
+// VI connection states.
+const (
+	viIdle = iota
+	viConnecting
+	viConnected
+	viBroken
+	viClosed
+)
+
+// Errors returned by connection management and posting.
+var (
+	// ErrBroken reports that the connection was broken (reliable
+	// delivery violation or peer breakage).
+	ErrBroken = errors.New("via: connection broken")
+	// ErrNotConnected reports posting on an unconnected VI.
+	ErrNotConnected = errors.New("via: vi not connected")
+)
+
+// VI is a virtual interface: a connected pair of send and receive work
+// queues bound to completion queues.
+type VI struct {
+	pr     *Provider
+	id     uint32
+	sendCQ *CQ
+	recvCQ *CQ
+
+	recvDescs *sim.Queue[*Desc]
+
+	state        int
+	peerPort     string
+	peerVI       uint32
+	connSig      *sim.Signal
+	closeSig     *sim.Signal
+	remoteClosed bool
+
+	// reassembly state (network is FIFO per connection)
+	curLen   int
+	curParts [][]byte
+	rxMsgs   uint64
+
+	// rdmaBytes counts bytes landed by inbound RDMA writes.
+	rdmaBytes int
+}
+
+// NewVI creates an unconnected VI whose work queues complete to the
+// given CQs.
+func (pr *Provider) NewVI(sendCQ, recvCQ *CQ) *VI {
+	if sendCQ == nil || recvCQ == nil {
+		panic("via: VI needs both completion queues")
+	}
+	vi := &VI{
+		pr:        pr,
+		id:        pr.nextVI,
+		sendCQ:    sendCQ,
+		recvCQ:    recvCQ,
+		recvDescs: sim.NewQueue[*Desc](pr.node.Kernel(), 0),
+		connSig:   sim.NewSignal(pr.node.Kernel()),
+		closeSig:  sim.NewSignal(pr.node.Kernel()),
+	}
+	pr.nextVI++
+	pr.vis[vi.id] = vi
+	return vi
+}
+
+// ID reports the VI number on its provider.
+func (vi *VI) ID() uint32 { return vi.id }
+
+// Provider reports the owning provider.
+func (vi *VI) Provider() *Provider { return vi.pr }
+
+// Connected reports whether the VI is connected.
+func (vi *VI) Connected() bool { return vi.state == viConnected }
+
+// Broken reports whether the connection broke.
+func (vi *VI) Broken() bool { return vi.state == viBroken }
+
+// RemoteClosed reports whether the peer disconnected.
+func (vi *VI) RemoteClosed() bool { return vi.remoteClosed }
+
+// PeerPort reports the peer node's port name (empty before connect).
+func (vi *VI) PeerPort() string { return vi.peerPort }
+
+// RecvPosted reports the number of posted, unmatched receive
+// descriptors.
+func (vi *VI) RecvPosted() int { return vi.recvDescs.Len() }
+
+// Connect performs the client side of connection setup against a
+// service number on a remote node, blocking until the acceptor answers.
+func (pr *Provider) Connect(p *sim.Proc, vi *VI, remote string, svc int) error {
+	if vi.state != viIdle {
+		return fmt.Errorf("via: connect on VI in state %d", vi.state)
+	}
+	vi.state = viConnecting
+	pr.node.Overhead(p, pr.cfg.ConnSetupCPU)
+	pr.sendControl(p, remote, &packet{
+		kind: pkConnReq, srcPort: pr.node.Name(), srcVI: vi.id, svc: svc,
+	})
+	p.Wait(vi.connSig)
+	if vi.state != viConnected {
+		return ErrBroken
+	}
+	return nil
+}
+
+// Accept blocks for an inbound connection request, binds a fresh VI to
+// it and acknowledges the peer.
+func (a *Acceptor) Accept(p *sim.Proc, sendCQ, recvCQ *CQ) (*VI, error) {
+	req, ok := a.q.Get(p)
+	if !ok {
+		return nil, errors.New("via: acceptor closed")
+	}
+	a.pr.node.Overhead(p, a.pr.cfg.ConnSetupCPU)
+	vi := a.pr.NewVI(sendCQ, recvCQ)
+	vi.peerPort = req.srcPort
+	vi.peerVI = req.srcVI
+	vi.state = viConnected
+	a.pr.sendControl(p, req.srcPort, &packet{
+		kind: pkConnAck, srcPort: a.pr.node.Name(), srcVI: vi.id, dstVI: req.srcVI,
+	})
+	return vi, nil
+}
+
+// Close closes the acceptor; pending and future Accept calls fail.
+func (a *Acceptor) Close() {
+	a.q.Close()
+	delete(a.pr.listeners, a.svc)
+}
+
+// PostRecv posts a receive descriptor. Descriptors match incoming
+// messages in FIFO order; under reliable delivery an arriving message
+// with no posted descriptor breaks the connection.
+func (vi *VI) PostRecv(p *sim.Proc, desc *Desc) error {
+	if err := vi.checkDesc(desc); err != nil {
+		return err
+	}
+	if vi.state == viBroken {
+		return ErrBroken
+	}
+	vi.pr.node.Overhead(p, vi.pr.cfg.PostRecvCPU)
+	vi.pr.node.Kernel().Trace("via", "post-recv", int64(desc.Len), "")
+	vi.recvDescs.TryPut(desc)
+	return nil
+}
+
+// PostSend posts a send descriptor; the NIC picks it up asynchronously
+// and a completion arrives on the send CQ.
+func (vi *VI) PostSend(p *sim.Proc, desc *Desc) error {
+	if err := vi.checkDesc(desc); err != nil {
+		return err
+	}
+	if desc.Len > vi.pr.cfg.MaxTransfer {
+		return fmt.Errorf("via: descriptor of %d bytes exceeds max transfer %d", desc.Len, vi.pr.cfg.MaxTransfer)
+	}
+	if desc.Data != nil && len(desc.Data) != desc.Len {
+		return fmt.Errorf("via: descriptor data length %d != len %d", len(desc.Data), desc.Len)
+	}
+	switch vi.state {
+	case viBroken:
+		return ErrBroken
+	case viConnected:
+	default:
+		return ErrNotConnected
+	}
+	vi.pr.node.Overhead(p, vi.pr.cfg.PostSendCPU)
+	vi.pr.node.Kernel().Trace("via", "post-send", int64(desc.Len), vi.peerPort)
+	vi.pr.sendWQ.TryPut(&sendWork{vi: vi, desc: desc})
+	return nil
+}
+
+func (vi *VI) checkDesc(desc *Desc) error {
+	if desc == nil || desc.Region == nil || !desc.Region.registered {
+		return errors.New("via: descriptor buffer not registered")
+	}
+	if desc.Len <= 0 || desc.Len > desc.Region.size {
+		return fmt.Errorf("via: descriptor length %d outside region of %d", desc.Len, desc.Region.size)
+	}
+	return nil
+}
+
+// Disconnect tears the connection down and notifies the peer. Posted
+// receive descriptors are flushed with StatusBroken completions.
+func (pr *Provider) Disconnect(p *sim.Proc, vi *VI) {
+	if vi.state != viConnected {
+		vi.teardown()
+		return
+	}
+	pr.sendControl(p, vi.peerPort, &packet{
+		kind: pkDisconnect, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
+	})
+	vi.state = viClosed
+	vi.teardown()
+}
+
+// breakLocal marks the VI broken and flushes posted receive
+// descriptors with error completions.
+func (vi *VI) breakLocal() {
+	vi.state = viBroken
+	vi.flushRecvs(StatusBroken)
+}
+
+func (vi *VI) teardown() {
+	vi.flushRecvs(StatusBroken)
+	delete(vi.pr.vis, vi.id)
+}
+
+func (vi *VI) flushRecvs(st Status) {
+	for {
+		d, ok := vi.recvDescs.TryGet()
+		if !ok {
+			return
+		}
+		d.Status = st
+		vi.recvCQ.post(Completion{VI: vi, Desc: d, IsRecv: true, Status: st})
+	}
+}

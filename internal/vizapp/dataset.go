@@ -1,0 +1,171 @@
+package vizapp
+
+import "fmt"
+
+// Dataset models the Figure 1 storage layout of a digitized-microscopy
+// image: a 2-D pixel grid partitioned into rectangular blocks (data
+// chunks) for indexing. A query for any region must fetch every block
+// it overlaps — whole blocks, even when only a corner is needed — so
+// the block extent determines how much unnecessary data a partial
+// query drags along.
+type Dataset struct {
+	// WidthPx and HeightPx are the image dimensions in pixels;
+	// BytesPerPixel the storage cost of one pixel.
+	WidthPx, HeightPx int
+	BytesPerPixel     int
+	// BlockPxW and BlockPxH are the block extent in pixels.
+	BlockPxW, BlockPxH int
+}
+
+// Rect is a pixel-space region, half-open on both axes.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Width and Height report the rectangle extent.
+func (r Rect) Width() int { return r.X1 - r.X0 }
+
+// Height reports the rectangle's vertical extent.
+func (r Rect) Height() int { return r.Y1 - r.Y0 }
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Intersect clips r against s.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{max(r.X0, s.X0), max(r.Y0, s.Y0), min(r.X1, s.X1), min(r.Y1, s.Y1)}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Pixels reports the pixel count of the rectangle.
+func (r Rect) Pixels() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// NewDataset validates and returns a dataset layout.
+func NewDataset(widthPx, heightPx, bytesPerPixel, blockPxW, blockPxH int) *Dataset {
+	if widthPx <= 0 || heightPx <= 0 || bytesPerPixel <= 0 || blockPxW <= 0 || blockPxH <= 0 {
+		panic(fmt.Sprintf("vizapp: invalid dataset geometry %dx%d/%d blocks %dx%d",
+			widthPx, heightPx, bytesPerPixel, blockPxW, blockPxH))
+	}
+	return &Dataset{
+		WidthPx: widthPx, HeightPx: heightPx, BytesPerPixel: bytesPerPixel,
+		BlockPxW: blockPxW, BlockPxH: blockPxH,
+	}
+}
+
+// Bounds reports the whole-image rectangle.
+func (d *Dataset) Bounds() Rect { return Rect{0, 0, d.WidthPx, d.HeightPx} }
+
+// GridW and GridH report the block grid dimensions.
+func (d *Dataset) GridW() int { return (d.WidthPx + d.BlockPxW - 1) / d.BlockPxW }
+
+// GridH reports the number of block rows.
+func (d *Dataset) GridH() int { return (d.HeightPx + d.BlockPxH - 1) / d.BlockPxH }
+
+// Blocks reports the total block count.
+func (d *Dataset) Blocks() int { return d.GridW() * d.GridH() }
+
+// TotalBytes reports the stored image size.
+func (d *Dataset) TotalBytes() int { return d.WidthPx * d.HeightPx * d.BytesPerPixel }
+
+// BlockRect reports block b's pixel rectangle (clipped at the image
+// edge).
+func (d *Dataset) BlockRect(b int) Rect {
+	if b < 0 || b >= d.Blocks() {
+		panic(fmt.Sprintf("vizapp: block %d outside grid of %d", b, d.Blocks()))
+	}
+	gx, gy := b%d.GridW(), b/d.GridW()
+	r := Rect{gx * d.BlockPxW, gy * d.BlockPxH, (gx + 1) * d.BlockPxW, (gy + 1) * d.BlockPxH}
+	return r.Intersect(d.Bounds())
+}
+
+// BlockBytes reports block b's stored size (edge blocks are smaller).
+func (d *Dataset) BlockBytes(b int) int {
+	return d.BlockRect(b).Pixels() * d.BytesPerPixel
+}
+
+// BlocksFor reports the ids of every block a query rectangle overlaps,
+// in row-major order. Each must be fetched whole.
+func (d *Dataset) BlocksFor(q Rect) []int {
+	q = q.Intersect(d.Bounds())
+	if q.Empty() {
+		return nil
+	}
+	gx0 := q.X0 / d.BlockPxW
+	gy0 := q.Y0 / d.BlockPxH
+	gx1 := (q.X1 - 1) / d.BlockPxW
+	gy1 := (q.Y1 - 1) / d.BlockPxH
+	var out []int
+	for gy := gy0; gy <= gy1; gy++ {
+		for gx := gx0; gx <= gx1; gx++ {
+			out = append(out, gy*d.GridW()+gx)
+		}
+	}
+	return out
+}
+
+// FetchBytes reports the bytes retrieved for a query: whole blocks.
+func (d *Dataset) FetchBytes(q Rect) int {
+	total := 0
+	for _, b := range d.BlocksFor(q) {
+		total += d.BlockBytes(b)
+	}
+	return total
+}
+
+// WastedBytes reports the unnecessary data a query drags along: the
+// fetched bytes minus the bytes actually inside the query rectangle
+// (Figure 1's dotted-rectangle effect).
+func (d *Dataset) WastedBytes(q Rect) int {
+	q = q.Intersect(d.Bounds())
+	useful := 0
+	for _, b := range d.BlocksFor(q) {
+		useful += d.BlockRect(b).Intersect(q).Pixels() * d.BytesPerPixel
+	}
+	return d.FetchBytes(q) - useful
+}
+
+// PanQuery returns the excess region fetched when the viewport moves
+// by (dx, dy): the newly exposed strip(s), clipped to the image.
+func PanQuery(view Rect, dx, dy int) []Rect {
+	moved := Rect{view.X0 + dx, view.Y0 + dy, view.X1 + dx, view.Y1 + dy}
+	var out []Rect
+	if dx > 0 {
+		out = append(out, Rect{view.X1, moved.Y0, moved.X1, moved.Y1})
+	} else if dx < 0 {
+		out = append(out, Rect{moved.X0, moved.Y0, view.X0, moved.Y1})
+	}
+	if dy > 0 {
+		out = append(out, Rect{moved.X0, view.Y1, min(moved.X1, view.X1), moved.Y1})
+	} else if dy < 0 {
+		out = append(out, Rect{moved.X0, moved.Y0, min(moved.X1, view.X1), view.Y0})
+	}
+	clean := out[:0]
+	for _, r := range out {
+		if !r.Empty() {
+			clean = append(clean, r)
+		}
+	}
+	return clean
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

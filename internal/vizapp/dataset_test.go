@@ -1,0 +1,158 @@
+package vizapp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testDS is a 4096x4096, 1 B/px image in 512x512 blocks: 16 MB, 64
+// blocks — the paper's evaluation image with 64 partitions.
+func testDS() *Dataset { return NewDataset(4096, 4096, 1, 512, 512) }
+
+func TestDatasetGeometry(t *testing.T) {
+	d := testDS()
+	if d.GridW() != 8 || d.GridH() != 8 || d.Blocks() != 64 {
+		t.Fatalf("grid = %dx%d (%d blocks)", d.GridW(), d.GridH(), d.Blocks())
+	}
+	if d.TotalBytes() != 16<<20 {
+		t.Fatalf("total = %d, want 16MB", d.TotalBytes())
+	}
+	if d.BlockBytes(0) != 512*512 {
+		t.Fatalf("block bytes = %d", d.BlockBytes(0))
+	}
+}
+
+func TestBlockRectRowMajor(t *testing.T) {
+	d := testDS()
+	r := d.BlockRect(9) // second row, second column
+	want := Rect{512, 512, 1024, 1024}
+	if r != want {
+		t.Fatalf("BlockRect(9) = %+v, want %+v", r, want)
+	}
+}
+
+func TestEdgeBlocksClipped(t *testing.T) {
+	d := NewDataset(1000, 700, 2, 512, 512)
+	if d.GridW() != 2 || d.GridH() != 2 {
+		t.Fatalf("grid = %dx%d", d.GridW(), d.GridH())
+	}
+	// Bottom-right block is 488x188 pixels.
+	if got := d.BlockBytes(3); got != 488*188*2 {
+		t.Fatalf("edge block bytes = %d, want %d", got, 488*188*2)
+	}
+	// Sum of all blocks equals the image.
+	sum := 0
+	for b := 0; b < d.Blocks(); b++ {
+		sum += d.BlockBytes(b)
+	}
+	if sum != d.TotalBytes() {
+		t.Fatalf("blocks sum to %d, image is %d", sum, d.TotalBytes())
+	}
+}
+
+func TestBlocksForPartialQuery(t *testing.T) {
+	d := testDS()
+	// The Figure 1 dotted rectangle: a small region inside one block.
+	blocks := d.BlocksFor(Rect{100, 100, 200, 200})
+	if len(blocks) != 1 || blocks[0] != 0 {
+		t.Fatalf("blocks = %v, want [0]", blocks)
+	}
+	// A region straddling a 2x2 block corner.
+	blocks = d.BlocksFor(Rect{500, 500, 600, 600})
+	if len(blocks) != 4 {
+		t.Fatalf("corner query blocks = %v, want 4", blocks)
+	}
+	// The whole image.
+	if got := d.BlocksFor(d.Bounds()); len(got) != 64 {
+		t.Fatalf("complete query blocks = %d, want 64", len(got))
+	}
+}
+
+func TestWastedBytesShrinkWithBlockSize(t *testing.T) {
+	q := Rect{100, 100, 228, 228} // 128x128 region
+	coarse := NewDataset(4096, 4096, 1, 2048, 2048)
+	fine := NewDataset(4096, 4096, 1, 256, 256)
+	wc, wf := coarse.WastedBytes(q), fine.WastedBytes(q)
+	if wf >= wc {
+		t.Fatalf("fine blocks waste %d !< coarse %d", wf, wc)
+	}
+	if coarse.FetchBytes(q) != 2048*2048 {
+		t.Fatalf("coarse fetch = %d", coarse.FetchBytes(q))
+	}
+}
+
+func TestPanQueryExcessStrips(t *testing.T) {
+	view := Rect{0, 0, 1024, 1024}
+	// Pan right by 512: one 512-wide strip.
+	strips := PanQuery(view, 512, 0)
+	if len(strips) != 1 || strips[0] != (Rect{1024, 0, 1536, 1024}) {
+		t.Fatalf("strips = %+v", strips)
+	}
+	// Diagonal pan: two strips.
+	strips = PanQuery(view, 256, 256)
+	if len(strips) != 2 {
+		t.Fatalf("diagonal strips = %+v", strips)
+	}
+	total := 0
+	for _, s := range strips {
+		total += s.Pixels()
+	}
+	// Excess area of a diagonal pan: new - overlap.
+	want := 1024*1024 - 768*768
+	if total != want {
+		t.Fatalf("excess pixels = %d, want %d", total, want)
+	}
+	// No movement: nothing to fetch.
+	if got := PanQuery(view, 0, 0); len(got) != 0 {
+		t.Fatalf("no-op pan = %+v", got)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 20, 20}
+	if got := a.Intersect(b); got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("intersect = %+v", got)
+	}
+	if got := a.Intersect(Rect{20, 20, 30, 30}); !got.Empty() {
+		t.Fatalf("disjoint intersect = %+v", got)
+	}
+}
+
+func TestPropertyFetchCoversQuery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDataset(rng.Intn(2000)+100, rng.Intn(2000)+100, rng.Intn(3)+1,
+			rng.Intn(300)+10, rng.Intn(300)+10)
+		x0, y0 := rng.Intn(d.WidthPx), rng.Intn(d.HeightPx)
+		q := Rect{x0, y0, x0 + rng.Intn(d.WidthPx), y0 + rng.Intn(d.HeightPx)}
+		q = q.Intersect(d.Bounds())
+		blocks := d.BlocksFor(q)
+		// Invariant 1: fetched >= useful (waste never negative).
+		if d.WastedBytes(q) < 0 {
+			return false
+		}
+		// Invariant 2: union of fetched blocks covers the query: every
+		// query pixel count is accounted by block/query intersections.
+		covered := 0
+		for _, b := range blocks {
+			covered += d.BlockRect(b).Intersect(q).Pixels()
+		}
+		if covered != q.Pixels() {
+			return false
+		}
+		// Invariant 3: no duplicate blocks.
+		seen := map[int]bool{}
+		for _, b := range blocks {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package vizapp
+
+import (
+	"fmt"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// LBConfig describes one Figure 6 load-balancer run: a data repository
+// (which is also the load balancer) distributing blocks to compute
+// filters, one of which may be slow.
+type LBConfig struct {
+	Kind core.Kind
+	Prof core.Profile
+	// Computes is the number of compute filter copies (3).
+	Computes int
+	// BlockSize is the scheduling granularity; TotalBytes the workload
+	// volume.
+	BlockSize  int
+	TotalBytes int
+	// ComputePerByte is the processing cost (18 ns/byte).
+	ComputePerByte sim.Time
+	// Policy selects round-robin or demand-driven distribution.
+	Policy datacutter.Policy
+	// RecordAcks turns on begin-of-processing acknowledgments and
+	// send-to-ack latency recording (the Figure 10 instrument).
+	RecordAcks bool
+	// SlowNode (index into the compute copies, -1 for none) is slowed
+	// by SlowFactor; if SlowProb > 0 the slowdown applies per block
+	// with that probability (Figure 11), otherwise statically
+	// (Figure 10).
+	SlowNode   int
+	SlowFactor float64
+	SlowProb   float64
+	Seed       int64
+	// DataLocal moves the dataset onto the compute nodes (declustered
+	// storage): the balancer ships DirectiveBytes-sized scheduling
+	// directives instead of block data, and each compute filter
+	// processes its block from local storage. The paper's
+	// heterogeneity experiments are compute-bound at 16 MB, which
+	// implies this arrangement; see EXPERIMENTS.md.
+	DataLocal      bool
+	DirectiveBytes int
+	// MaxUnacked is the demand window of the demand-driven scheduler
+	// (see datacutter.StreamSpec.MaxUnacked).
+	MaxUnacked int
+}
+
+// DefaultLBConfig returns the paper's load-balancing setup for the
+// given transport and block size.
+func DefaultLBConfig(kind core.Kind, blockSize int) LBConfig {
+	return LBConfig{
+		Kind:           kind,
+		Prof:           core.CLANProfile(),
+		Computes:       3,
+		BlockSize:      blockSize,
+		TotalBytes:     16 << 20,
+		ComputePerByte: 18 * sim.Nanosecond,
+		Policy:         datacutter.DemandDriven,
+		SlowNode:       -1,
+		SlowFactor:     1,
+		Seed:           1,
+		DirectiveBytes: 64,
+		MaxUnacked:     2,
+	}
+}
+
+// LBResult carries the measurements of one load-balancer run.
+type LBResult struct {
+	// Makespan is from the load balancer's first send to the last
+	// compute filter finishing its last block.
+	Makespan sim.Time
+	// BlocksPerNode counts blocks processed by each compute copy.
+	BlocksPerNode []int
+	// AckLatencies holds per-target send-to-ack latencies when
+	// RecordAcks is set.
+	AckLatencies [][]sim.Time
+	Err          error
+}
+
+// FirstAckLatency returns the send-to-ack latency of the first block
+// routed to one compute copy: the time until the load balancer could
+// first learn that the target was slow, before any backlog forms.
+func (r LBResult) FirstAckLatency(target int) sim.Time {
+	ls := r.AckLatencies[target]
+	if len(ls) == 0 {
+		return 0
+	}
+	return ls[0]
+}
+
+// ReactionTime returns the send-to-ack latency of the second block
+// routed to one compute copy. Acks fire when a consumer begins
+// processing, so the second block's ack is the first one delayed by
+// the slow node chewing on the balancer's mistake: it is the earliest
+// signal the balancer could react to.
+func (r LBResult) ReactionTime(target int) sim.Time {
+	ls := r.AckLatencies[target]
+	if len(ls) >= 2 {
+		return ls[1]
+	}
+	return r.FirstAckLatency(target)
+}
+
+// MeanAckLatency returns the mean send-to-ack latency toward one
+// compute copy.
+func (r LBResult) MeanAckLatency(target int) sim.Time {
+	ls := r.AckLatencies[target]
+	if len(ls) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / sim.Time(len(ls))
+}
+
+// lbApp is the shared state of one run.
+type lbApp struct {
+	cfg      LBConfig
+	startAt  sim.Time
+	finishAt []sim.Time
+	counts   []int
+}
+
+// RunLoadBalancer executes one Figure 6 run.
+func RunLoadBalancer(cfg LBConfig) LBResult {
+	if cfg.Computes <= 0 || cfg.BlockSize <= 0 || cfg.TotalBytes <= 0 {
+		panic("vizapp: invalid LB config")
+	}
+	k := sim.NewKernel()
+	net := netsim.New(k, cfg.Prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("lb", cluster.DefaultConfig())
+	computeNodes := make([]string, cfg.Computes)
+	for i := range computeNodes {
+		computeNodes[i] = fmt.Sprintf("comp%d", i)
+		node := cl.AddNode(computeNodes[i], cluster.DefaultConfig())
+		if i == cfg.SlowNode && cfg.SlowFactor > 1 {
+			if cfg.SlowProb > 0 {
+				node.SetProbabilisticSlowdown(cfg.SlowFactor, cfg.SlowProb, cfg.Seed)
+			} else {
+				node.SetSlowFactor(cfg.SlowFactor)
+			}
+		}
+	}
+	fab := core.NewFabric(cl, cfg.Kind, cfg.Prof)
+	rt := datacutter.NewRuntime(cl, fab)
+
+	app := &lbApp{
+		cfg:      cfg,
+		finishAt: make([]sim.Time, cfg.Computes),
+		counts:   make([]int, cfg.Computes),
+	}
+
+	g := rt.Instantiate(datacutter.GroupSpec{
+		Filters: []datacutter.FilterSpec{
+			{Name: "lb", New: app.newLB, Placement: []string{"lb"}},
+			{Name: "compute", New: app.newCompute, Placement: computeNodes, InboxDepth: 1},
+		},
+		Streams: []datacutter.StreamSpec{{
+			Name: "work", From: "lb", To: "compute",
+			Policy:           cfg.Policy,
+			Acks:             cfg.RecordAcks,
+			RecordAckLatency: cfg.RecordAcks,
+			MaxUnacked:       cfg.MaxUnacked,
+		}},
+	})
+	g.Start(1)
+	k.RunAll()
+
+	res := LBResult{BlocksPerNode: app.counts, Err: g.Err()}
+	if !g.Done().Fired() && res.Err == nil {
+		res.Err = fmt.Errorf("vizapp: load balancer deadlocked")
+	}
+	var last sim.Time
+	for _, t := range app.finishAt {
+		if t > last {
+			last = t
+		}
+	}
+	res.Makespan = last - app.startAt
+	if cfg.RecordAcks {
+		w := g.WriterOf("lb", 0, "work")
+		res.AckLatencies = make([][]sim.Time, cfg.Computes)
+		for i := 0; i < cfg.Computes; i++ {
+			res.AckLatencies[i] = w.AckLatencies(i)
+		}
+	}
+	return res
+}
+
+// lbFilter is the load balancer: it streams the dataset's blocks to
+// the compute copies under the configured policy.
+type lbFilter struct{ app *lbApp }
+
+func (app *lbApp) newLB(int) datacutter.Filter { return &lbFilter{app: app} }
+
+func (f *lbFilter) Init(ctx *datacutter.Context) error { return nil }
+
+func (f *lbFilter) Process(ctx *datacutter.Context) error {
+	cfg := f.app.cfg
+	out := ctx.Output("work")
+	f.app.startAt = ctx.Now()
+	blocks := (cfg.TotalBytes + cfg.BlockSize - 1) / cfg.BlockSize
+	for b := 0; b < blocks; b++ {
+		size := cfg.BlockSize
+		if b == blocks-1 {
+			size = cfg.TotalBytes - (blocks-1)*cfg.BlockSize
+		}
+		buf := &datacutter.Buffer{Size: size, Tag: int64(size)}
+		if cfg.DataLocal {
+			// Ship only the scheduling directive; the block's bytes
+			// live on the compute node.
+			buf.Size = cfg.DirectiveBytes
+		}
+		if err := out.Write(ctx.Proc(), buf); err != nil {
+			return err
+		}
+	}
+	return out.EndOfWork(ctx.Proc())
+}
+
+func (f *lbFilter) Finalize(ctx *datacutter.Context) error { return nil }
+
+// computeFilter processes blocks at the configured cost, subject to
+// its node's heterogeneity model.
+type computeFilter struct {
+	app  *lbApp
+	copy int
+}
+
+func (app *lbApp) newCompute(copy int) datacutter.Filter {
+	return &computeFilter{app: app, copy: copy}
+}
+
+func (f *computeFilter) Init(ctx *datacutter.Context) error { return nil }
+
+func (f *computeFilter) Process(ctx *datacutter.Context) error {
+	in := ctx.Input("work")
+	for {
+		b, ok := in.Read(ctx.Proc())
+		if !ok {
+			f.app.finishAt[f.copy] = ctx.Now()
+			return nil
+		}
+		ctx.Compute(sim.Time(b.Tag) * f.app.cfg.ComputePerByte)
+		f.app.counts[f.copy]++
+	}
+}
+
+func (f *computeFilter) Finalize(ctx *datacutter.Context) error { return nil }

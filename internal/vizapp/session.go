@@ -1,0 +1,146 @@
+package vizapp
+
+import (
+	"fmt"
+
+	"hpsockets/internal/sim"
+)
+
+// Session drives an interactive microscope viewport over a 2-D
+// dataset: the paper's "continuously moving the stage and changing
+// magnification". Each interaction produces the set of blocks the
+// server must retrieve, which the Figure 5 pipeline then serves.
+type Session struct {
+	DS   *Dataset
+	View Rect
+}
+
+// Interaction is one user action at the microscope.
+type Interaction struct {
+	// Kind is "open", "pan" or "zoom".
+	Kind string
+	// DX and DY are the pan offsets in pixels.
+	DX, DY int
+	// Factor is the zoom factor (>1 zooms in, halving the viewport
+	// extent per factor of 2).
+	Factor int
+}
+
+// Open starts viewing the whole image.
+func Open() Interaction { return Interaction{Kind: "open"} }
+
+// Pan moves the viewport by (dx, dy) pixels.
+func Pan(dx, dy int) Interaction { return Interaction{Kind: "pan", DX: dx, DY: dy} }
+
+// Zoom magnifies by the given factor around the viewport center.
+func Zoom(factor int) Interaction { return Interaction{Kind: "zoom", Factor: factor} }
+
+// step applies one interaction and reports the regions that must be
+// freshly fetched.
+func (s *Session) step(op Interaction) []Rect {
+	switch op.Kind {
+	case "open":
+		s.View = s.DS.Bounds()
+		return []Rect{s.View}
+	case "pan":
+		regions := PanQuery(s.View, op.DX, op.DY)
+		s.View = Rect{s.View.X0 + op.DX, s.View.Y0 + op.DY, s.View.X1 + op.DX, s.View.Y1 + op.DY}.
+			Intersect(s.DS.Bounds())
+		// Clip the fetch regions to the image too.
+		out := regions[:0]
+		for _, r := range regions {
+			if c := r.Intersect(s.DS.Bounds()); !c.Empty() {
+				out = append(out, c)
+			}
+		}
+		return out
+	case "zoom":
+		if op.Factor <= 1 {
+			return nil
+		}
+		w, h := s.View.Width()/op.Factor, s.View.Height()/op.Factor
+		cx, cy := (s.View.X0+s.View.X1)/2, (s.View.Y0+s.View.Y1)/2
+		s.View = Rect{cx - w/2, cy - h/2, cx + w/2, cy + h/2}.Intersect(s.DS.Bounds())
+		// Magnification projects higher-resolution data for the new
+		// viewport: fetch it afresh.
+		return []Rect{s.View}
+	}
+	panic("vizapp: unknown interaction " + op.Kind)
+}
+
+// SessionStep records one served interaction.
+type SessionStep struct {
+	Op       Interaction
+	Blocks   int
+	Fetched  int
+	Wasted   int
+	Response sim.Time
+}
+
+// SessionResult is a served interaction script.
+type SessionResult struct {
+	Steps []SessionStep
+	Err   error
+}
+
+// RunSession serves an interaction script through the Figure 5
+// pipeline on the given transport. The dataset's block geometry sets
+// both the distribution block size and, per interaction, the number of
+// blocks retrieved (including the unnecessary data whole-block
+// fetching drags along).
+func RunSession(cfg PipelineConfig, ds *Dataset, script []Interaction) SessionResult {
+	if len(script) == 0 {
+		panic("vizapp: empty session script")
+	}
+	blockBytes := ds.BlockPxW * ds.BlockPxH * ds.BytesPerPixel
+	cfg.BlockSize = blockBytes
+	cfg.ImageBytes = ds.TotalBytes()
+	cfg.Sequential = true
+
+	s := &Session{DS: ds}
+	steps := make([]SessionStep, len(script))
+	queries := make([]Query, len(script))
+	for i, op := range script {
+		seen := map[int]bool{}
+		fetched := 0
+		wasted := 0
+		for _, r := range s.step(op) {
+			for _, b := range ds.BlocksFor(r) {
+				if !seen[b] {
+					seen[b] = true
+					fetched += ds.BlockBytes(b)
+				}
+			}
+			wasted += ds.WastedBytes(r)
+		}
+		n := len(seen)
+		if n == 0 {
+			n = 1 // a no-op interaction still round-trips one block
+			fetched = blockBytes
+		}
+		steps[i] = SessionStep{Op: op, Blocks: n, Fetched: fetched, Wasted: wasted}
+		queries[i] = Query{Blocks: n}
+	}
+
+	res := RunPipeline(cfg, queries)
+	if res.Err != nil {
+		return SessionResult{Steps: steps, Err: res.Err}
+	}
+	for i, rt := range res.ResponseTimes() {
+		steps[i].Response = rt
+	}
+	return SessionResult{Steps: steps}
+}
+
+// Describe renders an interaction for reports.
+func (op Interaction) Describe() string {
+	switch op.Kind {
+	case "open":
+		return "open slide"
+	case "pan":
+		return fmt.Sprintf("pan (%+d,%+d)", op.DX, op.DY)
+	case "zoom":
+		return fmt.Sprintf("zoom %dx", op.Factor)
+	}
+	return op.Kind
+}

@@ -1,0 +1,85 @@
+package vizapp
+
+import (
+	"testing"
+
+	"hpsockets/internal/core"
+)
+
+func TestSessionOpenFetchesWholeImage(t *testing.T) {
+	ds := NewDataset(2048, 2048, 1, 512, 512)
+	cfg := DefaultPipelineConfig(core.KindSocketVIA, 0)
+	res := RunSession(cfg, ds, []Interaction{Open()})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := res.Steps[0]
+	if st.Blocks != 16 || st.Fetched != ds.TotalBytes() || st.Wasted != 0 {
+		t.Fatalf("open step = %+v", st)
+	}
+	if st.Response <= 0 {
+		t.Fatal("no response time recorded")
+	}
+}
+
+func TestSessionPanFetchesOnlyExcessBlocks(t *testing.T) {
+	ds := NewDataset(2048, 2048, 1, 256, 256)
+	cfg := DefaultPipelineConfig(core.KindSocketVIA, 0)
+	res := RunSession(cfg, ds, []Interaction{Open(), Zoom(2), Pan(256, 0)})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	pan := res.Steps[2]
+	// A 256-pixel pan of a 1024-high viewport fetches one column of
+	// blocks: 1024/256 = 4 blocks.
+	if pan.Blocks != 4 {
+		t.Fatalf("pan fetched %d blocks, want 4: %+v", pan.Blocks, pan)
+	}
+	open := res.Steps[0]
+	if pan.Response >= open.Response {
+		t.Fatalf("pan response %v not below open response %v", pan.Response, open.Response)
+	}
+}
+
+func TestSessionFinerBlocksWasteLess(t *testing.T) {
+	script := []Interaction{Open(), Zoom(4), Pan(100, 100)}
+	run := func(blockPx int) int {
+		ds := NewDataset(2048, 2048, 1, blockPx, blockPx)
+		cfg := DefaultPipelineConfig(core.KindSocketVIA, 0)
+		res := RunSession(cfg, ds, script)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		total := 0
+		for _, st := range res.Steps {
+			total += st.Wasted
+		}
+		return total
+	}
+	coarse, fine := run(1024), run(128)
+	if fine >= coarse {
+		t.Fatalf("fine blocks wasted %d !< coarse %d", fine, coarse)
+	}
+}
+
+func TestSessionViewStaysInsideImage(t *testing.T) {
+	ds := NewDataset(1024, 1024, 1, 256, 256)
+	s := &Session{DS: ds}
+	s.step(Open())
+	s.step(Zoom(2))
+	// Pan far past the edge.
+	s.step(Pan(5000, 5000))
+	if s.View.X1 > ds.WidthPx || s.View.Y1 > ds.HeightPx {
+		t.Fatalf("view escaped the image: %+v", s.View)
+	}
+}
+
+func TestSessionZoomShrinksViewport(t *testing.T) {
+	ds := NewDataset(4096, 4096, 1, 512, 512)
+	s := &Session{DS: ds}
+	s.step(Open())
+	s.step(Zoom(4))
+	if s.View.Width() != 1024 || s.View.Height() != 1024 {
+		t.Fatalf("view after 4x zoom = %+v", s.View)
+	}
+}

@@ -1,0 +1,157 @@
+package vizapp
+
+import (
+	"testing"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/sim"
+)
+
+func TestPipelineCompleteQueryRuns(t *testing.T) {
+	cfg := DefaultPipelineConfig(core.KindSocketVIA, 64*1024)
+	cfg.ImageBytes = 1 << 20 // keep the unit test quick
+	res := RunPipeline(cfg, []Query{cfg.CompleteQuery()})
+	if res.Err != nil {
+		t.Fatalf("pipeline error: %v", res.Err)
+	}
+	if len(res.Done) != 1 || res.Done[0] <= res.Start[0] {
+		t.Fatalf("timings = %v %v", res.Start, res.Done)
+	}
+}
+
+func TestPipelineBlockAccounting(t *testing.T) {
+	cfg := DefaultPipelineConfig(core.KindTCP, 64*1024)
+	if got := cfg.CompleteBlocks(); got != 256 {
+		t.Fatalf("CompleteBlocks = %d, want 256", got)
+	}
+	cfg.BlockSize = 3 << 20
+	if got := cfg.CompleteBlocks(); got != 6 {
+		t.Fatalf("CompleteBlocks = %d, want 6", got)
+	}
+	// Total bytes across blocks must equal the image exactly.
+	app := &pipelineApp{cfg: cfg}
+	total := 0
+	for b := 0; b < cfg.CompleteBlocks(); b++ {
+		total += app.blockBytes(b, cfg.CompleteBlocks())
+	}
+	if total != cfg.ImageBytes {
+		t.Fatalf("block bytes sum %d, want %d", total, cfg.ImageBytes)
+	}
+}
+
+func TestPipelineSequentialGating(t *testing.T) {
+	cfg := DefaultPipelineConfig(core.KindSocketVIA, 32*1024)
+	cfg.ImageBytes = 256 * 1024
+	cfg.Sequential = true
+	res := RunPipeline(cfg, []Query{cfg.CompleteQuery(), cfg.CompleteQuery(), cfg.CompleteQuery()})
+	if res.Err != nil {
+		t.Fatalf("pipeline error: %v", res.Err)
+	}
+	for i := 1; i < 3; i++ {
+		if res.Start[i] < res.Done[i-1] {
+			t.Fatalf("query %d started at %v before previous finished at %v", i, res.Start[i], res.Done[i-1])
+		}
+	}
+}
+
+func TestPipelineSocketVIAFasterThanTCP(t *testing.T) {
+	queries := []Query{PartialQuery(), PartialQuery(), PartialQuery()}
+	run := func(kind core.Kind) sim.Time {
+		cfg := DefaultPipelineConfig(kind, 16*1024)
+		cfg.Sequential = true
+		res := RunPipeline(cfg, queries)
+		if res.Err != nil {
+			t.Fatalf("%v: %v", kind, res.Err)
+		}
+		return res.MeanResponse()
+	}
+	tcp, sv := run(core.KindTCP), run(core.KindSocketVIA)
+	if sv >= tcp {
+		t.Fatalf("SocketVIA partial latency %v !< TCP %v", sv, tcp)
+	}
+}
+
+func TestPipelineThroughputImprovesWithBlockSizeTCP(t *testing.T) {
+	run := func(block int) float64 {
+		cfg := DefaultPipelineConfig(core.KindTCP, block)
+		cfg.ImageBytes = 4 << 20
+		q := cfg.CompleteQuery()
+		res := RunPipeline(cfg, []Query{q, q, q, q})
+		if res.Err != nil {
+			t.Fatalf("block %d: %v", block, res.Err)
+		}
+		return res.UpdatesPerSec()
+	}
+	small, large := run(2*1024), run(64*1024)
+	if large <= small {
+		t.Fatalf("TCP updates/sec at 64K (%.2f) !> at 2K (%.2f)", large, small)
+	}
+}
+
+func TestLoadBalancerProcessesEverything(t *testing.T) {
+	cfg := DefaultLBConfig(core.KindSocketVIA, 2048)
+	cfg.TotalBytes = 1 << 20
+	res := RunLoadBalancer(cfg)
+	if res.Err != nil {
+		t.Fatalf("lb error: %v", res.Err)
+	}
+	total := 0
+	for _, c := range res.BlocksPerNode {
+		total += c
+	}
+	if total != 512 {
+		t.Fatalf("blocks processed = %d, want 512", total)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestLoadBalancerDDSendsLessToSlowNode(t *testing.T) {
+	cfg := DefaultLBConfig(core.KindSocketVIA, 2048)
+	cfg.TotalBytes = 2 << 20
+	cfg.SlowNode = 2
+	cfg.SlowFactor = 8
+	res := RunLoadBalancer(cfg)
+	if res.Err != nil {
+		t.Fatalf("lb error: %v", res.Err)
+	}
+	if res.BlocksPerNode[2] >= res.BlocksPerNode[0] {
+		t.Fatalf("slow node got %v blocks vs fast %v", res.BlocksPerNode[2], res.BlocksPerNode[0])
+	}
+}
+
+func TestLoadBalancerRRAckLatencyGrowsWithFactor(t *testing.T) {
+	run := func(factor float64) sim.Time {
+		cfg := DefaultLBConfig(core.KindTCP, 16*1024)
+		cfg.TotalBytes = 2 << 20
+		cfg.Policy = datacutter.RoundRobin
+		cfg.RecordAcks = true
+		cfg.SlowNode = 1
+		cfg.SlowFactor = factor
+		res := RunLoadBalancer(cfg)
+		if res.Err != nil {
+			t.Fatalf("factor %v: %v", factor, res.Err)
+		}
+		return res.MeanAckLatency(1)
+	}
+	l2, l8 := run(2), run(8)
+	if l8 <= l2 {
+		t.Fatalf("reaction at factor 8 (%v) !> factor 2 (%v)", l8, l2)
+	}
+}
+
+func TestLoadBalancerDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		cfg := DefaultLBConfig(core.KindTCP, 16*1024)
+		cfg.TotalBytes = 1 << 20
+		cfg.SlowNode = 0
+		cfg.SlowFactor = 4
+		cfg.SlowProb = 0.5
+		return RunLoadBalancer(cfg).Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("replay diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,66 @@
+// Package workload generates the deterministic query workloads of the
+// paper's evaluation: complete updates, partial updates, zoom queries
+// and mixes thereof.
+package workload
+
+import "math/rand"
+
+// QueryType classifies a visualization-server query.
+type QueryType int
+
+const (
+	// Complete requests a whole new image: every block is fetched.
+	Complete QueryType = iota
+	// Partial moves the viewing window slightly: only the excess
+	// blocks (one, in the paper's latency experiments) are fetched.
+	Partial
+	// Zoom magnifies a small region: four data chunks in the paper's
+	// multi-query experiment.
+	Zoom
+)
+
+func (q QueryType) String() string {
+	switch q {
+	case Complete:
+		return "complete"
+	case Partial:
+		return "partial"
+	case Zoom:
+		return "zoom"
+	}
+	return "unknown"
+}
+
+// Mix generates a deterministic sequence of n queries in which
+// fraction frac (0..1) are Complete and the rest are the given other
+// type, shuffled with the seed. The realized fraction is exact up to
+// rounding, so experiment points are reproducible.
+func Mix(seed int64, n int, frac float64, other QueryType) []QueryType {
+	if n <= 0 {
+		return nil
+	}
+	if frac < 0 || frac > 1 {
+		panic("workload: fraction outside [0,1]")
+	}
+	complete := int(frac*float64(n) + 0.5)
+	out := make([]QueryType, n)
+	for i := range out {
+		if i < complete {
+			out[i] = Complete
+		} else {
+			out[i] = other
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Repeat returns n copies of one query type.
+func Repeat(q QueryType, n int) []QueryType {
+	out := make([]QueryType, n)
+	for i := range out {
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixExactFraction(t *testing.T) {
+	for _, tc := range []struct {
+		n        int
+		frac     float64
+		complete int
+	}{
+		{10, 0.5, 5},
+		{10, 0, 0},
+		{10, 1, 10},
+		{100, 0.3, 30},
+		{3, 0.5, 2}, // rounds half up
+	} {
+		mix := Mix(1, tc.n, tc.frac, Zoom)
+		got := 0
+		for _, q := range mix {
+			if q == Complete {
+				got++
+			}
+		}
+		if got != tc.complete {
+			t.Errorf("Mix(n=%d, f=%v): %d complete, want %d", tc.n, tc.frac, got, tc.complete)
+		}
+	}
+}
+
+func TestMixDeterministicPerSeed(t *testing.T) {
+	a := Mix(7, 50, 0.4, Partial)
+	b := Mix(7, 50, 0.4, Partial)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c := Mix(8, 50, 0.4, Partial)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+}
+
+func TestMixEmptyAndBadInput(t *testing.T) {
+	if got := Mix(1, 0, 0.5, Zoom); got != nil {
+		t.Fatalf("Mix(0) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("fraction > 1 did not panic")
+		}
+	}()
+	Mix(1, 10, 1.5, Zoom)
+}
+
+func TestRepeat(t *testing.T) {
+	qs := Repeat(Partial, 4)
+	if len(qs) != 4 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q != Partial {
+			t.Fatalf("qs = %v", qs)
+		}
+	}
+}
+
+func TestQueryTypeStrings(t *testing.T) {
+	for q, want := range map[QueryType]string{
+		Complete: "complete", Partial: "partial", Zoom: "zoom", QueryType(99): "unknown",
+	} {
+		if q.String() != want {
+			t.Errorf("%d.String() = %q, want %q", q, q.String(), want)
+		}
+	}
+}
+
+func TestPropertyMixCountInvariant(t *testing.T) {
+	f := func(seed int64, n uint8, fracByte uint8) bool {
+		size := int(n%100) + 1
+		frac := float64(fracByte) / 255
+		mix := Mix(seed, size, frac, Zoom)
+		if len(mix) != size {
+			return false
+		}
+		complete := 0
+		for _, q := range mix {
+			if q == Complete {
+				complete++
+			} else if q != Zoom {
+				return false
+			}
+		}
+		want := int(frac*float64(size) + 0.5)
+		return complete == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
