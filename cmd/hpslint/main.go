@@ -1,0 +1,105 @@
+// Command hpslint is the repository's custom static-analysis suite: a
+// multichecker over the analyzers in internal/analysis that enforce
+// the invariants the simulation's reproducibility depends on.
+//
+// Usage:
+//
+//	go run ./cmd/hpslint ./...
+//	go run ./cmd/hpslint -determinism=false ./internal/sim
+//
+// Exit status is 0 when no diagnostics were reported, 1 when any
+// analyzer reported a finding, and 2 on a loading or internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpsockets/internal/analysis/bufalias"
+	"hpsockets/internal/analysis/closecheck"
+	"hpsockets/internal/analysis/determinism"
+	"hpsockets/internal/analysis/framework"
+	"hpsockets/internal/analysis/procdiscipline"
+)
+
+var all = []*framework.Analyzer{
+	determinism.Analyzer,
+	procdiscipline.Analyzer,
+	bufalias.Analyzer,
+	closecheck.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	showErrors := flag.Bool("typeerrors", false, "also print type-check errors for analyzed packages")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hpslint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var analyzers []*framework.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := framework.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpslint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "hpslint: no packages match %v\n", patterns)
+		return 2
+	}
+	if *showErrors {
+		for _, p := range pkgs {
+			for _, e := range p.Errors {
+				fmt.Fprintf(os.Stderr, "hpslint: %s: %v\n", p.Path, e)
+			}
+		}
+	}
+
+	diags, errs := framework.RunAnalyzers(pkgs, analyzers)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "hpslint:", e)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	switch {
+	case len(errs) > 0:
+		return 2
+	case len(diags) > 0:
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,243 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the local framework.
+//
+// Fixtures live under <testdata>/src/<importpath>/ as in a GOPATH
+// workspace. A fixture file marks expected diagnostics with trailing
+// comments of the form
+//
+//	rand.Intn(5) // want `global rand\.Intn`
+//	x.Sleep(3)   // want "raw go closure" "second expectation"
+//
+// where each quoted string is a regular expression that must match a
+// diagnostic reported on that line. Diagnostics without a matching
+// expectation, and expectations without a matching diagnostic, fail
+// the test. Imports of other fixture packages resolve under src/;
+// imports of standard-library packages resolve through the compiler's
+// export data via `go list -export`.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+// Run loads each fixture package (an import path under testdata/src),
+// applies the analyzer, and reports mismatches against the fixtures'
+// want expectations as test errors.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "gc", ld.stdlibExport)
+	for _, path := range pkgpaths {
+		runPackage(t, ld, a, path)
+	}
+}
+
+func runPackage(t *testing.T, ld *loader, a *framework.Analyzer, path string) {
+	t.Helper()
+	fp, err := ld.load(path)
+	if err != nil {
+		t.Errorf("loading fixture package %q: %v", path, err)
+		return
+	}
+	for _, e := range fp.errors {
+		t.Errorf("fixture package %q: %v", path, e)
+	}
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     fp.files,
+		Pkg:       fp.types,
+		TypesInfo: fp.info,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("analyzer %s on %q: %v", a.Name, path, err)
+		return
+	}
+
+	wants := collectWants(t, ld.fset, fp.files)
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		if !consumeWant(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func consumeWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the quoted expectation patterns from a want comment.
+var wantRE = regexp.MustCompile("// want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						unq, err := strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+							continue
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loader resolves fixture packages from src/ and everything else from
+// the standard library's export data.
+type loader struct {
+	src    string
+	fset   *token.FileSet
+	stdlib types.Importer
+	pkgs   map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	files  []*ast.File
+	types  *types.Package
+	info   *types.Info
+	errors []error
+}
+
+// Import implements types.Importer so fixture packages can import each
+// other and the standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.src, path)); err == nil && fi.IsDir() {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(fp.errors) > 0 {
+			return nil, fmt.Errorf("fixture %q: %v", path, fp.errors[0])
+		}
+		return fp.types, nil
+	}
+	return ld.stdlib.Import(path)
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{}
+	ld.pkgs[path] = fp
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			fp.errors = append(fp.errors, err)
+			continue
+		}
+		fp.files = append(fp.files, f)
+	}
+	if len(fp.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := framework.NewTypesInfo()
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { fp.errors = append(fp.errors, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, fp.files, info)
+	fp.types = tpkg
+	fp.info = info
+	return fp, nil
+}
+
+// stdlibExport resolves a standard-library import path to its export
+// data by invoking `go list -export` once per package (cached by the
+// surrounding gc importer).
+func (ld *loader) stdlibExport(path string) (io.ReadCloser, error) {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+	}
+	file := strings.TrimSpace(stdout.String())
+	if file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,197 @@
+// Package bufalias defines an analyzer that catches mutation of a
+// byte slice after ownership was handed to bytebuf.Buffer.AppendBytes.
+//
+// AppendBytes documents: "The buffer keeps a reference to data;
+// callers must not mutate it afterwards." The simulated transports
+// queue those chunks for later delivery, so a post-append write tears
+// in-flight payloads — the kind of aliasing bug that shows up as a
+// corrupted frame many virtual seconds later, with no useful stack.
+package bufalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "bufalias",
+	Doc: `forbid writes through a slice after it was passed to bytebuf.Buffer.AppendBytes
+
+Within one function, once a slice variable (or a reslice of it) is
+passed to (*bytebuf.Buffer).AppendBytes, later writes through that
+variable — element assignment or use as the copy destination — are
+flagged, because the buffer retains the backing array. Reassigning the
+variable to a fresh slice ends the tracking. The check is
+position-based within the function body, like the nilness-style vet
+checks: a write textually before the append is not flagged.`,
+	Run: run,
+}
+
+// event positions for one tracked slice variable.
+type sliceEvents struct {
+	appends []token.Pos // AppendBytes hand-offs
+	kills   []token.Pos // reassignments of the variable itself
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	events := make(map[types.Object]*sliceEvents)
+
+	// Pass 1: collect AppendBytes hand-offs and reassignment kills.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := appendBytesArg(pass, n); obj != nil {
+				ev(events, obj).appends = append(ev(events, obj).appends, n.Pos())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := useOrDef(pass, id); obj != nil {
+						ev(events, obj).kills = append(ev(events, obj).kills, n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, e := range events {
+		sort.Slice(e.appends, func(i, j int) bool { return e.appends[i] < e.appends[j] })
+		sort.Slice(e.kills, func(i, j int) bool { return e.kills[i] < e.kills[j] })
+	}
+
+	// Pass 2: flag writes that land after a hand-off with no
+	// intervening reassignment.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if id := sliceBase(idx.X); id != nil {
+					report(pass, events, pass.TypesInfo.Uses[id], n.Pos(), "element write")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if base := sliceBase(n.Args[0]); base != nil {
+						report(pass, events, pass.TypesInfo.Uses[base], n.Pos(), "copy into it")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func ev(events map[types.Object]*sliceEvents, obj types.Object) *sliceEvents {
+	e := events[obj]
+	if e == nil {
+		e = &sliceEvents{}
+		events[obj] = e
+	}
+	return e
+}
+
+// report flags a write at pos if obj was handed to AppendBytes earlier
+// with no reassignment in between.
+func report(pass *framework.Pass, events map[types.Object]*sliceEvents, obj types.Object, pos token.Pos, kind string) {
+	if obj == nil {
+		return
+	}
+	e, ok := events[obj]
+	if !ok {
+		return
+	}
+	for _, ap := range e.appends {
+		if ap >= pos {
+			break
+		}
+		killed := false
+		for _, k := range e.kills {
+			if k > ap && k < pos {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			pass.Reportf(pos,
+				"%s after %s was passed to bytebuf.Buffer.AppendBytes, which retains the backing array: copy the data or allocate a fresh slice",
+				kind, obj.Name())
+			return
+		}
+	}
+}
+
+// appendBytesArg returns the slice variable handed to an AppendBytes
+// call, unwrapping reslices (data[i:j] shares the backing array), or
+// nil.
+func appendBytesArg(pass *framework.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AppendBytes" || len(call.Args) != 1 {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if o := named.Obj(); o.Name() != "Buffer" || o.Pkg() == nil || o.Pkg().Name() != "bytebuf" {
+		return nil
+	}
+	id := sliceBase(call.Args[0])
+	if id == nil {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// sliceBase unwraps reslice and paren expressions down to the
+// underlying identifier, or nil if the expression is not rooted in a
+// plain variable.
+func sliceBase(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func useOrDef(pass *framework.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,12 @@
+package bufalias_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/bufalias"
+)
+
+func TestBufAlias(t *testing.T) {
+	analysistest.Run(t, "../testdata", bufalias.Analyzer, "buffix")
+}

@@ -1,0 +1,153 @@
+// Package closecheck defines an analyzer that finds core.Conn values
+// which are obtained but never closed.
+//
+// A SocketVIA connection owns pre-registered buffer pools, credits,
+// and a progress process servicing its completion queue; a leaked Conn
+// keeps all of that live and, in long simulations, starves the
+// registered-memory budget — the same resource discipline a real
+// kernel-bypass NIC demands.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "closecheck",
+	Doc: `require a Close for every core.Conn obtained in a function
+
+For each core.Conn bound from a call result in a function (for
+example "c, err := ep.Dial(...)" or an Accept), the function body must
+contain a Close call on it — plain or deferred — on some path. A conn
+that escapes the function (returned, stored in a struct, slice, map or
+channel, captured by value elsewhere, or passed to another function)
+is the recipient's responsibility and is not flagged.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// connState tracks one acquired conn variable.
+type connState struct {
+	id      *ast.Ident // the defining identifier
+	closed  bool
+	escaped bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	conns := make(map[types.Object]*connState)
+
+	// Collect acquisitions: identifiers of type core.Conn defined from
+	// a call's results.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue // plain =, reassignment of an existing var: tracked from its definition
+			}
+			if isConnType(obj.Type()) {
+				conns[obj] = &connState{id: id}
+			}
+		}
+		return true
+	})
+	if len(conns) == 0 {
+		return
+	}
+
+	// Classify every use of each tracked conn.
+	framework.WithStackNode(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		st, tracked := conns[obj]
+		if !tracked {
+			return true
+		}
+		classifyUse(st, id, stack)
+		return true
+	})
+
+	for _, st := range conns {
+		if !st.closed && !st.escaped {
+			pass.Reportf(st.id.Pos(),
+				"core.Conn %s is never closed in this function and does not escape: call or defer %s.Close before every return",
+				st.id.Name, st.id.Name)
+		}
+	}
+}
+
+// classifyUse updates st for one use of the conn identifier given its
+// enclosing-node stack.
+func classifyUse(st *connState, id *ast.Ident, stack []ast.Node) {
+	parent := stack[len(stack)-2]
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		// Method call or field access on the conn itself.
+		if sel.Sel.Name == "Close" {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+				st.closed = true
+			}
+		}
+		return
+	}
+	// Any bare use of the conn value — as a call argument, return
+	// value, assignment source, composite-literal element, channel
+	// send, map/slice store — hands responsibility elsewhere.
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if p.Fun != id {
+			st.escaped = true
+		}
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr, *ast.IndexExpr:
+		st.escaped = true
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs == id {
+				st.escaped = true
+			}
+		}
+	case *ast.BinaryExpr:
+		// Comparisons (c != nil) do not leak the conn.
+	}
+}
+
+// isConnType reports whether t is the named interface Conn from a
+// package named "core".
+func isConnType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Conn" || obj.Pkg() == nil || obj.Pkg().Name() != "core" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}

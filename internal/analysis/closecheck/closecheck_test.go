@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/closecheck"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", closecheck.Analyzer, "closefix")
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "../testdata", determinism.Analyzer, "determinism", "internal/sim")
+}

@@ -1,0 +1,109 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) on top of the standard library's go/ast and go/types.
+//
+// The build environment for this repository is hermetic — no module
+// downloads — so the usual x/tools analysis driver cannot be added to
+// go.mod. This package provides just enough of the same shape that the
+// hpslint analyzers (internal/analysis/...) read like ordinary
+// go/analysis analyzers and could be ported to the real framework by
+// changing imports.
+//
+// Packages are loaded by shelling out to `go list -deps -export -json`
+// (see load.go): target packages are parsed and type-checked from
+// source while their dependencies are imported from compiler export
+// data, exactly how `go vet` drives its own analyzers.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the help text: first sentence is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// WithStack walks every file, calling fn for each node with the stack
+// of enclosing nodes (outermost first, ending at n). If fn returns
+// false the node's children are skipped. It mirrors
+// x/tools/go/ast/inspector.WithStack, which the analyzers here would
+// use under the real framework.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range files {
+		WithStackNode(f, fn)
+	}
+}
+
+// WithStackNode is WithStack rooted at a single node.
+func WithStackNode(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Children are skipped, so the post-order nil for this
+			// node never arrives; pop it now.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost FuncDecl or FuncLit in stack
+// strictly enclosing the last node, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers need
+// populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,186 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Name      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Errors holds parse or type-check problems. Analyzers still run on
+	// packages with errors when the AST is usable, like go vet.
+	Errors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads the packages matching patterns (relative to dir),
+// type-checking each from source with dependencies imported from
+// compiler export data produced by `go list -deps -export`. Test files
+// are excluded, matching the analyzers' non-test scope.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && lp.ImportPath != "unsafe" {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg := loadTarget(fset, imp, t)
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func loadTarget(fset *token.FileSet, imp types.Importer, lp *listedPackage) *Package {
+	if len(lp.GoFiles) == 0 {
+		return nil
+	}
+	pkg := &Package{Path: lp.ImportPath, Name: lp.Name, Fset: fset}
+	if lp.Error != nil {
+		pkg.Errors = append(pkg.Errors, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err))
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg
+}
+
+// RunAnalyzers applies each analyzer to each package and returns all
+// diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]AnalyzerDiagnostic, []error) {
+	var diags []AnalyzerDiagnostic
+	var errs []error
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				diags = append(diags, AnalyzerDiagnostic{Analyzer: a, Diagnostic: d, Fset: pkg.Fset})
+			}
+			if _, err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err))
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := diags[i].Fset.Position(diags[i].Pos), diags[j].Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, errs
+}
+
+// AnalyzerDiagnostic pairs a diagnostic with its source analyzer.
+type AnalyzerDiagnostic struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Diagnostic
+}
+
+// String formats the diagnostic the way go vet does, suffixed with the
+// analyzer name.
+func (d AnalyzerDiagnostic) String() string {
+	pos := d.Fset.Position(d.Pos)
+	// Report paths relative to the working directory when possible, so
+	// output is stable across machines.
+	name := pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, pos.Line, pos.Column, d.Message, d.Analyzer.Name)
+}

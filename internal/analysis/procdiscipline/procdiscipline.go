@@ -1,0 +1,175 @@
+// Package procdiscipline defines an analyzer enforcing the sim.Proc
+// blocking contract.
+//
+// The kernel cooperatively schedules processes: exactly one proc (or
+// the kernel loop) runs at a time, and a proc's blocking methods park
+// its own goroutine and hand control back. The contract documented on
+// internal/sim/proc.go is therefore: blocking methods (Sleep, Wait,
+// WaitTimeout, Join) may only be called on the proc that belongs to
+// the running goroutine — in practice, the *sim.Proc parameter or
+// receiver of the enclosing function — and never from a goroutine the
+// kernel does not know about. Violations deadlock or, worse, let two
+// procs run concurrently and corrupt simulation state.
+package procdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "procdiscipline",
+	Doc: `enforce that blocking sim.Proc methods run on the caller's own proc
+
+Flags calls to the blocking *sim.Proc methods (Sleep, Wait,
+WaitTimeout, Join) when:
+
+  - the call appears inside a raw "go func" closure: goroutines the
+    kernel did not spawn must not block a proc (use Kernel.Go);
+  - the proc is not the enclosing function's own *sim.Proc parameter
+    or receiver (a closure without proc parameters inherits the procs
+    of its enclosing functions);
+  - the proc was obtained from a field, call, or other expression
+    rather than a parameter/receiver.`,
+	Run: run,
+}
+
+// blocking is the set of *sim.Proc methods that park the calling
+// goroutine, enumerated from internal/sim/proc.go.
+var blocking = map[string]bool{
+	"Sleep": true, "Wait": true, "WaitTimeout": true, "Join": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	framework.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !blocking[sel.Sel.Name] {
+			return true
+		}
+		if !isProcMethod(pass, sel) {
+			return true
+		}
+		checkBlockingCall(pass, call, sel, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// isProcMethod reports whether sel selects a method whose receiver is
+// *Proc from a package named "sim".
+func isProcMethod(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return isProcType(s.Recv())
+}
+
+// isProcType reports whether t is sim.Proc or *sim.Proc.
+func isProcType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+func checkBlockingCall(pass *framework.Pass, call *ast.CallExpr, sel *ast.SelectorExpr, stack []ast.Node) {
+	// Rule 1: never block a proc from a goroutine the kernel did not
+	// spawn. Walk outward; a FuncLit whose immediate context is a go
+	// statement is a raw goroutine.
+	for i := len(stack) - 1; i >= 2; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if c, ok := stack[i-1].(*ast.CallExpr); ok && c.Fun == lit {
+			if _, ok := stack[i-2].(*ast.GoStmt); ok {
+				pass.Reportf(call.Pos(),
+					"blocking sim.Proc method %s called inside a raw go closure: the kernel must own every proc goroutine (spawn with Kernel.Go)",
+					sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	// Rule 2: the proc must be the enclosing function's own. Find the
+	// nearest enclosing function that declares a *sim.Proc parameter or
+	// receiver; closures without proc parameters inherit outward.
+	owned := ownedProcs(pass, stack)
+	if owned == nil {
+		pass.Reportf(call.Pos(),
+			"blocking sim.Proc method %s called in a function with no *sim.Proc parameter or receiver",
+			sel.Sel.Name)
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		pass.Reportf(call.Pos(),
+			"blocking sim.Proc method %s called on a proc obtained from an expression, not the enclosing function's own *sim.Proc parameter/receiver",
+			sel.Sel.Name)
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !owned[obj] {
+		pass.Reportf(call.Pos(),
+			"blocking sim.Proc method %s called on %s, which is not the enclosing function's own *sim.Proc parameter/receiver",
+			sel.Sel.Name, id.Name)
+	}
+}
+
+// ownedProcs returns the objects of the *sim.Proc parameters and
+// receiver of the nearest enclosing function that has any, or nil if
+// no enclosing function declares a proc.
+func ownedProcs(pass *framework.Pass, stack []ast.Node) map[types.Object]bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var ftype *ast.FuncType
+		var recv *ast.FieldList
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			ftype = fn.Type
+		case *ast.FuncDecl:
+			ftype = fn.Type
+			recv = fn.Recv
+		default:
+			continue
+		}
+		owned := make(map[types.Object]bool)
+		collect := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && isProcType(obj.Type()) {
+						owned[obj] = true
+					}
+				}
+			}
+		}
+		collect(recv)
+		collect(ftype.Params)
+		if len(owned) > 0 {
+			return owned
+		}
+		// A function with parameters but no proc among them is a hard
+		// boundary only for FuncDecls: a named function without a proc
+		// has no business blocking one.
+		if _, isDecl := stack[i].(*ast.FuncDecl); isDecl {
+			return nil
+		}
+		// FuncLit without proc params: inherit from enclosing function.
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package procdiscipline_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/procdiscipline"
+)
+
+func TestProcDiscipline(t *testing.T) {
+	analysistest.Run(t, "../testdata", procdiscipline.Analyzer, "procfix")
+}

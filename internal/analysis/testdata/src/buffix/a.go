@@ -1,0 +1,40 @@
+// Fixture for the bufalias analyzer.
+package buffix
+
+import "bytebuf"
+
+// Writing through the slice after hand-off tears the queued chunk.
+func writeAfter(b *bytebuf.Buffer, data []byte) {
+	b.AppendBytes(data)
+	data[0] = 0xff // want `element write after data was passed to bytebuf\.Buffer\.AppendBytes`
+}
+
+// A reslice shares the backing array, so the hand-off taints the base
+// variable; copy is a write through it.
+func copyAfter(b *bytebuf.Buffer, data, src []byte) {
+	b.AppendBytes(data[:4])
+	copy(data, src) // want `copy into it after data was passed to bytebuf\.Buffer\.AppendBytes`
+}
+
+// Near miss: mutating before the hand-off is the normal way to build a
+// frame.
+func writeBefore(b *bytebuf.Buffer, data []byte) {
+	data[0] = 0x01
+	data[1] = 0x02
+	b.AppendBytes(data)
+}
+
+// Near miss: reassigning the variable to a fresh allocation ends the
+// aliasing; writes through the new slice are safe.
+func freshSlice(b *bytebuf.Buffer, data []byte) {
+	b.AppendBytes(data)
+	data = make([]byte, 16)
+	data[0] = 0xff
+	b.AppendBytes(data)
+}
+
+// Near miss: AppendSize retains nothing.
+func sizeOnly(b *bytebuf.Buffer, data []byte) {
+	b.AppendSize(len(data))
+	data[0] = 0xff
+}

@@ -1,0 +1,17 @@
+// Package bytebuf is a fixture stub mirroring the retention contract
+// of hpsockets/internal/bytebuf for analyzer tests.
+package bytebuf
+
+// Buffer is a stub byte-stream buffer.
+type Buffer struct {
+	data [][]byte
+}
+
+// AppendBytes adds real data to the tail. The buffer keeps a reference
+// to data; callers must not mutate it afterwards.
+func (b *Buffer) AppendBytes(data []byte) {
+	b.data = append(b.data, data)
+}
+
+// AppendSize adds n size-only bytes and retains nothing.
+func (b *Buffer) AppendSize(n int) {}

@@ -1,0 +1,58 @@
+// Fixture for the closecheck analyzer.
+package closefix
+
+import "core"
+
+// A conn that is used and dropped leaks its buffer pools and progress
+// process.
+func leak(e *core.Endpoint) {
+	c, _ := e.Dial("b") // want `core\.Conn c is never closed in this function`
+	c.Send(nil)
+}
+
+// Near miss: a deferred Close is the canonical pattern.
+func deferClose(e *core.Endpoint) {
+	c, _ := e.Dial("b")
+	defer c.Close()
+	c.Send(nil)
+}
+
+// Near miss: a plain Close on the exit path.
+func plainClose(e *core.Endpoint) error {
+	c, err := e.Dial("b")
+	if err != nil {
+		return err
+	}
+	c.Send(nil)
+	return c.Close()
+}
+
+// Near miss: a returned conn is the caller's responsibility.
+func open(e *core.Endpoint) (core.Conn, error) {
+	return e.Dial("b")
+}
+
+func openVar(e *core.Endpoint) core.Conn {
+	c, _ := e.Dial("b")
+	return c
+}
+
+// Near miss: a conn handed to another function escapes.
+func handOff(e *core.Endpoint) {
+	c, _ := e.Dial("b")
+	closeLater(c)
+}
+
+func closeLater(c core.Conn) {
+	c.Close()
+}
+
+// Near miss: a conn stored in a struct escapes.
+type session struct {
+	conn core.Conn
+}
+
+func stored(e *core.Endpoint) *session {
+	c, _ := e.Dial("b")
+	return &session{conn: c}
+}

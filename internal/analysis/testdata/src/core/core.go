@@ -1,0 +1,15 @@
+// Package core is a fixture stub mirroring the connection surface of
+// hpsockets/internal/core for analyzer tests.
+package core
+
+// Conn is a stub byte-stream connection.
+type Conn interface {
+	Send(data []byte) error
+	Close() error
+}
+
+// Endpoint is a stub transport attachment.
+type Endpoint struct{}
+
+// Dial opens a stub connection.
+func (e *Endpoint) Dial(remote string) (Conn, error) { return nil, nil }

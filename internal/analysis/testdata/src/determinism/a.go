@@ -1,0 +1,33 @@
+// Fixture for the determinism analyzer: wall-clock and global-rand
+// rules (the map-order rule is exercised in the internal/sim fixture,
+// where the package scope applies).
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()         // want `call to time\.Now in simulation code`
+	time.Sleep(5 * time.Second) // want `call to time\.Sleep in simulation code`
+	return time.Since(start)    // want `call to time\.Since in simulation code`
+}
+
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle uses the shared unseeded generator`
+	return rand.Intn(n)                // want `global rand\.Intn uses the shared unseeded generator`
+}
+
+// Near miss: drawing from an explicitly seeded instance is the
+// sanctioned pattern and must not be flagged.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Intn(n)
+}
+
+// Near miss: pure duration arithmetic never reads the wall clock.
+func scale(d time.Duration) time.Duration {
+	return d * 3 / 2
+}

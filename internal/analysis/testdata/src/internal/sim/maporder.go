@@ -1,0 +1,56 @@
+// Fixture for the determinism analyzer's map-iteration-order rule.
+// The import path "internal/sim" places it inside the deterministic
+// package scope.
+package sim
+
+import "sort"
+
+func orderedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func orderedSend(m map[string]int, ch chan int) {
+	for _, v := range m { // want `range over map sends on a channel`
+		ch <- v
+	}
+}
+
+// Near miss: aggregation is insensitive to iteration order.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Near miss: the appended slice is local to each iteration, so no
+// cross-iteration order escapes.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// Near miss: the canonical fix — collect the keys, sort, then emit in
+// sorted order.
+func sortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Fixture for the procdiscipline analyzer.
+package procfix
+
+import "sim"
+
+type server struct {
+	p *sim.Proc
+}
+
+// A proc may call its own blocking methods: parameter form.
+func ownParam(p *sim.Proc, s *sim.Signal) {
+	p.Sleep(3)
+	p.Wait(s)
+	p.WaitTimeout(s, 10)
+}
+
+// A raw go closure must never block a proc, even the enclosing
+// function's own.
+func rawGo(p *sim.Proc) {
+	go func() { // spawned behind the kernel's back
+		p.Sleep(1) // want `blocking sim\.Proc method Sleep called inside a raw go closure`
+	}()
+}
+
+// A kernel worker closure owns its proc parameter; blocking a captured
+// outer proc from inside it runs on the wrong goroutine.
+func wrongProcInWorker(k *sim.Kernel, outer *sim.Proc) {
+	k.Go("w", func(p *sim.Proc) {
+		p.Sleep(1)     // own proc: fine
+		outer.Sleep(1) // want `Sleep called on outer, which is not the enclosing function's own`
+	})
+}
+
+// A function without a *sim.Proc parameter has no proc of its own to
+// block.
+func fieldProc(s *server) {
+	s.p.Sleep(1) // want `Sleep called in a function with no \*sim\.Proc parameter or receiver`
+}
+
+// Even with a proc parameter in scope, blocking a proc dug out of a
+// struct is not the enclosing function's own.
+func structProc(p *sim.Proc, s *server) {
+	s.p.Wait(nil) // want `Wait called on a proc obtained from an expression`
+}
+
+// Near miss: a plain closure with no proc parameters runs on its
+// creator's goroutine (called inline or deferred), so it inherits the
+// enclosing function's proc.
+func inlineHelper(p *sim.Proc, s *sim.Signal) {
+	helper := func() { p.Sleep(2) }
+	helper()
+	defer func() { p.Wait(s) }()
+	func() { p.Join(p) }()
+}
+
+// Near miss: non-blocking Proc methods are unrestricted.
+func nonBlocking(s *server) sim.Time {
+	return s.p.Now()
+}

@@ -1,0 +1,39 @@
+// Package sim is a fixture stub mirroring the blocking surface of
+// hpsockets/internal/sim for analyzer tests. The analyzers match the
+// package by name ("sim") and the type by name ("Proc"), so this stub
+// exercises exactly the same code paths as the real package.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// Signal is a stub of the sim signal.
+type Signal struct{}
+
+// Kernel is a stub of the sim kernel.
+type Kernel struct{}
+
+// Go starts fn as a new process, like the real Kernel.Go.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{}
+	fn(p)
+	return p
+}
+
+// Proc is a stub simulation process.
+type Proc struct{}
+
+// Now is non-blocking.
+func (p *Proc) Now() Time { return 0 }
+
+// Sleep blocks the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {}
+
+// Wait blocks until the signal fires.
+func (p *Proc) Wait(s *Signal) any { return nil }
+
+// WaitTimeout blocks until the signal fires or d elapses.
+func (p *Proc) WaitTimeout(s *Signal, d Time) (any, bool) { return nil, false }
+
+// Join blocks until q terminates.
+func (p *Proc) Join(q *Proc) {}

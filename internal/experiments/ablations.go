@@ -46,6 +46,7 @@ func measureFabricBandwidth(k *sim.Kernel, fab *core.Fabric, size, count int) fl
 			}
 		}
 		mbps = sim.BitsPerSec(int64(total), p.Now()-start)
+		c.Close(p)
 	})
 	k.Go("cli", func(p *sim.Proc) {
 		c, _ := fab.Endpoint("a").Dial(p, "b", 1)
@@ -123,6 +124,7 @@ func AblationTCPMSS(mss, msgSize, count int) (mbps float64, latency sim.Time) {
 			c.RecvFull(p, buf)
 			c.SendSize(p, 4)
 		}
+		c.Close(p)
 	})
 	k2.Go("cli", func(p *sim.Proc) {
 		c, _ := fab2.Endpoint("a").Dial(p, "b", 1)
@@ -134,6 +136,7 @@ func AblationTCPMSS(mss, msgSize, count int) (mbps float64, latency sim.Time) {
 			c.RecvFull(p, buf)
 		}
 		latency = (p.Now() - start) / 40
+		c.Close(p)
 	})
 	k2.RunAll()
 	return mbps, latency

@@ -116,6 +116,7 @@ func SocketsLatency(kind core.Kind, size, iters int) sim.Time {
 			c.RecvFull(p, buf)
 			c.SendSize(p, size)
 		}
+		c.Close(p)
 	})
 	k.Go("cli", func(p *sim.Proc) {
 		c, _ := fab.Endpoint("a").Dial(p, "b", 1)
@@ -127,6 +128,7 @@ func SocketsLatency(kind core.Kind, size, iters int) sim.Time {
 			c.RecvFull(p, buf)
 		}
 		oneWay = (p.Now() - start) / sim.Time(2*iters)
+		c.Close(p)
 	})
 	k.RunAll()
 	return oneWay
@@ -154,6 +156,7 @@ func SocketsBandwidth(kind core.Kind, size, count int) float64 {
 			}
 		}
 		mbps = sim.BitsPerSec(int64(total), p.Now()-start)
+		c.Close(p)
 	})
 	k.Go("cli", func(p *sim.Proc) {
 		c, _ := fab.Endpoint("a").Dial(p, "b", 1)

@@ -31,11 +31,24 @@ func (q QueryType) String() string {
 	return "unknown"
 }
 
+// Gen generates workloads from an explicitly seeded random stream, so
+// every random choice in an experiment flows from one recorded seed.
+// The zero value is not usable; construct with NewGen.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen returns a generator whose entire random stream derives from
+// seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
 // Mix generates a deterministic sequence of n queries in which
 // fraction frac (0..1) are Complete and the rest are the given other
-// type, shuffled with the seed. The realized fraction is exact up to
-// rounding, so experiment points are reproducible.
-func Mix(seed int64, n int, frac float64, other QueryType) []QueryType {
+// type, shuffled with the generator's stream. The realized fraction is
+// exact up to rounding, so experiment points are reproducible.
+func (g *Gen) Mix(n int, frac float64, other QueryType) []QueryType {
 	if n <= 0 {
 		return nil
 	}
@@ -51,9 +64,15 @@ func Mix(seed int64, n int, frac float64, other QueryType) []QueryType {
 			out[i] = other
 		}
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	g.rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
+}
+
+// Mix is the one-shot form of Gen.Mix, seeding a fresh generator per
+// call. The shuffle for a given seed is identical to
+// NewGen(seed).Mix(...).
+func Mix(seed int64, n int, frac float64, other QueryType) []QueryType {
+	return NewGen(seed).Mix(n, frac, other)
 }
 
 // Repeat returns n copies of one query type.

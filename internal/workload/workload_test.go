@@ -63,6 +63,32 @@ func TestMixEmptyAndBadInput(t *testing.T) {
 	Mix(1, 10, 1.5, Zoom)
 }
 
+func TestGenMatchesOneShotMix(t *testing.T) {
+	a := NewGen(7).Mix(50, 0.4, Partial)
+	b := Mix(7, 50, 0.4, Partial)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Gen and one-shot Mix diverged at %d", i)
+		}
+	}
+}
+
+func TestGenStreamAdvances(t *testing.T) {
+	g := NewGen(7)
+	a := g.Mix(50, 0.4, Partial)
+	b := g.Mix(50, 0.4, Partial)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("consecutive draws from one generator produced identical shuffles")
+	}
+}
+
 func TestRepeat(t *testing.T) {
 	qs := Repeat(Partial, 4)
 	if len(qs) != 4 {
