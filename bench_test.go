@@ -14,6 +14,7 @@ import (
 	"hpsockets/internal/core"
 	"hpsockets/internal/experiments"
 	"hpsockets/internal/sim"
+	"hpsockets/internal/stats"
 )
 
 func quick() experiments.Options { return experiments.QuickOptions() }
@@ -151,6 +152,29 @@ func BenchmarkPerfectPipelining(b *testing.B) {
 	}
 	b.ReportMetric(sv, "socketvia_eff_2K")
 	b.ReportMetric(tcp, "tcp_eff_16K")
+}
+
+// BenchmarkFaultRecovery (E15) regenerates the fault family and
+// reports the loss-recovery overhead at a 1e-3 drop rate (ratio of
+// completion times, 16 KB chunks) plus the failover re-dispatch count
+// at the mid-run crash point.
+func BenchmarkFaultRecovery(b *testing.B) {
+	o := quick()
+	var xfer, fo *stats.Table
+	for i := 0; i < b.N; i++ {
+		xfer = experiments.FigFaultTransfer(o)
+		fo = experiments.FigFaultFailover(o)
+	}
+	last := len(xfer.X) - 1 // highest drop rate
+	// Series order: sv 16k us, sv 16k redials, sv 256k us, sv 256k
+	// redials, then the same four for tcp.
+	b.ReportMetric(xfer.Series[0].Y[last]/xfer.Series[0].Y[0], "socketvia_loss_slowdown_x")
+	b.ReportMetric(xfer.Series[4].Y[last]/xfer.Series[4].Y[0], "tcp_loss_slowdown_x")
+	b.ReportMetric(xfer.Series[1].Y[last], "socketvia_redials")
+	// Failover series: sv us, sv redispatched, tcp us, tcp redispatched.
+	mid := len(fo.X) / 2
+	b.ReportMetric(fo.Series[1].Y[mid], "socketvia_redispatched")
+	b.ReportMetric(fo.Series[3].Y[mid], "tcp_redispatched")
 }
 
 // BenchmarkAblationEagerChunkSize (A2) sweeps the SocketVIA eager

@@ -56,3 +56,22 @@ func stored(e *core.Endpoint) *session {
 	c, _ := e.Dial("b")
 	return &session{conn: c}
 }
+
+// Near miss: the redial idiom — a broken conn is closed before being
+// replaced, and the final conn is the caller's responsibility.
+func redial(e *core.Endpoint) (core.Conn, error) {
+	c, err := e.Dial("b")
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := c.Send(nil); err == nil {
+			return c, nil
+		}
+		c.Close()
+		if c, err = e.Dial("b"); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

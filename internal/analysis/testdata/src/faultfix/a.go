@@ -1,0 +1,58 @@
+// Fixture for the determinism analyzer over fault-injection-shaped
+// code: per-frame fault judgment must draw from an explicitly seeded
+// generator, never the wall clock or the global rand.
+package faultfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// plan mirrors the shape of a fault plan: a seed plus probabilities.
+type plan struct {
+	seed     int64
+	dropProb float64
+}
+
+type injector struct {
+	rng  *rand.Rand
+	prob float64
+}
+
+// install compiles a plan with the sanctioned seeded-generator
+// pattern; nothing here may be flagged.
+func install(pl plan) *injector {
+	return &injector{
+		rng:  rand.New(rand.NewSource(pl.seed)),
+		prob: pl.dropProb,
+	}
+}
+
+// judge decides one frame's fate from the seeded stream — the
+// sanctioned pattern.
+func (in *injector) judge() bool {
+	return in.rng.Float64() < in.prob
+}
+
+// wallClockJudge stamps fault decisions with host time, which would
+// make two runs of the same plan diverge.
+func wallClockJudge(in *injector) (bool, time.Time) {
+	deadline := time.Now() // want `call to time\.Now in simulation code`
+	return in.judge(), deadline
+}
+
+// globalRandJudge draws from the shared unseeded generator: the drop
+// pattern would change from run to run.
+func globalRandJudge(prob float64) bool {
+	return rand.Float64() < prob // want `global rand\.Float64 uses the shared unseeded generator`
+}
+
+// Near miss: jitter computed from an injected seeded generator is
+// fine, including re-deriving child streams from the root seed.
+func childStreams(seed int64, n int) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rand.New(rand.NewSource(seed ^ int64(i+1)))
+	}
+	return out
+}

@@ -33,6 +33,10 @@ type Node struct {
 	slowProb float64
 	rng      *rand.Rand
 
+	// failed marks a crashed node: its CPUs never finish another unit
+	// of work and the fault injector discards all its traffic.
+	failed bool
+
 	computeBusy sim.Time // total CPU time spent in Compute
 }
 
@@ -129,6 +133,28 @@ func (n *Node) SetProbabilisticSlowdown(factor, prob float64, seed int64) {
 // SlowFactor reports the configured factor.
 func (n *Node) SlowFactor() float64 { return n.factor }
 
+// Fail crashes the node at the current instant: every Compute or
+// Overhead call from then on parks its proc forever, modelling a host
+// that stops mid-instruction. Procs already inside a CPU occupancy
+// finish that occupancy (the discrete-event equivalent of in-flight
+// work draining); they hang at their next CPU use. Frame-level
+// isolation of a failed node is the fault injector's job.
+func (n *Node) Fail() { n.failed = true }
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// haltIfFailed parks p forever when the node has crashed. Waiting on a
+// signal that never fires is safe under RunAll: the kernel simply
+// never resumes the proc, and the run terminates when live events
+// drain.
+func (n *Node) haltIfFailed(p *sim.Proc) {
+	if n.failed {
+		n.k.Trace("cluster", "node-halt", 0, n.name+": "+p.Name())
+		p.Wait(sim.NewSignal(n.k))
+	}
+}
+
 // computeScale picks the slowdown for one unit of computation.
 func (n *Node) computeScale() float64 {
 	if n.rng != nil {
@@ -150,6 +176,7 @@ func (n *Node) Compute(p *sim.Proc, nominal sim.Time) {
 	if nominal == 0 {
 		return
 	}
+	n.haltIfFailed(p)
 	d := sim.Time(float64(nominal)*n.computeScale() + 0.5)
 	n.cpu.Use(p, 1, d)
 	n.computeBusy += d
@@ -161,6 +188,7 @@ func (n *Node) Overhead(p *sim.Proc, d sim.Time) {
 	if d <= 0 {
 		return
 	}
+	n.haltIfFailed(p)
 	n.cpu.Use(p, 1, d)
 }
 

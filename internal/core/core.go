@@ -14,9 +14,27 @@
 // Applications written against Conn/Listener/Endpoint run unchanged on
 // either transport, which is exactly the property the paper's sockets
 // layer provides to TCP applications on cLAN hardware.
+//
+// # Errors versus panics
+//
+// Conditions a correct program can encounter at runtime — a peer that
+// crashed, a frame the fault model ate, a deadline that expired, a
+// descriptor pool drained by injected pressure — surface as typed
+// errors: ErrBroken, ErrTimeout, ErrDescriptorExhausted (which wraps
+// ErrBroken), ErrConnClosed, or io.EOF for a clean end of stream.
+// Recovery code matches them with errors.Is and reacts (Redial, fail
+// over, resend). Panics are reserved for programmer-error invariants
+// that no fault scenario can trigger: invalid configurations,
+// misframed immediate values built by this package itself, dialing a
+// node that does not exist. If a panic fires, the simulation model is
+// wrong, not the simulated network.
 package core
 
 import (
+	"errors"
+	"fmt"
+	"io"
+
 	"hpsockets/internal/cluster"
 	"hpsockets/internal/sim"
 )
@@ -40,8 +58,13 @@ type Conn interface {
 	// RecvFull reads exactly len(buf) bytes unless the stream ends.
 	RecvFull(p *sim.Proc, buf []byte) (int, error)
 	// Close flushes buffered data and signals end of stream to the
-	// peer. The receive direction remains readable.
+	// peer. The receive direction remains readable. Closing twice is
+	// safe.
 	Close(p *sim.Proc) error
+	// SetTimeout bounds every subsequent blocking wait inside Send
+	// and Recv to d of virtual time; an expired bound fails the
+	// operation with ErrTimeout. Zero (the default) waits forever.
+	SetTimeout(d sim.Time)
 	// Transport names the implementation ("tcp" or "socketvia").
 	Transport() string
 	// LocalNode reports the node this endpoint lives on.
@@ -67,14 +90,21 @@ type Endpoint interface {
 	Transport() string
 }
 
-// recvFull implements RecvFull on top of Recv for both transports.
+// recvFull implements RecvFull on top of Recv for both transports. A
+// clean end of stream before the first byte passes through as a bare
+// io.EOF; any failure after bytes of this read have landed is wrapped
+// with the bytes-read context, so recovery code can tell a tidy
+// stream end from a mid-message break.
 func recvFull(c Conn, p *sim.Proc, buf []byte) (int, error) {
 	total := 0
 	for total < len(buf) {
 		n, err := c.Recv(p, buf[total:])
 		total += n
 		if err != nil {
-			return total, err
+			if total == 0 && errors.Is(err, io.EOF) {
+				return 0, err
+			}
+			return total, fmt.Errorf("recvFull: short read %d/%d: %w", total, len(buf), err)
 		}
 	}
 	return total, nil

@@ -6,6 +6,7 @@ import (
 	"hpsockets/internal/cluster"
 	"hpsockets/internal/ktcp"
 	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
 	"hpsockets/internal/via"
 )
 
@@ -47,6 +48,20 @@ func CLANProfile() Profile {
 		VIA:  via.CLANConfig(),
 		SV:   DefaultSVConfig(),
 	}
+}
+
+// RecoveryProfile is CLANProfile with the recovery machinery armed:
+// kernel-path retransmission, a VIA connect timeout, and a SocketVIA
+// dial timeout. Fault experiments and the fault-conformance suite use
+// it; CLANProfile leaves every knob at zero, so headline figures run
+// the exact fault-free code path.
+func RecoveryProfile() Profile {
+	prof := CLANProfile()
+	prof.TCP.RTO = 5 * sim.Millisecond
+	prof.TCP.MaxRetries = 8
+	prof.VIA.ConnTimeout = 10 * sim.Millisecond
+	prof.SV.DialTimeout = 20 * sim.Millisecond
+	return prof
 }
 
 // Fabric instantiates one transport endpoint on every node of a

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/fault"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// Fault-conformance battery: recovery behaviours every transport must
+// share, run against both implementations over a recovery-armed
+// profile with an installed fault plan.
+
+// newFaultRig is newRig with RecoveryProfile and a fault plan.
+func newFaultRig(n int, kind Kind, plan fault.Plan) *rig {
+	prof := RecoveryProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for i := 0; i < n; i++ {
+		cl.AddNode(string(rune('a'+i)), cluster.DefaultConfig())
+	}
+	fault.Install(cl, plan)
+	return &rig{k: k, cl: cl, f: NewFabric(cl, kind, prof)}
+}
+
+// TestFaultConformanceDeadlineFires: a Recv deadline on a silent peer
+// expires as ErrTimeout, and the connection still closes cleanly —
+// twice.
+func TestFaultConformanceDeadlineFires(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newFaultRig(2, kind, fault.Plan{})
+		l := r.f.Endpoint("b").Listen(1)
+		r.k.Go("server", func(p *sim.Proc) {
+			c, err := l.Accept(p)
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			// Stay silent well past the client's deadline, then close.
+			p.Sleep(10 * sim.Millisecond)
+			c.Close(p)
+		})
+		r.k.Go("client", func(p *sim.Proc) {
+			c, err := r.f.Endpoint("a").Dial(p, "b", 1)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			c.SetTimeout(1 * sim.Millisecond)
+			start := p.Now()
+			buf := make([]byte, 16)
+			if _, err := c.Recv(p, buf); !errors.Is(err, ErrTimeout) {
+				t.Errorf("recv on silent peer = %v, want ErrTimeout", err)
+			}
+			if waited := p.Now() - start; waited < 1*sim.Millisecond || waited > 2*sim.Millisecond {
+				t.Errorf("deadline fired after %v, want ~1ms", waited)
+			}
+			if err := c.Close(p); err != nil {
+				t.Errorf("first close: %v", err)
+			}
+			if err := c.Close(p); err != nil {
+				t.Errorf("second close: %v", err)
+			}
+		})
+		r.k.RunAll()
+	})
+}
+
+// TestFaultConformanceRedialAfterPartition: dialing into a partition
+// fails or stalls, but Redial's backoff outlives the window and the
+// replacement connection works.
+func TestFaultConformanceRedialAfterPartition(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		const heal = 5 * sim.Millisecond
+		r := newFaultRig(2, kind, fault.Plan{
+			Seed:       5,
+			Partitions: []fault.Partition{{A: "a", B: "b", From: 0, To: heal}},
+		})
+		l := r.f.Endpoint("b").Listen(1)
+		r.k.Go("server", func(p *sim.Proc) {
+			c, err := l.Accept(p)
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			buf := make([]byte, 4)
+			if _, err := c.RecvFull(p, buf); err != nil {
+				t.Errorf("recv after heal: %v", err)
+				return
+			}
+			c.Send(p, buf) // echo
+			c.Close(p)
+		})
+		r.k.Go("client", func(p *sim.Proc) {
+			pol := DefaultRetryPolicy(99)
+			c, err := Redial(p, r.f.Endpoint("a"), "b", 1, pol)
+			if err != nil {
+				t.Errorf("redial across partition: %v", err)
+				return
+			}
+			if p.Now() < heal {
+				t.Errorf("connected at %v, inside the partition window", p.Now())
+			}
+			if err := c.Send(p, []byte("ping")); err != nil {
+				t.Errorf("send after redial: %v", err)
+			}
+			buf := make([]byte, 4)
+			if _, err := c.RecvFull(p, buf); err != nil || string(buf) != "ping" {
+				t.Errorf("echo after redial = %q, %v", buf, err)
+			}
+			c.Close(p)
+		})
+		r.k.RunAll()
+	})
+}
+
+// TestFaultConformanceDoubleCloseSafe: Close twice on both ends, in
+// either order, with no panic and no error.
+func TestFaultConformanceDoubleCloseSafe(t *testing.T) {
+	kinds(t, func(t *testing.T, kind Kind) {
+		r := newRig(2, kind)
+		r.pair(t,
+			func(p *sim.Proc, c Conn) {
+				c.Send(p, []byte("x"))
+				if err := c.Close(p); err != nil {
+					t.Errorf("close 1: %v", err)
+				}
+				if err := c.Close(p); err != nil {
+					t.Errorf("close 2: %v", err)
+				}
+			},
+			func(p *sim.Proc, c Conn) {
+				buf := make([]byte, 1)
+				c.RecvFull(p, buf)
+				if err := c.Close(p); err != nil {
+					t.Errorf("close 1: %v", err)
+				}
+				if err := c.Close(p); err != nil {
+					t.Errorf("close 2: %v", err)
+				}
+			},
+		)
+	})
+}
+
+// TestNetsimAccountingUnderLoss: every frame a port sent is either
+// received, dropped, or corrupted-and-delivered somewhere — the
+// switch's books balance under injected loss.
+func TestNetsimAccountingUnderLoss(t *testing.T) {
+	r := newFaultRig(2, KindTCP, fault.Plan{
+		Seed:  21,
+		Links: []fault.LinkFault{{DropProb: 5e-3}},
+	})
+	var sendErr error
+	r.pair(t,
+		func(p *sim.Proc, c Conn) {
+			c.SetTimeout(50 * sim.Millisecond)
+			sendErr = c.SendSize(p, 500_000)
+			c.Close(p)
+		},
+		func(p *sim.Proc, c Conn) {
+			buf := make([]byte, 8192)
+			for {
+				if _, err := c.Recv(p, buf); err != nil {
+					return
+				}
+			}
+		},
+	)
+	if sendErr != nil {
+		t.Fatalf("send under loss: %v", sendErr)
+	}
+	pa := r.cl.Node("a").Port()
+	pb := r.cl.Node("b").Port()
+	sent := pa.Sent() + pb.Sent()
+	accounted := pa.Received() + pb.Received() + pa.Dropped() + pb.Dropped()
+	if sent != accounted {
+		t.Fatalf("accounting: sent %d != received+dropped %d", sent, accounted)
+	}
+	if pa.Dropped()+pb.Dropped() == 0 {
+		t.Fatal("no frames dropped at 5e-3 over a 500 KB transfer")
+	}
+}

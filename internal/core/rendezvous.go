@@ -57,11 +57,17 @@ func (c *svConn) sendRendezvous(p *sim.Proc, data []byte, n int) error {
 		node.Overhead(p, cfg.ProcCost)
 		node.Kernel().Trace("socketvia", "rend-req", int64(m), "")
 		c.sendCtrl(p, svRendReq, val)
-		for c.ctsArrived <= c.ctsConsumed && !c.broken {
-			c.rendCond.Wait(p)
+		for c.ctsArrived <= c.ctsConsumed && c.brokenErr == nil {
+			if c.opTimeout > 0 {
+				if !c.rendCond.WaitTimeout(p, c.opTimeout) {
+					return ErrTimeout
+				}
+			} else {
+				c.rendCond.Wait(p)
+			}
 		}
-		if c.broken {
-			return ErrBroken
+		if c.brokenErr != nil {
+			return c.brokenErr
 		}
 		c.ctsConsumed++
 		// Register the user buffer: the zero-copy trade is pin cost
@@ -72,7 +78,7 @@ func (c *svConn) sendRendezvous(p *sim.Proc, data []byte, n int) error {
 			desc.Data = data[offset : offset+m]
 		}
 		if err := c.vi.PostRDMAWrite(p, desc, c.rendHandle, 0); err != nil {
-			c.markBroken()
+			c.markBroken(ErrBroken)
 			return ErrBroken
 		}
 		// VI FIFO ordering delivers this after the written data.
@@ -106,7 +112,12 @@ func (c *svConn) handleRendCTS(val int) {
 // handleRendDone runs in the pump when a pushed piece has landed.
 func (c *svConn) handleRendDone() {
 	if len(c.rendMeta) == 0 {
-		panic("core: rendezvous done without announcement")
+		// A done with no announcement means the request was lost on a
+		// faulty wire while the done survived teardown races; the
+		// stream is unrecoverable from here.
+		c.node().Kernel().Trace("socketvia", "rend-orphan-done", 0, "")
+		c.markBroken(ErrBroken)
+		return
 	}
 	val := c.rendMeta[0]
 	c.rendMeta = c.rendMeta[1:]
@@ -126,7 +137,7 @@ func (c *svConn) handleRendDone() {
 // maybeGrantRendezvous releases a deferred grant once the reader has
 // drained below the high-water mark; called from Recv.
 func (c *svConn) maybeGrantRendezvous(p *sim.Proc) {
-	if c.ctsOwed > 0 && c.rcvAvail <= c.rendHighWater() && !c.broken {
+	if c.ctsOwed > 0 && c.rcvAvail <= c.rendHighWater() && c.brokenErr == nil {
 		c.ctsOwed--
 		c.sendCtrl(p, svRendCTS, int(c.rendLocalHandle))
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"hpsockets/internal/cluster"
 	"hpsockets/internal/netsim"
@@ -9,11 +10,25 @@ import (
 	"hpsockets/internal/via"
 )
 
-// ErrBroken reports that the underlying VIA connection broke.
+// ErrBroken reports that the underlying connection broke: the peer
+// crashed, the fault model damaged the stream beyond what the
+// transport recovers, or reliable-delivery semantics were violated.
 var ErrBroken = errors.New("core: connection broken")
 
 // ErrConnClosed reports sending on a locally closed connection.
 var ErrConnClosed = errors.New("core: connection closed")
+
+// ErrTimeout reports an expired deadline: a SetTimeout bound on Send
+// or Recv, a DialTimeout during connection setup, or an exhausted
+// retransmission budget on the kernel path.
+var ErrTimeout = errors.New("core: operation timed out")
+
+// ErrDescriptorExhausted reports a connection broken because the
+// receiver's VIA descriptor pool ran dry (the RNR condition the
+// credit protocol normally makes impossible; injected descriptor
+// pressure triggers it). It wraps ErrBroken, so errors.Is(err,
+// ErrBroken) matches both.
+var ErrDescriptorExhausted = fmt.Errorf("core: receive descriptor exhausted: %w", ErrBroken)
 
 // SocketVIA message kinds, carried in the descriptor immediate data.
 const (
@@ -58,15 +73,33 @@ func (e *svEndpoint) Listen(svc int) Listener {
 
 // Dial opens a SocketVIA connection: it registers and pre-posts the
 // receive pools before the VIA connect so the peer's first message
-// always finds a descriptor, then waits for the peer's ready message.
+// always finds a descriptor, then waits for the peer's ready message
+// (bounded by SVConfig.DialTimeout when set).
 func (e *svEndpoint) Dial(p *sim.Proc, remote string, svc int) (Conn, error) {
-	c := e.newConn(p)
-	if err := e.pr.Connect(p, c.vi, remote, svc); err != nil {
+	c, err := e.newConn(p)
+	if err != nil {
 		return nil, err
 	}
-	p.Wait(c.readySig)
-	if c.broken {
+	if err := e.pr.Connect(p, c.vi, remote, svc); err != nil {
+		if errors.Is(err, via.ErrTimeout) {
+			return nil, ErrTimeout
+		}
 		return nil, ErrBroken
+	}
+	if e.cfg.DialTimeout > 0 {
+		if _, ok := p.WaitTimeout(c.readySig, e.cfg.DialTimeout); !ok {
+			// The ready message never came (lost on the wire, or the
+			// acceptor's node died). Tear the VI down so late traffic
+			// finds nothing.
+			c.markBroken(ErrTimeout)
+			e.pr.Disconnect(p, c.vi)
+			return nil, ErrTimeout
+		}
+	} else {
+		p.Wait(c.readySig)
+	}
+	if c.brokenErr != nil {
+		return nil, c.brokenErr
 	}
 	return c, nil
 }
@@ -84,7 +117,9 @@ func (l *svListener) Accept(p *sim.Proc) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.bind(p, vi)
+	if err := c.bind(p, vi); err != nil {
+		return nil, err
+	}
 	c.sendCtrl(p, svReady, 0)
 	c.readySig.Fire(nil)
 	return c, nil
@@ -93,11 +128,18 @@ func (l *svListener) Accept(p *sim.Proc) (Conn, error) {
 func (l *svListener) Close() { l.acc.Close() }
 
 // newConn builds a connection with its own VI (dialer side).
-func (e *svEndpoint) newConn(p *sim.Proc) *svConn {
+func (e *svEndpoint) newConn(p *sim.Proc) (*svConn, error) {
 	c := e.newConnDeferred(p)
-	c.bind(p, e.pr.NewVI(c.cq, c.cq))
-	return c
+	if err := c.bind(p, e.pr.NewVI(c.cq, c.cq)); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
+
+// SetDescPressure threads a deterministic descriptor-exhaustion hook
+// down to the VIA provider (see via.Provider.SetDescPressure); the
+// fault injector installs it through the Fabric.
+func (e *svEndpoint) SetDescPressure(fn func() bool) { e.pr.SetDescPressure(fn) }
 
 // newConnDeferred builds the connection state without a VI (the
 // acceptor side receives its VI from Accept).
@@ -118,8 +160,10 @@ func (e *svEndpoint) newConnDeferred(p *sim.Proc) *svConn {
 }
 
 // bind attaches the VI, registers the buffer pools, pre-posts every
-// receive descriptor and starts the progress process.
-func (c *svConn) bind(p *sim.Proc, vi *via.VI) {
+// receive descriptor and starts the progress process. It fails with
+// ErrBroken when the VI broke before setup completed (possible under
+// injected faults on the accept path).
+func (c *svConn) bind(p *sim.Proc, vi *via.VI) error {
 	e := c.ep
 	cfg := e.cfg
 	c.vi = vi
@@ -130,7 +174,8 @@ func (c *svConn) bind(p *sim.Proc, vi *via.VI) {
 	for i := 0; i < recvN; i++ {
 		d := &via.Desc{Region: recvRegion, Len: cfg.ChunkSize}
 		if err := vi.PostRecv(p, d); err != nil {
-			panic("core: pre-post failed: " + err.Error())
+			c.markBroken(ErrBroken)
+			return ErrBroken
 		}
 	}
 
@@ -150,4 +195,5 @@ func (c *svConn) bind(p *sim.Proc, vi *via.VI) {
 	}
 
 	node.Kernel().Go("sv-pump/"+node.Name(), c.pump)
+	return nil
 }

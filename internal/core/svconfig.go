@@ -28,6 +28,10 @@ type SVConfig struct {
 	// zero-copy RDMA rendezvous path (0 disables it). This implements
 	// the paper's future-work push model; see rendezvous.go.
 	RendezvousThreshold int
+	// DialTimeout bounds how long Dial waits for the acceptor's ready
+	// message after VIA connection setup; zero (the default) waits
+	// forever, exactly as the fault-free model always has.
+	DialTimeout sim.Time
 }
 
 // DefaultSVConfig returns the calibrated SocketVIA layer: ~9.5 us

@@ -39,7 +39,13 @@ type svConn struct {
 	// Control.
 	ctrlPool *sim.Queue[*via.Desc]
 	readySig *sim.Signal
-	broken   bool
+	// brokenErr, once non-nil, is the typed error every subsequent
+	// operation fails with (ErrBroken, ErrDescriptorExhausted, or
+	// ErrTimeout).
+	brokenErr error
+
+	// opTimeout bounds blocking waits in Send and Recv (0 = forever).
+	opTimeout sim.Time
 
 	// Rendezvous state (see rendezvous.go).
 	rendCond        *sim.Cond
@@ -54,6 +60,7 @@ type svConn struct {
 
 func (c *svConn) Transport() string        { return "socketvia" }
 func (c *svConn) LocalNode() *cluster.Node { return c.ep.pr.Node() }
+func (c *svConn) SetTimeout(d sim.Time)    { c.opTimeout = d }
 
 func (c *svConn) node() *cluster.Node { return c.ep.pr.Node() }
 
@@ -69,7 +76,7 @@ func (c *svConn) sendCtrl(p *sim.Proc, kind uint64, val int) {
 	d.Data = nil
 	d.Imm = svImm(kind, val)
 	if err := c.vi.PostSend(p, d); err != nil {
-		c.markBroken()
+		c.markBroken(ErrBroken)
 	}
 }
 
@@ -90,8 +97,8 @@ func (c *svConn) send(p *sim.Proc, data []byte, n int) error {
 	if c.closed {
 		return ErrConnClosed
 	}
-	if c.broken {
-		return ErrBroken
+	if c.brokenErr != nil {
+		return c.brokenErr
 	}
 	cfg := c.ep.cfg
 	if cfg.RendezvousThreshold > 0 && n >= cfg.RendezvousThreshold {
@@ -106,15 +113,22 @@ func (c *svConn) send(p *sim.Proc, data []byte, n int) error {
 		}
 		d, ok := c.sendPool.Get(p)
 		if !ok {
-			return ErrBroken
+			return c.errBroken()
 		}
 		blocked := false
-		for c.credits == 0 && !c.broken {
+		for c.credits == 0 && c.brokenErr == nil {
 			blocked = true
-			c.credCond.Wait(p)
+			if c.opTimeout > 0 {
+				if !c.credCond.WaitTimeout(p, c.opTimeout) {
+					c.sendPool.TryPut(d) // return the unused buffer
+					return ErrTimeout
+				}
+			} else {
+				c.credCond.Wait(p)
+			}
 		}
-		if c.broken {
-			return ErrBroken
+		if c.brokenErr != nil {
+			return c.brokenErr
 		}
 		if blocked {
 			node.Overhead(p, cfg.ReaderWakeup)
@@ -132,12 +146,21 @@ func (c *svConn) send(p *sim.Proc, data []byte, n int) error {
 			d.Data = nil
 		}
 		if err := c.vi.PostSend(p, d); err != nil {
-			c.markBroken()
+			c.markBroken(ErrBroken)
 			return ErrBroken
 		}
 		offset += m
 	}
 	return nil
+}
+
+// errBroken reports the recorded break reason, defaulting to ErrBroken
+// for paths (like a closed pool) that imply one without recording it.
+func (c *svConn) errBroken() error {
+	if c.brokenErr != nil {
+		return c.brokenErr
+	}
+	return ErrBroken
 }
 
 // Recv reads up to len(buf) bytes, copying out of the registered
@@ -155,11 +178,17 @@ func (c *svConn) Recv(p *sim.Proc, buf []byte) (int, error) {
 		if c.finRcvd {
 			return 0, io.EOF
 		}
-		if c.broken {
-			return 0, ErrBroken
+		if c.brokenErr != nil {
+			return 0, c.brokenErr
 		}
 		blocked = true
-		c.rcvCond.Wait(p)
+		if c.opTimeout > 0 {
+			if !c.rcvCond.WaitTimeout(p, c.opTimeout) {
+				return 0, ErrTimeout
+			}
+		} else {
+			c.rcvCond.Wait(p)
+		}
 	}
 	if blocked {
 		node.Overhead(p, cfg.ReaderWakeup)
@@ -203,13 +232,13 @@ func (c *svConn) RecvFull(p *sim.Proc, buf []byte) (int, error) {
 
 // repostChunk returns a drained descriptor to the VI.
 func (c *svConn) repostChunk(p *sim.Proc, d *via.Desc) {
-	if c.broken {
+	if c.brokenErr != nil {
 		return
 	}
 	d.Data = nil
 	d.Len = c.ep.cfg.ChunkSize
 	if err := c.vi.PostRecv(p, d); err != nil {
-		c.markBroken()
+		c.markBroken(ErrBroken)
 		return
 	}
 	c.consumed++
@@ -218,7 +247,7 @@ func (c *svConn) repostChunk(p *sim.Proc, d *via.Desc) {
 // maybeSendCredits returns accumulated descriptors to the sender once
 // a batch is full.
 func (c *svConn) maybeSendCredits(p *sim.Proc) {
-	if c.consumed >= c.ep.cfg.CreditBatch && !c.broken {
+	if c.consumed >= c.ep.cfg.CreditBatch && c.brokenErr == nil {
 		grant := c.consumed
 		c.consumed = 0
 		c.node().Kernel().Trace("socketvia", "credit-grant", int64(grant), "")
@@ -226,9 +255,10 @@ func (c *svConn) maybeSendCredits(p *sim.Proc) {
 	}
 }
 
-// Close sends FIN; the receive direction stays open.
+// Close sends FIN; the receive direction stays open. Closing twice
+// (or after a break) is safe.
 func (c *svConn) Close(p *sim.Proc) error {
-	if c.closed || c.broken {
+	if c.closed || c.brokenErr != nil {
 		return nil
 	}
 	c.closed = true
@@ -236,9 +266,17 @@ func (c *svConn) Close(p *sim.Proc) error {
 	return nil
 }
 
-// markBroken wakes everyone with an error.
-func (c *svConn) markBroken() {
-	c.broken = true
+// markBroken records the typed break reason and wakes everyone: the
+// condition waiters through broadcasts, and senders parked on the
+// descriptor pools by closing them (a broken connection stops
+// recycling descriptors, so a blocked Get would otherwise hang
+// forever).
+func (c *svConn) markBroken(err error) {
+	if c.brokenErr == nil {
+		c.brokenErr = err
+	}
+	c.sendPool.Close()
+	c.ctrlPool.Close()
 	c.credCond.Broadcast()
 	c.rcvCond.Broadcast()
 	c.rendCond.Broadcast()
@@ -253,7 +291,14 @@ func (c *svConn) pump(p *sim.Proc) {
 	for {
 		comp := c.cq.Wait(p)
 		if comp.Status != via.StatusOK {
-			c.markBroken()
+			// RNR means the peer's receive descriptors ran out — the
+			// one condition the credit protocol exists to prevent, so
+			// it only fires under injected descriptor pressure.
+			if comp.Status == via.StatusRNR {
+				c.markBroken(ErrDescriptorExhausted)
+			} else {
+				c.markBroken(ErrBroken)
+			}
 			if c.readySig != nil && !c.readySig.Fired() {
 				c.readySig.Fire(nil)
 			}
@@ -301,7 +346,13 @@ func (c *svConn) pump(p *sim.Proc) {
 			// Descriptor deliberately not reposted: the stream is
 			// ending and the slack accounting allows for it.
 		default:
-			panic("core: unknown SocketVIA message kind")
+			// Every immediate value is built by svImm in this package,
+			// so an unknown kind means the message was damaged in a
+			// way the lower layers failed to catch. Treat the
+			// connection as broken rather than crash the simulation.
+			c.node().Kernel().Trace("socketvia", "bad-msg-kind", int64(d.Imm), "")
+			c.markBroken(ErrBroken)
+			return
 		}
 	}
 }
@@ -309,12 +360,12 @@ func (c *svConn) pump(p *sim.Proc) {
 // repostCtrlRecv immediately returns a control-consumed descriptor so
 // control traffic never depletes the pool.
 func (c *svConn) repostCtrlRecv(p *sim.Proc, d *via.Desc) {
-	if c.broken {
+	if c.brokenErr != nil {
 		return
 	}
 	d.Data = nil
 	d.Len = c.ep.cfg.ChunkSize
 	if err := c.vi.PostRecv(p, d); err != nil {
-		c.markBroken()
+		c.markBroken(ErrBroken)
 	}
 }

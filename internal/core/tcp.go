@@ -1,11 +1,29 @@
 package core
 
 import (
+	"errors"
+
 	"hpsockets/internal/cluster"
 	"hpsockets/internal/ktcp"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
+
+// mapTCPErr translates kernel-path errors to the package's typed
+// errors so recovery code is transport-agnostic. io.EOF and nil pass
+// through.
+func mapTCPErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ktcp.ErrTimeout):
+		return ErrTimeout
+	case errors.Is(err, ktcp.ErrClosed):
+		return ErrConnClosed
+	default:
+		return err
+	}
+}
 
 // tcpEndpoint adapts a kernel TCP stack to the Endpoint interface.
 type tcpEndpoint struct {
@@ -28,7 +46,7 @@ func (e *tcpEndpoint) Listen(svc int) Listener {
 func (e *tcpEndpoint) Dial(p *sim.Proc, remote string, svc int) (Conn, error) {
 	c, err := e.st.Connect(p, remote, svc)
 	if err != nil {
-		return nil, err
+		return nil, mapTCPErr(err)
 	}
 	return &tcpConn{ep: e, c: c}, nil
 }
@@ -53,14 +71,20 @@ type tcpConn struct {
 	c  *ktcp.Conn
 }
 
-func (c *tcpConn) Send(p *sim.Proc, data []byte) error { return c.c.Send(p, data) }
-func (c *tcpConn) SendSize(p *sim.Proc, n int) error   { return c.c.SendSize(p, n) }
+func (c *tcpConn) Send(p *sim.Proc, data []byte) error {
+	return mapTCPErr(c.c.Send(p, data))
+}
+func (c *tcpConn) SendSize(p *sim.Proc, n int) error {
+	return mapTCPErr(c.c.SendSize(p, n))
+}
 func (c *tcpConn) Recv(p *sim.Proc, buf []byte) (int, error) {
-	return c.c.Recv(p, buf)
+	n, err := c.c.Recv(p, buf)
+	return n, mapTCPErr(err)
 }
 func (c *tcpConn) RecvFull(p *sim.Proc, buf []byte) (int, error) {
-	return c.c.RecvFull(p, buf)
+	return recvFull(c, p, buf)
 }
 func (c *tcpConn) Close(p *sim.Proc) error  { return c.c.Close(p) }
+func (c *tcpConn) SetTimeout(d sim.Time)    { c.c.SetTimeout(d) }
 func (c *tcpConn) Transport() string        { return "tcp" }
 func (c *tcpConn) LocalNode() *cluster.Node { return c.ep.st.Node() }

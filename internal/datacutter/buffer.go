@@ -15,6 +15,19 @@
 // Streams run over the core sockets substrate, so an entire filter
 // group can be switched between kernel TCP and SocketVIA without
 // touching application code — the property the paper exploits.
+//
+// # Errors versus panics
+//
+// Conditions a running group can legitimately encounter — a consumer
+// copy's connection breaking, a garbled header under injected
+// corruption, every transparent copy of a filter failing
+// (ErrNoLiveCopies), an expired StreamSpec.OpTimeout — surface as
+// typed errors or trigger failover: acknowledged streams re-dispatch
+// a failed copy's unacknowledged buffers to a survivor, and readers
+// stop expecting end-of-work markers from lost producers. Panics are
+// reserved for programmer errors caught at instantiation or misuse of
+// the API: unknown nodes or filters in a spec, duplicate stream
+// names, writing on a closed stream, buffer data/size mismatches.
 package datacutter
 
 import "fmt"

@@ -1,0 +1,97 @@
+package datacutter
+
+import (
+	"fmt"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/fault"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// newFaultRig builds a recovery-armed runtime with a fault plan
+// installed.
+func newFaultRig(nodes int, kind core.Kind, plan fault.Plan) *rig {
+	prof := core.RecoveryProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for i := 0; i < nodes; i++ {
+		cl.AddNode(fmt.Sprintf("n%d", i), cluster.DefaultConfig())
+	}
+	fault.Install(cl, plan)
+	fab := core.NewFabric(cl, kind, prof)
+	return &rig{k: k, cl: cl, rt: NewRuntime(cl, fab)}
+}
+
+// TestFailoverToSurvivingCopy crashes one of two transparent consumer
+// copies mid-run: the producer must detect the loss, re-dispatch the
+// dead copy's unacknowledged buffers and finish the workload on the
+// survivor, with no panic anywhere.
+func TestFailoverToSurvivingCopy(t *testing.T) {
+	r := newFaultRig(3, core.KindTCP, fault.Plan{
+		Seed:    11,
+		Crashes: []fault.NodeCrash{{Node: "n2", At: 1 * sim.Millisecond}},
+	})
+	const perUOW = 60
+	received := make([]uint64, 2)
+	src := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("s")
+			for i := 0; i < perUOW; i++ {
+				if err := out.Write(ctx.Proc(), &Buffer{Size: 16 * 1024}); err != nil {
+					return err
+				}
+			}
+			return out.EndOfWork(ctx.Proc())
+		}}
+	}
+	sink := func(copy int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for {
+				if _, ok := in.Read(ctx.Proc()); !ok {
+					return nil
+				}
+				received[copy]++
+			}
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1", "n2"}},
+		},
+		Streams: []StreamSpec{{
+			Name: "s", From: "src", To: "dst",
+			Policy:     DemandDriven,
+			MaxUnacked: 4,
+			OpTimeout:  2 * sim.Millisecond,
+		}},
+	})
+	// The crashed copy never finishes, so the group's done signal
+	// cannot fire; run the event heap dry instead of WaitDone.
+	g.Start(2)
+	r.k.RunAll()
+	if err := g.Err(); err != nil {
+		t.Fatalf("group error after failover: %v", err)
+	}
+	w := g.WriterOf("src", 0, "s")
+	if w.LiveTargets() != 1 {
+		t.Fatalf("live targets = %d, want 1 after crash", w.LiveTargets())
+	}
+	if w.Redispatched() == 0 {
+		t.Fatal("no buffers were re-dispatched to the survivor")
+	}
+	if received[0] == 0 {
+		t.Fatal("survivor copy received nothing")
+	}
+	// The survivor alone must carry at least one full unit of work:
+	// everything after the crash routes to it, and the dead copy's
+	// unacknowledged buffers were re-sent there.
+	if received[0] < perUOW {
+		t.Fatalf("survivor received %d buffers, want at least %d", received[0], perUOW)
+	}
+}

@@ -122,6 +122,7 @@ func (g *Group) wireStream(ss StreamSpec) {
 			targets:    make([]*streamConn, len(conss)),
 			maxUnacked: ss.MaxUnacked,
 			ackCond:    sim.NewCond(k),
+			redispatch: ss.Policy == DemandDriven || ss.Acks,
 		}
 		if _, dup := pc.outputs[ss.Name]; dup {
 			panic("datacutter: duplicate stream name " + ss.Name)
@@ -164,6 +165,9 @@ func (g *Group) wireStream(ss StreamSpec) {
 					g.errs = append(g.errs, err)
 					return
 				}
+				if ss.OpTimeout > 0 {
+					conn.SetTimeout(ss.OpTimeout)
+				}
 				sc := &streamConn{conn: conn}
 				k.Go(fmt.Sprintf("dc-read/%s/%s.%d.%d", ss.Name, ss.To, j, n), r.connReaderLoop(sc, closedOne))
 				g.setup.Arrive()
@@ -180,6 +184,9 @@ func (g *Group) wireStream(ss StreamSpec) {
 				if err != nil {
 					g.errs = append(g.errs, err)
 					return
+				}
+				if ss.OpTimeout > 0 {
+					conn.SetTimeout(ss.OpTimeout)
 				}
 				sc := &streamConn{conn: conn, record: ss.RecordAckLatency}
 				w.targets[j] = sc

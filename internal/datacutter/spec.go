@@ -69,6 +69,12 @@ type StreamSpec struct {
 	// explicit demand window for min-unacked routing to stay
 	// demand-driven.
 	MaxUnacked int
+	// OpTimeout bounds every blocking Send and Recv on the stream's
+	// connections (applied via core.Conn.SetTimeout at wiring time).
+	// Zero leaves operations unbounded. Fault scenarios set it so a
+	// crashed peer surfaces as core.ErrTimeout and triggers failover
+	// instead of blocking the filter forever.
+	OpTimeout sim.Time
 }
 
 // GroupSpec declares a filter group.

@@ -1,9 +1,16 @@
 package datacutter
 
 import (
+	"errors"
+	"io"
+
 	"hpsockets/internal/core"
 	"hpsockets/internal/sim"
 )
+
+// ErrNoLiveCopies reports that every transparent copy of a stream's
+// consumer filter has failed, leaving nowhere to dispatch work.
+var ErrNoLiveCopies = errors.New("datacutter: no live consumer copies")
 
 // streamConn is one point-to-point connection of a logical stream.
 // The producer side tracks unacknowledged buffers for demand-driven
@@ -13,11 +20,26 @@ type streamConn struct {
 	unacked int
 	sent    uint64
 
+	// dead marks the connection failed; the writer routes around it.
+	dead bool
+	// pending holds sent-but-unacknowledged buffers in send order, kept
+	// only on acknowledged streams, so a failed copy's outstanding work
+	// can be re-dispatched to a survivor.
+	pending []pendingBuf
+
 	// Producer-side ack latency instrumentation. Acks arrive in send
 	// order on a connection, so a FIFO of send times suffices.
 	record       bool
 	pendingSends []sim.Time
 	ackLatencies []sim.Time
+}
+
+// pendingBuf is one unacknowledged buffer with the unit of work it
+// belongs to; re-dispatch drops entries from units of work the writer
+// has already finished.
+type pendingBuf struct {
+	buf *Buffer
+	uow int
 }
 
 // StreamWriter is a producer copy's handle on a logical stream: it
@@ -31,6 +53,31 @@ type StreamWriter struct {
 	closed     bool
 	maxUnacked int
 	ackCond    *sim.Cond // signalled on every ack when maxUnacked > 0
+	// redispatch enables failover re-dispatch: unacknowledged buffers
+	// of a failed copy are re-sent to a survivor. It requires acks
+	// (demand-driven policy or StreamSpec.Acks) to know what is still
+	// outstanding.
+	redispatch bool
+	// backlog holds buffers reclaimed from failed copies, waiting to be
+	// re-dispatched.
+	backlog []pendingBuf
+	// redispatched counts buffers re-sent after a copy failure.
+	redispatched uint64
+}
+
+// Redispatched reports how many buffers were re-sent to a surviving
+// copy after a consumer failure.
+func (w *StreamWriter) Redispatched() uint64 { return w.redispatched }
+
+// LiveTargets reports how many consumer copies are still reachable.
+func (w *StreamWriter) LiveTargets() int {
+	n := 0
+	for _, t := range w.targets {
+		if !t.dead {
+			n++
+		}
+	}
+	return n
 }
 
 // Targets reports the number of consumer copies.
@@ -56,18 +103,28 @@ func (w *StreamWriter) Sent() []uint64 {
 }
 
 // pick chooses the destination copy for the next buffer, blocking
-// under demand-driven routing while every copy is at its demand
-// window.
+// under demand-driven routing while every live copy is at its demand
+// window. It skips failed copies and returns nil when none survive.
 func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 	switch w.policy {
 	case RoundRobin:
-		t := w.targets[w.rr]
-		w.rr = (w.rr + 1) % len(w.targets)
-		return t
+		for range w.targets {
+			t := w.targets[w.rr]
+			w.rr = (w.rr + 1) % len(w.targets)
+			if !t.dead {
+				return t
+			}
+		}
+		return nil
 	case DemandDriven:
 		for {
 			var best *streamConn
+			alive := false
 			for _, t := range w.targets {
+				if t.dead {
+					continue
+				}
+				alive = true
 				if w.maxUnacked > 0 && t.unacked >= w.maxUnacked {
 					continue
 				}
@@ -78,6 +135,11 @@ func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 			if best != nil {
 				return best
 			}
+			if !alive {
+				return nil
+			}
+			// Every live copy is at its demand window; a broadcast on
+			// ack arrival or copy failure re-evaluates.
 			w.ackCond.Wait(p)
 		}
 	}
@@ -85,13 +147,34 @@ func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 }
 
 // Write sends a buffer to one consumer copy chosen by the stream's
-// policy. It blocks until the transport has buffered the bytes.
+// policy. It blocks until the transport has buffered the bytes. When a
+// copy's connection fails mid-send, the copy is marked dead and the
+// buffer (plus, on acknowledged streams, the copy's unacknowledged
+// backlog) is re-dispatched to a survivor; Write fails with
+// ErrNoLiveCopies only once every copy is gone.
 func (w *StreamWriter) Write(p *sim.Proc, buf *Buffer) error {
 	if w.closed {
 		panic("datacutter: write on closed stream " + w.name)
 	}
-	t := w.pick(p)
-	return w.writeTo(p, t, buf)
+	if err := w.flushBacklog(p); err != nil {
+		return err
+	}
+	for {
+		t := w.pick(p)
+		if t == nil {
+			return ErrNoLiveCopies
+		}
+		err := w.writeTo(p, t, buf)
+		if err == nil {
+			return nil
+		}
+		w.failTarget(p, t, err)
+		if w.redispatch {
+			// The buffer joined the backlog via the failed copy's
+			// pending list; flush re-dispatches it with the rest.
+			return w.flushBacklog(p)
+		}
+	}
 }
 
 // WriteTo sends a buffer to an explicit consumer copy, for application
@@ -113,6 +196,9 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 	p.Kernel().Trace("datacutter", "buffer-out", int64(buf.Size), w.name)
 	t.unacked++
 	t.sent++
+	if w.redispatch {
+		t.pending = append(t.pending, pendingBuf{buf: buf, uow: w.uow})
+	}
 	if t.record {
 		t.pendingSends = append(t.pendingSends, p.Now())
 	}
@@ -125,17 +211,78 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 	return t.conn.SendSize(p, buf.Size)
 }
 
+// failTarget marks a copy's connection dead, reclaims its
+// unacknowledged buffers into the backlog and wakes any writer blocked
+// at the demand window. Idempotent: loops that race to report the same
+// broken connection converge on one failover.
+func (w *StreamWriter) failTarget(p *sim.Proc, t *streamConn, err error) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	p.Kernel().Trace("datacutter", "copy-fail", int64(len(t.pending)),
+		w.name+": "+err.Error())
+	w.backlog = append(w.backlog, t.pending...)
+	t.pending = nil
+	t.pendingSends = nil
+	t.unacked = 0
+	if w.ackCond != nil {
+		w.ackCond.Broadcast()
+	}
+	t.conn.Close(p)
+}
+
+// flushBacklog re-dispatches buffers reclaimed from failed copies.
+// Entries from units of work the writer already finished are dropped —
+// that work is lost, traced as uow-lost — because re-sending them
+// after their end-of-work marker would corrupt UOW accounting.
+func (w *StreamWriter) flushBacklog(p *sim.Proc) error {
+	for len(w.backlog) > 0 {
+		e := w.backlog[0]
+		w.backlog = w.backlog[1:]
+		if e.uow != w.uow {
+			p.Kernel().Trace("datacutter", "uow-lost", int64(e.buf.Size), w.name)
+			continue
+		}
+		t := w.pick(p)
+		if t == nil {
+			return ErrNoLiveCopies
+		}
+		if err := w.writeTo(p, t, e.buf); err != nil {
+			// The entry returns to the backlog through t.pending.
+			w.failTarget(p, t, err)
+			continue
+		}
+		w.redispatched++
+	}
+	return nil
+}
+
 // EndOfWork broadcasts the end-of-work marker for the current unit of
-// work to every consumer copy and advances the writer to the next one.
+// work to every surviving consumer copy and advances the writer to the
+// next one. Outstanding re-dispatch backlog flushes first so reclaimed
+// buffers stay inside their unit of work.
 func (w *StreamWriter) EndOfWork(p *sim.Proc) error {
+	if err := w.flushBacklog(p); err != nil {
+		return err
+	}
 	hdr := make([]byte, headerSize)
 	putHeader(hdr, wireEOW, 0, w.uow, 0, 0)
+	live := 0
 	for _, t := range w.targets {
-		if err := t.conn.Send(p, append([]byte(nil), hdr...)); err != nil {
-			return err
+		if t.dead {
+			continue
 		}
+		if err := t.conn.Send(p, append([]byte(nil), hdr...)); err != nil {
+			w.failTarget(p, t, err)
+			continue
+		}
+		live++
 	}
 	w.uow++
+	if live == 0 {
+		return ErrNoLiveCopies
+	}
 	return nil
 }
 
@@ -151,20 +298,34 @@ func (w *StreamWriter) Close(p *sim.Proc) {
 }
 
 // ackReaderLoop runs on the producer side of each connection of a
-// demand-driven stream, absorbing acknowledgments.
+// demand-driven stream, absorbing acknowledgments. A failed or
+// garbled reverse stream fails the copy over instead of panicking:
+// under fault injection a broken or corrupted connection is an
+// operating condition, not a protocol bug.
 func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		hdr := make([]byte, headerSize)
 		for {
 			if _, err := t.conn.RecvFull(p, hdr); err != nil {
+				// Clean EOF and the writer's own shutdown retire the
+				// loop quietly; anything else is a consumer failure.
+				if !errors.Is(err, io.EOF) && !errors.Is(err, core.ErrConnClosed) &&
+					!w.closed && !t.dead {
+					w.failTarget(p, t, err)
+				}
 				return
 			}
 			kind, _, _, _, _ := parseHeader(hdr)
 			if kind != wireAck {
-				panic("datacutter: unexpected reverse-stream message")
+				w.failTarget(p, t, errors.New("datacutter: garbled reverse-stream message"))
+				return
 			}
 			if t.unacked > 0 {
 				t.unacked--
+			}
+			if len(t.pending) > 0 {
+				// Acks arrive in send order, so the head is acked.
+				t.pending = t.pending[1:]
 			}
 			if t.record && len(t.pendingSends) > 0 {
 				t.ackLatencies = append(t.ackLatencies, p.Now()-t.pendingSends[0])
@@ -179,9 +340,10 @@ func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
 
 // inboxItem is one delivered stream element on the consumer side.
 type inboxItem struct {
-	buf *Buffer
-	eow bool
-	uow int // for eow markers: the unit of work they terminate
+	buf  *Buffer
+	eow  bool
+	uow  int // for eow markers: the unit of work they terminate
+	lost bool // the producer connection behind this slot ended
 }
 
 // StreamReader is a consumer copy's handle on a logical stream,
@@ -225,9 +387,25 @@ func (r *StreamReader) Read(p *sim.Proc) (*Buffer, bool) {
 		if !ok {
 			return nil, false // stream closed
 		}
+		if item.lost {
+			// A producer connection ended; stop waiting for its
+			// end-of-work markers. The current unit of work may now be
+			// complete with one fewer expected marker.
+			r.nconns--
+			p.Kernel().Trace("datacutter", "producer-lost", int64(r.nconns), r.name)
+			if r.nconns <= 0 {
+				return nil, false
+			}
+			if r.eowSeen[r.uow] >= r.nconns {
+				delete(r.eowSeen, r.uow)
+				r.uow++
+				return nil, false
+			}
+			continue
+		}
 		if item.eow {
 			r.eowSeen[item.uow]++
-			if r.eowSeen[r.uow] == r.nconns {
+			if r.eowSeen[r.uow] >= r.nconns {
 				delete(r.eowSeen, r.uow)
 				r.uow++
 				return nil, false
@@ -248,10 +426,14 @@ func (r *StreamReader) Read(p *sim.Proc) (*Buffer, bool) {
 func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
 	r.received++
 	p.Kernel().Trace("datacutter", "buffer-in", int64(b.Size), r.name)
-	if (r.policy == DemandDriven || r.acks) && b.src != nil {
+	if (r.policy == DemandDriven || r.acks) && b.src != nil && !b.src.dead {
 		hdr := make([]byte, headerSize)
 		putHeader(hdr, wireAck, 0, b.UOW, 0, 0)
-		b.src.conn.Send(p, hdr)
+		if err := b.src.conn.Send(p, hdr); err != nil {
+			// The producer is unreachable; it will fail this copy over
+			// on its own side. Mark the conn so later acks are skipped.
+			b.src.dead = true
+		}
 	}
 }
 
@@ -262,13 +444,27 @@ func (w *StreamWriter) AckLatencies(target int) []sim.Time {
 }
 
 // connReaderLoop parses one inbound connection into the shared inbox.
+// A clean EOF (the producer closed after its final end-of-work marker)
+// just retires the connection; a broken transport or a garbled header
+// (possible under injected corruption) additionally enqueues a lost
+// marker so the reader stops expecting end-of-work markers from this
+// producer.
 func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
+		lost := func(p *sim.Proc) {
+			sc.dead = true
+			r.inbox.Put(p, inboxItem{lost: true})
+			closed()
+		}
 		hdr := make([]byte, headerSize)
 		var scratch [32 * 1024]byte
 		for {
 			if _, err := sc.conn.RecvFull(p, hdr); err != nil {
-				closed()
+				if errors.Is(err, io.EOF) {
+					closed()
+				} else {
+					lost(p)
+				}
 				return
 			}
 			kind, flags, uow, size, tag := parseHeader(hdr)
@@ -280,7 +476,7 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim
 				if flags&flagReal != 0 {
 					buf.Data = make([]byte, size)
 					if _, err := sc.conn.RecvFull(p, buf.Data); err != nil {
-						closed()
+						lost(p)
 						return
 					}
 				} else {
@@ -293,14 +489,16 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim
 						m, err := sc.conn.RecvFull(p, scratch[:n])
 						remaining -= m
 						if err != nil {
-							closed()
+							lost(p)
 							return
 						}
 					}
 				}
 				r.inbox.Put(p, inboxItem{buf: buf})
 			default:
-				panic("datacutter: unexpected forward-stream message")
+				p.Kernel().Trace("datacutter", "garbled-header", 0, r.name)
+				lost(p)
+				return
 			}
 		}
 	}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/fault"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/stats"
+)
+
+// Experiment family E15: behaviour of the two transports under
+// injected faults. The paper's testbed never loses a frame; E15 asks
+// what each sockets substrate costs to harden. The kernel path hides
+// wire loss behind retransmission; the user-level path trades that
+// for break detection and application-level redial, exactly the
+// reliability split Section 2 attributes to VIA's reliable-delivery
+// mode (a lost frame breaks the connection).
+
+// e15DropRates is the per-frame drop probability axis.
+var e15DropRates = []float64{0, 1e-4, 1e-3}
+
+// e15Chunks are the application chunk sizes of the resumable
+// transfer.
+var e15Chunks = []int{16 << 10, 256 << 10}
+
+// e15CrashFractions place the consumer-copy crash at fractions of the
+// fault-free runtime.
+var e15CrashFractions = []float64{0.25, 0.5, 0.75}
+
+const e15OpTimeout = 10 * sim.Millisecond
+
+// faultRig is an n-node recovery-armed cluster with a fault plan
+// installed.
+type faultRig struct {
+	k   *sim.Kernel
+	cl  *cluster.Cluster
+	fab *core.Fabric
+	inj *fault.Injector
+}
+
+func newFaultRig(nodes int, kind core.Kind, plan fault.Plan) *faultRig {
+	prof := core.RecoveryProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	for i := 0; i < nodes; i++ {
+		cl.AddNode(fmt.Sprintf("n%d", i), cluster.DefaultConfig())
+	}
+	inj := fault.Install(cl, plan)
+	fab := core.NewFabric(cl, kind, prof)
+	for _, node := range cl.Nodes() {
+		inj.ArmDescPressure(node.Name(), fab.Endpoint(node.Name()))
+	}
+	return &faultRig{k: k, cl: cl, fab: fab, inj: inj}
+}
+
+// xferResult is one resumable-transfer run.
+type xferResult struct {
+	// Done is the virtual time the last chunk reached the receiver
+	// (zero if the transfer never completed).
+	Done sim.Time
+	// Redials counts reconnects the sender needed.
+	Redials int
+}
+
+// runResumableTransfer pushes total bytes n0 -> n1 as stop-and-wait
+// chunks (an 8-byte chunk-index header, the chunk, a 1-byte ack) and
+// recovers from transport failures by redialing and resuming from the
+// last acknowledged chunk — at-least-once delivery on top of either
+// transport.
+func runResumableTransfer(o Options, kind core.Kind, chunk, total int, drop float64) xferResult {
+	plan := fault.Plan{Seed: o.Seed}
+	if drop > 0 {
+		plan.Links = []fault.LinkFault{{DropProb: drop}}
+	}
+	r := newFaultRig(2, kind, plan)
+	nchunks := (total + chunk - 1) / chunk
+
+	var res xferResult
+	l := r.fab.Endpoint("n1").Listen(1)
+	r.k.Go("e15-rx", func(p *sim.Proc) {
+		highest := -1
+		hdr := make([]byte, 8)
+		body := make([]byte, chunk)
+		ack := []byte{1}
+		for {
+			c, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			c.SetTimeout(e15OpTimeout)
+			clean := false
+			for {
+				if _, err := c.RecvFull(p, hdr); err != nil {
+					clean = highest == nchunks-1
+					break
+				}
+				idx := int(binary.BigEndian.Uint64(hdr))
+				if _, err := c.RecvFull(p, body); err != nil {
+					break
+				}
+				if idx > highest {
+					highest = idx
+					if highest == nchunks-1 {
+						res.Done = p.Now()
+					}
+				}
+				if err := c.Send(p, ack); err != nil {
+					break
+				}
+			}
+			c.Close(p)
+			if clean {
+				return
+			}
+		}
+	})
+	r.k.Go("e15-tx", func(p *sim.Proc) {
+		pol := core.DefaultRetryPolicy(o.Seed + 1)
+		ep := r.fab.Endpoint("n0")
+		c, err := core.Redial(p, ep, "n1", 1, pol)
+		if err != nil {
+			return
+		}
+		c.SetTimeout(e15OpTimeout)
+		hdr := make([]byte, 8)
+		ack := make([]byte, 1)
+		acked := 0
+		for acked < nchunks {
+			binary.BigEndian.PutUint64(hdr, uint64(acked))
+			err := c.Send(p, hdr)
+			if err == nil {
+				err = c.SendSize(p, chunk)
+			}
+			if err == nil {
+				_, err = c.RecvFull(p, ack)
+			}
+			if err != nil {
+				// The connection broke (or a deadline fired with the
+				// peer unreachable): replace it and resume from the
+				// last acknowledged chunk.
+				c.Close(p)
+				res.Redials++
+				if c, err = core.Redial(p, ep, "n1", 1, pol); err != nil {
+					return
+				}
+				c.SetTimeout(e15OpTimeout)
+				continue
+			}
+			acked++
+		}
+		c.Close(p)
+	})
+	r.k.RunAll()
+	return res
+}
+
+// FigFaultTransfer reproduces E15a: completion time of a resumable
+// chunked transfer versus injected per-frame drop probability, per
+// transport and chunk size. The kernel path absorbs loss with
+// retransmission; SocketVIA's reliable-delivery VIA breaks on every
+// lost frame and pays a redial instead.
+func FigFaultTransfer(o Options) *stats.Table {
+	t := &stats.Table{
+		Title:  "E15a: Resumable transfer under injected frame loss",
+		XLabel: "drop_prob",
+		YLabel: "completion (us) / redials",
+		X:      e15DropRates,
+	}
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		for _, chunk := range e15Chunks {
+			var us, redials []float64
+			for _, drop := range e15DropRates {
+				res := runResumableTransfer(o, kind, chunk, o.LBBytes, drop)
+				if res.Done == 0 {
+					panic(fmt.Sprintf("experiments: e15a transfer incomplete (%s chunk %d drop %g)",
+						kind, chunk, drop))
+				}
+				us = append(us, res.Done.Micros())
+				redials = append(redials, float64(res.Redials))
+			}
+			t.AddSeries(fmt.Sprintf("%s_%dk_us", kind, chunk>>10), us)
+			t.AddSeries(fmt.Sprintf("%s_%dk_redials", kind, chunk>>10), redials)
+		}
+	}
+	return t
+}
+
+// e15Filter drives the E15b filter group: a source streaming fixed
+// size buffers and sinks that count and timestamp.
+type e15SourceFilter struct {
+	perUOW int
+	block  int
+}
+
+func (f *e15SourceFilter) Init(*datacutter.Context) error { return nil }
+func (f *e15SourceFilter) Process(ctx *datacutter.Context) error {
+	out := ctx.Output("s")
+	for i := 0; i < f.perUOW; i++ {
+		if err := out.Write(ctx.Proc(), &datacutter.Buffer{Size: f.block}); err != nil {
+			return err
+		}
+	}
+	return out.EndOfWork(ctx.Proc())
+}
+func (f *e15SourceFilter) Finalize(*datacutter.Context) error { return nil }
+
+type e15SinkFilter struct {
+	copy     int
+	received *[]uint64
+	finish   *[]sim.Time
+}
+
+func (f *e15SinkFilter) Init(*datacutter.Context) error { return nil }
+func (f *e15SinkFilter) Process(ctx *datacutter.Context) error {
+	in := ctx.Input("s")
+	for {
+		if _, ok := in.Read(ctx.Proc()); !ok {
+			(*f.finish)[f.copy] = ctx.Now()
+			return nil
+		}
+		(*f.received)[f.copy]++
+	}
+}
+func (f *e15SinkFilter) Finalize(*datacutter.Context) error { return nil }
+
+// failoverResult is one E15b run.
+type failoverResult struct {
+	// Completion is when the surviving copy finished the last unit of
+	// work (for the baseline: when the slower of the two finished).
+	Completion sim.Time
+	// Redispatched counts buffers re-sent to the survivor.
+	Redispatched uint64
+	// SurvivorShare is the fraction of delivered buffers the survivor
+	// processed.
+	SurvivorShare float64
+}
+
+const e15UOWs = 2
+
+// runCrashFailover runs one producer feeding two transparent consumer
+// copies under the demand-driven policy, crashing the second copy's
+// node at crashAt (zero: fault-free baseline).
+func runCrashFailover(o Options, kind core.Kind, crashAt sim.Time) failoverResult {
+	plan := fault.Plan{Seed: o.Seed}
+	if crashAt > 0 {
+		plan.Crashes = []fault.NodeCrash{{Node: "n2", At: crashAt}}
+	}
+	r := newFaultRig(3, kind, plan)
+	const block = 16 << 10
+	perUOW := o.LBBytes / (e15UOWs * block)
+	received := make([]uint64, 2)
+	finish := make([]sim.Time, 2)
+	g := datacutter.NewRuntime(r.cl, r.fab).Instantiate(datacutter.GroupSpec{
+		Filters: []datacutter.FilterSpec{
+			{Name: "src", Placement: []string{"n0"},
+				New: func(int) datacutter.Filter { return &e15SourceFilter{perUOW: perUOW, block: block} }},
+			{Name: "dst", Placement: []string{"n1", "n2"},
+				New: func(copy int) datacutter.Filter {
+					return &e15SinkFilter{copy: copy, received: &received, finish: &finish}
+				}},
+		},
+		Streams: []datacutter.StreamSpec{{
+			Name: "s", From: "src", To: "dst",
+			Policy:     datacutter.DemandDriven,
+			MaxUnacked: 4,
+			OpTimeout:  2 * sim.Millisecond,
+		}},
+	})
+	// A crashed copy never reports done, so run the event heap dry
+	// instead of waiting on the group's done signal.
+	g.Start(e15UOWs)
+	r.k.RunAll()
+	if err := g.Err(); err != nil {
+		panic("experiments: e15b group failed: " + err.Error())
+	}
+	res := failoverResult{
+		Completion:   finish[0],
+		Redispatched: g.WriterOf("src", 0, "s").Redispatched(),
+	}
+	if finish[1] > res.Completion {
+		res.Completion = finish[1]
+	}
+	if crashAt > 0 {
+		// The survivor's finish time is the measurement; the crashed
+		// copy's stale timestamp (zero or pre-crash) never exceeds it.
+		res.Completion = finish[0]
+	}
+	if total := received[0] + received[1]; total > 0 {
+		res.SurvivorShare = float64(received[0]) / float64(total)
+	}
+	return res
+}
+
+// FigFaultFailover reproduces E15b: total execution time of a
+// demand-driven filter group when one of two transparent consumer
+// copies crashes partway through, versus the crash point as a
+// fraction of the fault-free runtime. The second series counts the
+// buffers re-dispatched to the survivor.
+func FigFaultFailover(o Options) *stats.Table {
+	xs := make([]float64, len(e15CrashFractions))
+	for i, f := range e15CrashFractions {
+		xs[i] = f * 100
+	}
+	t := &stats.Table{
+		Title:  "E15b: Demand-driven failover to the surviving transparent copy",
+		XLabel: "crash_at_pct_of_baseline",
+		YLabel: "completion (us) / redispatched buffers",
+		X:      xs,
+	}
+	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
+		base := runCrashFailover(o, kind, 0)
+		var us, redisp []float64
+		for _, frac := range e15CrashFractions {
+			crashAt := sim.Time(float64(base.Completion) * frac)
+			res := runCrashFailover(o, kind, crashAt)
+			us = append(us, res.Completion.Micros())
+			redisp = append(redisp, float64(res.Redispatched))
+		}
+		t.AddSeries(fmt.Sprintf("%s_us", kind), us)
+		t.AddSeries(fmt.Sprintf("%s_redispatched", kind), redisp)
+	}
+	return t
+}

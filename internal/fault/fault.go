@@ -1,0 +1,246 @@
+// Package fault injects deterministic failures into the simulated
+// fabric: probabilistic frame drop and corruption per link, network
+// partition windows in virtual time, node crashes and slowdowns, and
+// VIA receive-descriptor exhaustion pressure.
+//
+// A Plan is pure declarative data. Install compiles it into an
+// Injector wired into the cluster's network and event schedule. All
+// randomness flows through rand.Rand instances seeded from Plan.Seed,
+// and every decision point runs in deterministic simulation order
+// (the kernel is single-threaded), so the same plan over the same
+// workload reproduces the same failures bit-for-bit — the property
+// experiment E15 relies on and the CI determinism job checks.
+//
+// A zero Plan installs nothing: Install leaves the network without a
+// FaultModel, so the fault-free code path is not merely "faults with
+// probability zero" but the exact pre-fault-injection path, keeping
+// headline figures byte-identical.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// LinkFault applies probabilistic frame damage to one directed link.
+// Empty Src or Dst acts as a wildcard matching any node.
+type LinkFault struct {
+	Src, Dst string
+	// DropProb is the per-frame probability the frame is lost.
+	DropProb float64
+	// CorruptProb is the per-frame probability the frame is delivered
+	// damaged (checked only if the frame was not dropped).
+	CorruptProb float64
+}
+
+// Partition severs all traffic between nodes A and B during the
+// virtual-time window [From, To). Traffic resumes at To — a healed
+// partition, the scenario the redial experiments recover from.
+type Partition struct {
+	A, B     string
+	From, To sim.Time
+}
+
+// NodeCrash fail-stops a node at virtual time At: every frame to or
+// from it is dropped from then on, and its next computation parks
+// forever (see cluster.Node.Fail).
+type NodeCrash struct {
+	Node string
+	At   sim.Time
+}
+
+// NodeSlowdown scales a node's computation by Factor starting at At,
+// emulating a degraded-but-alive host.
+type NodeSlowdown struct {
+	Node   string
+	At     sim.Time
+	Factor float64
+}
+
+// DescPressure makes the node's VIA provider treat an arriving data
+// frame as finding no receive descriptor with probability Prob,
+// triggering the receiver-not-ready path the credit protocol normally
+// rules out.
+type DescPressure struct {
+	Node string
+	Prob float64
+}
+
+// Plan declares every fault to inject into one run.
+type Plan struct {
+	// Seed roots all probabilistic decisions. Two runs of the same
+	// workload under the same plan are identical.
+	Seed       int64
+	Links      []LinkFault
+	Partitions []Partition
+	Crashes    []NodeCrash
+	Slowdowns  []NodeSlowdown
+	Pressure   []DescPressure
+}
+
+// Zero reports whether the plan injects nothing at all.
+func (pl Plan) Zero() bool {
+	return len(pl.Links) == 0 && len(pl.Partitions) == 0 &&
+		len(pl.Crashes) == 0 && len(pl.Slowdowns) == 0 &&
+		len(pl.Pressure) == 0
+}
+
+// Injector is a compiled Plan attached to a cluster. It implements
+// netsim.FaultModel; Install registers it with the network unless the
+// plan is zero.
+type Injector struct {
+	cl   *cluster.Cluster
+	plan Plan
+	// rng drives the per-frame drop/corrupt decisions. Judge runs in
+	// deterministic event order, so one shared stream reproduces.
+	rng *rand.Rand
+	// pressure holds a dedicated seeded stream per DescPressure entry
+	// so wire faults and descriptor faults do not perturb each other's
+	// random sequences.
+	pressure map[string]*descPressureState
+
+	drops    uint64
+	corrupts uint64
+}
+
+type descPressureState struct {
+	prob float64
+	rng  *rand.Rand
+}
+
+// Install compiles the plan against the cluster: it registers the
+// injector as the network's fault model, schedules crashes and
+// slowdowns at their virtual times, and prepares descriptor-pressure
+// hooks (armed per endpoint via ArmDescPressure). A zero plan leaves
+// the cluster completely untouched.
+func Install(cl *cluster.Cluster, plan Plan) *Injector {
+	inj := &Injector{cl: cl, plan: plan}
+	if plan.Zero() {
+		return inj
+	}
+	k := cl.Kernel()
+	inj.rng = rand.New(rand.NewSource(plan.Seed))
+	inj.pressure = make(map[string]*descPressureState)
+	for i, dp := range plan.Pressure {
+		inj.pressure[dp.Node] = &descPressureState{
+			prob: dp.Prob,
+			rng:  rand.New(rand.NewSource(plan.Seed ^ int64(i+1)<<20)),
+		}
+	}
+	cl.Network().SetFaultModel(inj)
+	for _, cr := range plan.Crashes {
+		node := cl.Node(cr.Node)
+		if node == nil {
+			panic(fmt.Sprintf("fault: crash names unknown node %q", cr.Node))
+		}
+		k.At(cr.At, func() {
+			k.Trace("fault", "node-crash", 0, node.Name())
+			node.Fail()
+		})
+	}
+	for _, sl := range plan.Slowdowns {
+		node := cl.Node(sl.Node)
+		if node == nil {
+			panic(fmt.Sprintf("fault: slowdown names unknown node %q", sl.Node))
+		}
+		factor := sl.Factor
+		k.At(sl.At, func() {
+			k.Trace("fault", "node-slowdown", int64(factor), node.Name())
+			node.SetSlowFactor(factor)
+		})
+	}
+	return inj
+}
+
+// Active reports whether the injector was compiled from a non-zero
+// plan.
+func (in *Injector) Active() bool { return in.rng != nil }
+
+// Drops reports how many frames the injector dropped (wire loss,
+// partitions, and crashed-node traffic combined).
+func (in *Injector) Drops() uint64 { return in.drops }
+
+// Corrupts reports how many frames the injector damaged in flight.
+func (in *Injector) Corrupts() uint64 { return in.corrupts }
+
+// Judge implements netsim.FaultModel. Precedence: crashed endpoints
+// silence the frame, then partition windows, then per-link
+// probabilistic loss and corruption.
+func (in *Injector) Judge(now sim.Time, f *netsim.Frame) netsim.Disposition {
+	if in.nodeFailed(f.Src) || in.nodeFailed(f.Dst) {
+		in.drops++
+		return netsim.Drop
+	}
+	for _, pt := range in.plan.Partitions {
+		if now >= pt.From && now < pt.To && betweenPair(f, pt.A, pt.B) {
+			in.drops++
+			return netsim.Drop
+		}
+	}
+	for _, lf := range in.plan.Links {
+		if !matchLink(f, lf) {
+			continue
+		}
+		if lf.DropProb > 0 && in.rng.Float64() < lf.DropProb {
+			in.drops++
+			return netsim.Drop
+		}
+		if lf.CorruptProb > 0 && in.rng.Float64() < lf.CorruptProb {
+			in.corrupts++
+			return netsim.Corrupt
+		}
+	}
+	return netsim.Deliver
+}
+
+func (in *Injector) nodeFailed(name string) bool {
+	node := in.cl.Node(name)
+	return node != nil && node.Failed()
+}
+
+func betweenPair(f *netsim.Frame, a, b string) bool {
+	return (f.Src == a && f.Dst == b) || (f.Src == b && f.Dst == a)
+}
+
+func matchLink(f *netsim.Frame, lf LinkFault) bool {
+	return (lf.Src == "" || lf.Src == f.Src) &&
+		(lf.Dst == "" || lf.Dst == f.Dst)
+}
+
+// DescPressureFor returns the descriptor-exhaustion hook for the named
+// node, or nil when the plan applies no pressure there. The hook is
+// what via.Provider.SetDescPressure expects: it reports, per arriving
+// data frame, whether the receive pool should be treated as dry.
+func (in *Injector) DescPressureFor(node string) func() bool {
+	st, ok := in.pressure[node]
+	if !ok {
+		return nil
+	}
+	return func() bool { return st.rng.Float64() < st.prob }
+}
+
+// descPressureArmer is the endpoint capability required to inject
+// descriptor pressure; core's SocketVIA endpoint implements it, the
+// kernel-path endpoint does not (descriptor exhaustion is a VIA-only
+// failure mode).
+type descPressureArmer interface {
+	SetDescPressure(fn func() bool)
+}
+
+// ArmDescPressure wires the plan's descriptor pressure into every
+// endpoint that supports it. ep is typically core.Fabric.Endpoint for
+// each node; pass endpoints in cluster order for reproducibility
+// (iterate cl.Nodes(), not a map).
+func (in *Injector) ArmDescPressure(node string, ep any) {
+	fn := in.DescPressureFor(node)
+	if fn == nil {
+		return
+	}
+	if armer, ok := ep.(descPressureArmer); ok {
+		armer.SetDescPressure(fn)
+	}
+}

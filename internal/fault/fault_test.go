@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/core"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// harness is a two-node cluster with recovery-armed endpoints and a
+// plan installed.
+type harness struct {
+	k   *sim.Kernel
+	cl  *cluster.Cluster
+	f   *core.Fabric
+	inj *Injector
+}
+
+func newHarness(kind core.Kind, plan Plan) *harness {
+	prof := core.RecoveryProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	inj := Install(cl, plan)
+	f := core.NewFabric(cl, kind, prof)
+	for _, node := range cl.Nodes() {
+		inj.ArmDescPressure(node.Name(), f.Endpoint(node.Name()))
+	}
+	return &harness{k: k, cl: cl, f: f, inj: inj}
+}
+
+// transfer pushes total bytes a->b and returns bytes received, the
+// sender's error, and the finishing virtual time.
+func (h *harness) transfer(t *testing.T, total int) (int, error, sim.Time) {
+	t.Helper()
+	l := h.f.Endpoint("b").Listen(1)
+	var got int
+	var sendErr error
+	h.k.Go("server", func(p *sim.Proc) {
+		c, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Recv(p, buf)
+			got += n
+			if err != nil {
+				return
+			}
+		}
+	})
+	h.k.Go("client", func(p *sim.Proc) {
+		c, err := h.f.Endpoint("a").Dial(p, "b", 1)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		c.SetTimeout(50 * sim.Millisecond)
+		sendErr = c.SendSize(p, total)
+		c.Close(p)
+	})
+	h.k.RunAll()
+	return got, sendErr, h.k.Now()
+}
+
+func TestZeroPlanInstallsNothing(t *testing.T) {
+	h := newHarness(core.KindTCP, Plan{Seed: 1})
+	if h.inj.Active() {
+		t.Fatal("zero plan produced an active injector")
+	}
+	got, err, _ := h.transfer(t, 100_000)
+	if err != nil || got != 100_000 {
+		t.Fatalf("fault-free transfer: got %d err %v", got, err)
+	}
+}
+
+func TestLossRecoveryAndDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:  42,
+		Links: []LinkFault{{DropProb: 5e-3}},
+	}
+	run := func() (int, error, sim.Time, uint64) {
+		h := newHarness(core.KindTCP, plan)
+		got, err, end := h.transfer(t, 500_000)
+		return got, err, end, h.inj.Drops()
+	}
+	got1, err1, end1, drops1 := run()
+	if err1 != nil {
+		t.Fatalf("send under loss: %v", err1)
+	}
+	if got1 != 500_000 {
+		t.Fatalf("received %d of 500000 under loss", got1)
+	}
+	if drops1 == 0 {
+		t.Fatal("expected injected drops at 5e-3 over ~350 frames of data+acks")
+	}
+	got2, err2, end2, drops2 := run()
+	if got1 != got2 || end1 != end2 || drops1 != drops2 || !errors.Is(err1, err2) {
+		t.Fatalf("nondeterministic: run1=(%d,%v,%d,%d) run2=(%d,%v,%d,%d)",
+			got1, err1, end1, drops1, got2, err2, end2, drops2)
+	}
+}
+
+func TestPartitionHealsAndTransferCompletes(t *testing.T) {
+	plan := Plan{
+		Seed: 7,
+		Partitions: []Partition{
+			{A: "a", B: "b", From: 2 * sim.Millisecond, To: 12 * sim.Millisecond},
+		},
+	}
+	h := newHarness(core.KindTCP, plan)
+	got, err, end := h.transfer(t, 2_000_000)
+	if err != nil {
+		t.Fatalf("send across healed partition: %v", err)
+	}
+	if got != 2_000_000 {
+		t.Fatalf("received %d of 2000000", got)
+	}
+	if end < 12*sim.Millisecond {
+		t.Fatalf("finished at %v, inside the partition window", end)
+	}
+	if h.inj.Drops() == 0 {
+		t.Fatal("partition dropped nothing")
+	}
+}
+
+func TestNodeCrashSurfacesAsTimeout(t *testing.T) {
+	plan := Plan{
+		Seed:    3,
+		Crashes: []NodeCrash{{Node: "b", At: 1 * sim.Millisecond}},
+	}
+	h := newHarness(core.KindTCP, plan)
+	_, err, _ := h.transfer(t, 8_000_000)
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Fatalf("send to crashed node = %v, want ErrTimeout", err)
+	}
+}
+
+func TestSlowdownDelaysCompletion(t *testing.T) {
+	base := newHarness(core.KindTCP, Plan{})
+	baseEnd := computeRun(base)
+	slow := newHarness(core.KindTCP, Plan{
+		Seed:      1,
+		Slowdowns: []NodeSlowdown{{Node: "b", At: 0, Factor: 4}},
+	})
+	slowEnd := computeRun(slow)
+	if slowEnd <= baseEnd {
+		t.Fatalf("slowdown did not delay: base %v, slowed %v", baseEnd, slowEnd)
+	}
+}
+
+// computeRun runs a fixed computation on node b and reports the
+// finishing virtual time.
+func computeRun(h *harness) sim.Time {
+	h.k.Go("work", func(p *sim.Proc) {
+		h.cl.Node("b").Compute(p, 10*sim.Millisecond)
+	})
+	h.k.RunAll()
+	return h.k.Now()
+}
+
+func TestDescPressureBreaksSocketVIA(t *testing.T) {
+	plan := Plan{
+		Seed:     9,
+		Pressure: []DescPressure{{Node: "b", Prob: 1.0}},
+	}
+	prof := core.RecoveryProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	inj := Install(cl, plan)
+	f := core.NewFabric(cl, core.KindSocketVIA, prof)
+
+	l := f.Endpoint("b").Listen(1)
+	var recvErr error
+	k.Go("server", func(p *sim.Proc) {
+		c, err := l.Accept(p)
+		if err != nil {
+			recvErr = err
+			return
+		}
+		// Arm pressure only after the handshake so setup survives and
+		// the first data message hits the dry pool.
+		inj.ArmDescPressure("b", f.Endpoint("b"))
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Recv(p, buf); err != nil {
+				recvErr = err
+				return
+			}
+		}
+	})
+	k.Go("client", func(p *sim.Proc) {
+		c, err := f.Endpoint("a").Dial(p, "b", 1)
+		if err != nil {
+			return
+		}
+		c.Send(p, make([]byte, 1024))
+		c.Close(p)
+	})
+	k.RunAll()
+	if !errors.Is(recvErr, core.ErrDescriptorExhausted) && !errors.Is(recvErr, core.ErrBroken) {
+		t.Fatalf("recv under descriptor pressure = %v, want ErrDescriptorExhausted", recvErr)
+	}
+	if recvErr == io.EOF {
+		t.Fatal("pressure produced clean EOF instead of a break")
+	}
+}

@@ -73,6 +73,17 @@ type Config struct {
 	// set TCP_NODELAY, so the default profile disables it; it exists
 	// for the ablation benches.
 	Nagle bool
+
+	// RTO is the retransmission timeout. Zero (the default profile)
+	// disables retransmission entirely, preserving the flawless-fabric
+	// behaviour bit for bit; fault scenarios set it to recover from
+	// injected loss. Consecutive timeouts back off exponentially,
+	// capped at 64x.
+	RTO sim.Time
+	// MaxRetries bounds consecutive retransmissions of the same data
+	// (and of a SYN during connect) before the connection fails with
+	// ErrTimeout. Only meaningful when RTO > 0.
+	MaxRetries int
 }
 
 // LinuxCLANConfig returns the kernel path calibrated against the

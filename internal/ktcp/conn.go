@@ -12,6 +12,11 @@ import (
 // ErrClosed reports an operation on a locally closed connection.
 var ErrClosed = errors.New("ktcp: connection closed")
 
+// ErrTimeout reports that a retransmission budget was exhausted (the
+// peer stopped acknowledging) or that a blocking operation exceeded
+// the connection's SetTimeout bound.
+var ErrTimeout = errors.New("ktcp: operation timed out")
+
 // Conn is one endpoint of an established TCP connection: an in-order
 // reliable byte stream with kernel-path costs.
 type Conn struct {
@@ -42,6 +47,41 @@ type Conn struct {
 	ackPending   int
 	ackTimer     *sim.Timer
 	lastAdvLimit int64
+
+	// Retransmission state, active only when cfg.RTO > 0. retransQ
+	// holds transmitted-but-unacked segments in sequence order
+	// (go-back-N); retries counts consecutive timeouts since the last
+	// ack progress; failErr is set once the retry budget is exhausted.
+	retransQ []*segment
+	rtoTimer *sim.Timer
+	retries  int
+	failErr  error
+
+	// opTimeout bounds blocking waits in Send and Recv; zero (the
+	// default) waits forever, as the fault-free model always did.
+	opTimeout sim.Time
+}
+
+// SetTimeout bounds every subsequent blocking wait inside Send and
+// Recv to d of virtual time; the operation fails with ErrTimeout when
+// the bound expires. Zero restores unbounded waits.
+func (c *Conn) SetTimeout(d sim.Time) { c.opTimeout = d }
+
+// fail marks the connection dead with err, wakes every blocked
+// operation, and releases closers. It is idempotent.
+func (c *Conn) fail(err error) {
+	if c.failErr != nil {
+		return
+	}
+	c.failErr = err
+	c.stopRTO()
+	c.retransQ = nil
+	c.sndCond.Broadcast()
+	c.rcvCond.Broadcast()
+	if !c.closeDone.Fired() {
+		c.closeDone.Fire(nil)
+	}
+	c.st.node.Kernel().Trace("ktcp", "conn-fail", 0, c.peerPort+": "+err.Error())
 }
 
 // ID reports the connection id on its stack.
@@ -73,8 +113,106 @@ func (c *Conn) applyAckInfo(seg *segment) {
 	}
 	if seg.cumAck > c.acked {
 		c.acked = seg.cumAck
+		c.pruneRetrans()
 	}
 	c.sndCond.Broadcast()
+}
+
+// segEnd reports the stream offset one past the segment's payload; a
+// FIN occupies one sequence number so its retransmission can be
+// acknowledged distinctly.
+func segEnd(seg *segment) int64 {
+	if seg.kind == segFIN {
+		return seg.seq + 1
+	}
+	return seg.seq + int64(seg.length)
+}
+
+// trackRetrans records a transmitted segment for go-back-N recovery.
+// A no-op when retransmission is disabled (RTO zero), keeping the
+// fault-free path untouched.
+func (c *Conn) trackRetrans(seg *segment) {
+	if c.st.cfg.RTO <= 0 || c.failErr != nil {
+		return
+	}
+	c.retransQ = append(c.retransQ, seg)
+	c.armRTO()
+}
+
+// pruneRetrans drops fully acknowledged segments from the head of the
+// retransmit queue; ack progress resets the backoff and restarts the
+// timer for whatever remains in flight.
+func (c *Conn) pruneRetrans() {
+	if c.st.cfg.RTO <= 0 || len(c.retransQ) == 0 {
+		return
+	}
+	n := 0
+	for _, seg := range c.retransQ {
+		if segEnd(seg) > c.acked {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	c.retransQ = c.retransQ[n:]
+	c.retries = 0
+	c.stopRTO()
+	if len(c.retransQ) > 0 {
+		c.armRTO()
+	}
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+}
+
+// rtoDelay is the current timeout with exponential backoff, capped at
+// 64x the base RTO.
+func (c *Conn) rtoDelay() sim.Time {
+	d := c.st.cfg.RTO
+	for i := 0; i < c.retries && d < 64*c.st.cfg.RTO; i++ {
+		d *= 2
+	}
+	return d
+}
+
+func (c *Conn) armRTO() {
+	if c.st.cfg.RTO <= 0 || c.rtoTimer != nil || c.failErr != nil {
+		return
+	}
+	c.rtoTimer = c.st.node.Kernel().After(c.rtoDelay(), c.onRTO)
+}
+
+// onRTO fires in event context, so it cannot block: retransmission
+// re-queues the in-flight segments with TryPut, and a full NIC queue
+// simply waits for the next timeout. Go-back-N resends everything
+// unacknowledged; the receiver's sequence check discards duplicates.
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	if c.failErr != nil || len(c.retransQ) == 0 {
+		return
+	}
+	if c.retries >= c.st.cfg.MaxRetries {
+		c.fail(ErrTimeout)
+		return
+	}
+	c.retries++
+	st := c.st
+	for _, seg := range c.retransQ {
+		if !st.nicQ.TryPut(&netsim.Frame{
+			Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
+			Size: st.cfg.HeaderSize + seg.length, Payload: seg,
+		}) {
+			break
+		}
+		st.node.Kernel().Trace("ktcp", "retransmit", int64(seg.length), c.peerPort)
+	}
+	c.armRTO()
 }
 
 // Send writes real bytes to the stream. It returns once the data is
@@ -109,9 +247,18 @@ func (c *Conn) send(p *sim.Proc, ch bytebuf.Chunk) error {
 		if c.closing {
 			return ErrClosed
 		}
+		if c.failErr != nil {
+			return c.failErr
+		}
 		space := cfg.SndBuf - c.sndBuf.Len() - c.inflight()
 		if space <= 0 {
-			c.sndCond.Wait(p)
+			if c.opTimeout > 0 {
+				if !c.sndCond.WaitTimeout(p, c.opTimeout) {
+					return ErrTimeout
+				}
+			} else {
+				c.sndCond.Wait(p)
+			}
 			continue
 		}
 		n := ch.Size - offset
@@ -144,8 +291,17 @@ func (c *Conn) Recv(p *sim.Proc, buf []byte) (int, error) {
 		if c.rcvEOF {
 			return 0, io.EOF
 		}
+		if c.failErr != nil {
+			return 0, c.failErr
+		}
 		blocked = true
-		c.rcvCond.Wait(p)
+		if c.opTimeout > 0 {
+			if !c.rcvCond.WaitTimeout(p, c.opTimeout) {
+				return 0, ErrTimeout
+			}
+		} else {
+			c.rcvCond.Wait(p)
+		}
 	}
 	if blocked {
 		c.st.node.Overhead(p, cfg.WakeupCost)
@@ -202,6 +358,9 @@ func (c *Conn) txLoop(p *sim.Proc) {
 	for {
 		var n int
 		for {
+			if c.failErr != nil {
+				return
+			}
 			avail := c.sndBuf.Len()
 			if c.closing && avail == 0 {
 				c.transmitFIN(p)
@@ -235,6 +394,7 @@ func (c *Conn) txLoop(p *sim.Proc) {
 			cumAck: c.rcvd, rwnd: c.rwndAvail(),
 		}
 		c.sent += int64(n)
+		c.trackRetrans(seg)
 		st.segsOut++
 		st.node.Kernel().Trace("ktcp", "segment-out", int64(n), c.peerPort)
 		st.nicQ.Put(p, &netsim.Frame{
@@ -254,9 +414,12 @@ func (c *Conn) transmitFIN(p *sim.Proc) {
 		kind: segFIN, srcPort: st.node.Name(), srcConn: c.id, dstConn: c.peerConn,
 		seq: c.sent, cumAck: c.rcvd, rwnd: c.rwndAvail(),
 	}
+	c.trackRetrans(seg)
 	st.nicQ.Put(p, &netsim.Frame{
 		Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
 		Size: cfg.HeaderSize, Payload: seg,
 	})
-	c.closeDone.Fire(nil)
+	if !c.closeDone.Fired() {
+		c.closeDone.Fire(nil)
+	}
 }

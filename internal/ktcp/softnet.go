@@ -30,15 +30,28 @@ func (st *Stack) softnetLoop(p *sim.Proc) {
 		st.segsIn++
 		switch seg.kind {
 		case segSYN:
+			key := synKey{seg.srcPort, seg.srcConn}
+			if c := st.synConns[key]; c != nil {
+				// Retransmitted SYN for a connection we already
+				// accepted: the SYNACK was lost. Repeat it.
+				st.transmitControl(p, seg.srcPort, &segment{
+					kind: segSYNACK, srcPort: st.node.Name(), srcConn: c.id, dstConn: seg.srcConn,
+				})
+				continue
+			}
+			if st.synSeen[key] {
+				continue // duplicate SYN still queued for accept
+			}
 			l := st.listeners[seg.svc]
 			if l == nil {
 				panic(fmt.Sprintf("ktcp: connect to unbound service %d on %s", seg.svc, st.node.Name()))
 			}
+			st.synSeen[key] = true
 			l.q.TryPut(seg)
 		case segSYNACK:
 			c := st.conns[seg.dstConn]
-			if c == nil {
-				continue
+			if c == nil || c.established {
+				continue // duplicate SYNACK after a retransmitted SYN
 			}
 			c.peerConn = seg.srcConn
 			c.established = true
@@ -53,6 +66,15 @@ func (st *Stack) softnetLoop(p *sim.Proc) {
 			cost := cfg.RxPerSegment + sim.Time(float64(seg.length)*cfg.CopyPerByteRecv+0.5)
 			st.node.Overhead(p, cost)
 			c.applyAckInfo(seg)
+			if seg.seq != c.rcvd {
+				// A gap (a dropped segment) or a go-back-N duplicate.
+				// Discard and force a duplicate ack so the sender
+				// resynchronises. Never taken on a flawless fabric:
+				// per-pair delivery there is FIFO and gapless.
+				st.node.Kernel().Trace("ktcp", "ooo-drop", int64(seg.length), seg.srcPort)
+				st.emitAck(p, c)
+				continue
+			}
 			c.rcvBuf.AppendChunks(seg.data)
 			c.rcvd += int64(seg.length)
 			c.rcvCond.Broadcast()
@@ -75,6 +97,14 @@ func (st *Stack) softnetLoop(p *sim.Proc) {
 				continue
 			}
 			c.applyAckInfo(seg)
+			if seg.seq != c.rcvd {
+				// Duplicate FIN (already consumed) or FIN beyond a
+				// loss gap; either way re-ack and wait for the sender
+				// to close the gap.
+				st.emitAck(p, c)
+				continue
+			}
+			c.rcvd = seg.seq + 1 // FIN consumes one sequence number
 			c.rcvEOF = true
 			c.rcvCond.Broadcast()
 			st.emitAck(p, c)

@@ -52,6 +52,12 @@ type softItem struct {
 	flush *ackFlush
 }
 
+// synKey identifies one connect attempt across SYN retransmissions.
+type synKey struct {
+	port string
+	conn uint32
+}
+
 // Listener accepts inbound connections on a service number.
 type Listener struct {
 	st  *Stack
@@ -78,6 +84,13 @@ type Stack struct {
 	nextConn  uint32
 	listeners map[int]*Listener
 
+	// SYN dedup: retransmitted SYNs must not spawn ghost connections.
+	// synSeen marks handshakes queued for accept; synConns maps
+	// accepted handshakes to their connection so a lost SYNACK can be
+	// repeated. Lookup only — never iterated.
+	synSeen  map[synKey]bool
+	synConns map[synKey]*Conn
+
 	segsIn  uint64
 	segsOut uint64
 	acksOut uint64
@@ -103,8 +116,16 @@ func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
 		conns:     make(map[uint32]*Conn),
 		nextConn:  1,
 		listeners: make(map[int]*Listener),
+		synSeen:   make(map[synKey]bool),
+		synConns:  make(map[synKey]*Conn),
 	}
 	node.Port().Handle(netsim.ProtoIP, func(f *netsim.Frame) {
+		if f.Corrupt {
+			// Checksum failure: the segment is discarded as if lost;
+			// retransmission (when enabled) recovers it.
+			k.Trace("ktcp", "checksum-drop", int64(f.Size), f.Src)
+			return
+		}
 		st.softQ.TryPut(softItem{seg: f.Payload.(*segment)})
 	})
 	k.Go("ktcp-softnet/"+node.Name(), st.softnetLoop)
@@ -155,6 +176,7 @@ func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
 	c.peerConn = syn.srcConn
 	c.established = true
 	c.sndLimit = int64(st.cfg.RcvBuf) // peer buffer, symmetric config
+	st.synConns[synKey{syn.srcPort, syn.srcConn}] = c
 	c.connSig.Fire(nil)
 	st.transmitControl(p, syn.srcPort, &segment{
 		kind: segSYNACK, srcPort: st.node.Name(), srcConn: c.id, dstConn: syn.srcConn,
@@ -163,15 +185,35 @@ func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
 }
 
 // Connect opens a connection to a service on a remote node, blocking
-// for the handshake round trip.
+// for the handshake round trip. With RTO configured, a lost SYN or
+// SYNACK is retransmitted with capped exponential backoff until
+// MaxRetries is exhausted, then Connect fails with ErrTimeout.
 func (st *Stack) Connect(p *sim.Proc, remote string, svc int) (*Conn, error) {
 	st.node.Overhead(p, st.cfg.ConnSetupCPU)
 	c := st.newConn()
 	c.peerPort = remote
-	st.transmitControl(p, remote, &segment{
+	syn := &segment{
 		kind: segSYN, srcPort: st.node.Name(), srcConn: c.id, svc: svc,
-	})
-	p.Wait(c.connSig)
+	}
+	st.transmitControl(p, remote, syn)
+	if st.cfg.RTO > 0 {
+		for attempt := 0; ; attempt++ {
+			if _, ok := p.WaitTimeout(c.connSig, c.rtoDelay()); ok {
+				break
+			}
+			if attempt >= st.cfg.MaxRetries {
+				delete(st.conns, c.id)
+				c.fail(ErrTimeout)
+				return nil, ErrTimeout
+			}
+			c.retries++ // reuse the RTO backoff schedule for the SYN
+			st.node.Kernel().Trace("ktcp", "syn-retransmit", 0, remote)
+			st.transmitControl(p, remote, syn)
+		}
+		c.retries = 0
+	} else {
+		p.Wait(c.connSig)
+	}
 	if !c.established {
 		return nil, errors.New("ktcp: connect failed")
 	}

@@ -40,6 +40,30 @@ type Frame struct {
 	Proto    Proto
 	Size     int
 	Payload  any
+	// Corrupt marks a frame damaged in flight by an installed
+	// FaultModel. The frame is still delivered (and counted); the
+	// receiving stack decides what a failed checksum means for it.
+	Corrupt bool
+}
+
+// Disposition is a FaultModel's verdict on one frame.
+type Disposition int
+
+const (
+	// Deliver passes the frame through untouched.
+	Deliver Disposition = iota
+	// Drop loses the frame on the wire; it is never delivered.
+	Drop
+	// Corrupt delivers the frame with its Corrupt flag set.
+	Corrupt
+)
+
+// FaultModel decides the fate of each transmitted frame. It is
+// consulted once per frame, in deterministic simulation order, so a
+// model drawing from a seeded *rand.Rand reproduces bit-identically.
+// No model installed (the default) means a flawless fabric.
+type FaultModel interface {
+	Judge(now sim.Time, f *Frame) Disposition
 }
 
 // Handler consumes frames arriving at a port for one protocol. It runs
@@ -60,10 +84,12 @@ type Port struct {
 	handlers [numProtos]Handler
 
 	// counters
-	sent     uint64
-	received uint64
-	txBytes  int64
-	rxBytes  int64
+	sent      uint64
+	received  uint64
+	dropped   uint64
+	corrupted uint64
+	txBytes   int64
+	rxBytes   int64
 }
 
 // Name reports the port name.
@@ -74,6 +100,15 @@ func (p *Port) Sent() uint64 { return p.sent }
 
 // Received reports the number of frames delivered.
 func (p *Port) Received() uint64 { return p.received }
+
+// Dropped reports the number of frames addressed to this port that the
+// installed FaultModel lost on the wire. For every port pair,
+// Sent() at sources equals Received()+Dropped() summed at sinks.
+func (p *Port) Dropped() uint64 { return p.dropped }
+
+// Corrupted reports the number of frames delivered to this port with
+// their Corrupt flag set.
+func (p *Port) Corrupted() uint64 { return p.corrupted }
 
 // TxBytes reports total bytes transmitted.
 func (p *Port) TxBytes() int64 { return p.txBytes }
@@ -102,10 +137,16 @@ func CLANConfig() Config {
 
 // Network is the switch plus all attached ports.
 type Network struct {
-	k    *sim.Kernel
-	cfg  Config
-	port map[string]*Port
+	k     *sim.Kernel
+	cfg   Config
+	port  map[string]*Port
+	fault FaultModel
 }
+
+// SetFaultModel installs (or, with nil, removes) the fault model
+// consulted on every transmit. With no model the fabric is flawless
+// and the transmit path is byte-identical to a build without faults.
+func (n *Network) SetFaultModel(m FaultModel) { n.fault = m }
 
 // New returns an empty network on kernel k.
 func New(k *sim.Kernel, cfg Config) *Network {
@@ -159,6 +200,22 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 	src.sent++
 	src.txBytes += int64(f.Size)
 
+	// Fault judgement happens after uplink serialization: the sender
+	// always pays for the bits it put on the wire, whatever their fate.
+	if n.fault != nil {
+		switch n.fault.Judge(n.k.Now(), f) {
+		case Drop:
+			dst.dropped++
+			n.k.Trace("netsim", "frame-drop", int64(f.Size),
+				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
+			return
+		case Corrupt:
+			f.Corrupt = true
+			n.k.Trace("netsim", "frame-corrupt", int64(f.Size),
+				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
+		}
+	}
+
 	// Cut-through switching: when the downlink is idle, bits flow
 	// through the switch while the uplink is still serializing, so the
 	// tail arrives one wire latency after it left the uplink. When the
@@ -176,6 +233,9 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 func (p *Port) deliver(f *Frame) {
 	p.received++
 	p.rxBytes += int64(f.Size)
+	if f.Corrupt {
+		p.corrupted++
+	}
 	h := p.handlers[f.Proto]
 	if h == nil {
 		panic(fmt.Sprintf("netsim: no handler for proto %d at port %q", f.Proto, p.name))

@@ -28,6 +28,14 @@ type packet struct {
 	dstVI   uint32
 	svc     int // service number for connect requests
 
+	// seq numbers every data/RDMA frame on a VI so the receiver can
+	// detect a frame the fault model dropped (reliable delivery turns
+	// loss into a broken connection). Control frames carry no seq.
+	seq uint64
+	// corrupt mirrors netsim.Frame.Corrupt into the packet at the
+	// port handler, where the frame envelope is still in hand.
+	corrupt bool
+
 	// data fragments
 	msgLen  int
 	fragLen int
@@ -86,7 +94,18 @@ type Provider struct {
 
 	descsSent uint64
 	descsRecv uint64
+
+	// descPressure, when set, is consulted as each inbound message
+	// matches its receive descriptor; returning true makes the adapter
+	// behave as if the descriptor pool were exhausted (the RNR break
+	// path). Fault injection uses this to model descriptor pressure.
+	descPressure func() bool
 }
+
+// SetDescPressure installs (or with nil removes) the descriptor
+// exhaustion hook. Must be deterministic (seeded) to keep runs
+// reproducible.
+func (pr *Provider) SetDescPressure(fn func() bool) { pr.descPressure = fn }
 
 // NewProvider attaches an emulated VIA adapter to the node and starts
 // its NIC engines.
@@ -109,7 +128,11 @@ func NewProvider(node *cluster.Node, net *netsim.Network, cfg Config) *Provider 
 		listeners:   make(map[int]*Acceptor),
 	}
 	node.Port().Handle(netsim.ProtoVIA, func(f *netsim.Frame) {
-		pr.rxQ.TryPut(f.Payload.(*packet))
+		pk := f.Payload.(*packet)
+		if f.Corrupt {
+			pk.corrupt = true
+		}
+		pr.rxQ.TryPut(pk)
 	})
 	k.Go("via-txdesc/"+node.Name(), pr.txDescLoop)
 	k.Go("via-txwire/"+node.Name(), pr.txWireLoop)
@@ -207,6 +230,7 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 				srcPort: pr.node.Name(),
 				srcVI:   vi.id,
 				dstVI:   vi.peerVI,
+				seq:     vi.txSeq,
 				msgLen:  desc.Len,
 				fragLen: n,
 				frag:    frag,
@@ -214,6 +238,7 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 				last:    remaining-n == 0,
 				imm:     desc.Imm,
 			}
+			vi.txSeq++
 			if w.rdma {
 				pk.kind = pkRDMA
 				pk.rdmaHandle = w.rdmaHandle
@@ -263,6 +288,12 @@ func (pr *Provider) rxLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		if pk.corrupt && pk.kind != pkData && pk.kind != pkRDMA {
+			// A corrupted control frame fails its checksum and is
+			// silently discarded; higher layers recover by timeout.
+			pr.node.Kernel().Trace("via", "ctrl-corrupt-drop", 0, pk.srcPort)
+			continue
+		}
 		switch pk.kind {
 		case pkConnReq:
 			a := pr.listeners[pk.svc]
@@ -302,6 +333,24 @@ func (pr *Provider) rxLoop(p *sim.Proc) {
 	}
 }
 
+// lossBreak tears a VI down after the receive engine detected wire
+// damage — a sequence gap left by a dropped frame, or a failed
+// checksum on a corrupted one. Reliable delivery has no retransmit:
+// the connection breaks, the peer is notified, and local waiters wake
+// with error completions (directly, when no descriptors were posted
+// for breakLocal to flush).
+func (pr *Provider) lossBreak(p *sim.Proc, vi *VI, why string, n int) {
+	pr.node.Kernel().Trace("via", "loss-break", int64(n), why)
+	hadRecvs := vi.recvDescs.Len() > 0
+	vi.breakLocal()
+	pr.sendControl(p, vi.peerPort, &packet{
+		kind: pkBreak, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
+	})
+	if !hadRecvs {
+		vi.recvCQ.post(Completion{VI: vi, IsRecv: true, Status: StatusBroken})
+	}
+}
+
 func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	vi := pr.vis[pk.dstVI]
 	if vi == nil || vi.state == viBroken {
@@ -309,6 +358,15 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	}
 	p.Sleep(pr.cfg.NICRxPerFrame)
 	pr.dmaUse(p, pk.fragLen)
+	if pk.corrupt {
+		pr.lossBreak(p, vi, "checksum "+pk.srcPort, pk.fragLen)
+		return
+	}
+	if pk.seq != vi.rxSeq {
+		pr.lossBreak(p, vi, fmt.Sprintf("seq gap %d!=%d %s", pk.seq, vi.rxSeq, pk.srcPort), pk.fragLen)
+		return
+	}
+	vi.rxSeq++
 	if pk.first {
 		vi.curLen = 0
 		vi.curParts = vi.curParts[:0]
@@ -320,9 +378,15 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	if !pk.last {
 		return
 	}
-	// Message complete: match the head receive descriptor.
+	// Message complete: match the head receive descriptor. Injected
+	// descriptor pressure makes the adapter treat the pool as
+	// exhausted even when a descriptor is posted.
+	pressured := pr.descPressure != nil && pr.descPressure()
 	desc, ok := vi.recvDescs.TryGet()
-	if !ok || desc.Len < vi.curLen {
+	if pressured {
+		pr.node.Kernel().Trace("via", "desc-pressure", int64(vi.curLen), pk.srcPort)
+	}
+	if !ok || pressured || desc.Len < vi.curLen {
 		// Reliable delivery with no (or too small a) receive
 		// descriptor: the connection breaks. Notify the peer.
 		pr.node.Kernel().Trace("via", "rnr-break", int64(vi.curLen), pk.srcPort)

@@ -75,6 +75,15 @@ func (pr *Provider) rxRDMA(p *sim.Proc, pk *packet) {
 	}
 	p.Sleep(pr.cfg.NICRxPerFrame)
 	pr.dmaUse(p, pk.fragLen)
+	if pk.corrupt {
+		pr.lossBreak(p, vi, "rdma checksum "+pk.srcPort, pk.fragLen)
+		return
+	}
+	if pk.seq != vi.rxSeq {
+		pr.lossBreak(p, vi, fmt.Sprintf("rdma seq gap %d!=%d %s", pk.seq, vi.rxSeq, pk.srcPort), pk.fragLen)
+		return
+	}
+	vi.rxSeq++
 	region := pr.rdmaRegions[pk.rdmaHandle]
 	if region == nil || !region.rdma || pk.rdmaOffset+pk.fragLen > region.size {
 		vi.breakLocal()

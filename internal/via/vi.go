@@ -23,6 +23,10 @@ var (
 	ErrBroken = errors.New("via: connection broken")
 	// ErrNotConnected reports posting on an unconnected VI.
 	ErrNotConnected = errors.New("via: vi not connected")
+	// ErrTimeout reports that connection setup exceeded the configured
+	// ConnTimeout (for example because the fault model ate the request
+	// or the acknowledgement).
+	ErrTimeout = errors.New("via: connect timed out")
 )
 
 // VI is a virtual interface: a connected pair of send and receive work
@@ -46,6 +50,13 @@ type VI struct {
 	curLen   int
 	curParts [][]byte
 	rxMsgs   uint64
+
+	// wire sequence numbers for loss detection: txSeq stamps outgoing
+	// data/RDMA frames, rxSeq is the next expected inbound frame. A
+	// gap means the fault model dropped a frame; reliable delivery
+	// turns that into a broken connection.
+	txSeq uint64
+	rxSeq uint64
 
 	// rdmaBytes counts bytes landed by inbound RDMA writes.
 	rdmaBytes int
@@ -104,7 +115,17 @@ func (pr *Provider) Connect(p *sim.Proc, vi *VI, remote string, svc int) error {
 	pr.sendControl(p, remote, &packet{
 		kind: pkConnReq, srcPort: pr.node.Name(), srcVI: vi.id, svc: svc,
 	})
-	p.Wait(vi.connSig)
+	if pr.cfg.ConnTimeout > 0 {
+		if _, ok := p.WaitTimeout(vi.connSig, pr.cfg.ConnTimeout); !ok {
+			// Tear the VI down before returning so a late ack finds
+			// nothing to resurrect.
+			vi.state = viBroken
+			vi.teardown()
+			return ErrTimeout
+		}
+	} else {
+		p.Wait(vi.connSig)
+	}
 	if vi.state != viConnected {
 		return ErrBroken
 	}

@@ -84,6 +84,11 @@ type Config struct {
 	// ConnSetupCPU is charged on each side during connection setup.
 	ConnSetupCPU sim.Time
 
+	// ConnTimeout bounds how long Connect waits for the acceptor's
+	// acknowledgement; zero (the default) waits forever, preserving
+	// the fault-free behaviour exactly.
+	ConnTimeout sim.Time
+
 	// TxFIFODepth is the number of frames the adapter buffers between
 	// the DMA stage and the wire stage; it sets how deeply DMA and
 	// transmission pipeline.
