@@ -1,0 +1,169 @@
+// Command bench records a performance snapshot of the simulator in a
+// BENCH_<date>.json file: ns/op, B/op and allocs/op of the figure
+// micro-benchmarks (via testing.Benchmark, in process), plus the
+// wall-clock time of the full quick figure set sequentially and at
+// GOMAXPROCS workers. Each snapshot embeds the pre-optimization
+// baseline so allocation regressions are visible without digging
+// through git history.
+//
+// Usage:
+//
+//	bench                    # full snapshot, writes BENCH_<date>.json
+//	bench -skip-figures      # benchmarks only (seconds instead of minutes)
+//	bench -out path.json     # explicit output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hpsockets/internal/experiments"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// FigureRun is one timed quick-figure-set run.
+type FigureRun struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Snapshot is the whole file.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Result    `json:"benchmarks"`
+	Figures    []FigureRun `json:"figures_quick,omitempty"`
+	Baseline   Baseline    `json:"baseline"`
+}
+
+// Baseline pins the pre-optimization numbers (sequential kernel, no
+// event/frame/segment pooling) measured on the same class of machine,
+// so every snapshot carries its own point of comparison.
+type Baseline struct {
+	Description         string   `json:"description"`
+	Benchmarks          []Result `json:"benchmarks"`
+	FiguresQuickSeconds float64  `json:"figures_quick_seconds"`
+}
+
+var baseline = Baseline{
+	Description: "before event/frame/segment pooling and the parallel runner (sequential, single worker)",
+	Benchmarks: []Result{
+		{Name: "Fig4aLatency", NsPerOp: 37120382, BytesPerOp: 7336304, AllocsPerOp: 147609},
+		{Name: "Fig4bBandwidth", NsPerOp: 233678487, BytesPerOp: 38613720, AllocsPerOp: 1182100},
+	},
+	FiguresQuickSeconds: 225.4,
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	skipFigures := flag.Bool("skip-figures", false, "skip the timed quick figure set (minutes)")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Baseline:   baseline,
+	}
+	if *out == "" {
+		*out = "BENCH_" + snap.Date + ".json"
+	}
+
+	// The micro-benchmarks mirror the root package's BenchmarkFig4a/4b:
+	// quick options, sequential, so the numbers are directly comparable
+	// with the embedded baseline.
+	benches := []struct {
+		name string
+		run  func(o experiments.Options)
+	}{
+		{"Fig4aLatency", func(o experiments.Options) { experiments.Fig4aLatency(o) }},
+		{"Fig4bBandwidth", func(o experiments.Options) { experiments.Fig4bBandwidth(o) }},
+	}
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			o := experiments.QuickOptions()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bm.run(o)
+			}
+		})
+		snap.Benchmarks = append(snap.Benchmarks, Result{
+			Name:        bm.name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	if !*skipFigures {
+		for _, workers := range figureWorkerCounts() {
+			fmt.Fprintf(os.Stderr, "bench: quick figure set, %d worker(s)...\n", workers)
+			o := experiments.QuickOptions()
+			o.Workers = workers
+			start := time.Now()
+			runQuickFigures(o)
+			snap.Figures = append(snap.Figures, FigureRun{
+				Workers: workers,
+				Seconds: time.Since(start).Seconds(),
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(*out)
+}
+
+// figureWorkerCounts picks the timed worker counts: sequential always,
+// and the machine's parallelism when it has any.
+func figureWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// runQuickFigures regenerates the same figure set as `figures -quick`
+// (every paper figure; the fault family is opt-in there and timed
+// figure runs match that default), discarding the tables. The memo
+// shared by the Figure 7/8 searches is cleared first so every timed
+// run starts cold, as a fresh `figures` process would.
+func runQuickFigures(o experiments.Options) {
+	experiments.ResetPipelineMemo()
+	experiments.Micro(o)
+	experiments.Fig2Crossover(o)
+	experiments.Fig4aLatency(o)
+	experiments.Fig4bBandwidth(o)
+	experiments.Fig7(o, false)
+	experiments.Fig7(o, true)
+	experiments.Fig8(o, false)
+	experiments.Fig8(o, true)
+	experiments.Fig9(o, false)
+	experiments.Fig9(o, true)
+	experiments.Fig10(o)
+	experiments.Fig11(o)
+	experiments.PerfectPipelining(o)
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hpsockets/internal/experiments"
@@ -22,12 +23,15 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 2,4a,4b,7a,7b,8a,8b,9a,9b,10,11,pp,micro,fault or all")
 	quick := flag.Bool("quick", false, "reduced repetition counts")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"experiment cells run concurrently; any value emits byte-identical figures")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
 	if *quick {
 		o = experiments.QuickOptions()
 	}
+	o.Workers = *workers
 	render := func(t *stats.Table) {
 		if *csv {
 			fmt.Print(t.CSV())

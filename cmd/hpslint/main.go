@@ -20,6 +20,7 @@ import (
 	"hpsockets/internal/analysis/closecheck"
 	"hpsockets/internal/analysis/determinism"
 	"hpsockets/internal/analysis/framework"
+	"hpsockets/internal/analysis/poolsafe"
 	"hpsockets/internal/analysis/procdiscipline"
 )
 
@@ -28,6 +29,7 @@ var all = []*framework.Analyzer{
 	procdiscipline.Analyzer,
 	bufalias.Analyzer,
 	closecheck.Analyzer,
+	poolsafe.Analyzer,
 }
 
 func main() {

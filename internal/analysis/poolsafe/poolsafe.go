@@ -1,0 +1,276 @@
+// Package poolsafe defines an analyzer that catches use of a pooled
+// simulation object after it was returned to its free-list.
+//
+// The hot paths recycle events, frames, segments, packets and send
+// works through per-kernel free-lists (netsim.Network.FreeFrame,
+// ktcp's freeSeg, via's freePacket/freeSendWork, sim's releaseEvent).
+// A released object is immediately eligible for reuse by an unrelated
+// connection, so reading or writing it afterwards is the pooled
+// equivalent of a use-after-free: the symptom is another connection's
+// payload mutating many virtual microseconds later, with no useful
+// stack. This analyzer keeps the release points honest.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "poolsafe",
+	Doc: `forbid use of a pooled object after it was released to a free-list
+
+Within one function, once a variable is passed to a pool release
+function (FreeFrame, freeSeg, freePacket, freeSendWork, releaseEvent),
+later uses of that variable — field access, indexing, or passing it to
+any call — are flagged. Reassigning the variable ends the tracking; a
+release on a path that leaves its enclosing block or case clause
+(return, continue, break, goto) does not taint code after it; and
+sibling branches — the else arm, other case clauses — are alternatives
+to the release, never its successors, so uses there are clean.`,
+	Run: run,
+}
+
+// releasers are the free-list release entry points, matched by callee
+// name with the released object as the sole argument. Name-based
+// matching deliberately covers both the exported netsim API and the
+// package-private ktcp/via/sim helpers.
+var releasers = map[string]bool{
+	"FreeFrame":    true,
+	"freeSeg":      true,
+	"freePacket":   true,
+	"freeSendWork": true,
+	"releaseEvent": true,
+}
+
+// posRange is a half-open source interval.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
+
+// release is one hand-back of obj to a pool.
+type release struct {
+	call *ast.CallExpr
+	// limit is the position after which uses are no longer reachable
+	// from this release (the enclosing statement list's end when that
+	// list terminates with return/continue/break), or maxPos when
+	// control falls through.
+	limit token.Pos
+	// excludes are sibling branches of the release — the else arm or
+	// other case clauses of enclosing if/switch/select statements —
+	// which execute instead of the release, never after it.
+	excludes []posRange
+	fn       string
+}
+
+const maxPos = token.Pos(int(^uint(0) >> 1))
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	releases := make(map[types.Object][]release)
+	kills := make(map[types.Object][]token.Pos)
+	killSites := make(map[token.Pos]bool) // positions of kill LHS idents
+
+	// Pass 1: collect releases (with their reachability limit) and
+	// reassignment kills.
+	framework.WithStackNode(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj, fn := releaseArg(pass, n); obj != nil {
+				limit, excludes := computeReach(n, stack)
+				releases[obj] = append(releases[obj], release{
+					call:     n,
+					limit:    limit,
+					excludes: excludes,
+					fn:       fn,
+				})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := useOrDef(pass, id); obj != nil {
+						kills[obj] = append(kills[obj], n.Pos())
+						killSites[id.Pos()] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		return
+	}
+	for _, ks := range kills {
+		sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	}
+
+	// Pass 2: flag uses that land after a release, inside its reach,
+	// with no intervening reassignment.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || killSites[id.Pos()] {
+			return true // a kill target is a rebind, not a use
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		rs, tracked := releases[obj]
+		if !tracked {
+			return true
+		}
+		for _, r := range rs {
+			if id.Pos() <= r.call.End() || id.Pos() >= r.limit {
+				continue // before (or part of) the release, or unreachable from it
+			}
+			if inSiblingBranch(r.excludes, id.Pos()) {
+				continue // an alternative to the release, not its successor
+			}
+			if killedBetween(kills[obj], r.call.End(), id.Pos()) {
+				continue
+			}
+			pass.Reportf(id.Pos(),
+				"use of %s after %s released it to the pool: the object may already be recycled by an unrelated owner",
+				obj.Name(), r.fn)
+			return true
+		}
+		return true
+	})
+}
+
+// computeReach bounds where uses are reachable from a release call.
+//
+// The limit: if the release's innermost statement list (a block body
+// or a case clause) ends in a terminating statement (return, continue,
+// break, goto), code after that list never runs on the release's path,
+// so the limit is the list's end. Otherwise control may fall through
+// and the release taints the rest of the function.
+//
+// The excludes: sibling branches of enclosing if/switch/select
+// statements execute instead of the release, so uses inside them are
+// alternatives rather than successors.
+func computeReach(call *ast.CallExpr, stack []ast.Node) (token.Pos, []posRange) {
+	limit := maxPos
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		var end token.Pos
+		switch s := stack[i].(type) {
+		case *ast.BlockStmt:
+			list, end = s.List, s.End()
+		case *ast.CaseClause:
+			list, end = s.Body, s.End()
+		case *ast.CommClause:
+			list, end = s.Body, s.End()
+		default:
+			continue
+		}
+		for _, st := range list {
+			if st.Pos() <= call.Pos() {
+				continue
+			}
+			switch st.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				limit = end
+			}
+			if limit != maxPos {
+				break
+			}
+		}
+		break // only the innermost list decides the limit
+	}
+
+	var excludes []posRange
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			if s.Else != nil && within(call, s.Body) {
+				excludes = append(excludes, posRange{s.Else.Pos(), s.Else.End()})
+			}
+		case *ast.SwitchStmt:
+			excludes = appendSiblingClauses(excludes, s.Body, call)
+		case *ast.TypeSwitchStmt:
+			excludes = appendSiblingClauses(excludes, s.Body, call)
+		case *ast.SelectStmt:
+			excludes = appendSiblingClauses(excludes, s.Body, call)
+		}
+	}
+	return limit, excludes
+}
+
+// appendSiblingClauses excludes every clause of a switch/select body
+// other than the one containing the release.
+func appendSiblingClauses(excl []posRange, body *ast.BlockStmt, call *ast.CallExpr) []posRange {
+	for _, clause := range body.List {
+		if !within(call, clause) {
+			excl = append(excl, posRange{clause.Pos(), clause.End()})
+		}
+	}
+	return excl
+}
+
+func within(call *ast.CallExpr, n ast.Node) bool {
+	return call.Pos() >= n.Pos() && call.End() <= n.End()
+}
+
+func inSiblingBranch(excludes []posRange, p token.Pos) bool {
+	for _, r := range excludes {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseArg returns the object handed to a pool release call and the
+// callee name, or nil. The released value must be the call's final
+// argument (methods like Network.FreeFrame take only it).
+func releaseArg(pass *framework.Pass, call *ast.CallExpr) (types.Object, string) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return nil, ""
+	}
+	if !releasers[name] || len(call.Args) == 0 {
+		return nil, ""
+	}
+	id, ok := call.Args[len(call.Args)-1].(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	return pass.TypesInfo.Uses[id], name
+}
+
+func killedBetween(kills []token.Pos, lo, hi token.Pos) bool {
+	for _, k := range kills {
+		if k > lo && k < hi {
+			return true
+		}
+	}
+	return false
+}
+
+func useOrDef(pass *framework.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/poolsafe"
+)
+
+func TestPoolSafe(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolsafe.Analyzer, "poolsafe")
+}

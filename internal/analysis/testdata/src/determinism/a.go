@@ -31,3 +31,16 @@ func seeded(seed int64, n int) int {
 func scale(d time.Duration) time.Duration {
 	return d * 3 / 2
 }
+
+// Near miss: the parallel experiment runner's per-cell idiom. Every
+// cell derives its own generator from the base seed and its cell
+// index, so results are identical at any worker count — the sanctioned
+// way to randomize concurrent experiment cells.
+func perCell(seed int64, cells int) []int {
+	out := make([]int, cells)
+	for cell := range out {
+		rng := rand.New(rand.NewSource(seed + int64(cell)))
+		out[cell] = rng.Intn(100)
+	}
+	return out
+}

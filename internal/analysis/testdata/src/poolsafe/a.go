@@ -1,0 +1,118 @@
+// Fixture for the poolsafe analyzer.
+package poolsafe
+
+type segment struct {
+	kind int
+	data []byte
+}
+
+type stack struct{ pool []*segment }
+
+func (st *stack) freeSeg(s *segment) {}
+func (st *stack) allocSeg() *segment { return &segment{} }
+func (st *stack) handle(s *segment)  {}
+func freePacket(pk *segment)         {}
+
+// Reading a field after release is the pooled use-after-free.
+func readAfter(st *stack, seg *segment) int {
+	st.freeSeg(seg)
+	return seg.kind // want `use of seg after freeSeg released it to the pool`
+}
+
+// Writing a field after release corrupts whoever owns the object next.
+func writeAfter(st *stack, seg *segment) {
+	st.freeSeg(seg)
+	seg.kind = 3 // want `use of seg after freeSeg released it to the pool`
+}
+
+// Passing the object to another call after release leaks it to code
+// that believes it is live; plain functions count as releasers too.
+func passAfter(st *stack, seg *segment) {
+	freePacket(seg)
+	st.handle(seg) // want `use of seg after freePacket released it to the pool`
+}
+
+// A double free is a use of the first release's dead object.
+func doubleFree(st *stack, seg *segment) {
+	st.freeSeg(seg)
+	st.freeSeg(seg) // want `use of seg after freeSeg released it to the pool`
+}
+
+// Near miss: the release-and-bail idiom. Freeing on a path that leaves
+// the enclosing block must not taint the live path after it — this is
+// exactly how the softnet and ack-transmit loops drop bad segments.
+func freeAndBail(st *stack, segs []*segment, bad func(*segment) bool) {
+	for _, seg := range segs {
+		if bad(seg) {
+			st.freeSeg(seg)
+			continue
+		}
+		seg.kind = 1
+		st.handle(seg)
+	}
+}
+
+// Near miss: using the object up to (and inside) the release call is
+// the normal consume-then-free shape.
+func useThenFree(st *stack, seg *segment) int {
+	k := seg.kind
+	st.handle(seg)
+	st.freeSeg(seg)
+	return k
+}
+
+// Near miss: reassigning the variable to a fresh allocation ends the
+// tracking; the new object is live.
+func refill(st *stack, seg *segment) {
+	st.freeSeg(seg)
+	seg = st.allocSeg()
+	seg.kind = 2
+}
+
+// Near miss: a release followed by return cannot taint later code in
+// an outer scope.
+func freeAndReturn(st *stack, seg *segment, corrupt bool) {
+	if corrupt {
+		st.freeSeg(seg)
+		return
+	}
+	st.handle(seg)
+}
+
+// Near miss: the else arm runs instead of the release, never after it
+// — this is the kernel compaction loop's release-or-keep shape.
+func freeOrKeep(st *stack, segs []*segment, dead func(*segment) bool) []*segment {
+	var live []*segment
+	for _, seg := range segs {
+		if dead(seg) {
+			st.freeSeg(seg)
+		} else {
+			live = append(live, seg)
+		}
+	}
+	return live
+}
+
+// Near miss: a release in one case clause followed by return reaches
+// neither the sibling clauses nor the code after the switch — the
+// fault-judgement shape in frame transmit.
+func freeInCase(st *stack, seg *segment, verdict int) {
+	switch verdict {
+	case 0:
+		st.freeSeg(seg)
+		return
+	case 1:
+		seg.kind = 9
+	}
+	st.handle(seg)
+}
+
+// A release in a case clause that falls out of the switch taints the
+// code after it.
+func freeInCaseFallOut(st *stack, seg *segment, verdict int) {
+	switch verdict {
+	case 0:
+		st.freeSeg(seg)
+	}
+	st.handle(seg) // want `use of seg after freeSeg released it to the pool`
+}

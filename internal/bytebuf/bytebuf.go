@@ -23,13 +23,28 @@ func (c Chunk) Real() bool { return c.Data != nil }
 
 // Buffer is a FIFO byte-stream buffer. The zero value is an empty
 // buffer ready to use.
+//
+// The chunk storage is a ring-free deque: head indexes the oldest
+// live chunk instead of re-slicing the front away, so that when the
+// buffer drains (the steady state of a transport send buffer) the
+// same backing array is reused instead of appending into a forever-
+// advancing window that forces reallocation.
 type Buffer struct {
 	chunks []Chunk
+	head   int
 	size   int
 }
 
 // Len reports the buffered byte count.
 func (b *Buffer) Len() int { return b.size }
+
+// reset recycles the storage once the buffer is empty.
+func (b *Buffer) reset() {
+	if b.size == 0 {
+		b.chunks = b.chunks[:0]
+		b.head = 0
+	}
+}
 
 // Append adds a chunk to the tail.
 func (b *Buffer) Append(c Chunk) {
@@ -39,6 +54,7 @@ func (b *Buffer) Append(c Chunk) {
 	if c.Size == 0 {
 		return
 	}
+	b.reset()
 	b.chunks = append(b.chunks, c)
 	b.size += c.Size
 }
@@ -71,21 +87,24 @@ func (b *Buffer) AppendChunks(cs []Chunk) {
 // chunks, splitting a boundary chunk if needed. It panics if n exceeds
 // Len: transports must check first.
 func (b *Buffer) Take(n int) []Chunk {
+	return b.TakeInto(nil, n)
+}
+
+// TakeInto is Take appending into dst, letting callers recycle the
+// chunk slice of a pooled segment instead of allocating a fresh one
+// per Take.
+func (b *Buffer) TakeInto(dst []Chunk, n int) []Chunk {
 	if n < 0 || n > b.size {
 		panic(fmt.Sprintf("bytebuf: take %d of %d", n, b.size))
 	}
-	if n == 0 {
-		return nil
-	}
-	var out []Chunk
 	for n > 0 {
-		head := &b.chunks[0]
+		head := &b.chunks[b.head]
 		if head.Size <= n {
-			out = append(out, *head)
+			dst = append(dst, *head)
 			n -= head.Size
 			b.size -= head.Size
-			b.chunks[0] = Chunk{}
-			b.chunks = b.chunks[1:]
+			*head = Chunk{}
+			b.head++
 			continue
 		}
 		part := Chunk{Size: n}
@@ -95,30 +114,42 @@ func (b *Buffer) Take(n int) []Chunk {
 		}
 		head.Size -= n
 		b.size -= n
-		out = append(out, part)
+		dst = append(dst, part)
 		n = 0
 	}
-	return out
+	b.reset()
+	return dst
 }
 
 // CopyOut removes up to len(dst) bytes from the head, copying real
 // regions into dst at their stream offsets (size-only regions leave
-// dst untouched), and reports the number of bytes consumed.
+// dst untouched), and reports the number of bytes consumed. It
+// consumes chunks in place — no intermediate chunk slice.
 func (b *Buffer) CopyOut(dst []byte) int {
 	n := len(dst)
 	if n > b.size {
 		n = b.size
 	}
-	if n == 0 {
-		return 0
-	}
 	off := 0
-	for _, c := range b.Take(n) {
-		if c.Data != nil {
-			copy(dst[off:], c.Data)
+	for off < n {
+		head := &b.chunks[b.head]
+		take := head.Size
+		if take > n-off {
+			take = n - off
 		}
-		off += c.Size
+		if head.Data != nil {
+			copy(dst[off:], head.Data[:take])
+			head.Data = head.Data[take:]
+		}
+		head.Size -= take
+		b.size -= take
+		off += take
+		if head.Size == 0 {
+			*head = Chunk{}
+			b.head++
+		}
 	}
+	b.reset()
 	return n
 }
 
@@ -126,7 +157,7 @@ func (b *Buffer) CopyOut(dst []byte) int {
 // tests and integrity checks).
 func (b *Buffer) RealBytes() int {
 	total := 0
-	for _, c := range b.chunks {
+	for _, c := range b.chunks[b.head:] {
 		if c.Data != nil {
 			total += c.Size
 		}

@@ -342,7 +342,7 @@ func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
 type inboxItem struct {
 	buf  *Buffer
 	eow  bool
-	uow  int // for eow markers: the unit of work they terminate
+	uow  int  // for eow markers: the unit of work they terminate
 	lost bool // the producer connection behind this slot ended
 }
 

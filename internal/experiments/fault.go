@@ -172,17 +172,28 @@ func FigFaultTransfer(o Options) *stats.Table {
 		YLabel: "completion (us) / redials",
 		X:      e15DropRates,
 	}
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		for _, chunk := range e15Chunks {
-			var us, redials []float64
-			for _, drop := range e15DropRates {
-				res := runResumableTransfer(o, kind, chunk, o.LBBytes, drop)
-				if res.Done == 0 {
-					panic(fmt.Sprintf("experiments: e15a transfer incomplete (%s chunk %d drop %g)",
-						kind, chunk, drop))
-				}
-				us = append(us, res.Done.Micros())
-				redials = append(redials, float64(res.Redials))
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	nd, nc := len(e15DropRates), len(e15Chunks)
+	cells := make([]xferResult, len(kinds)*nc*nd)
+	o.parMap(len(cells), func(i int) {
+		series, di := i/nd, i%nd
+		kind, chunk := kinds[series/nc], e15Chunks[series%nc]
+		drop := e15DropRates[di]
+		res := runResumableTransfer(o, kind, chunk, o.LBBytes, drop)
+		if res.Done == 0 {
+			panic(fmt.Sprintf("experiments: e15a transfer incomplete (%s chunk %d drop %g)",
+				kind, chunk, drop))
+		}
+		cells[i] = res
+	})
+	for ki, kind := range kinds {
+		for ci, chunk := range e15Chunks {
+			us := make([]float64, nd)
+			redials := make([]float64, nd)
+			for di := 0; di < nd; di++ {
+				res := cells[(ki*nc+ci)*nd+di]
+				us[di] = res.Done.Micros()
+				redials[di] = float64(res.Redials)
 			}
 			t.AddSeries(fmt.Sprintf("%s_%dk_us", kind, chunk>>10), us)
 			t.AddSeries(fmt.Sprintf("%s_%dk_redials", kind, chunk>>10), redials)
@@ -313,14 +324,27 @@ func FigFaultFailover(o Options) *stats.Table {
 		YLabel: "completion (us) / redispatched buffers",
 		X:      xs,
 	}
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		base := runCrashFailover(o, kind, 0)
-		var us, redisp []float64
-		for _, frac := range e15CrashFractions {
-			crashAt := sim.Time(float64(base.Completion) * frac)
-			res := runCrashFailover(o, kind, crashAt)
-			us = append(us, res.Completion.Micros())
-			redisp = append(redisp, float64(res.Redispatched))
+	// Two phases: the crash points depend on each transport's
+	// fault-free baseline, so the baselines run first (one cell per
+	// transport), then the crash grid fans out.
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	bases := make([]failoverResult, len(kinds))
+	o.parMap(len(kinds), func(i int) {
+		bases[i] = runCrashFailover(o, kinds[i], 0)
+	})
+	nf := len(e15CrashFractions)
+	cells := make([]failoverResult, len(kinds)*nf)
+	o.parMap(len(cells), func(i int) {
+		ki, fi := i/nf, i%nf
+		crashAt := sim.Time(float64(bases[ki].Completion) * e15CrashFractions[fi])
+		cells[i] = runCrashFailover(o, kinds[ki], crashAt)
+	})
+	for ki, kind := range kinds {
+		us := make([]float64, nf)
+		redisp := make([]float64, nf)
+		for fi := 0; fi < nf; fi++ {
+			us[fi] = cells[ki*nf+fi].Completion.Micros()
+			redisp[fi] = float64(cells[ki*nf+fi].Redispatched)
 		}
 		t.AddSeries(fmt.Sprintf("%s_us", kind), us)
 		t.AddSeries(fmt.Sprintf("%s_redispatched", kind), redisp)

@@ -24,11 +24,18 @@ func Fig2Crossover(o Options) *stats.Table {
 		t.X = append(t.X, target)
 	}
 	sizes := fig4bSizes
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		bw := make([]float64, len(sizes))
-		for i, s := range sizes {
-			bw[i] = SocketsBandwidth(kind, s, o.MicroMsgs)
-		}
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	// Measure the bandwidth grid as independent cells, then run the
+	// threshold searches sequentially over the reassembled grid.
+	bws := make([][]float64, len(kinds))
+	for i := range bws {
+		bws[i] = make([]float64, len(sizes))
+	}
+	o.parMap(len(kinds)*len(sizes), func(i int) {
+		bws[i/len(sizes)][i%len(sizes)] = SocketsBandwidth(kinds[i/len(sizes)], sizes[i%len(sizes)], o.MicroMsgs)
+	})
+	for ki, kind := range kinds {
+		bw := bws[ki]
 		var ys []float64
 		for _, target := range targets {
 			y := math.NaN()

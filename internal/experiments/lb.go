@@ -42,22 +42,28 @@ func Fig10(o Options) *stats.Table {
 		YLabel: "reaction time (us)",
 		X:      fig10Factors,
 	}
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		var ys []float64
-		for _, factor := range fig10Factors {
-			cfg := o.lbConfig(kind, PipeliningBlock(kind))
-			cfg.Policy = datacutter.RoundRobin
-			cfg.RecordAcks = true
-			cfg.SlowNode = 1
-			cfg.SlowFactor = factor
-			cfg.DataLocal = true
-			res := vizapp.RunLoadBalancer(cfg)
-			if res.Err != nil {
-				panic("experiments: fig10 run failed: " + res.Err.Error())
-			}
-			ys = append(ys, res.ReactionTime(1).Micros())
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	nf := len(fig10Factors)
+	ys := make([][]float64, len(kinds))
+	for i := range ys {
+		ys[i] = make([]float64, nf)
+	}
+	o.parMap(len(kinds)*nf, func(i int) {
+		kind, factor := kinds[i/nf], fig10Factors[i%nf]
+		cfg := o.lbConfig(kind, PipeliningBlock(kind))
+		cfg.Policy = datacutter.RoundRobin
+		cfg.RecordAcks = true
+		cfg.SlowNode = 1
+		cfg.SlowFactor = factor
+		cfg.DataLocal = true
+		res := vizapp.RunLoadBalancer(cfg)
+		if res.Err != nil {
+			panic("experiments: fig10 run failed: " + res.Err.Error())
 		}
-		t.AddSeries(fmt.Sprintf("%s_us", kind), ys)
+		ys[i/nf][i%nf] = res.ReactionTime(1).Micros()
+	})
+	for ki, kind := range kinds {
+		t.AddSeries(fmt.Sprintf("%s_us", kind), ys[ki])
 	}
 	return t
 }
@@ -78,23 +84,30 @@ func Fig11(o Options) *stats.Table {
 		YLabel: "execution time (us)",
 		X:      fig11Probs,
 	}
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		for _, factor := range fig11Factors {
-			var ys []float64
-			for _, prob := range fig11Probs {
-				cfg := o.lbConfig(kind, PipeliningBlock(kind))
-				cfg.Policy = datacutter.DemandDriven
-				cfg.SlowNode = 2
-				cfg.SlowFactor = factor
-				cfg.SlowProb = prob / 100
-				cfg.DataLocal = true
-				res := vizapp.RunLoadBalancer(cfg)
-				if res.Err != nil {
-					panic("experiments: fig11 run failed: " + res.Err.Error())
-				}
-				ys = append(ys, float64(res.Makespan)/1000)
-			}
-			t.AddSeries(fmt.Sprintf("%s(%g)_us", kind, factor), ys)
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	np, nfac := len(fig11Probs), len(fig11Factors)
+	ys := make([][]float64, len(kinds)*nfac)
+	for i := range ys {
+		ys[i] = make([]float64, np)
+	}
+	o.parMap(len(kinds)*nfac*np, func(i int) {
+		series, pi := i/np, i%np
+		kind, factor := kinds[series/nfac], fig11Factors[series%nfac]
+		cfg := o.lbConfig(kind, PipeliningBlock(kind))
+		cfg.Policy = datacutter.DemandDriven
+		cfg.SlowNode = 2
+		cfg.SlowFactor = factor
+		cfg.SlowProb = fig11Probs[pi] / 100
+		cfg.DataLocal = true
+		res := vizapp.RunLoadBalancer(cfg)
+		if res.Err != nil {
+			panic("experiments: fig11 run failed: " + res.Err.Error())
+		}
+		ys[series][pi] = float64(res.Makespan) / 1000
+	})
+	for ki, kind := range kinds {
+		for fi, factor := range fig11Factors {
+			t.AddSeries(fmt.Sprintf("%s(%g)_us", kind, factor), ys[ki*nfac+fi])
 		}
 	}
 	return t
@@ -112,12 +125,17 @@ func PerfectPipelining(o Options) *stats.Table {
 		YLabel: "pipeline efficiency (compute time / makespan)",
 		X:      toF(o.BlockLadder),
 	}
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		var ys []float64
-		for _, block := range o.BlockLadder {
-			ys = append(ys, PipelineEfficiency(o, kind, block))
-		}
-		t.AddSeries(fmt.Sprintf("%s_eff", kind), ys)
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	nb := len(o.BlockLadder)
+	ys := make([][]float64, len(kinds))
+	for i := range ys {
+		ys[i] = make([]float64, nb)
+	}
+	o.parMap(len(kinds)*nb, func(i int) {
+		ys[i/nb][i%nb] = PipelineEfficiency(o, kinds[i/nb], o.BlockLadder[i%nb])
+	})
+	for ki, kind := range kinds {
+		t.AddSeries(fmt.Sprintf("%s_eff", kind), ys[ki])
 	}
 	return t
 }

@@ -195,12 +195,23 @@ func Fig4aLatency(o Options) *stats.Table {
 		YLabel: "one-way latency (us)",
 		X:      toF(fig4aSizes),
 	}
-	var viaY, svY, tcpY []float64
-	for _, s := range fig4aSizes {
-		viaY = append(viaY, VIALatency(s, o.MicroIters).Micros())
-		svY = append(svY, SocketsLatency(core.KindSocketVIA, s, o.MicroIters).Micros())
-		tcpY = append(tcpY, SocketsLatency(core.KindTCP, s, o.MicroIters).Micros())
-	}
+	// One cell per (size, transport) point; each runs its own hermetic
+	// testbed and writes only its own slot, so any worker count yields
+	// this exact table.
+	viaY := make([]float64, len(fig4aSizes))
+	svY := make([]float64, len(fig4aSizes))
+	tcpY := make([]float64, len(fig4aSizes))
+	o.parMap(3*len(fig4aSizes), func(i int) {
+		s := fig4aSizes[i/3]
+		switch i % 3 {
+		case 0:
+			viaY[i/3] = VIALatency(s, o.MicroIters).Micros()
+		case 1:
+			svY[i/3] = SocketsLatency(core.KindSocketVIA, s, o.MicroIters).Micros()
+		case 2:
+			tcpY[i/3] = SocketsLatency(core.KindTCP, s, o.MicroIters).Micros()
+		}
+	})
 	t.AddSeries("VIA_us", viaY)
 	t.AddSeries("SocketVIA_us", svY)
 	t.AddSeries("TCP_us", tcpY)
@@ -216,12 +227,20 @@ func Fig4bBandwidth(o Options) *stats.Table {
 		YLabel: "bandwidth (Mbps)",
 		X:      toF(fig4bSizes),
 	}
-	var viaY, svY, tcpY []float64
-	for _, s := range fig4bSizes {
-		viaY = append(viaY, VIABandwidth(s, o.MicroMsgs))
-		svY = append(svY, SocketsBandwidth(core.KindSocketVIA, s, o.MicroMsgs))
-		tcpY = append(tcpY, SocketsBandwidth(core.KindTCP, s, o.MicroMsgs))
-	}
+	viaY := make([]float64, len(fig4bSizes))
+	svY := make([]float64, len(fig4bSizes))
+	tcpY := make([]float64, len(fig4bSizes))
+	o.parMap(3*len(fig4bSizes), func(i int) {
+		s := fig4bSizes[i/3]
+		switch i % 3 {
+		case 0:
+			viaY[i/3] = VIABandwidth(s, o.MicroMsgs)
+		case 1:
+			svY[i/3] = SocketsBandwidth(core.KindSocketVIA, s, o.MicroMsgs)
+		case 2:
+			tcpY[i/3] = SocketsBandwidth(core.KindTCP, s, o.MicroMsgs)
+		}
+	})
 	t.AddSeries("VIA_Mbps", viaY)
 	t.AddSeries("SocketVIA_Mbps", svY)
 	t.AddSeries("TCP_Mbps", tcpY)
@@ -239,16 +258,27 @@ type MicroSummary struct {
 	TCPPeak          float64
 }
 
-// Micro measures the Section 5.1 headline numbers.
+// Micro measures the Section 5.1 headline numbers. The six
+// measurements are independent worlds, so they run as six cells.
 func Micro(o Options) MicroSummary {
-	return MicroSummary{
-		VIALatency:       VIALatency(4, o.MicroIters),
-		SocketVIALatency: SocketsLatency(core.KindSocketVIA, 4, o.MicroIters),
-		TCPLatency:       SocketsLatency(core.KindTCP, 4, o.MicroIters),
-		VIAPeak:          VIABandwidth(64*1024, o.MicroMsgs),
-		SocketVIAPeak:    SocketsBandwidth(core.KindSocketVIA, 64*1024, o.MicroMsgs),
-		TCPPeak:          SocketsBandwidth(core.KindTCP, 64*1024, o.MicroMsgs),
-	}
+	var m MicroSummary
+	o.parMap(6, func(i int) {
+		switch i {
+		case 0:
+			m.VIALatency = VIALatency(4, o.MicroIters)
+		case 1:
+			m.SocketVIALatency = SocketsLatency(core.KindSocketVIA, 4, o.MicroIters)
+		case 2:
+			m.TCPLatency = SocketsLatency(core.KindTCP, 4, o.MicroIters)
+		case 3:
+			m.VIAPeak = VIABandwidth(64*1024, o.MicroMsgs)
+		case 4:
+			m.SocketVIAPeak = SocketsBandwidth(core.KindSocketVIA, 64*1024, o.MicroMsgs)
+		case 5:
+			m.TCPPeak = SocketsBandwidth(core.KindTCP, 64*1024, o.MicroMsgs)
+		}
+	})
+	return m
 }
 
 func toF(xs []int) []float64 {

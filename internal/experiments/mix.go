@@ -63,17 +63,27 @@ func Fig9(o Options, compute bool) *stats.Table {
 		XFmt:   "%.1f",
 		X:      fig9Fractions,
 	}
-	for _, kind := range []core.Kind{core.KindSocketVIA, core.KindTCP} {
-		for _, parts := range fig9Partitions {
-			var ys []float64
-			for _, f := range fig9Fractions {
-				ys = append(ys, mixResponse(o, kind, compute, parts, f))
-			}
+	// Cell grid: (kind, partitioning, fraction). Each cell is one
+	// sequential pipeline run in its own world; series are assembled
+	// afterwards in the fixed legend order.
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	nf, np := len(fig9Fractions), len(fig9Partitions)
+	ys := make([][]float64, len(kinds)*np)
+	for i := range ys {
+		ys[i] = make([]float64, nf)
+	}
+	o.parMap(len(kinds)*np*nf, func(i int) {
+		series, f := i/nf, i%nf
+		kind, parts := kinds[series/np], fig9Partitions[series%np]
+		ys[series][f] = mixResponse(o, kind, compute, parts, fig9Fractions[f])
+	})
+	for ki, kind := range kinds {
+		for pi, parts := range fig9Partitions {
 			label := fmt.Sprintf("%dparts_%s_ms", parts, kind)
 			if parts == 1 {
 				label = fmt.Sprintf("noparts_%s_ms", kind)
 			}
-			t.AddSeries(label, ys)
+			t.AddSeries(label, ys[ki*np+pi])
 		}
 	}
 	return t

@@ -6,7 +6,10 @@
 // The experiments are deterministic: same options, same output.
 package experiments
 
-import "hpsockets/internal/sim"
+import (
+	"hpsockets/internal/runner"
+	"hpsockets/internal/sim"
+)
 
 // Options scales the experiments. Defaults reproduce the paper's
 // setup; Quick shrinks repetition counts for use in unit tests and Go
@@ -39,6 +42,20 @@ type Options struct {
 	LBBytes int
 	// Seed drives every randomized workload.
 	Seed int64
+	// Workers bounds the number of OS threads used to run independent
+	// experiment cells concurrently. 0 or 1 runs everything
+	// sequentially. Any value produces byte-identical figures: cells
+	// are hermetic (own kernel, own seeded RNGs) and reassembled in
+	// canonical order.
+	Workers int
+}
+
+// parMap fans the n independent cells of one figure across o.Workers
+// OS threads; with Workers <= 1 (or a single cell) everything runs
+// inline in index order. fn must confine each cell to its own index:
+// build its own simulation world and write only result slot i.
+func (o Options) parMap(n int, fn func(i int)) {
+	runner.Map(o.Workers, n, fn)
 }
 
 // DefaultOptions reproduces the paper's experimental parameters.

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The parallel runner's whole contract is that worker count is
+// invisible in the output: every cell is a hermetic simulation world
+// and results are reassembled in canonical order. These tests render
+// the same figures sequentially and with several workers and require
+// the emitted tables to match byte for byte. Run under -race (CI
+// does), they also double as the data-race check on the fan-out.
+
+// parTestOptions shrinks the workloads so the double runs stay fast.
+func parTestOptions() Options {
+	o := QuickOptions()
+	o.MicroIters = 5
+	o.MicroMsgs = 15
+	o.LBBytes = 1 << 20
+	o.MixQueries = 3
+	return o
+}
+
+func TestFig4aParallelByteIdentical(t *testing.T) {
+	seq, par := parTestOptions(), parTestOptions()
+	seq.Workers, par.Workers = 1, 4
+	want := Fig4aLatency(seq).Render()
+	got := Fig4aLatency(par).Render()
+	if got != want {
+		t.Errorf("Fig4a differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", want, got)
+	}
+}
+
+func TestFig10ParallelByteIdentical(t *testing.T) {
+	seq, par := parTestOptions(), parTestOptions()
+	seq.Workers, par.Workers = 1, 4
+	want := Fig10(seq).Render()
+	got := Fig10(par).Render()
+	if got != want {
+		t.Errorf("Fig10 differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", want, got)
+	}
+}
+
+// TestFaultTransferParallelByteIdentical exercises the seeded-RNG
+// cells: each transfer derives its fault plan from Options.Seed alone,
+// so concurrency must not leak into the drop pattern.
+func TestFaultTransferParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault transfer grid is slow")
+	}
+	seq, par := parTestOptions(), parTestOptions()
+	seq.Workers, par.Workers = 1, 4
+	want := FigFaultTransfer(seq).Render()
+	got := FigFaultTransfer(par).Render()
+	if got != want {
+		t.Errorf("FigFaultTransfer differs between workers=1 and workers=4:\n--- seq ---\n%s\n--- par ---\n%s", want, got)
+	}
+}
+
+func TestMicroParallelByteIdentical(t *testing.T) {
+	seq, par := parTestOptions(), parTestOptions()
+	seq.Workers, par.Workers = 1, 4
+	want := Micro(seq)
+	got := Micro(par)
+	if got != want {
+		t.Errorf("Micro differs between workers=1 and workers=4:\nseq %+v\npar %+v", want, got)
+	}
+}

@@ -45,7 +45,7 @@ type Conn struct {
 	rcvEOF       bool
 	rcvCond      *sim.Cond
 	ackPending   int
-	ackTimer     *sim.Timer
+	ackTimer     sim.Timer
 	lastAdvLimit int64
 
 	// Retransmission state, active only when cfg.RTO > 0. retransQ
@@ -53,7 +53,7 @@ type Conn struct {
 	// (go-back-N); retries counts consecutive timeouts since the last
 	// ack progress; failErr is set once the retry budget is exhausted.
 	retransQ []*segment
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 	retries  int
 	failErr  error
 
@@ -165,10 +165,7 @@ func (c *Conn) pruneRetrans() {
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 // rtoDelay is the current timeout with exponential backoff, capped at
@@ -182,7 +179,7 @@ func (c *Conn) rtoDelay() sim.Time {
 }
 
 func (c *Conn) armRTO() {
-	if c.st.cfg.RTO <= 0 || c.rtoTimer != nil || c.failErr != nil {
+	if c.st.cfg.RTO <= 0 || c.rtoTimer.Pending() || c.failErr != nil {
 		return
 	}
 	c.rtoTimer = c.st.node.Kernel().After(c.rtoDelay(), c.onRTO)
@@ -193,7 +190,6 @@ func (c *Conn) armRTO() {
 // simply waits for the next timeout. Go-back-N resends everything
 // unacknowledged; the receiver's sequence check discards duplicates.
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
 	if c.failErr != nil || len(c.retransQ) == 0 {
 		return
 	}
@@ -204,10 +200,10 @@ func (c *Conn) onRTO() {
 	c.retries++
 	st := c.st
 	for _, seg := range c.retransQ {
-		if !st.nicQ.TryPut(&netsim.Frame{
-			Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
-			Size: st.cfg.HeaderSize + seg.length, Payload: seg,
-		}) {
+		f := st.net.NewFrame(st.node.Name(), c.peerPort, netsim.ProtoIP,
+			st.cfg.HeaderSize+seg.length, seg)
+		if !st.nicQ.TryPut(f) {
+			st.net.FreeFrame(f)
 			break
 		}
 		st.node.Kernel().Trace("ktcp", "retransmit", int64(seg.length), c.peerPort)
@@ -312,7 +308,7 @@ func (c *Conn) Recv(p *sim.Proc, buf []byte) (int, error) {
 	// buffer behind what we could now advertise, push a fresh ack so a
 	// window-blocked sender resumes.
 	if c.read+int64(cfg.RcvBuf)-c.lastAdvLimit >= int64(cfg.RcvBuf)/2 {
-		c.st.softQ.TryPut(softItem{flush: &ackFlush{conn: c, force: true}})
+		c.st.softQ.TryPut(softItem{flushConn: c, flushForce: true})
 	}
 	return n, nil
 }
@@ -383,24 +379,21 @@ func (c *Conn) txLoop(p *sim.Proc) {
 			}
 			c.sndCond.Wait(p)
 		}
-		chunks := c.sndBuf.Take(n)
+		seg := st.allocSeg(cfg.RTO <= 0)
+		seg.data = c.sndBuf.TakeInto(seg.data[:0], n)
 		c.sndCond.Broadcast() // send-buffer space freed
 		st.stackLock.Acquire(p, 1)
 		p.Sleep(cfg.TxPerSegment)
 		st.stackLock.Release(1)
-		seg := &segment{
-			kind: segData, srcPort: st.node.Name(), srcConn: c.id, dstConn: c.peerConn,
-			seq: c.sent, length: n, data: chunks,
-			cumAck: c.rcvd, rwnd: c.rwndAvail(),
-		}
+		seg.kind, seg.srcPort, seg.srcConn, seg.dstConn = segData, st.node.Name(), c.id, c.peerConn
+		seg.seq, seg.length = c.sent, n
+		seg.cumAck, seg.rwnd = c.rcvd, c.rwndAvail()
 		c.sent += int64(n)
 		c.trackRetrans(seg)
 		st.segsOut++
 		st.node.Kernel().Trace("ktcp", "segment-out", int64(n), c.peerPort)
-		st.nicQ.Put(p, &netsim.Frame{
-			Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
-			Size: cfg.HeaderSize + n, Payload: seg,
-		})
+		st.nicQ.Put(p, st.net.NewFrame(st.node.Name(), c.peerPort, netsim.ProtoIP,
+			cfg.HeaderSize+n, seg))
 	}
 }
 
@@ -410,15 +403,12 @@ func (c *Conn) transmitFIN(p *sim.Proc) {
 	st.stackLock.Acquire(p, 1)
 	p.Sleep(cfg.TxPerSegment)
 	st.stackLock.Release(1)
-	seg := &segment{
-		kind: segFIN, srcPort: st.node.Name(), srcConn: c.id, dstConn: c.peerConn,
-		seq: c.sent, cumAck: c.rcvd, rwnd: c.rwndAvail(),
-	}
+	seg := st.allocSeg(cfg.RTO <= 0)
+	seg.kind, seg.srcPort, seg.srcConn, seg.dstConn = segFIN, st.node.Name(), c.id, c.peerConn
+	seg.seq, seg.cumAck, seg.rwnd = c.sent, c.rcvd, c.rwndAvail()
 	c.trackRetrans(seg)
-	st.nicQ.Put(p, &netsim.Frame{
-		Src: st.node.Name(), Dst: c.peerPort, Proto: netsim.ProtoIP,
-		Size: cfg.HeaderSize, Payload: seg,
-	})
+	st.nicQ.Put(p, st.net.NewFrame(st.node.Name(), c.peerPort, netsim.ProtoIP,
+		cfg.HeaderSize, seg))
 	if !c.closeDone.Fired() {
 		c.closeDone.Fire(nil)
 	}

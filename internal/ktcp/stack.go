@@ -37,19 +37,25 @@ type segment struct {
 
 	cumAck int64
 	rwnd   int
+
+	// pooled marks a segment owned by a stack free list; it is set
+	// only for segments the receive path fully consumes (acks,
+	// SYNACKs, and — when retransmission is off — data and FIN).
+	// Segments the sender must retain for go-back-N, and SYNs parked
+	// in a listener queue, are never pooled.
+	pooled bool
 }
 
-// ackFlush is queued into softnet by the delayed-ack timer, or with
-// force set by a reader that opened the advertised window.
-type ackFlush struct {
-	conn  *Conn
-	force bool
-}
-
-// softItem is one unit of softnet work.
+// softItem is one unit of softnet work: an inbound segment, or (with
+// flushConn set) an ack-flush request queued by the delayed-ack timer
+// — flushForce marks a reader that opened the advertised window. The
+// flush request is inlined rather than boxed behind a pointer: softnet
+// consumes one softItem per received segment, so the item must not
+// drag an allocation along.
 type softItem struct {
-	seg   *segment
-	flush *ackFlush
+	seg        *segment
+	flushConn  *Conn
+	flushForce bool
 }
 
 // synKey identifies one connect attempt across SYN retransmissions.
@@ -94,6 +100,43 @@ type Stack struct {
 	segsIn  uint64
 	segsOut uint64
 	acksOut uint64
+
+	// segPool recycles consumed segments. Segments may be freed into
+	// a different stack's pool than they were taken from (the
+	// receiver frees what the sender allocated); both stacks live on
+	// one kernel, so this is race-free and merely migrates capacity.
+	segPool []*segment
+}
+
+// allocSeg returns a segment, recycled when poolable. Data and FIN
+// segments are poolable only when retransmission is off; callers pass
+// st.cfg.RTO <= 0 for those and true for acks and SYNACKs.
+func (st *Stack) allocSeg(poolable bool) *segment {
+	if !poolable {
+		return &segment{}
+	}
+	if n := len(st.segPool); n > 0 {
+		s := st.segPool[n-1]
+		st.segPool[n-1] = nil
+		st.segPool = st.segPool[:n-1]
+		return s
+	}
+	return &segment{pooled: true}
+}
+
+// freeSeg recycles a consumed pooled segment (no-op otherwise). The
+// chunk slice keeps its capacity for the next TakeInto, but every
+// element is cleared so no payload reference outlives the segment.
+func (st *Stack) freeSeg(s *segment) {
+	if s == nil || !s.pooled {
+		return
+	}
+	for i := range s.data {
+		s.data[i] = bytebuf.Chunk{}
+	}
+	data := s.data[:0]
+	*s = segment{pooled: true, data: data}
+	st.segPool = append(st.segPool, s)
 }
 
 // NewStack attaches a kernel TCP stack to the node and starts its
@@ -124,6 +167,7 @@ func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
 			// Checksum failure: the segment is discarded as if lost;
 			// retransmission (when enabled) recovers it.
 			k.Trace("ktcp", "checksum-drop", int64(f.Size), f.Src)
+			st.freeSeg(f.Payload.(*segment))
 			return
 		}
 		st.softQ.TryPut(softItem{seg: f.Payload.(*segment)})
@@ -178,9 +222,10 @@ func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
 	c.sndLimit = int64(st.cfg.RcvBuf) // peer buffer, symmetric config
 	st.synConns[synKey{syn.srcPort, syn.srcConn}] = c
 	c.connSig.Fire(nil)
-	st.transmitControl(p, syn.srcPort, &segment{
-		kind: segSYNACK, srcPort: st.node.Name(), srcConn: c.id, dstConn: syn.srcConn,
-	})
+	synack := st.allocSeg(true)
+	synack.kind, synack.srcPort, synack.srcConn, synack.dstConn =
+		segSYNACK, st.node.Name(), c.id, syn.srcConn
+	st.transmitControl(p, syn.srcPort, synack)
 	return c, nil
 }
 
@@ -238,10 +283,7 @@ func (st *Stack) newConn() *Conn {
 
 // transmitControl queues a handshake segment to the NIC.
 func (st *Stack) transmitControl(p *sim.Proc, dst string, seg *segment) {
-	st.nicQ.Put(p, &netsim.Frame{
-		Src: st.node.Name(), Dst: dst, Proto: netsim.ProtoIP,
-		Size: st.cfg.HeaderSize, Payload: seg,
-	})
+	st.nicQ.Put(p, st.net.NewFrame(st.node.Name(), dst, netsim.ProtoIP, st.cfg.HeaderSize, seg))
 }
 
 // nicDMALoop is the adapter's host-memory DMA stage: it fetches each

@@ -35,6 +35,11 @@ const (
 
 // Frame is one unit of wire transmission. Size is the on-wire size in
 // bytes including all headers; Payload is stack-specific.
+//
+// Stacks on the hot path obtain frames from Network.NewFrame and the
+// network recycles them after delivery; handlers must therefore not
+// retain a frame past their return (the payload is theirs to keep).
+// Frame literals still work — they are simply never pooled.
 type Frame struct {
 	Src, Dst string
 	Proto    Proto
@@ -44,7 +49,15 @@ type Frame struct {
 	// FaultModel. The frame is still delivered (and counted); the
 	// receiving stack decides what a failed checksum means for it.
 	Corrupt bool
+
+	pooled  bool
+	dstPort *Port  // delivery target of the in-flight transmission
+	deliver func() // reusable delivery thunk, created once per Frame
 }
+
+// fire delivers the frame at its destination port. It runs in event
+// context at the computed arrival time.
+func (f *Frame) fire() { f.dstPort.deliverFrame(f) }
 
 // Disposition is a FaultModel's verdict on one frame.
 type Disposition int
@@ -141,6 +154,39 @@ type Network struct {
 	cfg   Config
 	port  map[string]*Port
 	fault FaultModel
+
+	// framePool recycles delivered frames. One pool per network keeps
+	// it single-kernel (the simulation is single-threaded per kernel,
+	// so no locking) and lets frames flow between stacks freely.
+	framePool []*Frame
+}
+
+// NewFrame returns a frame from the pool (or a fresh one) initialized
+// with the given envelope. The network reclaims it after delivery, or
+// immediately if the fault model drops it.
+func (n *Network) NewFrame(src, dst string, proto Proto, size int, payload any) *Frame {
+	var f *Frame
+	if ln := len(n.framePool); ln > 0 {
+		f = n.framePool[ln-1]
+		n.framePool[ln-1] = nil
+		n.framePool = n.framePool[:ln-1]
+	} else {
+		f = &Frame{pooled: true}
+	}
+	f.Src, f.Dst, f.Proto, f.Size, f.Payload = src, dst, proto, size, payload
+	f.Corrupt = false
+	return f
+}
+
+// FreeFrame returns a pooled frame to the pool; frames built as
+// literals are left alone. Callers must drop every reference to f.
+func (n *Network) FreeFrame(f *Frame) {
+	if f == nil || !f.pooled {
+		return
+	}
+	f.Payload = nil
+	f.dstPort = nil
+	n.framePool = append(n.framePool, f)
 }
 
 // SetFaultModel installs (or, with nil, removes) the fault model
@@ -208,6 +254,7 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 			dst.dropped++
 			n.k.Trace("netsim", "frame-drop", int64(f.Size),
 				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
+			n.FreeFrame(f)
 			return
 		case Corrupt:
 			f.Corrupt = true
@@ -227,10 +274,17 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 		arrival = q
 	}
 	dst.downHorizon = arrival
-	n.k.At(arrival, func() { dst.deliver(f) })
+	f.dstPort = dst
+	if f.deliver == nil {
+		// One thunk per Frame object, not per transmission: pooled
+		// frames amortize it to nothing, and it reads the destination
+		// from the frame at fire time.
+		f.deliver = f.fire
+	}
+	n.k.At(arrival, f.deliver)
 }
 
-func (p *Port) deliver(f *Frame) {
+func (p *Port) deliverFrame(f *Frame) {
 	p.received++
 	p.rxBytes += int64(f.Size)
 	if f.Corrupt {
@@ -241,4 +295,5 @@ func (p *Port) deliver(f *Frame) {
 		panic(fmt.Sprintf("netsim: no handler for proto %d at port %q", f.Proto, p.name))
 	}
 	h(f)
+	p.net.FreeFrame(f)
 }

@@ -2,37 +2,51 @@ package sim
 
 // Cond is a broadcast condition variable for simulation processes.
 // Unlike Signal it can fire repeatedly: each Broadcast wakes the
-// current waiters and arms a fresh generation. Use it in the classic
-// loop shape:
+// current waiters and leaves the condition armed for the next
+// generation. Use it in the classic loop shape:
 //
 //	for !predicate() {
 //		cond.Wait(p)
 //	}
+//
+// Cond keeps its waiter list directly (rather than through a
+// throwaway Signal per broadcast) and reuses the slice's storage
+// across generations: Broadcast on a streaming connection is a
+// per-segment operation and must not allocate.
 type Cond struct {
-	k   *Kernel
-	sig *Signal
+	k       *Kernel
+	waiters []waiterRef
 }
 
 // NewCond returns a condition variable on kernel k.
-func NewCond(k *Kernel) *Cond { return &Cond{k: k, sig: NewSignal(k)} }
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
 
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
-	s := c.sig
-	p.Wait(s)
+	c.waiters = append(c.waiters, waiterRef{p: p, gen: p.beginWait()})
+	p.park()
 }
 
 // WaitTimeout parks p until the next Broadcast or until d elapses; it
 // reports whether a broadcast arrived.
 func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
-	s := c.sig
-	_, ok := p.WaitTimeout(s, d)
-	return ok
+	gen := p.beginWait()
+	c.waiters = append(c.waiters, waiterRef{p: p, gen: gen})
+	t := c.k.atWake(c.k.now+d, p, gen, timeoutSentinel{})
+	got := p.park()
+	if _, isTimeout := got.(timeoutSentinel); isTimeout {
+		return false
+	}
+	t.Stop()
+	return true
 }
 
-// Broadcast wakes all current waiters.
+// Broadcast wakes all current waiters. Waiters whose timed wait
+// already expired are filtered by the wake events' generation check.
 func (c *Cond) Broadcast() {
-	s := c.sig
-	c.sig = NewSignal(c.k)
-	s.Fire(nil)
+	ws := c.waiters
+	c.waiters = c.waiters[:0]
+	for _, w := range ws {
+		c.k.atWake(c.k.now, w.p, w.gen, nil)
+	}
 }

@@ -1,63 +1,80 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
+import "fmt"
+
+// Event kinds. Most scheduled work is a process wake-up, not an
+// arbitrary callback; giving wake-ups their own kinds lets the hot
+// paths (Sleep, queue hand-off, signal fire) schedule without
+// allocating a closure per event.
+const (
+	// evFunc runs fn().
+	evFunc = iota
+	// evDispatch resumes proc with val unconditionally.
+	evDispatch
+	// evWake resumes proc with val only if the proc's wait generation
+	// still matches wgen and no other waker got there first. Signal
+	// fire and timed-wait expiry race through this kind.
+	evWake
 )
 
-// event is a scheduled callback.
+// event is a scheduled callback or process wake-up. Events are pooled
+// per kernel: gen increments on every recycle so a stale Timer handle
+// can never cancel the event's next incarnation.
 type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events fire in schedule order
-	fn  func()
-	// canceled events stay in the heap but are skipped when popped.
+	gen uint64
+
+	kind uint8
+	// canceled events stay in the heap but are skipped when popped;
+	// the kernel compacts the heap when they pile up.
 	canceled bool
+
+	fn   func() // evFunc
+	proc *Proc  // evDispatch, evWake
+	val  any    // evDispatch, evWake
+	wgen uint64 // evWake
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Timer is a handle to a scheduled callback that can be stopped. The
+// zero value is an inert timer: Stop reports false, Pending reports
+// false.
+type Timer struct {
+	k   *Kernel
+	ev  *event
+	gen uint64
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event      { return h[0] }
-func (h *eventHeap) push(e *event)    { heap.Push(h, e) }
-func (h *eventHeap) popEvent() *event { return heap.Pop(h).(*event) }
-
-// Timer is a handle to a scheduled callback that can be stopped.
-type Timer struct{ ev *event }
 
 // Stop cancels the timer. It is safe to call after the timer fired, in
 // which case it reports false.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.canceled {
 		return false
 	}
 	t.ev.canceled = true
+	t.k.ncanceled++
+	t.k.maybeCompact()
 	return true
+}
+
+// Pending reports whether the timer is armed: scheduled, not yet
+// fired, not stopped.
+func (t Timer) Pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
 	now     Time
-	heap    eventHeap
+	heap    []*event // min-heap ordered by (at, seq)
+	pool    []*event // recycled events
 	seq     uint64
 	stopped bool
+	// ncanceled counts canceled events still in the heap; when they
+	// outnumber live events the heap is compacted so long-running
+	// kernels that arm and stop many timers don't grow unboundedly.
+	ncanceled int
 
 	// process handoff
 	yield chan struct{} // procs signal the kernel here when they park
@@ -85,24 +102,73 @@ func (k *Kernel) EventsFired() uint64 { return k.fired }
 // ProcsSpawned reports the number of processes ever started.
 func (k *Kernel) ProcsSpawned() uint64 { return k.spawned }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// panics: that is always a modelling bug.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+// newEvent takes an event from the pool (or allocates one) and
+// schedules it at absolute time t. Scheduling in the past panics: that
+// is always a modelling bug.
+func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &event{at: t, seq: k.seq, fn: fn}
+	var e *event
+	if n := len(k.pool); n > 0 {
+		e = k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = t
+	e.seq = k.seq
 	k.seq++
-	k.heap.push(e)
-	return &Timer{ev: e}
+	k.heapPush(e)
+	return e
+}
+
+// releaseEvent recycles a popped event. The generation bump invalidates
+// every Timer handle pointing at it.
+func (k *Kernel) releaseEvent(e *event) {
+	e.gen++
+	e.canceled = false
+	e.fn = nil
+	e.proc = nil
+	e.val = nil
+	e.wgen = 0
+	k.pool = append(k.pool, e)
+}
+
+// At schedules fn to run at absolute time t.
+func (k *Kernel) At(t Time, fn func()) Timer {
+	e := k.newEvent(t)
+	e.kind = evFunc
+	e.fn = fn
+	return Timer{k: k, ev: e, gen: e.gen}
 }
 
 // After schedules fn to run d from now.
-func (k *Kernel) After(d Time, fn func()) *Timer {
+func (k *Kernel) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return k.At(k.now+d, fn)
+}
+
+// atDispatch schedules an unconditional wake-up of p carrying v.
+func (k *Kernel) atDispatch(t Time, p *Proc, v any) {
+	e := k.newEvent(t)
+	e.kind = evDispatch
+	e.proc = p
+	e.val = v
+}
+
+// atWake schedules a conditional wake-up of p carrying v, valid only
+// while p's wait generation is still wgen.
+func (k *Kernel) atWake(t Time, p *Proc, wgen uint64, v any) Timer {
+	e := k.newEvent(t)
+	e.kind = evWake
+	e.proc = p
+	e.val = v
+	e.wgen = wgen
+	return Timer{k: k, ev: e, gen: e.gen}
 }
 
 // Stop makes Run return after the current event completes.
@@ -112,23 +178,40 @@ func (k *Kernel) Stop() { k.stopped = true }
 // until (when horizon > 0) the clock would pass the horizon. It
 // reports the time at which it stopped. Processes still blocked when
 // Run returns are simply never resumed; their goroutines are parked
-// forever, which Go collects at process exit. Tests that care use
-// Drain.
+// forever, which Go collects at process exit.
 func (k *Kernel) Run(horizon Time) Time {
 	k.stopped = false
 	for len(k.heap) > 0 && !k.stopped {
-		e := k.heap.peek()
+		e := k.heap[0]
 		if horizon > 0 && e.at > horizon {
 			k.now = horizon
 			return k.now
 		}
-		k.heap.popEvent()
+		k.heapPop()
 		if e.canceled {
+			k.ncanceled--
+			k.releaseEvent(e)
 			continue
 		}
 		k.now = e.at
 		k.fired++
-		e.fn()
+		// Recycle before executing: the handler may schedule new
+		// events (reusing this object is then fine — its fields are
+		// already copied out) and a Stop on this event's timer during
+		// execution must be a no-op on the next incarnation.
+		kind, fn, proc, val, wgen := e.kind, e.fn, e.proc, e.val, e.wgen
+		k.releaseEvent(e)
+		switch kind {
+		case evFunc:
+			fn()
+		case evDispatch:
+			k.dispatch(proc, val)
+		case evWake:
+			if proc.wgen == wgen && !proc.wcanceled {
+				proc.wcanceled = true
+				k.dispatch(proc, val)
+			}
+		}
 	}
 	return k.now
 }
@@ -138,3 +221,87 @@ func (k *Kernel) RunAll() Time { return k.Run(0) }
 
 // Pending reports the number of scheduled (possibly canceled) events.
 func (k *Kernel) Pending() int { return len(k.heap) }
+
+// maybeCompact removes canceled events from the heap once they
+// outnumber the live ones. Pop order is unaffected: (at, seq) is a
+// total order, so the minimum is the minimum whatever the heap's
+// internal layout.
+func (k *Kernel) maybeCompact() {
+	if k.ncanceled < 64 || k.ncanceled <= len(k.heap)/2 {
+		return
+	}
+	live := k.heap[:0]
+	for _, e := range k.heap {
+		if e.canceled {
+			k.releaseEvent(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(k.heap); i++ {
+		k.heap[i] = nil
+	}
+	k.heap = live
+	k.ncanceled = 0
+	for i := len(k.heap)/2 - 1; i >= 0; i-- {
+		k.siftDown(i)
+	}
+}
+
+// The heap is hand-specialized to []*event: going through
+// container/heap costs an interface conversion per operation and
+// defeats inlining on the hottest path in the tree.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e *event) {
+	k.heap = append(k.heap, e)
+	h := k.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (k *Kernel) heapPop() *event {
+	h := k.heap
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	k.heap = h[:n]
+	if n > 0 {
+		k.siftDown(0)
+	}
+	return e
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && eventLess(h[right], h[left]) {
+			least = right
+		}
+		if !eventLess(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}

@@ -14,6 +14,21 @@ type Proc struct {
 	parked bool
 	done   bool
 	term   *Signal // fired on termination with the proc's result
+
+	// Wait-generation state. A proc waits on at most one signal or
+	// condition at a time; wgen numbers that wait so competing wakers
+	// (a signal fire racing a timed-wait expiry, or a stale waiter
+	// list from an abandoned wait) resolve deterministically: the
+	// first matching evWake wins and flips wcanceled.
+	wgen      uint64
+	wcanceled bool
+}
+
+// beginWait opens a new wait generation and returns its number.
+func (p *Proc) beginWait() uint64 {
+	p.wgen++
+	p.wcanceled = false
+	return p.wgen
 }
 
 // Go starts fn as a new process at the current time. The name is used
@@ -24,6 +39,9 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 
 // GoAfter starts fn as a new process d from now.
 func (k *Kernel) GoAfter(d Time, name string, fn func(p *Proc)) *Proc {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
 	p := &Proc{
 		k:      k,
 		name:   name,
@@ -43,7 +61,7 @@ func (k *Kernel) GoAfter(d Time, name string, fn func(p *Proc)) *Proc {
 		p.term.Fire(nil)
 		k.yield <- struct{}{}
 	}()
-	k.After(d, func() { k.dispatch(p, nil) })
+	k.atDispatch(k.now+d, p, nil)
 	return p
 }
 
@@ -87,16 +105,14 @@ func (p *Proc) Done() bool { return p.done }
 // it joins the process.
 func (p *Proc) Term() *Signal { return p.term }
 
-// Sleep blocks the process for d of virtual time.
+// Sleep blocks the process for d of virtual time. Zero-length sleeps
+// still round-trip through the scheduler so that they act as a yield
+// point with deterministic ordering.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	if d == 0 {
-		// Still round-trip through the scheduler so that zero-length
-		// sleeps act as a yield point with deterministic ordering.
-	}
-	p.k.After(d, func() { p.k.dispatch(p, nil) })
+	p.k.atDispatch(p.k.now+d, p, nil)
 	p.park()
 }
 
@@ -106,7 +122,7 @@ func (p *Proc) Wait(s *Signal) any {
 	if s.fired {
 		return s.value
 	}
-	s.addWaiter(&waiter{p: p})
+	s.waiters = append(s.waiters, waiterRef{p: p, gen: p.beginWait()})
 	return p.park()
 }
 
@@ -119,15 +135,9 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) (v any, ok bool) {
 	if s.fired {
 		return s.value, true
 	}
-	w := &waiter{p: p}
-	s.addWaiter(w)
-	t := p.k.After(d, func() {
-		if w.canceled {
-			return
-		}
-		w.canceled = true
-		p.k.dispatch(p, timeoutSentinel{})
-	})
+	gen := p.beginWait()
+	s.waiters = append(s.waiters, waiterRef{p: p, gen: gen})
+	t := p.k.atWake(p.k.now+d, p, gen, timeoutSentinel{})
 	got := p.park()
 	if _, isTimeout := got.(timeoutSentinel); isTimeout {
 		return nil, false

@@ -56,7 +56,7 @@ func (q *Queue[T]) Put(p *Proc, item T) bool {
 		q.getters = q.getters[1:]
 		q.puts++
 		q.gets++
-		q.k.At(q.k.now, func() { q.k.dispatch(g, item) })
+		q.k.atDispatch(q.k.now, g, item)
 		return true
 	}
 	if q.cap == 0 || len(q.items) < q.cap {
@@ -84,7 +84,7 @@ func (q *Queue[T]) TryPut(item T) bool {
 		q.getters = q.getters[1:]
 		q.puts++
 		q.gets++
-		q.k.At(q.k.now, func() { q.k.dispatch(g, item) })
+		q.k.atDispatch(q.k.now, g, item)
 		return true
 	}
 	if q.cap == 0 || len(q.items) < q.cap {
@@ -145,7 +145,7 @@ func (q *Queue[T]) admitPutter() {
 	q.putters = q.putters[1:]
 	q.items = append(q.items, w.item)
 	q.puts++
-	q.k.At(q.k.now, func() { q.k.dispatch(w.p, nil) })
+	q.k.atDispatch(q.k.now, w.p, nil)
 }
 
 // Close marks the queue closed and wakes every blocked getter and
@@ -159,11 +159,9 @@ func (q *Queue[T]) Close() {
 	gs, ps := q.getters, q.putters
 	q.getters, q.putters = nil, nil
 	for _, g := range gs {
-		g := g
-		q.k.At(q.k.now, func() { q.k.dispatch(g, closeSentinel{}) })
+		q.k.atDispatch(q.k.now, g, closeSentinel{})
 	}
 	for _, w := range ps {
-		w := w
-		q.k.At(q.k.now, func() { q.k.dispatch(w.p, closeSentinel{}) })
+		q.k.atDispatch(q.k.now, w.p, closeSentinel{})
 	}
 }

@@ -94,7 +94,7 @@ func (r *Resource) Release(n int) {
 		w := r.queue[0]
 		r.queue = r.queue[1:]
 		r.inUse += w.n
-		r.k.At(r.k.now, func() { r.k.dispatch(w.p, nil) })
+		r.k.atDispatch(r.k.now, w.p, nil)
 	}
 }
 

@@ -1,10 +1,13 @@
 package sim
 
-// waiter is a parked process waiting on a signal. canceled entries are
-// skipped at fire time (used by timed waits).
-type waiter struct {
-	p        *Proc
-	canceled bool
+// waiterRef records a parked process waiting on a signal or condition,
+// pinned to the wait generation it parked under. A ref whose
+// generation no longer matches the proc's current one (the wait was
+// abandoned — typically by a timed-wait expiry) is skipped at fire
+// time.
+type waiterRef struct {
+	p   *Proc
+	gen uint64
 }
 
 // Signal is a one-shot broadcast event. Processes Wait on it; Fire
@@ -15,7 +18,7 @@ type Signal struct {
 	k       *Kernel
 	fired   bool
 	value   any
-	waiters []*waiter
+	waiters []waiterRef
 }
 
 // NewSignal returns an unfired signal.
@@ -38,18 +41,9 @@ func (s *Signal) Fire(v any) {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
-		w := w
-		s.k.At(s.k.now, func() {
-			if w.canceled {
-				return
-			}
-			w.canceled = true
-			s.k.dispatch(w.p, v)
-		})
+		s.k.atWake(s.k.now, w.p, w.gen, v)
 	}
 }
-
-func (s *Signal) addWaiter(w *waiter) { s.waiters = append(s.waiters, w) }
 
 // Barrier counts down from n and fires an underlying signal when all
 // parties have arrived. The zero value is not usable; use NewBarrier.

@@ -47,6 +47,11 @@ type packet struct {
 	// RDMA write targeting
 	rdmaHandle uint32
 	rdmaOffset int
+
+	// pooled marks a packet owned by a provider free list. The
+	// receive engine frees every packet it consumes; the frag slice
+	// is handed off to the matched descriptor, never recycled.
+	pooled bool
 }
 
 // sendWork is one posted send descriptor awaiting the NIC.
@@ -100,6 +105,50 @@ type Provider struct {
 	// behave as if the descriptor pool were exhausted (the RNR break
 	// path). Fault injection uses this to model descriptor pressure.
 	descPressure func() bool
+
+	// Free lists for the per-fragment wire objects. Packets freed by
+	// a receiving provider may have been allocated by the sender's —
+	// same kernel, so the migration is race-free.
+	pkPool []*packet
+	swPool []*sendWork
+}
+
+// newPacket returns a zeroed packet from the pool (or a fresh one).
+func (pr *Provider) newPacket() *packet {
+	if n := len(pr.pkPool); n > 0 {
+		pk := pr.pkPool[n-1]
+		pr.pkPool[n-1] = nil
+		pr.pkPool = pr.pkPool[:n-1]
+		return pk
+	}
+	return &packet{pooled: true}
+}
+
+// freePacket recycles a fully consumed packet. The frag reference is
+// dropped, not reused: receive matching may have handed it to a
+// completed descriptor.
+func (pr *Provider) freePacket(pk *packet) {
+	if pk == nil || !pk.pooled {
+		return
+	}
+	*pk = packet{pooled: true}
+	pr.pkPool = append(pr.pkPool, pk)
+}
+
+// newSendWork returns a zeroed send-work item from the pool.
+func (pr *Provider) newSendWork() *sendWork {
+	if n := len(pr.swPool); n > 0 {
+		w := pr.swPool[n-1]
+		pr.swPool[n-1] = nil
+		pr.swPool = pr.swPool[:n-1]
+		return w
+	}
+	return &sendWork{}
+}
+
+func (pr *Provider) freeSendWork(w *sendWork) {
+	*w = sendWork{}
+	pr.swPool = append(pr.swPool, w)
 }
 
 // SetDescPressure installs (or with nil removes) the descriptor
@@ -180,15 +229,10 @@ func (pr *Provider) dmaUse(p *sim.Proc, n int) {
 }
 
 // sendControl queues a small control frame directly to the wire stage.
-func (pr *Provider) sendControl(p *sim.Proc, dst string, pk *packet) {
-	f := &netsim.Frame{
-		Src:     pr.node.Name(),
-		Dst:     dst,
-		Proto:   netsim.ProtoVIA,
-		Size:    pr.cfg.HeaderSize + 16,
-		Payload: pk,
-	}
-	pr.txFIFO.Put(p, f)
+func (pr *Provider) sendControl(p *sim.Proc, dst string, kind pkKind, srcVI, dstVI uint32, svc int) {
+	pk := pr.newPacket()
+	pk.kind, pk.srcPort, pk.srcVI, pk.dstVI, pk.svc = kind, pr.node.Name(), srcVI, dstVI, svc
+	pr.txFIFO.Put(p, pr.net.NewFrame(pr.node.Name(), dst, netsim.ProtoVIA, pr.cfg.HeaderSize+16, pk))
 }
 
 // txDescLoop is the NIC descriptor-fetch and DMA engine: it drains the
@@ -201,6 +245,8 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 			return
 		}
 		vi, desc := w.vi, w.desc
+		rdma, rdmaHandle, rdmaOffset := w.rdma, w.rdmaHandle, w.rdmaOffset
+		pr.freeSendWork(w)
 		if vi.state != viConnected {
 			desc.Status = StatusBroken
 			vi.sendCQ.post(Completion{VI: vi, Desc: desc, Status: StatusBroken})
@@ -225,33 +271,26 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 			}
 			pr.dmaUse(p, n)
 			p.Sleep(pr.cfg.NICTxPerFrame)
-			pk := &packet{
-				kind:    pkData,
-				srcPort: pr.node.Name(),
-				srcVI:   vi.id,
-				dstVI:   vi.peerVI,
-				seq:     vi.txSeq,
-				msgLen:  desc.Len,
-				fragLen: n,
-				frag:    frag,
-				first:   first,
-				last:    remaining-n == 0,
-				imm:     desc.Imm,
-			}
+			pk := pr.newPacket()
+			pk.kind = pkData
+			pk.srcPort = pr.node.Name()
+			pk.srcVI = vi.id
+			pk.dstVI = vi.peerVI
+			pk.seq = vi.txSeq
+			pk.msgLen = desc.Len
+			pk.fragLen = n
+			pk.frag = frag
+			pk.first = first
+			pk.last = remaining-n == 0
+			pk.imm = desc.Imm
 			vi.txSeq++
-			if w.rdma {
+			if rdma {
 				pk.kind = pkRDMA
-				pk.rdmaHandle = w.rdmaHandle
-				pk.rdmaOffset = w.rdmaOffset + offset
+				pk.rdmaHandle = rdmaHandle
+				pk.rdmaOffset = rdmaOffset + offset
 			}
-			f := &netsim.Frame{
-				Src:     pr.node.Name(),
-				Dst:     vi.peerPort,
-				Proto:   netsim.ProtoVIA,
-				Size:    pr.cfg.HeaderSize + n,
-				Payload: pk,
-			}
-			pr.txFIFO.Put(p, f)
+			pr.txFIFO.Put(p, pr.net.NewFrame(pr.node.Name(), vi.peerPort,
+				netsim.ProtoVIA, pr.cfg.HeaderSize+n, pk))
 			first = false
 			offset += n
 			remaining -= n
@@ -282,54 +321,64 @@ func (pr *Provider) txWireLoop(p *sim.Proc) {
 
 // rxLoop is the NIC receive engine: per-frame processing, DMA into
 // registered host memory, descriptor matching and completion delivery.
+// Every consumed packet is recycled; the frag payload (if any) has
+// been handed off or copied by then.
 func (pr *Provider) rxLoop(p *sim.Proc) {
 	for {
 		pk, ok := pr.rxQ.Get(p)
 		if !ok {
 			return
 		}
-		if pk.corrupt && pk.kind != pkData && pk.kind != pkRDMA {
-			// A corrupted control frame fails its checksum and is
-			// silently discarded; higher layers recover by timeout.
-			pr.node.Kernel().Trace("via", "ctrl-corrupt-drop", 0, pk.srcPort)
-			continue
+		pr.handlePacket(p, pk)
+		pr.freePacket(pk)
+	}
+}
+
+// handlePacket demultiplexes one inbound packet. It must not retain
+// the packet past its return (the frag slice may be retained — its
+// ownership transfers to the receiving VI).
+func (pr *Provider) handlePacket(p *sim.Proc, pk *packet) {
+	if pk.corrupt && pk.kind != pkData && pk.kind != pkRDMA {
+		// A corrupted control frame fails its checksum and is
+		// silently discarded; higher layers recover by timeout.
+		pr.node.Kernel().Trace("via", "ctrl-corrupt-drop", 0, pk.srcPort)
+		return
+	}
+	switch pk.kind {
+	case pkConnReq:
+		a := pr.listeners[pk.svc]
+		if a == nil {
+			panic(fmt.Sprintf("via: connect to unbound service %d on %s", pk.svc, pr.node.Name()))
 		}
-		switch pk.kind {
-		case pkConnReq:
-			a := pr.listeners[pk.svc]
-			if a == nil {
-				panic(fmt.Sprintf("via: connect to unbound service %d on %s", pk.svc, pr.node.Name()))
-			}
-			a.q.TryPut(&connReq{srcPort: pk.srcPort, srcVI: pk.srcVI})
-		case pkConnAck:
-			vi := pr.vis[pk.dstVI]
-			if vi == nil {
-				continue
-			}
-			vi.peerPort = pk.srcPort
-			vi.peerVI = pk.srcVI
-			vi.state = viConnected
-			vi.connSig.Fire(nil)
-		case pkBreak:
-			vi := pr.vis[pk.dstVI]
-			if vi == nil || vi.state == viBroken {
-				continue
-			}
-			vi.breakLocal()
-		case pkDisconnect:
-			vi := pr.vis[pk.dstVI]
-			if vi == nil {
-				continue
-			}
-			vi.remoteClosed = true
-			if vi.closeSig != nil && !vi.closeSig.Fired() {
-				vi.closeSig.Fire(nil)
-			}
-		case pkData:
-			pr.rxData(p, pk)
-		case pkRDMA:
-			pr.rxRDMA(p, pk)
+		a.q.TryPut(&connReq{srcPort: pk.srcPort, srcVI: pk.srcVI})
+	case pkConnAck:
+		vi := pr.vis[pk.dstVI]
+		if vi == nil {
+			return
 		}
+		vi.peerPort = pk.srcPort
+		vi.peerVI = pk.srcVI
+		vi.state = viConnected
+		vi.connSig.Fire(nil)
+	case pkBreak:
+		vi := pr.vis[pk.dstVI]
+		if vi == nil || vi.state == viBroken {
+			return
+		}
+		vi.breakLocal()
+	case pkDisconnect:
+		vi := pr.vis[pk.dstVI]
+		if vi == nil {
+			return
+		}
+		vi.remoteClosed = true
+		if vi.closeSig != nil && !vi.closeSig.Fired() {
+			vi.closeSig.Fire(nil)
+		}
+	case pkData:
+		pr.rxData(p, pk)
+	case pkRDMA:
+		pr.rxRDMA(p, pk)
 	}
 }
 
@@ -343,9 +392,7 @@ func (pr *Provider) lossBreak(p *sim.Proc, vi *VI, why string, n int) {
 	pr.node.Kernel().Trace("via", "loss-break", int64(n), why)
 	hadRecvs := vi.recvDescs.Len() > 0
 	vi.breakLocal()
-	pr.sendControl(p, vi.peerPort, &packet{
-		kind: pkBreak, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
-	})
+	pr.sendControl(p, vi.peerPort, pkBreak, vi.id, vi.peerVI, 0)
 	if !hadRecvs {
 		vi.recvCQ.post(Completion{VI: vi, IsRecv: true, Status: StatusBroken})
 	}
@@ -391,9 +438,7 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 		// descriptor: the connection breaks. Notify the peer.
 		pr.node.Kernel().Trace("via", "rnr-break", int64(vi.curLen), pk.srcPort)
 		vi.breakLocal()
-		pr.sendControl(p, vi.peerPort, &packet{
-			kind: pkBreak, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
-		})
+		pr.sendControl(p, vi.peerPort, pkBreak, vi.id, vi.peerVI, 0)
 		if !ok {
 			vi.recvCQ.post(Completion{VI: vi, IsRecv: true, Status: StatusRNR})
 		} else {

@@ -62,7 +62,10 @@ func (vi *VI) PostRDMAWrite(p *sim.Proc, desc *Desc, handle uint32, offset int) 
 	}
 	vi.pr.node.Overhead(p, vi.pr.cfg.PostSendCPU)
 	vi.pr.node.Kernel().Trace("via", "rdma-write", int64(desc.Len), vi.peerPort)
-	vi.pr.sendWQ.TryPut(&sendWork{vi: vi, desc: desc, rdmaHandle: handle, rdmaOffset: offset, rdma: true})
+	w := vi.pr.newSendWork()
+	w.vi, w.desc = vi, desc
+	w.rdma, w.rdmaHandle, w.rdmaOffset = true, handle, offset
+	vi.pr.sendWQ.TryPut(w)
 	return nil
 }
 
@@ -87,9 +90,7 @@ func (pr *Provider) rxRDMA(p *sim.Proc, pk *packet) {
 	region := pr.rdmaRegions[pk.rdmaHandle]
 	if region == nil || !region.rdma || pk.rdmaOffset+pk.fragLen > region.size {
 		vi.breakLocal()
-		pr.sendControl(p, vi.peerPort, &packet{
-			kind: pkBreak, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
-		})
+		pr.sendControl(p, vi.peerPort, pkBreak, vi.id, vi.peerVI, 0)
 		return
 	}
 	if pk.frag != nil {

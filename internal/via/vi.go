@@ -112,9 +112,7 @@ func (pr *Provider) Connect(p *sim.Proc, vi *VI, remote string, svc int) error {
 	}
 	vi.state = viConnecting
 	pr.node.Overhead(p, pr.cfg.ConnSetupCPU)
-	pr.sendControl(p, remote, &packet{
-		kind: pkConnReq, srcPort: pr.node.Name(), srcVI: vi.id, svc: svc,
-	})
+	pr.sendControl(p, remote, pkConnReq, vi.id, 0, svc)
 	if pr.cfg.ConnTimeout > 0 {
 		if _, ok := p.WaitTimeout(vi.connSig, pr.cfg.ConnTimeout); !ok {
 			// Tear the VI down before returning so a late ack finds
@@ -144,9 +142,7 @@ func (a *Acceptor) Accept(p *sim.Proc, sendCQ, recvCQ *CQ) (*VI, error) {
 	vi.peerPort = req.srcPort
 	vi.peerVI = req.srcVI
 	vi.state = viConnected
-	a.pr.sendControl(p, req.srcPort, &packet{
-		kind: pkConnAck, srcPort: a.pr.node.Name(), srcVI: vi.id, dstVI: req.srcVI,
-	})
+	a.pr.sendControl(p, req.srcPort, pkConnAck, vi.id, req.srcVI, 0)
 	return vi, nil
 }
 
@@ -193,7 +189,9 @@ func (vi *VI) PostSend(p *sim.Proc, desc *Desc) error {
 	}
 	vi.pr.node.Overhead(p, vi.pr.cfg.PostSendCPU)
 	vi.pr.node.Kernel().Trace("via", "post-send", int64(desc.Len), vi.peerPort)
-	vi.pr.sendWQ.TryPut(&sendWork{vi: vi, desc: desc})
+	w := vi.pr.newSendWork()
+	w.vi, w.desc = vi, desc
+	vi.pr.sendWQ.TryPut(w)
 	return nil
 }
 
@@ -214,9 +212,7 @@ func (pr *Provider) Disconnect(p *sim.Proc, vi *VI) {
 		vi.teardown()
 		return
 	}
-	pr.sendControl(p, vi.peerPort, &packet{
-		kind: pkDisconnect, srcPort: pr.node.Name(), srcVI: vi.id, dstVI: vi.peerVI,
-	})
+	pr.sendControl(p, vi.peerPort, pkDisconnect, vi.id, vi.peerVI, 0)
 	vi.state = viClosed
 	vi.teardown()
 }
