@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"hpsockets/internal/experiments"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/stats"
 )
 
@@ -25,6 +26,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"experiment cells run concurrently; any value emits byte-identical figures")
+	telemetry := flag.String("telemetry", "",
+		"write per-cell hpsmon metrics for the pipeline figures to this file (CSV with a .csv suffix, aligned tables otherwise)")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -32,6 +35,9 @@ func main() {
 		o = experiments.QuickOptions()
 	}
 	o.Workers = *workers
+	if *telemetry != "" {
+		o.Telemetry = hpsmon.NewSet()
+	}
 	render := func(t *stats.Table) {
 		if *csv {
 			fmt.Print(t.CSV())
@@ -78,6 +84,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	if o.Telemetry != nil {
+		if err := writeTelemetry(o.Telemetry, *telemetry); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTelemetry renders the collected cell metrics to path, as CSV
+// when the name asks for it and as aligned tables otherwise.
+func writeTelemetry(set *hpsmon.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = set.CSV(f)
+	} else {
+		err = set.Render(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func printMicro(o experiments.Options) {

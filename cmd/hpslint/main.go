@@ -20,6 +20,7 @@ import (
 	"hpsockets/internal/analysis/closecheck"
 	"hpsockets/internal/analysis/determinism"
 	"hpsockets/internal/analysis/framework"
+	"hpsockets/internal/analysis/litname"
 	"hpsockets/internal/analysis/poolsafe"
 	"hpsockets/internal/analysis/procdiscipline"
 )
@@ -30,6 +31,7 @@ var all = []*framework.Analyzer{
 	bufalias.Analyzer,
 	closecheck.Analyzer,
 	poolsafe.Analyzer,
+	litname.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,114 @@
+// Command trace runs one visualization-pipeline experiment cell with
+// full hpsmon telemetry — metrics, causal spans, and cross-stream flow
+// edges — and exports the result as Chrome trace-event JSON (loadable
+// in chrome://tracing or https://ui.perfetto.dev), plus a text flame
+// summary and the metrics table on stdout.
+//
+// Usage:
+//
+//	trace -out pipeline.json                     # defaults: socketvia, 32 KB blocks
+//	trace -kind tcp -block 8192 -mode latency -out tcp.json
+//
+// The run is deterministic: the same flags always produce a
+// byte-identical export.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/vizapp"
+)
+
+func main() {
+	kind := flag.String("kind", "socketvia", "transport: tcp or socketvia")
+	block := flag.Int("block", 32<<10, "distribution block size in bytes")
+	mode := flag.String("mode", "rate", "rate (pipelined complete updates) or latency (sequential partial updates)")
+	queries := flag.Int("queries", 2, "number of queries to run")
+	image := flag.Int("image", 4<<20, "image bytes per complete update")
+	compute := flag.Bool("compute", false, "apply the linear computation cost")
+	out := flag.String("out", "", "write Chrome trace-event JSON to this file (required)")
+	flame := flag.Bool("flame", true, "print the flame summary on stdout")
+	metrics := flag.Bool("metrics", true, "print the metrics table on stdout")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "trace: -out is required")
+		os.Exit(2)
+	}
+	var k core.Kind
+	switch *kind {
+	case "tcp":
+		k = core.KindTCP
+	case "socketvia":
+		k = core.KindSocketVIA
+	default:
+		fmt.Fprintf(os.Stderr, "trace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	cfg := vizapp.DefaultPipelineConfig(k, *block)
+	cfg.ImageBytes = *image
+	if *compute {
+		cfg.ComputePerByte = 18 // ns/byte, the paper's linear cost
+	}
+	var qs []vizapp.Query
+	switch *mode {
+	case "rate":
+		for i := 0; i < *queries; i++ {
+			qs = append(qs, cfg.CompleteQuery())
+		}
+	case "latency":
+		cfg.Sequential = true
+		for i := 0; i < *queries; i++ {
+			qs = append(qs, vizapp.PartialQuery())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "trace: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cellName := fmt.Sprintf("trace/%s/%s/b%d", *kind, *mode, *block)
+	col := hpsmon.NewCollector(cellName, hpsmon.Options{Spans: true})
+	cfg.Hook = col.Attach
+
+	res := vizapp.RunPipeline(cfg, qs)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "trace: run failed: %v\n", res.Err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	werr := col.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "trace: write %s: %v\n", *out, werr)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d queries, finished at %v; trace written to %s\n",
+		cellName, len(qs), res.End, *out)
+
+	if *flame {
+		fmt.Println()
+		if err := col.FlameSummary(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: flame: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		fmt.Println()
+		if err := col.Registry().Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package litname defines an analyzer that requires compile-time
+// constant component and metric/span names at every hpsmon call site.
+//
+// The telemetry exports are canonically ordered by (component, name),
+// and the disabled-path cost contract is "one pointer load, zero
+// allocations". Both break if names are built at runtime: a
+// fmt.Sprintf name allocates on the hot path even with telemetry off
+// (the argument is evaluated before the nil check), and a name that
+// varies run-to-run perturbs the byte-identical export. Dynamic
+// context belongs in the detail argument, guarded behind
+// hpsmon.Enabled.
+package litname
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "litname",
+	Doc: `require constant component and name arguments to hpsmon helpers
+
+The component and name arguments of hpsmon.Begin, Count, GaugeSet,
+Observe, Instant and InstantK must be compile-time string constants
+(literals or named constants). Runtime-built names allocate on the
+telemetry-off hot path and destabilize the canonical export order;
+dynamic context goes in the detail argument instead.`,
+	Run: run,
+}
+
+// nameArgs maps each checked hpsmon helper to the indices of its
+// component and name parameters (the leading parameter is the proc or
+// kernel). The flow helpers are absent on purpose: their stream
+// argument is a correlation key, dynamic by design.
+var nameArgs = map[string][]int{
+	"Begin":    {1, 2},
+	"Count":    {1, 2},
+	"GaugeSet": {1, 2},
+	"Observe":  {1, 2},
+	"Instant":  {1, 2},
+	"InstantK": {1, 2},
+}
+
+func run(pass *framework.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "hpsmon") {
+		// The package's own implementation and tests manipulate names
+		// as data; the contract binds instrumentation call sites.
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "hpsmon") {
+				return true
+			}
+			idxs, ok := nameArgs[fn.Name()]
+			if !ok {
+				return true
+			}
+			for _, i := range idxs {
+				if i >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[i]
+				if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+					continue
+				}
+				which := "component"
+				if i == idxs[len(idxs)-1] && len(idxs) > 1 {
+					which = "name"
+				}
+				pass.Reportf(arg.Pos(),
+					"hpsmon.%s %s argument must be a compile-time string constant (dynamic context goes in the detail argument)",
+					fn.Name(), which)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

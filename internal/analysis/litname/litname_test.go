@@ -1,0 +1,12 @@
+package litname_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/litname"
+)
+
+func TestLitName(t *testing.T) {
+	analysistest.Run(t, "../testdata", litname.Analyzer, "litfix")
+}

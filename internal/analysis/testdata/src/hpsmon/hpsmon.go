@@ -1,0 +1,37 @@
+// Package hpsmon is a fixture stub mirroring the helper surface of
+// hpsockets/internal/hpsmon for analyzer tests. The litname analyzer
+// matches callees by package-path suffix ("hpsmon") and function name,
+// so this stub exercises the same code paths as the real package.
+package hpsmon
+
+import "sim"
+
+// Scope is a stub of the hpsmon span scope.
+type Scope struct{}
+
+// End closes the span.
+func (s Scope) End() {}
+
+// Enabled reports whether a monitor is attached.
+func Enabled(k *sim.Kernel) bool { return false }
+
+// Begin opens a span.
+func Begin(p *sim.Proc, component, name, detail string) Scope { return Scope{} }
+
+// Count adds delta to a counter.
+func Count(k *sim.Kernel, component, name string, delta int64) {}
+
+// GaugeSet records a gauge value.
+func GaugeSet(k *sim.Kernel, component, name string, value int64) {}
+
+// Observe adds a histogram sample.
+func Observe(k *sim.Kernel, component, name string, v sim.Time) {}
+
+// Instant records a zero-duration event on a process.
+func Instant(p *sim.Proc, component, name, detail string) {}
+
+// InstantK records a zero-duration event from kernel context.
+func InstantK(k *sim.Kernel, component, name, detail string) {}
+
+// FlowSend registers a flow origin (dynamic key allowed).
+func FlowSend(p *sim.Proc, stream string, uow int, tag int64) {}

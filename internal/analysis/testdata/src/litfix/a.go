@@ -1,0 +1,38 @@
+// Fixture for the litname analyzer.
+package litfix
+
+import (
+	"fmt"
+
+	"hpsmon"
+	"sim"
+)
+
+const comp = "ktcp" // a named constant is still compile-time
+
+// Canonical call sites: literal or named-constant names.
+func good(p *sim.Proc, k *sim.Kernel, peer string) {
+	sc := hpsmon.Begin(p, "ktcp", "snd-stall", peer) // dynamic detail is fine
+	sc.End()
+	hpsmon.Count(k, comp, "segments.out", 1)
+	hpsmon.GaugeSet(k, "via", "credits", 3)
+	hpsmon.Observe(k, comp, "rcv"+"-wait", 0) // constant folding still counts
+	hpsmon.Instant(p, "fault", "node-crash", peer)
+	hpsmon.InstantK(k, "fault", "node-crash", peer)
+	// Flow keys are correlation data, dynamic by design.
+	hpsmon.FlowSend(p, peer, 0, 1)
+}
+
+// Runtime-built names allocate on the telemetry-off hot path and
+// destabilize the canonical export order.
+func bad(p *sim.Proc, k *sim.Kernel, peer string, i int) {
+	hpsmon.Count(k, peer, "segments.out", 1)               // want `hpsmon\.Count component argument must be a compile-time string constant`
+	hpsmon.Count(k, "ktcp", fmt.Sprintf("seg-%d", i), 1)   // want `hpsmon\.Count name argument must be a compile-time string constant`
+	hpsmon.Observe(k, "ktcp", "wait-"+peer, 0)             // want `hpsmon\.Observe name argument must be a compile-time string constant`
+	sc := hpsmon.Begin(p, componentOf(i), "snd-stall", "") // want `hpsmon\.Begin component argument must be a compile-time string constant`
+	sc.End()
+	hpsmon.InstantK(k, "fault", name(), "") // want `hpsmon\.InstantK name argument must be a compile-time string constant`
+}
+
+func componentOf(i int) string { return "c" }
+func name() string             { return "n" }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
@@ -151,6 +152,7 @@ func (n *Node) Failed() bool { return n.failed }
 func (n *Node) haltIfFailed(p *sim.Proc) {
 	if n.failed {
 		n.k.Trace("cluster", "node-halt", 0, n.name+": "+p.Name())
+		hpsmon.Instant(p, "cluster", "node-halt", n.name)
 		p.Wait(sim.NewSignal(n.k))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 )
 
@@ -57,6 +58,7 @@ func Redial(p *sim.Proc, ep Endpoint, remote string, svc int, pol RetryPolicy) (
 				d = sim.Time(float64(d) * (1 + pol.Jitter*(pol.Rand.Float64()-0.5)))
 			}
 			ep.Node().Kernel().Trace("core", "redial-backoff", int64(attempt), remote)
+			hpsmon.Count(ep.Node().Kernel(), "core", "redial.attempts", 1)
 			p.Sleep(d)
 			delay *= 2
 			if pol.MaxDelay > 0 && delay > pol.MaxDelay {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 	"hpsockets/internal/via"
 )
@@ -56,17 +57,25 @@ func (c *svConn) sendRendezvous(p *sim.Proc, data []byte, n int) error {
 		}
 		node.Overhead(p, cfg.ProcCost)
 		node.Kernel().Trace("socketvia", "rend-req", int64(m), "")
+		hpsmon.Count(node.Kernel(), "socketvia", "rend.pieces", 1)
+		piece := hpsmon.Begin(p, "socketvia", "rendezvous", "")
 		c.sendCtrl(p, svRendReq, val)
+		ctsStart := node.Kernel().Now()
 		for c.ctsArrived <= c.ctsConsumed && c.brokenErr == nil {
+			timedOut := false
 			if c.opTimeout > 0 {
-				if !c.rendCond.WaitTimeout(p, c.opTimeout) {
-					return ErrTimeout
-				}
+				timedOut = !c.rendCond.WaitTimeout(p, c.opTimeout)
 			} else {
 				c.rendCond.Wait(p)
 			}
+			if timedOut {
+				piece.End()
+				return ErrTimeout
+			}
 		}
+		hpsmon.Observe(node.Kernel(), "socketvia", "cts-wait", node.Kernel().Now()-ctsStart)
 		if c.brokenErr != nil {
+			piece.End()
 			return c.brokenErr
 		}
 		c.ctsConsumed++
@@ -78,11 +87,13 @@ func (c *svConn) sendRendezvous(p *sim.Proc, data []byte, n int) error {
 			desc.Data = data[offset : offset+m]
 		}
 		if err := c.vi.PostRDMAWrite(p, desc, c.rendHandle, 0); err != nil {
+			piece.End()
 			c.markBroken(ErrBroken)
 			return ErrBroken
 		}
 		// VI FIFO ordering delivers this after the written data.
 		c.sendCtrl(p, svRendDone, val)
+		piece.End()
 		offset += m
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"hpsockets/internal/cluster"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 	"hpsockets/internal/via"
 )
@@ -118,13 +119,20 @@ func (c *svConn) send(p *sim.Proc, data []byte, n int) error {
 		blocked := false
 		for c.credits == 0 && c.brokenErr == nil {
 			blocked = true
+			k := node.Kernel()
+			t0 := k.Now()
+			sc := hpsmon.Begin(p, "socketvia", "credit-wait", "")
+			timedOut := false
 			if c.opTimeout > 0 {
-				if !c.credCond.WaitTimeout(p, c.opTimeout) {
-					c.sendPool.TryPut(d) // return the unused buffer
-					return ErrTimeout
-				}
+				timedOut = !c.credCond.WaitTimeout(p, c.opTimeout)
 			} else {
 				c.credCond.Wait(p)
+			}
+			sc.End()
+			hpsmon.Observe(k, "socketvia", "credit-wait", k.Now()-t0)
+			if timedOut {
+				c.sendPool.TryPut(d) // return the unused buffer
+				return ErrTimeout
 			}
 		}
 		if c.brokenErr != nil {
@@ -135,6 +143,8 @@ func (c *svConn) send(p *sim.Proc, data []byte, n int) error {
 		}
 		c.credits--
 		node.Kernel().Trace("socketvia", "eager-chunk", int64(m), "")
+		hpsmon.Count(node.Kernel(), "socketvia", "chunks.out", 1)
+		hpsmon.Count(node.Kernel(), "socketvia", "chunk.bytes.out", int64(m))
 		node.Overhead(p, cfg.ProcCost+sim.Time(float64(m)*cfg.CopyPerByte+0.5))
 		d.Len = m
 		d.Imm = svImm(svData, m)
@@ -182,12 +192,19 @@ func (c *svConn) Recv(p *sim.Proc, buf []byte) (int, error) {
 			return 0, c.brokenErr
 		}
 		blocked = true
+		k := node.Kernel()
+		t0 := k.Now()
+		sc := hpsmon.Begin(p, "socketvia", "rcv-wait", "")
+		timedOut := false
 		if c.opTimeout > 0 {
-			if !c.rcvCond.WaitTimeout(p, c.opTimeout) {
-				return 0, ErrTimeout
-			}
+			timedOut = !c.rcvCond.WaitTimeout(p, c.opTimeout)
 		} else {
 			c.rcvCond.Wait(p)
+		}
+		sc.End()
+		hpsmon.Observe(k, "socketvia", "rcv-wait", k.Now()-t0)
+		if timedOut {
+			return 0, ErrTimeout
 		}
 	}
 	if blocked {
@@ -251,6 +268,7 @@ func (c *svConn) maybeSendCredits(p *sim.Proc) {
 		grant := c.consumed
 		c.consumed = 0
 		c.node().Kernel().Trace("socketvia", "credit-grant", int64(grant), "")
+		hpsmon.Count(c.node().Kernel(), "socketvia", "credits.granted", int64(grant))
 		c.sendCtrl(p, svCredit, grant)
 	}
 }

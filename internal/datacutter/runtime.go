@@ -5,6 +5,7 @@ import (
 
 	"hpsockets/internal/cluster"
 	"hpsockets/internal/core"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 )
 
@@ -221,10 +222,19 @@ func (g *Group) Start(uows int) {
 			}
 			for uow := 0; uow < uows; uow++ {
 				ctx.uow = uow
-				if err := g.step(ctx, fc, uow); err != nil {
+				detail := fc.spec.Name
+				if hpsmon.Enabled(k) {
+					detail = fmt.Sprintf("%s.%d uow=%d", fc.spec.Name, fc.idx, uow)
+				}
+				sc := hpsmon.Begin(p, "datacutter", "uow", detail)
+				err := g.step(ctx, fc, uow)
+				sc.End()
+				if err != nil {
+					hpsmon.Count(k, "datacutter", "uow.failed", 1)
 					g.errs = append(g.errs, err)
 					break
 				}
+				hpsmon.Count(k, "datacutter", "uow.completed", 1)
 			}
 			for _, w := range fc.outputs {
 				w.Close(p)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hpsockets/internal/core"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 )
 
@@ -194,6 +195,10 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 	hdr := make([]byte, headerSize)
 	putHeader(hdr, wireData, flags, w.uow, buf.Size, buf.Tag)
 	p.Kernel().Trace("datacutter", "buffer-out", int64(buf.Size), w.name)
+	hpsmon.Count(p.Kernel(), "datacutter", "buffers.out", 1)
+	hpsmon.Count(p.Kernel(), "datacutter", "bytes.out", int64(buf.Size))
+	sc := hpsmon.Begin(p, "datacutter", "stream-send", w.name)
+	hpsmon.FlowSend(p, w.name, w.uow, buf.Tag)
 	t.unacked++
 	t.sent++
 	if w.redispatch {
@@ -202,13 +207,16 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 	if t.record {
 		t.pendingSends = append(t.pendingSends, p.Now())
 	}
-	if err := t.conn.Send(p, hdr); err != nil {
-		return err
+	err := t.conn.Send(p, hdr)
+	if err == nil {
+		if buf.Data != nil {
+			err = t.conn.Send(p, buf.Data)
+		} else {
+			err = t.conn.SendSize(p, buf.Size)
+		}
 	}
-	if buf.Data != nil {
-		return t.conn.Send(p, buf.Data)
-	}
-	return t.conn.SendSize(p, buf.Size)
+	sc.End()
+	return err
 }
 
 // failTarget marks a copy's connection dead, reclaims its
@@ -222,6 +230,7 @@ func (w *StreamWriter) failTarget(p *sim.Proc, t *streamConn, err error) {
 	t.dead = true
 	p.Kernel().Trace("datacutter", "copy-fail", int64(len(t.pending)),
 		w.name+": "+err.Error())
+	hpsmon.Instant(p, "datacutter", "copy-fail", w.name)
 	w.backlog = append(w.backlog, t.pending...)
 	t.pending = nil
 	t.pendingSends = nil
@@ -242,6 +251,7 @@ func (w *StreamWriter) flushBacklog(p *sim.Proc) error {
 		w.backlog = w.backlog[1:]
 		if e.uow != w.uow {
 			p.Kernel().Trace("datacutter", "uow-lost", int64(e.buf.Size), w.name)
+			hpsmon.Instant(p, "datacutter", "uow-lost", w.name)
 			continue
 		}
 		t := w.pick(p)
@@ -254,6 +264,7 @@ func (w *StreamWriter) flushBacklog(p *sim.Proc) error {
 			continue
 		}
 		w.redispatched++
+		hpsmon.Count(p.Kernel(), "datacutter", "redispatched", 1)
 	}
 	return nil
 }
@@ -280,6 +291,7 @@ func (w *StreamWriter) EndOfWork(p *sim.Proc) error {
 		live++
 	}
 	w.uow++
+	hpsmon.Count(p.Kernel(), "datacutter", "eow.out", int64(live))
 	if live == 0 {
 		return ErrNoLiveCopies
 	}
@@ -374,6 +386,13 @@ func (r *StreamReader) Received() uint64 { return r.received }
 // Read acknowledges the buffer to its producer — the "consumer begins
 // processing" signal of the paper.
 func (r *StreamReader) Read(p *sim.Proc) (*Buffer, bool) {
+	sc := hpsmon.Begin(p, "datacutter", "stream-read", r.name)
+	b, ok := r.read(p)
+	sc.End()
+	return b, ok
+}
+
+func (r *StreamReader) read(p *sim.Proc) (*Buffer, bool) {
 	// Serve buffers that arrived early for what is now the current UOW.
 	for i, b := range r.stash {
 		if b.UOW == r.uow {
@@ -426,6 +445,9 @@ func (r *StreamReader) Read(p *sim.Proc) (*Buffer, bool) {
 func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
 	r.received++
 	p.Kernel().Trace("datacutter", "buffer-in", int64(b.Size), r.name)
+	hpsmon.Count(p.Kernel(), "datacutter", "buffers.in", 1)
+	hpsmon.Count(p.Kernel(), "datacutter", "bytes.in", int64(b.Size))
+	hpsmon.FlowRecv(p, r.name, b.UOW, b.Tag)
 	if (r.policy == DemandDriven || r.acks) && b.src != nil && !b.src.dead {
 		hdr := make([]byte, headerSize)
 		putHeader(hdr, wireAck, 0, b.UOW, 0, 0)

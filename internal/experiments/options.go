@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/runner"
 	"hpsockets/internal/sim"
 )
@@ -48,6 +49,12 @@ type Options struct {
 	// are hermetic (own kernel, own seeded RNGs) and reassembled in
 	// canonical order.
 	Workers int
+	// Telemetry, when non-nil, collects per-cell hpsmon metrics from
+	// every pipeline measurement into the set. Enabling it forces the
+	// full measurement grid to be computed (even at Workers <= 1), so
+	// the collected cell set — and the rendered export — is identical
+	// at any worker count.
+	Telemetry *hpsmon.Set
 }
 
 // parMap fans the n independent cells of one figure across o.Workers

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
 	"hpsockets/internal/core"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 	"hpsockets/internal/stats"
 	"hpsockets/internal/vizapp"
@@ -47,6 +49,7 @@ func UpdateRate(o Options, kind core.Kind, compute bool, block int) float64 {
 	}
 	memoMu.Unlock()
 	cfg := o.pipeConfig(kind, block, compute, false)
+	col := o.cellCollector("rate", kind, compute, block, &cfg)
 	queries := make([]vizapp.Query, o.ThroughputQueries)
 	for i := range queries {
 		queries[i] = cfg.CompleteQuery()
@@ -54,6 +57,9 @@ func UpdateRate(o Options, kind core.Kind, compute bool, block int) float64 {
 	res := vizapp.RunPipeline(cfg, queries)
 	if res.Err != nil {
 		panic("experiments: rate run failed: " + res.Err.Error())
+	}
+	if col != nil {
+		o.Telemetry.Adopt(col)
 	}
 	v := res.UpdatesPerSec()
 	memoMu.Lock()
@@ -73,6 +79,7 @@ func PartialLatency(o Options, kind core.Kind, compute bool, block int) sim.Time
 	}
 	memoMu.Unlock()
 	cfg := o.pipeConfig(kind, block, compute, true)
+	col := o.cellCollector("lat", kind, compute, block, &cfg)
 	queries := make([]vizapp.Query, o.LatencyQueries)
 	for i := range queries {
 		queries[i] = vizapp.PartialQuery()
@@ -81,11 +88,34 @@ func PartialLatency(o Options, kind core.Kind, compute bool, block int) sim.Time
 	if res.Err != nil {
 		panic("experiments: latency run failed: " + res.Err.Error())
 	}
+	if col != nil {
+		o.Telemetry.Adopt(col)
+	}
 	v := res.MeanResponse()
 	memoMu.Lock()
 	latMemo[key] = v
 	memoMu.Unlock()
 	return v
+}
+
+// cellCollector builds the telemetry collector for one measurement
+// cell and hooks it into the cell's pipeline config; nil (and no hook)
+// when telemetry is off. The cell name encodes the full memo key, so
+// every computed grid point lands in a distinct, canonically named
+// slot of the set.
+func (o Options) cellCollector(measure string, kind core.Kind, compute bool, block int, cfg *vizapp.PipelineConfig) *hpsmon.Collector {
+	if o.Telemetry == nil {
+		return nil
+	}
+	c := "nc"
+	if compute {
+		c = "lc"
+	}
+	col := hpsmon.NewCollector(
+		fmt.Sprintf("pipe/%s/%s/%s/b%d", measure, kind, c, block),
+		hpsmon.Options{})
+	cfg.Hook = col.Attach
+	return col
 }
 
 // ResetPipelineMemo clears the process-wide rate/latency memo. Only
@@ -107,7 +137,11 @@ func ResetPipelineMemo() {
 // tables are byte-identical to the cold sequential run, which computes
 // a subset of the same grid lazily.
 func warmPipelineMemo(o Options, compute bool) {
-	if o.Workers <= 1 {
+	// With telemetry on, the warm pass runs even sequentially: it pins
+	// the set of computed (and therefore collected) cells to the full
+	// grid, so the telemetry export is identical at any worker count —
+	// the lazy sequential searches alone would compute only a subset.
+	if o.Workers <= 1 && o.Telemetry == nil {
 		return
 	}
 	kinds := []core.Kind{core.KindTCP, core.KindSocketVIA}

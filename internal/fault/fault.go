@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"hpsockets/internal/cluster"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
@@ -139,6 +140,7 @@ func Install(cl *cluster.Cluster, plan Plan) *Injector {
 		}
 		k.At(cr.At, func() {
 			k.Trace("fault", "node-crash", 0, node.Name())
+			hpsmon.InstantK(k, "fault", "node-crash", node.Name())
 			node.Fail()
 		})
 	}
@@ -150,6 +152,7 @@ func Install(cl *cluster.Cluster, plan Plan) *Injector {
 		factor := sl.Factor
 		k.At(sl.At, func() {
 			k.Trace("fault", "node-slowdown", int64(factor), node.Name())
+			hpsmon.InstantK(k, "fault", "node-slowdown", node.Name())
 			node.SetSlowFactor(factor)
 		})
 	}

@@ -1,0 +1,111 @@
+package hpsmon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChromeTrace writes the collector's spans, instants and causal
+// flows as Chrome trace-event JSON (the format chrome://tracing and
+// Perfetto load). Virtual nanoseconds map to trace microseconds, so a
+// simulated microsecond reads as one microsecond in the viewer.
+//
+// The writer is hand-rolled rather than encoding/json so field order
+// and float formatting are fixed: the export is byte-identical across
+// runs and worker counts.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			ew.printf(",\n")
+		}
+		first = false
+		ew.printf(format, args...)
+	}
+
+	// Process and thread metadata: one pid per collector, one tid per
+	// simulation process that carried a span or instant.
+	emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":%s}}`,
+		quote(c.name))
+	threads := map[uint64]string{}
+	for _, s := range c.spans {
+		threads[s.Proc] = s.ProcName
+	}
+	for _, in := range c.insts {
+		threads[in.Proc] = in.ProcName
+	}
+	tids := make([]uint64, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tid, quote(threads[tid]))
+	}
+
+	// Complete ("X") events, one per span, in begin order. Spans still
+	// open when the run stopped close at the last observed time.
+	for _, s := range c.spans {
+		end := s.End
+		if end < 0 {
+			end = c.last
+		}
+		emit(`{"ph":"X","pid":1,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s,"args":{"detail":%s,"span":%d,"parent":%d}}`,
+			s.Proc, quote(s.Component), quote(s.Name),
+			micros(s.Start), micros(end-s.Start), quote(s.Detail), s.ID, s.Parent)
+	}
+
+	// Instant ("i") events.
+	for _, in := range c.insts {
+		emit(`{"ph":"i","pid":1,"tid":%d,"s":"t","cat":%s,"name":%s,"ts":%s,"args":{"detail":%s}}`,
+			in.Proc, quote(in.Component), quote(in.Name), micros(in.At), quote(in.Detail))
+	}
+
+	// Flow arrows ("s"/"f") binding producer sends to consumer reads.
+	// The start event anchors inside the sending span, the finish event
+	// inside the receiving one; enclosing-slice binding keeps Perfetto
+	// drawing the arrow between the two spans.
+	for i, f := range c.flows {
+		from := c.spans[f.From-1]
+		to := c.spans[f.To-1]
+		fromEnd := from.End
+		if fromEnd < 0 {
+			fromEnd = c.last
+		}
+		emit(`{"ph":"s","pid":1,"tid":%d,"cat":"flow","name":"block","id":%d,"ts":%s}`,
+			from.Proc, i+1, micros(from.Start))
+		emit(`{"ph":"f","pid":1,"tid":%d,"cat":"flow","name":"block","id":%d,"ts":%s,"bp":"e"}`,
+			to.Proc, i+1, micros(f.At))
+	}
+
+	ew.printf("\n]}\n")
+	return ew.err
+}
+
+// micros renders virtual time as trace microseconds with fixed
+// precision.
+func micros(t interface{ Micros() float64 }) string {
+	return strconv.FormatFloat(t.Micros(), 'f', 3, 64)
+}
+
+// quote JSON-escapes a string. strconv.Quote escapes exactly the
+// characters JSON needs for the ASCII component/proc names used here.
+func quote(s string) string { return strconv.Quote(s) }
+
+// errWriter folds the first write error through a printf sequence.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

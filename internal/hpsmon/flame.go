@@ -1,0 +1,94 @@
+package hpsmon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hpsockets/internal/sim"
+)
+
+// frame aggregates all spans sharing one root-to-leaf name path.
+type frame struct {
+	path  string
+	count int
+	total sim.Time // inclusive virtual time
+	self  sim.Time // exclusive: total minus child span time
+}
+
+// FlameSummary aggregates the recorded spans by causal path
+// (parent chain of component/name labels) and writes one line per
+// path — count, inclusive and exclusive virtual time — sorted by
+// inclusive time descending, path ascending on ties. It is the text
+// sibling of the Chrome export: the same tree, collapsed.
+func (c *Collector) FlameSummary(w io.Writer) error {
+	if len(c.spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans recorded)")
+		return err
+	}
+	// Resolve each span's duration, treating still-open spans as
+	// ending at the last observed time.
+	dur := make([]sim.Time, len(c.spans))
+	for i, s := range c.spans {
+		end := s.End
+		if end < 0 {
+			end = c.last
+		}
+		dur[i] = end - s.Start
+	}
+	// Subtract child time from parents for exclusive time.
+	self := make([]sim.Time, len(c.spans))
+	copy(self, dur)
+	for _, s := range c.spans {
+		if s.Parent != 0 {
+			self[s.Parent-1] -= dur[s.ID-1]
+		}
+	}
+	// Build each span's path by walking parents (paths are short: the
+	// instrumentation nests a handful of layers).
+	paths := make([]string, len(c.spans))
+	var pathOf func(id sim.SpanID) string
+	pathOf = func(id sim.SpanID) string {
+		if paths[id-1] != "" {
+			return paths[id-1]
+		}
+		s := c.spans[id-1]
+		p := s.Component + "/" + s.Name
+		if s.Parent != 0 {
+			p = pathOf(s.Parent) + ";" + p
+		}
+		paths[id-1] = p
+		return p
+	}
+	frames := map[string]*frame{}
+	for i, s := range c.spans {
+		p := pathOf(s.ID)
+		f := frames[p]
+		if f == nil {
+			f = &frame{path: p}
+			frames[p] = f
+		}
+		f.count++
+		f.total += dur[i]
+		f.self += self[i]
+	}
+	out := make([]*frame, 0, len(frames))
+	for _, f := range frames {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].total != out[j].total {
+			return out[i].total > out[j].total
+		}
+		return out[i].path < out[j].path
+	})
+	if _, err := fmt.Fprintf(w, "%12s %12s %8s  %s\n", "total", "self", "count", "path"); err != nil {
+		return err
+	}
+	for _, f := range out {
+		if _, err := fmt.Fprintf(w, "%12v %12v %8d  %s\n", f.total, f.self, f.count, f.path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

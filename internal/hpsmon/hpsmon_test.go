@@ -1,0 +1,311 @@
+package hpsmon
+
+import (
+	"strings"
+	"testing"
+
+	"hpsockets/internal/sim"
+)
+
+// run executes fn as a single simulation process on a fresh kernel
+// with col attached, and drains the kernel.
+func run(col *Collector, fn func(p *sim.Proc)) {
+	k := sim.NewKernel()
+	col.Attach(k)
+	k.Go("worker", fn)
+	k.RunAll()
+}
+
+func TestHelpersNoMonitorAreInert(t *testing.T) {
+	k := sim.NewKernel()
+	if Enabled(k) {
+		t.Fatal("Enabled with no monitor")
+	}
+	k.Go("p", func(p *sim.Proc) {
+		sc := Begin(p, "c", "n", "")
+		if sc.Active() || sc.ID() != 0 {
+			t.Errorf("Begin without monitor returned active scope %+v", sc)
+		}
+		sc.End() // must not panic
+		Count(k, "c", "n", 1)
+		GaugeSet(k, "c", "g", 2)
+		Observe(k, "c", "h", 3)
+		Instant(p, "c", "i", "")
+		InstantK(k, "c", "i", "")
+		FlowSend(p, "s", 0, 0)
+		FlowRecv(p, "s", 0, 0)
+	})
+	k.RunAll()
+}
+
+func TestSpanNestingAndParents(t *testing.T) {
+	col := NewCollector("cell", Options{Spans: true})
+	run(col, func(p *sim.Proc) {
+		outer := Begin(p, "a", "outer", "d")
+		p.Sleep(10)
+		inner := Begin(p, "b", "inner", "")
+		p.Sleep(5)
+		inner.End()
+		p.Sleep(1)
+		outer.End()
+		if p.MonSpan() != 0 {
+			t.Errorf("proc span not restored: %d", p.MonSpan())
+		}
+	})
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	o, i := spans[0], spans[1]
+	if o.Name != "outer" || o.Parent != 0 || o.Start != 0 || o.End != 16 {
+		t.Fatalf("outer span wrong: %+v", o)
+	}
+	if i.Name != "inner" || i.Parent != o.ID || i.Start != 10 || i.End != 15 {
+		t.Fatalf("inner span wrong: %+v", i)
+	}
+	if o.Proc != i.Proc || o.ProcName != "worker" {
+		t.Fatalf("span proc identity wrong: %+v %+v", o, i)
+	}
+}
+
+func TestSpansDisabledStillCounts(t *testing.T) {
+	col := NewCollector("cell", Options{})
+	run(col, func(p *sim.Proc) {
+		sc := Begin(p, "a", "s", "")
+		if sc.Active() {
+			t.Error("span active with Spans disabled")
+		}
+		sc.End()
+		Count(p.Kernel(), "a", "n", 2)
+		Instant(p, "a", "i", "")
+	})
+	if len(col.Spans()) != 0 {
+		t.Fatalf("spans recorded while disabled: %d", len(col.Spans()))
+	}
+	var b strings.Builder
+	if err := col.Registry().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "2") ||
+		!strings.Contains(out, "i") {
+		t.Fatalf("counters missing from render:\n%s", out)
+	}
+}
+
+func TestFlowCorrelationObservesLatency(t *testing.T) {
+	col := NewCollector("cell", Options{Spans: true})
+	k := sim.NewKernel()
+	col.Attach(k)
+	done := sim.NewSignal(k)
+	k.Go("producer", func(p *sim.Proc) {
+		sc := Begin(p, "dc", "send", "")
+		FlowSend(p, "st", 3, 7)
+		sc.End()
+		done.Fire(nil)
+	})
+	k.Go("consumer", func(p *sim.Proc) {
+		p.Wait(done)
+		p.Sleep(25 * sim.Microsecond)
+		sc := Begin(p, "dc", "read", "")
+		FlowRecv(p, "st", 3, 7)
+		sc.End()
+	})
+	k.RunAll()
+	if len(col.flows) != 1 {
+		t.Fatalf("recorded %d flows, want 1", len(col.flows))
+	}
+	h := col.Registry().Histogram("datacutter", "block-latency")
+	s := h.Summary()
+	if s.Count != 1 || s.Max != 25 {
+		t.Fatalf("block-latency summary %+v, want one 25us sample", s)
+	}
+	// An unmatched receive is silently ignored.
+	col.flowRecv(99, "st", 3, 7, 1)
+	if s := col.Registry().Histogram("datacutter", "block-latency").Summary(); s.Count != 1 {
+		t.Fatalf("unmatched flowRecv observed a sample: %+v", s)
+	}
+}
+
+func TestRenderAndCSVDeterministicSorted(t *testing.T) {
+	build := func() *Collector {
+		col := NewCollector("cell", Options{})
+		run(col, func(p *sim.Proc) {
+			k := p.Kernel()
+			Count(k, "zeta", "z", 1)
+			Count(k, "alpha", "b", 2)
+			Count(k, "alpha", "a", 3)
+			GaugeSet(k, "alpha", "g", 42)
+			Observe(k, "mid", "h", 1000)
+			Observe(k, "mid", "h", 3000)
+		})
+		return col
+	}
+	var b1, b2, c1 strings.Builder
+	one, two := build(), build()
+	if err := one.Registry().Render(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.Registry().Render(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	// Components and names in lexicographic order.
+	out := b1.String()
+	ia, ib, iz := strings.Index(out, "alpha"), strings.Index(out, "mid"), strings.Index(out, "zeta")
+	if !(ia < ib && ib < iz) {
+		t.Fatalf("components unsorted:\n%s", out)
+	}
+	if strings.Index(out, " a ") > strings.Index(out, " b ") {
+		t.Fatalf("metric names unsorted:\n%s", out)
+	}
+	if err := one.Registry().CSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c1.String(), "alpha,a,counter,") {
+		t.Fatalf("CSV missing counter row:\n%s", c1.String())
+	}
+}
+
+func TestChromeTraceDeterministicAndWellFormed(t *testing.T) {
+	build := func() *Collector {
+		col := NewCollector("cell", Options{Spans: true})
+		run(col, func(p *sim.Proc) {
+			outer := Begin(p, "a", "outer", "det\"ail") // quote must be escaped
+			p.Sleep(2)
+			Instant(p, "a", "tick", "")
+			inner := Begin(p, "b", "inner", "")
+			p.Sleep(1)
+			inner.End()
+			outer.End()
+		})
+		return col
+	}
+	var b1, b2 strings.Builder
+	if err := build().WriteChromeTrace(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteChromeTrace(&b2); err != nil {
+		t.Fatal(err)
+	}
+	out := b1.String()
+	if out != b2.String() {
+		t.Fatal("chrome traces differ between identical runs")
+	}
+	for _, want := range []string{
+		`"traceEvents":[`,
+		`"ph":"M"`, `"process_name"`, `"thread_name"`,
+		`"ph":"X"`, `"name":"outer"`, `"name":"inner"`,
+		`"ph":"i"`, `"name":"tick"`,
+		`"det\"ail"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpenSpanClosesAtLastTime(t *testing.T) {
+	col := NewCollector("cell", Options{Spans: true})
+	run(col, func(p *sim.Proc) {
+		Begin(p, "a", "stuck", "")
+		p.Sleep(30)
+		Count(p.Kernel(), "a", "n", 1) // advances the last-seen time
+	})
+	var b strings.Builder
+	if err := col.FlameSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a/stuck") {
+		t.Fatalf("flame missing open span:\n%s", b.String())
+	}
+	sp := col.Spans()[0]
+	if sp.End != -1 {
+		t.Fatalf("span unexpectedly closed: %+v", sp)
+	}
+}
+
+func TestFlamePathsAggregate(t *testing.T) {
+	col := NewCollector("cell", Options{Spans: true})
+	run(col, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			outer := Begin(p, "a", "o", "")
+			p.Sleep(10)
+			inner := Begin(p, "b", "i", "")
+			p.Sleep(5)
+			inner.End()
+			outer.End()
+		}
+	})
+	var b strings.Builder
+	if err := col.FlameSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a/o;b/i") {
+		t.Fatalf("flame missing nested path:\n%s", out)
+	}
+	// Three repetitions of each frame, self = total - child time.
+	if !strings.Contains(out, "3") {
+		t.Fatalf("flame missing counts:\n%s", out)
+	}
+}
+
+func TestSetAdoptFirstWinsAndSortedRender(t *testing.T) {
+	s := NewSet()
+	for _, name := range []string{"pipe/b", "pipe/a", "pipe/b"} {
+		col := NewCollector(name, Options{})
+		run(col, func(p *sim.Proc) { Count(p.Kernel(), "c", "n", 1) })
+		s.Adopt(col)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("set holds %d cells, want 2 (duplicate adopted)", s.Len())
+	}
+	cells := s.Cells()
+	if cells[0].Name() != "pipe/a" || cells[1].Name() != "pipe/b" {
+		t.Fatalf("cells unsorted: %s, %s", cells[0].Name(), cells[1].Name())
+	}
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Index(out, "== cell pipe/a") > strings.Index(out, "== cell pipe/b") {
+		t.Fatalf("render order wrong:\n%s", out)
+	}
+	var c strings.Builder
+	if err := s.CSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.String(), "cell,component,metric,type,") {
+		t.Fatalf("CSV header missing:\n%s", c.String())
+	}
+	if !strings.Contains(c.String(), "pipe/a,c,n,counter,") {
+		t.Fatalf("CSV rows missing cell prefix:\n%s", c.String())
+	}
+}
+
+func TestHistogramPercentilesFromRawSamples(t *testing.T) {
+	col := NewCollector("cell", Options{})
+	run(col, func(p *sim.Proc) {
+		for i := 1; i <= 100; i++ {
+			Observe(p.Kernel(), "c", "h", sim.Time(i)*sim.Microsecond)
+		}
+	})
+	s := col.Registry().Histogram("c", "h").Summary()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	// Samples are recorded in microseconds.
+	if s.P50 < 50 || s.P50 > 51 {
+		t.Fatalf("P50 = %v us, want ~50.5", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("P99 = %v us, want ~99", s.P99)
+	}
+	if s.Max != 100 {
+		t.Fatalf("Max = %v us, want 100", s.Max)
+	}
+}

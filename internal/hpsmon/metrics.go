@@ -1,0 +1,218 @@
+package hpsmon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hpsockets/internal/sim"
+	"hpsockets/internal/stats"
+)
+
+// Counter is a monotonically increasing per-component count.
+type Counter struct {
+	v int64
+}
+
+// Value reports the accumulated count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge holds the most recently recorded value of a quantity.
+type Gauge struct {
+	v   int64
+	set bool
+}
+
+// Value reports the last recorded value and whether one was recorded.
+func (g *Gauge) Value() (int64, bool) { return g.v, g.set }
+
+// histBuckets is the fixed bucket count of every histogram: bucket i
+// holds samples in [2^(i-1), 2^i) nanoseconds of virtual time (bucket
+// 0 holds sub-nanosecond and zero samples). 48 buckets cover up to
+// ~1.6 simulated days, far beyond any experiment horizon.
+const histBuckets = 48
+
+// Histogram accumulates virtual-time samples into fixed power-of-two
+// buckets and retains the raw samples (in microseconds) for exact
+// percentile computation through internal/stats.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	samples []float64 // microseconds
+	sum     sim.Time
+	max     sim.Time
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v sim.Time) {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	for x := v; x > 1 && b < histBuckets-1; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+	h.samples = append(h.samples, v.Micros())
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Buckets returns the fixed bucket counts; bucket i covers
+// [2^(i-1), 2^i) ns.
+func (h *Histogram) Buckets() []uint64 { return h.buckets[:] }
+
+// Summary computes the sample statistics (count, mean, p50/p95/p99,
+// max) via internal/stats.
+func (h *Histogram) Summary() stats.Summary { return stats.Summarize(h.samples) }
+
+// component is one named component's metric namespace.
+type component struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Registry holds the typed metrics of one collector, grouped by
+// component. Metric names must be unique within their component and
+// type; the hpslint litname analyzer additionally requires them to be
+// compile-time constants so registries stay collision-free and the
+// rendered output deterministic.
+type Registry struct {
+	components map[string]*component
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{components: make(map[string]*component)}
+}
+
+func (r *Registry) comp(name string) *component {
+	c := r.components[name]
+	if c == nil {
+		c = &component{
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+		}
+		r.components[name] = c
+	}
+	return c
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(componentName, name string) *Counter {
+	c := r.comp(componentName)
+	ctr := c.counters[name]
+	if ctr == nil {
+		ctr = &Counter{}
+		c.counters[name] = ctr
+	}
+	return ctr
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(componentName, name string) *Gauge {
+	c := r.comp(componentName)
+	g := c.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		c.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram.
+func (r *Registry) Histogram(componentName, name string) *Histogram {
+	c := r.comp(componentName)
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Empty reports whether nothing has been recorded.
+func (r *Registry) Empty() bool { return len(r.components) == 0 }
+
+// sortedKeys returns the map's keys in lexicographic order; every
+// rendering path iterates through it so output is deterministic.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Render writes the registry as an aligned, deterministically sorted
+// table: counters and gauges as single values, histograms as
+// count/mean/p50/p95/p99/max in microseconds.
+func (r *Registry) Render(w io.Writer) error {
+	for _, cname := range sortedKeys(r.components) {
+		c := r.components[cname]
+		for _, name := range sortedKeys(c.counters) {
+			if _, err := fmt.Fprintf(w, "%-12s %-28s %12d\n", cname, name, c.counters[name].v); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(c.gauges) {
+			v, _ := c.gauges[name].Value()
+			if _, err := fmt.Fprintf(w, "%-12s %-28s %12d (gauge)\n", cname, name, v); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(c.hists) {
+			h := c.hists[name]
+			s := h.Summary()
+			if _, err := fmt.Fprintf(w,
+				"%-12s %-28s %12d  mean=%.3fus p50=%.3fus p95=%.3fus p99=%.3fus max=%.3fus\n",
+				cname, name, s.Count, s.Mean, s.P50, s.P95, s.P99, h.max.Micros()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes the registry as comma-separated rows:
+// component,metric,type,count,value,mean_us,p50_us,p95_us,p99_us,max_us.
+func (r *Registry) CSV(w io.Writer) error {
+	for _, cname := range sortedKeys(r.components) {
+		c := r.components[cname]
+		for _, name := range sortedKeys(c.counters) {
+			if _, err := fmt.Fprintf(w, "%s,%s,counter,,%d,,,,,\n", cname, name, c.counters[name].v); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(c.gauges) {
+			v, _ := c.gauges[name].Value()
+			if _, err := fmt.Fprintf(w, "%s,%s,gauge,,%d,,,,,\n", cname, name, v); err != nil {
+				return err
+			}
+		}
+		for _, name := range sortedKeys(c.hists) {
+			h := c.hists[name]
+			s := h.Summary()
+			if _, err := fmt.Fprintf(w, "%s,%s,histogram,%d,,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+				cname, name, s.Count, s.Mean, s.P50, s.P95, s.P99, h.max.Micros()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderString returns Render output as a string.
+func (r *Registry) RenderString() string {
+	var b strings.Builder
+	_ = r.Render(&b)
+	return b.String()
+}

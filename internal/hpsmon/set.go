@@ -1,0 +1,94 @@
+package hpsmon
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Set collects the per-cell collectors of one experiment run. Cells
+// execute concurrently on worker threads, each with its own collector
+// on its own kernel; Adopt is the only cross-thread touch point and is
+// mutex-guarded. Rendering walks the cells in lexicographic name
+// order, so the merged output is byte-identical at any worker count.
+type Set struct {
+	mu    sync.Mutex
+	cells map[string]*Collector
+}
+
+// NewSet returns an empty telemetry set.
+func NewSet() *Set { return &Set{cells: make(map[string]*Collector)} }
+
+// Adopt contributes a finished cell collector under its name. Cells
+// are deterministic, so if the same cell is ever computed twice (a
+// memo race) the copies are identical and the first one wins.
+func (s *Set) Adopt(c *Collector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cells[c.Name()]; ok {
+		return
+	}
+	s.cells[c.Name()] = c
+}
+
+// Len reports the number of adopted cells.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Cells returns the adopted collectors in canonical (name) order.
+func (s *Set) Cells() []*Collector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Collector, 0, len(s.cells))
+	for _, name := range sortedKeys(s.cells) {
+		out = append(out, s.cells[name])
+	}
+	return out
+}
+
+// Render writes every cell's metrics table under a cell header, in
+// canonical order.
+func (s *Set) Render(w io.Writer) error {
+	for _, c := range s.Cells() {
+		if _, err := fmt.Fprintf(w, "== cell %s\n", c.Name()); err != nil {
+			return err
+		}
+		if err := c.Registry().Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes every cell's metrics as CSV rows prefixed with the cell
+// name, in canonical order, under one header row.
+func (s *Set) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"cell,component,metric,type,count,value,mean_us,p50_us,p95_us,p99_us,max_us"); err != nil {
+		return err
+	}
+	for _, c := range s.Cells() {
+		pw := &prefixWriter{w: w, prefix: c.Name() + ","}
+		if err := c.Registry().CSV(pw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefixWriter prepends a prefix to every line written through it.
+// Registry.CSV writes whole lines per call, each ending in \n.
+type prefixWriter struct {
+	w      io.Writer
+	prefix string
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	if _, err := io.WriteString(p.w, p.prefix); err != nil {
+		return 0, err
+	}
+	return p.w.Write(b)
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"hpsockets/internal/bytebuf"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
@@ -82,6 +83,7 @@ func (c *Conn) fail(err error) {
 		c.closeDone.Fire(nil)
 	}
 	c.st.node.Kernel().Trace("ktcp", "conn-fail", 0, c.peerPort+": "+err.Error())
+	hpsmon.InstantK(c.st.node.Kernel(), "ktcp", "conn-fail", c.peerPort)
 }
 
 // ID reports the connection id on its stack.
@@ -199,6 +201,7 @@ func (c *Conn) onRTO() {
 	}
 	c.retries++
 	st := c.st
+	hpsmon.InstantK(st.node.Kernel(), "ktcp", "rto-fire", c.peerPort)
 	for _, seg := range c.retransQ {
 		f := st.net.NewFrame(st.node.Name(), c.peerPort, netsim.ProtoIP,
 			st.cfg.HeaderSize+seg.length, seg)
@@ -207,6 +210,7 @@ func (c *Conn) onRTO() {
 			break
 		}
 		st.node.Kernel().Trace("ktcp", "retransmit", int64(seg.length), c.peerPort)
+		hpsmon.Count(st.node.Kernel(), "ktcp", "rto.segments", 1)
 	}
 	c.armRTO()
 }
@@ -248,12 +252,19 @@ func (c *Conn) send(p *sim.Proc, ch bytebuf.Chunk) error {
 		}
 		space := cfg.SndBuf - c.sndBuf.Len() - c.inflight()
 		if space <= 0 {
+			k := c.st.node.Kernel()
+			t0 := k.Now()
+			sc := hpsmon.Begin(p, "ktcp", "snd-stall", c.peerPort)
+			timedOut := false
 			if c.opTimeout > 0 {
-				if !c.sndCond.WaitTimeout(p, c.opTimeout) {
-					return ErrTimeout
-				}
+				timedOut = !c.sndCond.WaitTimeout(p, c.opTimeout)
 			} else {
 				c.sndCond.Wait(p)
+			}
+			sc.End()
+			hpsmon.Observe(k, "ktcp", "snd-stall", k.Now()-t0)
+			if timedOut {
+				return ErrTimeout
 			}
 			continue
 		}
@@ -291,12 +302,19 @@ func (c *Conn) Recv(p *sim.Proc, buf []byte) (int, error) {
 			return 0, c.failErr
 		}
 		blocked = true
+		k := c.st.node.Kernel()
+		t0 := k.Now()
+		sc := hpsmon.Begin(p, "ktcp", "rcv-wait", c.peerPort)
+		timedOut := false
 		if c.opTimeout > 0 {
-			if !c.rcvCond.WaitTimeout(p, c.opTimeout) {
-				return 0, ErrTimeout
-			}
+			timedOut = !c.rcvCond.WaitTimeout(p, c.opTimeout)
 		} else {
 			c.rcvCond.Wait(p)
+		}
+		sc.End()
+		hpsmon.Observe(k, "ktcp", "rcv-wait", k.Now()-t0)
+		if timedOut {
+			return 0, ErrTimeout
 		}
 	}
 	if blocked {
@@ -377,7 +395,9 @@ func (c *Conn) txLoop(p *sim.Proc) {
 					break
 				}
 			}
+			sc := hpsmon.Begin(p, "ktcp", "tx-stall", c.peerPort)
 			c.sndCond.Wait(p)
+			sc.End()
 		}
 		seg := st.allocSeg(cfg.RTO <= 0)
 		seg.data = c.sndBuf.TakeInto(seg.data[:0], n)
@@ -392,6 +412,8 @@ func (c *Conn) txLoop(p *sim.Proc) {
 		c.trackRetrans(seg)
 		st.segsOut++
 		st.node.Kernel().Trace("ktcp", "segment-out", int64(n), c.peerPort)
+		hpsmon.Count(st.node.Kernel(), "ktcp", "segments.out", 1)
+		hpsmon.Count(st.node.Kernel(), "ktcp", "bytes.out", int64(n))
 		st.nicQ.Put(p, st.net.NewFrame(st.node.Name(), c.peerPort, netsim.ProtoIP,
 			cfg.HeaderSize+n, seg))
 	}

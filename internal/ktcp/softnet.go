@@ -3,6 +3,7 @@ package ktcp
 import (
 	"fmt"
 
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
@@ -75,6 +76,7 @@ func (st *Stack) handleSeg(p *sim.Proc, seg *segment) {
 			return
 		}
 		st.node.Kernel().Trace("ktcp", "segment-in", int64(seg.length), seg.srcPort)
+		hpsmon.Count(st.node.Kernel(), "ktcp", "segments.in", 1)
 		cost := cfg.RxPerSegment + sim.Time(float64(seg.length)*cfg.CopyPerByteRecv+0.5)
 		st.node.Overhead(p, cost)
 		c.applyAckInfo(seg)

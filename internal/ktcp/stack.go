@@ -6,6 +6,7 @@ import (
 
 	"hpsockets/internal/bytebuf"
 	"hpsockets/internal/cluster"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
@@ -167,6 +168,7 @@ func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
 			// Checksum failure: the segment is discarded as if lost;
 			// retransmission (when enabled) recovers it.
 			k.Trace("ktcp", "checksum-drop", int64(f.Size), f.Src)
+			hpsmon.Count(k, "ktcp", "checksum.drops", 1)
 			st.freeSeg(f.Payload.(*segment))
 			return
 		}
@@ -253,6 +255,7 @@ func (st *Stack) Connect(p *sim.Proc, remote string, svc int) (*Conn, error) {
 			}
 			c.retries++ // reuse the RTO backoff schedule for the SYN
 			st.node.Kernel().Trace("ktcp", "syn-retransmit", 0, remote)
+			hpsmon.Count(st.node.Kernel(), "ktcp", "syn.retransmits", 1)
 			st.transmitControl(p, remote, syn)
 		}
 		c.retries = 0

@@ -18,6 +18,7 @@ package netsim
 import (
 	"fmt"
 
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 )
 
@@ -245,6 +246,8 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 	src.uplink.Release(1)
 	src.sent++
 	src.txBytes += int64(f.Size)
+	hpsmon.Count(n.k, "netsim", "frames.out", 1)
+	hpsmon.Count(n.k, "netsim", "bytes.out", int64(f.Size))
 
 	// Fault judgement happens after uplink serialization: the sender
 	// always pays for the bits it put on the wire, whatever their fate.
@@ -254,12 +257,14 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 			dst.dropped++
 			n.k.Trace("netsim", "frame-drop", int64(f.Size),
 				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
+			hpsmon.Count(n.k, "netsim", "frames.dropped", 1)
 			n.FreeFrame(f)
 			return
 		case Corrupt:
 			f.Corrupt = true
 			n.k.Trace("netsim", "frame-corrupt", int64(f.Size),
 				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
+			hpsmon.Count(n.k, "netsim", "frames.corrupt", 1)
 		}
 	}
 

@@ -86,6 +86,8 @@ type Kernel struct {
 
 	// optional trace sink (see trace.go)
 	trace TraceFunc
+	// optional telemetry monitor (see monitor.go)
+	mon Monitor
 }
 
 // NewKernel returns a kernel with the clock at zero.

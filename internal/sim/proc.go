@@ -22,6 +22,9 @@ type Proc struct {
 	// first matching evWake wins and flips wcanceled.
 	wgen      uint64
 	wcanceled bool
+
+	// span is the process's current telemetry span (see monitor.go).
+	span SpanID
 }
 
 // beginWait opens a new wait generation and returns its number.

@@ -17,6 +17,7 @@ type Summary struct {
 	Max    float64
 	P50    float64
 	P95    float64
+	P99    float64
 	Stddev float64
 }
 
@@ -48,6 +49,7 @@ func Summarize(xs []float64) Summary {
 	sort.Float64s(sorted)
 	s.P50 = Percentile(sorted, 50)
 	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
 	return s
 }
 

@@ -142,3 +142,20 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV = %q, want %q", got, want)
 	}
 }
+
+// TestSummaryP99SmallN pins the linear-interpolation rank convention
+// at small N: for 5 samples the P99 rank is 0.99*(5-1) = 3.96, so the
+// value interpolates between the 4th and 5th order statistics.
+func TestSummaryP99SmallN(t *testing.T) {
+	s := Summarize([]float64{5, 3, 1, 4, 2})
+	want := 4*(1-0.96) + 5*0.96 // = 4.96
+	if math.Abs(s.P99-want) > 1e-12 {
+		t.Fatalf("P99 = %v, want %v", s.P99, want)
+	}
+	if s.P99 < s.P95 {
+		t.Fatalf("P99 %v below P95 %v", s.P99, s.P95)
+	}
+	if one := Summarize([]float64{7}); one.P99 != 7 {
+		t.Fatalf("single-sample P99 = %v, want 7", one.P99)
+	}
+}

@@ -31,7 +31,12 @@ func (e Event) String() string {
 
 // Recorder collects events, optionally filtered and bounded.
 type Recorder struct {
+	// events is the retained tail. Once the Max bound is reached it
+	// becomes a circular buffer: head marks the oldest slot, and each
+	// new event overwrites it in O(1) instead of shifting the whole
+	// slice per record.
 	events []Event
+	head   int
 	// Max bounds the number of retained events (0 = unbounded); when
 	// full, older events are dropped (the recorder keeps a tail).
 	Max int
@@ -66,15 +71,31 @@ func (r *Recorder) record(e Event) {
 		}
 	}
 	if r.Max > 0 && len(r.events) >= r.Max {
-		copy(r.events, r.events[1:])
-		r.events = r.events[:len(r.events)-1]
+		r.events[r.head] = e
+		r.head++
+		if r.head == len(r.events) {
+			r.head = 0
+		}
 		r.dropped++
+		return
 	}
 	r.events = append(r.events, e)
 }
 
+// ordered returns the retained events in record order, rotating the
+// circular buffer into a fresh slice only when it has wrapped.
+func (r *Recorder) ordered() []Event {
+	if r.head == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.head:]...)
+	out = append(out, r.events[:r.head]...)
+	return out
+}
+
 // Events returns the retained events in order.
-func (r *Recorder) Events() []Event { return r.events }
+func (r *Recorder) Events() []Event { return r.ordered() }
 
 // Len reports the retained event count.
 func (r *Recorder) Len() int { return len(r.events) }
@@ -103,7 +124,7 @@ func (r *Recorder) BytesByKind() map[string]int64 {
 // Between returns the events in the half-open virtual-time window.
 func (r *Recorder) Between(from, to sim.Time) []Event {
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.ordered() {
 		if e.At >= from && e.At < to {
 			out = append(out, e)
 		}
@@ -113,7 +134,7 @@ func (r *Recorder) Between(from, to sim.Time) []Event {
 
 // Render writes the timeline to w.
 func (r *Recorder) Render(w io.Writer) error {
-	for _, e := range r.events {
+	for _, e := range r.ordered() {
 		if _, err := fmt.Fprintln(w, e.String()); err != nil {
 			return err
 		}

@@ -143,3 +143,86 @@ func TestTracingDisabledByDefault(t *testing.T) {
 	// Trace with no sink must be a no-op.
 	k.Trace("x", "y", 1, "z")
 }
+
+// fill records n synthetic events at virtual times 1..n on component
+// "c0" (even index) and "c1" (odd index).
+func fill(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		comp := "c0"
+		if i%2 == 1 {
+			comp = "c1"
+		}
+		r.record(Event{At: sim.Time(i + 1), Component: comp, Kind: "k", Size: int64(i)})
+	}
+}
+
+func TestRecorderSyntheticComponentFilter(t *testing.T) {
+	r := &Recorder{Components: []string{"c1"}}
+	fill(r, 10)
+	if r.Len() != 5 {
+		t.Fatalf("filtered recorder kept %d events, want 5", r.Len())
+	}
+	for _, e := range r.Events() {
+		if e.Component != "c1" {
+			t.Fatalf("filter leaked component %q", e.Component)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("filtered-out events counted as dropped: %d", r.Dropped())
+	}
+}
+
+func TestRecorderRingKeepsTailInOrder(t *testing.T) {
+	r := &Recorder{Max: 4}
+	fill(r, 11)
+	if r.Len() != 4 {
+		t.Fatalf("bounded recorder holds %d events, want 4", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("dropped %d, want 7", r.Dropped())
+	}
+	got := r.Events()
+	for i, e := range got {
+		if want := sim.Time(8 + i); e.At != want {
+			t.Fatalf("event %d at %v, want %v (tail out of order: %v)", i, e.At, want, got)
+		}
+	}
+	// The rotated view must also drive Render and Between.
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 5 { // 4 events + dropped note
+		t.Fatalf("render emitted %d lines, want 5:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[4], "7 earlier events dropped") {
+		t.Fatalf("render missing drop note: %q", lines[4])
+	}
+}
+
+func TestRecorderRingExactlyFullDoesNotDrop(t *testing.T) {
+	r := &Recorder{Max: 6}
+	fill(r, 6)
+	if r.Dropped() != 0 || r.Len() != 6 {
+		t.Fatalf("exactly-full recorder: len %d dropped %d, want 6, 0", r.Len(), r.Dropped())
+	}
+	if evs := r.Events(); evs[0].At != 1 || evs[5].At != 6 {
+		t.Fatalf("unwrapped order broken: %v", evs)
+	}
+}
+
+func TestRecorderBetweenEdgesHalfOpen(t *testing.T) {
+	r := &Recorder{Max: 5}
+	fill(r, 12) // retains times 8..12
+	got := r.Between(8, 12)
+	if len(got) != 4 {
+		t.Fatalf("Between(8,12) returned %d events, want 4 (from inclusive, to exclusive)", len(got))
+	}
+	if got[0].At != 8 || got[3].At != 11 {
+		t.Fatalf("Between edges wrong: first %v last %v", got[0].At, got[3].At)
+	}
+	if n := len(r.Between(12, 12)); n != 0 {
+		t.Fatalf("empty window returned %d events", n)
+	}
+}

@@ -1,6 +1,9 @@
 package via
 
-import "hpsockets/internal/sim"
+import (
+	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/sim"
+)
 
 // CQ is a completion queue. Send and receive work queues of any number
 // of VIs on the same provider may be attached to one CQ; completions
@@ -22,7 +25,12 @@ func (cq *CQ) Wait(p *sim.Proc) Completion {
 	if c, ok := cq.q.TryGet(); ok {
 		return c
 	}
+	k := cq.pr.node.Kernel()
+	t0 := k.Now()
+	sc := hpsmon.Begin(p, "via", "cq-wait", "")
 	c, ok := cq.q.Get(p)
+	sc.End()
+	hpsmon.Observe(k, "via", "cq-wait", k.Now()-t0)
 	if !ok {
 		panic("via: completion queue closed")
 	}

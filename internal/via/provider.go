@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hpsockets/internal/cluster"
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/netsim"
 	"hpsockets/internal/sim"
 )
@@ -252,6 +253,7 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 			vi.sendCQ.post(Completion{VI: vi, Desc: desc, Status: StatusBroken})
 			continue
 		}
+		sc := hpsmon.Begin(p, "via", "send-desc", vi.peerPort)
 		p.Sleep(pr.cfg.NICTxPerDesc)
 		remaining := desc.Len
 		offset := 0
@@ -303,7 +305,10 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 		desc.XferLen = desc.Len
 		pr.descsSent++
 		pr.node.Kernel().Trace("via", "send-complete", int64(desc.Len), vi.peerPort)
+		hpsmon.Count(pr.node.Kernel(), "via", "descs.sent", 1)
+		hpsmon.Count(pr.node.Kernel(), "via", "bytes.sent", int64(desc.Len))
 		vi.sendCQ.post(Completion{VI: vi, Desc: desc, Status: StatusOK})
+		sc.End()
 	}
 }
 
@@ -390,6 +395,7 @@ func (pr *Provider) handlePacket(p *sim.Proc, pk *packet) {
 // for breakLocal to flush).
 func (pr *Provider) lossBreak(p *sim.Proc, vi *VI, why string, n int) {
 	pr.node.Kernel().Trace("via", "loss-break", int64(n), why)
+	hpsmon.Instant(p, "via", "loss-break", why)
 	hadRecvs := vi.recvDescs.Len() > 0
 	vi.breakLocal()
 	pr.sendControl(p, vi.peerPort, pkBreak, vi.id, vi.peerVI, 0)
@@ -432,11 +438,13 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	desc, ok := vi.recvDescs.TryGet()
 	if pressured {
 		pr.node.Kernel().Trace("via", "desc-pressure", int64(vi.curLen), pk.srcPort)
+		hpsmon.Count(pr.node.Kernel(), "via", "desc.pressure", 1)
 	}
 	if !ok || pressured || desc.Len < vi.curLen {
 		// Reliable delivery with no (or too small a) receive
 		// descriptor: the connection breaks. Notify the peer.
 		pr.node.Kernel().Trace("via", "rnr-break", int64(vi.curLen), pk.srcPort)
+		hpsmon.Instant(p, "via", "rnr-break", pk.srcPort)
 		vi.breakLocal()
 		pr.sendControl(p, vi.peerPort, pkBreak, vi.id, vi.peerVI, 0)
 		if !ok {
@@ -465,6 +473,8 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	vi.rxMsgs++
 	pr.descsRecv++
 	pr.node.Kernel().Trace("via", "recv-complete", int64(desc.XferLen), pk.srcPort)
+	hpsmon.Count(pr.node.Kernel(), "via", "descs.recv", 1)
+	hpsmon.Count(pr.node.Kernel(), "via", "bytes.recv", int64(desc.XferLen))
 	p.Sleep(pr.cfg.CQDeliver)
 	vi.recvCQ.post(Completion{VI: vi, Desc: desc, IsRecv: true, Status: StatusOK})
 }

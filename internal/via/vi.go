@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hpsockets/internal/hpsmon"
 	"hpsockets/internal/sim"
 )
 
@@ -164,6 +165,7 @@ func (vi *VI) PostRecv(p *sim.Proc, desc *Desc) error {
 	}
 	vi.pr.node.Overhead(p, vi.pr.cfg.PostRecvCPU)
 	vi.pr.node.Kernel().Trace("via", "post-recv", int64(desc.Len), "")
+	hpsmon.Count(vi.pr.node.Kernel(), "via", "descs.posted.recv", 1)
 	vi.recvDescs.TryPut(desc)
 	return nil
 }
@@ -189,6 +191,7 @@ func (vi *VI) PostSend(p *sim.Proc, desc *Desc) error {
 	}
 	vi.pr.node.Overhead(p, vi.pr.cfg.PostSendCPU)
 	vi.pr.node.Kernel().Trace("via", "post-send", int64(desc.Len), vi.peerPort)
+	hpsmon.Count(vi.pr.node.Kernel(), "via", "descs.posted.send", 1)
 	w := vi.pr.newSendWork()
 	w.vi, w.desc = vi, desc
 	vi.pr.sendWQ.TryPut(w)
