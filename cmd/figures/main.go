@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,4a,4b,7a,7b,8a,8b,9a,9b,10,11,pp,micro,fault or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,4a,4b,7a,7b,8a,8b,9a,9b,10,11,pp,micro,fault,overload or all")
 	quick := flag.Bool("quick", false, "reduced repetition counts")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -67,15 +67,17 @@ func main() {
 			render(experiments.FigFaultTransfer(o))
 			render(experiments.FigFaultFailover(o))
 		}},
+		{"overload", func() { render(experiments.FigOverload(o)) }},
 	}
 
 	want := strings.ToLower(*fig)
 	ran := false
 	for _, r := range runners {
-		// The fault family runs only when asked for by name: it is not
-		// one of the paper's figures, and keeping it out of "all"
-		// leaves the headline output identical to the fault-free tree.
-		if want == r.name || (want == "all" && r.name != "fault") {
+		// The fault and overload families run only when asked for by
+		// name: they are not among the paper's figures, and keeping
+		// them out of "all" leaves the headline output identical to
+		// the fault-free tree.
+		if want == r.name || (want == "all" && r.name != "fault" && r.name != "overload") {
 			r.run()
 			ran = true
 		}

@@ -23,6 +23,7 @@ import (
 	"hpsockets/internal/analysis/litname"
 	"hpsockets/internal/analysis/poolsafe"
 	"hpsockets/internal/analysis/procdiscipline"
+	"hpsockets/internal/analysis/shedcheck"
 )
 
 var all = []*framework.Analyzer{
@@ -30,6 +31,7 @@ var all = []*framework.Analyzer{
 	procdiscipline.Analyzer,
 	bufalias.Analyzer,
 	closecheck.Analyzer,
+	shedcheck.Analyzer,
 	poolsafe.Analyzer,
 	litname.Analyzer,
 }

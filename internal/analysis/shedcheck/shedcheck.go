@@ -1,0 +1,91 @@
+// Package shedcheck defines an analyzer that finds non-blocking puts
+// on a sim.Queue whose queue-full result is discarded.
+//
+// A bounded queue is the backbone of the overload-control design:
+// TryPut and PutTimeout report whether the item was admitted, and a
+// rejected item must be shed *accountably* — counted, traced, or
+// handed to a shed policy. Dropping the boolean silently loses work,
+// which breaks the chaos harness's conservation invariant (produced =
+// delivered + shed + in-flight) in a way no test can localize.
+package shedcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "shedcheck",
+	Doc: `require every non-blocking bounded-queue put to handle the queue-full result
+
+TryPut and PutTimeout on a sim.Queue report whether the item was
+admitted; a full bounded queue rejects it. Calling either as a bare
+statement silently drops the rejected item. The result must flow
+somewhere — a condition, a named variable, a return value, or a call
+argument — so the caller sheds the item deliberately. An explicit
+assignment to the blank identifier (_ = q.TryPut(x)) is permitted as
+a visible, reviewable opt-out for queues that are unbounded by
+construction, where the bool only reports a closed queue on shutdown.`,
+	Run: run,
+}
+
+// nonBlockingPuts are the sim.Queue methods whose bool result reports
+// queue-full rejection. The blocking Put's result only reports a
+// closed queue, which has a conventional ignore-on-shutdown reading,
+// so it stays out of scope.
+var nonBlockingPuts = map[string]bool{
+	"TryPut":     true,
+	"PutTimeout": true,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Only the bare statement is flagged. An explicit
+			// _ = q.TryPut(x) is a deliberate, greppable discard —
+			// the convention for unbounded-by-construction queues.
+			if stmt, ok := n.(*ast.ExprStmt); ok {
+				if name, ok := discardedPut(pass, stmt.X); ok {
+					pass.Reportf(stmt.Pos(),
+						"result of sim.Queue.%s discarded: a full queue rejects the item; handle the bool (or discard with an explicit _ =) to shed deliberately", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// discardedPut reports whether expr is a call to a non-blocking put
+// method on a sim.Queue, returning the method name.
+func discardedPut(pass *framework.Pass, expr ast.Expr) (string, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !nonBlockingPuts[sel.Sel.Name] {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isQueueType(tv.Type) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isQueueType reports whether t is (a pointer to) the named generic
+// type Queue from a package named "sim".
+func isQueueType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Queue" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}

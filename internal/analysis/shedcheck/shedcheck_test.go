@@ -1,0 +1,12 @@
+package shedcheck_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/shedcheck"
+)
+
+func TestShedCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", shedcheck.Analyzer, "shedfix")
+}

@@ -1,0 +1,54 @@
+// Fixture for the shedcheck analyzer.
+package shedfix
+
+import "sim"
+
+var shedCount int
+
+// Discarded results: every bare-statement drop is flagged.
+func bad(q *sim.Queue[int], p *sim.Proc) {
+	q.TryPut(1)            // want `result of sim\.Queue\.TryPut discarded`
+	q.PutTimeout(p, 2, 10) // want `result of sim\.Queue\.PutTimeout discarded`
+}
+
+// An explicit blank assignment is the sanctioned opt-out for queues
+// that are unbounded by construction: visible, greppable, reviewable.
+func deliberateDiscard(q *sim.Queue[int], p *sim.Proc) {
+	_ = q.TryPut(3)
+	_ = q.PutTimeout(p, 4, 10)
+}
+
+// Handled results: conditions, named variables, returns and call
+// arguments all count as deliberate shedding.
+func good(q *sim.Queue[int], p *sim.Proc) bool {
+	if !q.TryPut(1) {
+		shedCount++
+	}
+	ok := q.PutTimeout(p, 2, 10)
+	if !ok {
+		shedCount++
+	}
+	record(q.TryPut(3))
+	return q.PutTimeout(p, 4, 10)
+}
+
+func record(admitted bool) {
+	if !admitted {
+		shedCount++
+	}
+}
+
+// The blocking Put's result reports a closed queue, not overload;
+// ignoring it on shutdown paths is conventional and not flagged.
+func blockingPut(q *sim.Queue[int], p *sim.Proc) {
+	q.Put(p, 1)
+}
+
+// Same-named methods on non-sim types are out of scope.
+type other struct{}
+
+func (other) TryPut(int) bool { return true }
+
+func unrelated(o other) {
+	o.TryPut(1)
+}

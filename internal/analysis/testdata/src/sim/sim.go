@@ -37,3 +37,24 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) (any, bool) { return nil, false }
 
 // Join blocks until q terminates.
 func (p *Proc) Join(q *Proc) {}
+
+// Queue is a stub of the sim bounded queue.
+type Queue[T any] struct{}
+
+// NewQueue creates a queue; capacity 0 means unbounded.
+func NewQueue[T any](k *Kernel, capacity int) *Queue[T] { return &Queue[T]{} }
+
+// Put blocks while a bounded queue is full; false means closed.
+func (q *Queue[T]) Put(p *Proc, item T) bool { return true }
+
+// TryPut adds without blocking; false means the queue was full.
+func (q *Queue[T]) TryPut(item T) bool { return true }
+
+// PutTimeout blocks at most d; false means full past the deadline.
+func (q *Queue[T]) PutTimeout(p *Proc, item T, d Time) bool { return true }
+
+// Get blocks for the next item.
+func (q *Queue[T]) Get(p *Proc) (item T, ok bool) { var zero T; return zero, false }
+
+// TryGet polls for the next item.
+func (q *Queue[T]) TryGet() (item T, ok bool) { var zero T; return zero, false }

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpsockets/internal/datacutter"
+)
+
+// TestInvariantsHold sweeps generated scenarios — overload, faults,
+// crashes, both transports — and requires every invariant to hold,
+// including byte-identical replay (Check runs each seed twice).
+func TestInvariantsHold(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		if r := Check(Generate(seed)); !r.OK() {
+			t.Errorf("seed %d:\n%s", seed, r.Canonical())
+		}
+	}
+}
+
+// TestGenerateDeterministic: the scenario generator is a pure function
+// of its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 7, 42, 117} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: generate not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if !a.valid() {
+			t.Errorf("seed %d: generated scenario invalid: %+v", seed, a)
+		}
+	}
+}
+
+// TestReplayByteIdentical: two runs of one scenario render the same
+// canonical report (invariant 4 directly, not via Check).
+func TestReplayByteIdentical(t *testing.T) {
+	s := Generate(117) // heavy shedding under deadline pressure
+	a, b := Run(s), Run(s)
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("replay diverged:\n%s\n----\n%s", a.Canonical(), b.Canonical())
+	}
+	if a.Shed == 0 {
+		t.Errorf("expected scenario 117 to shed under overload, got none:\n%s", a.Canonical())
+	}
+}
+
+// TestDefectCaughtAndShrunk plants a bug in the harness's own shed
+// accounting (every shed goes unrecorded) and requires the invariant
+// checker to catch it and the shrinker to hand back a smaller
+// still-failing reproducer.
+func TestDefectCaughtAndShrunk(t *testing.T) {
+	s := Generate(117)
+	s.defect = 1 // drop every shed record
+	r := Check(s)
+	if r.OK() {
+		t.Fatalf("defective accounting not caught:\n%s", r.Canonical())
+	}
+	found := false
+	for _, v := range r.Violations {
+		if strings.Contains(v, "accounting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an accounting violation, got:\n%s", r.Canonical())
+	}
+
+	shrunk, runs := Shrink(s, 200)
+	if runs > 200+2 {
+		t.Errorf("shrink overran its budget: %d runs", runs)
+	}
+	if shrunk.defect != s.defect {
+		t.Errorf("shrink lost the defect: %d -> %d", s.defect, shrunk.defect)
+	}
+	if cost(shrunk) >= cost(s) {
+		t.Errorf("shrink did not reduce the scenario: cost %d -> %d", cost(s), cost(shrunk))
+	}
+	if rr := Check(shrunk); rr.OK() {
+		t.Errorf("shrunk reproducer no longer fails:\n%s", rr.Canonical())
+	}
+}
+
+// TestShrinkPassingScenario: a healthy scenario is returned unchanged.
+func TestShrinkPassingScenario(t *testing.T) {
+	s := Generate(3)
+	shrunk, runs := Shrink(s, 100)
+	if runs != 2 {
+		t.Errorf("expected the initial check only (2 runs), got %d", runs)
+	}
+	if !reflect.DeepEqual(shrunk, s.normalized()) {
+		t.Errorf("passing scenario was altered:\n%+v\n%+v", s.normalized(), shrunk)
+	}
+}
+
+// TestWatchdogArms: scenarios never end anywhere near the watchdog
+// horizon; a report that does signals masked livelock.
+func TestWatchdogArms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := Run(Generate(seed))
+		if r.End >= watchdogHorizon {
+			t.Errorf("seed %d ran to the watchdog horizon:\n%s", seed, r.Canonical())
+		}
+	}
+}
+
+// TestShedPolicyMix: across a seed range, the generator exercises every
+// shed policy and both transports, and sheds actually happen somewhere
+// (the sweep has teeth).
+func TestShedPolicyMix(t *testing.T) {
+	policies := map[datacutter.ShedPolicy]bool{}
+	kinds := map[int]bool{}
+	sheds := 0
+	for seed := int64(0); seed < 40; seed++ {
+		s := Generate(seed)
+		policies[s.Shed] = true
+		kinds[int(s.Kind)] = true
+		r := Run(s)
+		sheds += r.Shed
+	}
+	if len(policies) < 4 {
+		t.Errorf("generator covered only %d shed policies", len(policies))
+	}
+	if len(kinds) < 2 {
+		t.Errorf("generator covered only %d transports", len(kinds))
+	}
+	if sheds == 0 {
+		t.Error("no scenario shed anything; overload generation is toothless")
+	}
+}

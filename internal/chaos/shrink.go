@@ -1,0 +1,173 @@
+package chaos
+
+import "hpsockets/internal/datacutter"
+
+// cost scores a scenario's size; Shrink only accepts strictly cheaper
+// failing candidates, so it terminates.
+func cost(s Scenario) int {
+	c := s.UOWs*s.BuffersPerUOW + s.Copies*10 + s.InboxDepth + s.CreditWindow +
+		s.BlockBytes/1024 + 25*(len(s.Plan.Links)+len(s.Plan.Partitions)+
+		len(s.Plan.Crashes)+len(s.Plan.Slowdowns))
+	if s.Shed != datacutter.Block {
+		c += 5
+	}
+	if s.DeadlineBudget > 0 {
+		c += 5
+	}
+	if s.Gap > 0 {
+		c += 2
+	}
+	if s.ConsumerCost > 0 {
+		c += 2
+	}
+	if s.SpikeEvery > 0 {
+		c += 2
+	}
+	if s.RedialAttempts > 0 {
+		c += 2
+	}
+	if s.Policy == datacutter.DemandDriven {
+		c += 1
+	}
+	return c
+}
+
+// candidates proposes strictly smaller variants of s, in a fixed
+// order: whole fault categories first (the biggest wins), then
+// scalars. Every candidate is re-normalized; invalid ones are skipped
+// by the caller.
+func candidates(s Scenario) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) { out = append(out, c.normalized()) }
+
+	if len(s.Plan.Links) > 0 {
+		c := s
+		c.Plan.Links = nil
+		add(c)
+	}
+	if len(s.Plan.Links) > 1 {
+		c := s
+		c.Plan.Links = s.Plan.Links[:1]
+		add(c)
+	}
+	if len(s.Plan.Partitions) > 0 {
+		c := s
+		c.Plan.Partitions = nil
+		add(c)
+	}
+	if len(s.Plan.Crashes) > 0 {
+		c := s
+		c.Plan.Crashes = nil
+		add(c)
+	}
+	if len(s.Plan.Slowdowns) > 0 {
+		c := s
+		c.Plan.Slowdowns = nil
+		add(c)
+	}
+	if s.Copies > 1 {
+		c := s
+		c.Copies--
+		add(c)
+	}
+	if s.UOWs > 1 {
+		c := s
+		c.UOWs = 1
+		add(c)
+	}
+	if s.BuffersPerUOW > 1 {
+		c := s
+		c.BuffersPerUOW = s.BuffersPerUOW / 2
+		add(c)
+		c2 := s
+		c2.BuffersPerUOW = 1
+		add(c2)
+	}
+	if s.BlockBytes > 1024 {
+		c := s
+		c.BlockBytes = 1024
+		add(c)
+	}
+	if s.CreditWindow > 0 {
+		c := s
+		c.CreditWindow = 0
+		add(c)
+	}
+	if s.DeadlineBudget > 0 {
+		c := s
+		c.DeadlineBudget = 0
+		add(c)
+	}
+	if s.Shed != datacutter.Block {
+		c := s
+		c.Shed = datacutter.Block
+		add(c)
+	}
+	if s.Gap > 0 {
+		c := s
+		c.Gap = 0
+		add(c)
+	}
+	if s.SpikeEvery > 0 {
+		c := s
+		c.SpikeEvery = 0
+		add(c)
+	}
+	if s.ConsumerCost > 0 {
+		c := s
+		c.ConsumerCost = 0
+		add(c)
+	}
+	if s.RedialAttempts > 0 {
+		c := s
+		c.RedialAttempts = 0
+		add(c)
+	}
+	if s.InboxDepth > 1 {
+		c := s
+		c.InboxDepth = 1
+		add(c)
+	}
+	if s.Policy == datacutter.DemandDriven && !s.wireFaulty() {
+		c := s
+		c.Policy = datacutter.RoundRobin
+		add(c)
+	}
+	return out
+}
+
+// Shrink reduces a failing scenario to a (locally) minimal failing
+// reproducer by greedy delta debugging: it repeatedly applies the
+// cheapest transformation that still fails, within a run budget
+// (every candidate evaluation costs two runs via Check). It returns
+// the reduced scenario and the number of runs spent. The input must
+// already fail; otherwise it is returned unchanged.
+func Shrink(s Scenario, budget int) (Scenario, int) {
+	s = s.normalized()
+	runs := 0
+	fails := func(c Scenario) bool {
+		runs += 2
+		return !Check(c).OK()
+	}
+	if !fails(s) {
+		return s, runs
+	}
+	improved := true
+	for improved && runs < budget {
+		improved = false
+		for _, c := range candidates(s) {
+			if runs >= budget {
+				break
+			}
+			if !c.valid() || cost(c) >= cost(s) {
+				continue
+			}
+			if fails(c) {
+				s = c
+				improved = true
+				break
+			}
+		}
+	}
+	return s, runs
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hpsockets/internal/cluster"
+	"hpsockets/internal/netsim"
+	"hpsockets/internal/sim"
+)
+
+// scriptedEndpoint fails every Dial and records the virtual time of
+// each attempt, so tests can pin Redial's backoff schedule exactly.
+type scriptedEndpoint struct {
+	node     *cluster.Node
+	attempts []sim.Time
+}
+
+func (e *scriptedEndpoint) Node() *cluster.Node { return e.node }
+func (e *scriptedEndpoint) Transport() string   { return "scripted" }
+func (e *scriptedEndpoint) Listen(svc int) Listener {
+	panic("scripted endpoint does not listen")
+}
+
+func (e *scriptedEndpoint) Dial(p *sim.Proc, remote string, svc int) (Conn, error) {
+	e.attempts = append(e.attempts, p.Now())
+	return nil, errors.New("scripted dial failure")
+}
+
+// redialSchedule runs Redial against an always-failing endpoint on a
+// fresh kernel and returns the attempt times.
+func redialSchedule(pol RetryPolicy) []sim.Time {
+	prof := CLANProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	node := cl.AddNode("a", cluster.DefaultConfig())
+	ep := &scriptedEndpoint{node: node}
+	k.Go("redial", func(p *sim.Proc) {
+		if _, err := Redial(p, ep, "b", 1, pol); err == nil {
+			panic("redial against a failing endpoint succeeded")
+		}
+	})
+	k.RunAll()
+	return ep.attempts
+}
+
+// TestRedialBackoffCapBoundary pins the exact schedule around the
+// MaxDelay boundary: the pause doubles from BaseDelay until it crosses
+// the cap, then every further pause is exactly MaxDelay.
+func TestRedialBackoffCapBoundary(t *testing.T) {
+	pol := RetryPolicy{
+		Attempts:  6,
+		BaseDelay: 200 * sim.Microsecond,
+		MaxDelay:  800 * sim.Microsecond,
+	}
+	got := redialSchedule(pol)
+	// Pauses: 200, 400, 800 (doubling), then capped at 800, 800.
+	want := []sim.Time{
+		0,
+		200 * sim.Microsecond,
+		600 * sim.Microsecond,
+		1400 * sim.Microsecond,
+		2200 * sim.Microsecond,
+		3000 * sim.Microsecond,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("backoff schedule = %v, want %v", got, want)
+	}
+}
+
+// TestRedialUncappedBackoff: MaxDelay zero means the doubling never
+// stops.
+func TestRedialUncappedBackoff(t *testing.T) {
+	pol := RetryPolicy{Attempts: 5, BaseDelay: 100 * sim.Microsecond}
+	got := redialSchedule(pol)
+	// Pauses 100, 200, 400, 800.
+	want := []sim.Time{
+		0,
+		100 * sim.Microsecond,
+		300 * sim.Microsecond,
+		700 * sim.Microsecond,
+		1500 * sim.Microsecond,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("backoff schedule = %v, want %v", got, want)
+	}
+}
+
+// TestRedialJitterDeterminism: two identically-seeded default policies
+// produce byte-identical schedules on fresh kernels, a differently
+// seeded one diverges, and every jittered pause stays within the
+// policy's +-Jitter/2 band around the deterministic schedule.
+func TestRedialJitterDeterminism(t *testing.T) {
+	a := redialSchedule(DefaultRetryPolicy(42))
+	b := redialSchedule(DefaultRetryPolicy(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identically-seeded schedules diverged:\n%v\n%v", a, b)
+	}
+	c := redialSchedule(DefaultRetryPolicy(43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("differently-seeded schedules are identical; jitter is not applied")
+	}
+
+	pol := DefaultRetryPolicy(42)
+	jittered := false
+	delay := pol.BaseDelay
+	for i := 1; i < len(a); i++ {
+		pause := a[i] - a[i-1]
+		lo := sim.Time(float64(delay) * (1 - pol.Jitter/2))
+		hi := sim.Time(float64(delay) * (1 + pol.Jitter/2))
+		if pause < lo || pause > hi {
+			t.Fatalf("pause %d = %v, outside jitter band [%v, %v]", i, pause, lo, hi)
+		}
+		if pause != delay {
+			jittered = true
+		}
+		delay *= 2
+		if pol.MaxDelay > 0 && delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+	}
+	if !jittered {
+		t.Fatal("no pause was jittered; Rand is unused")
+	}
+}
+
+// TestRedialJitterRequiresRand documents that a jittered policy
+// without a Rand source silently degrades to the deterministic
+// schedule rather than panicking mid-recovery.
+func TestRedialJitterRequiresRand(t *testing.T) {
+	pol := RetryPolicy{
+		Attempts:  3,
+		BaseDelay: 100 * sim.Microsecond,
+		Jitter:    0.2,
+		Rand:      nil,
+	}
+	got := redialSchedule(pol)
+	want := []sim.Time{0, 100 * sim.Microsecond, 300 * sim.Microsecond}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedule = %v, want deterministic %v", got, want)
+	}
+}

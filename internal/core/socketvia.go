@@ -185,13 +185,13 @@ func (c *svConn) bind(p *sim.Proc, vi *via.VI) error {
 	for i := 0; i < sendN; i++ {
 		d := &via.Desc{Region: sendRegion}
 		d.Ctx = backing[i*cfg.ChunkSize : (i+1)*cfg.ChunkSize]
-		c.sendPool.TryPut(d)
+		_ = c.sendPool.TryPut(d)
 	}
 
 	ctrlN := cfg.ctrlSlack()
 	ctrlRegion := e.pr.RegisterMem(p, ctrlN*64)
 	for i := 0; i < ctrlN; i++ {
-		c.ctrlPool.TryPut(&via.Desc{Region: ctrlRegion, Ctx: ctrlTag{}})
+		_ = c.ctrlPool.TryPut(&via.Desc{Region: ctrlRegion, Ctx: ctrlTag{}})
 	}
 
 	node.Kernel().Go("sv-pump/"+node.Name(), c.pump)

@@ -131,7 +131,7 @@ func (c *svConn) send(p *sim.Proc, data []byte, n int) error {
 			sc.End()
 			hpsmon.Observe(k, "socketvia", "credit-wait", k.Now()-t0)
 			if timedOut {
-				c.sendPool.TryPut(d) // return the unused buffer
+				_ = c.sendPool.TryPut(d) // return the unused buffer
 				return ErrTimeout
 			}
 		}
@@ -327,10 +327,10 @@ func (c *svConn) pump(p *sim.Proc) {
 			// One-shot rendezvous descriptors are dropped.
 			switch comp.Desc.Ctx.(type) {
 			case ctrlTag:
-				c.ctrlPool.TryPut(comp.Desc)
+				_ = c.ctrlPool.TryPut(comp.Desc)
 			case rendDescTag:
 			default:
-				c.sendPool.TryPut(comp.Desc)
+				_ = c.sendPool.TryPut(comp.Desc)
 			}
 			continue
 		}

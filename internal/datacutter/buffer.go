@@ -30,7 +30,11 @@
 // names, writing on a closed stream, buffer data/size mismatches.
 package datacutter
 
-import "fmt"
+import (
+	"fmt"
+
+	"hpsockets/internal/sim"
+)
 
 // Buffer is an array of data elements transferred from one filter to
 // another. Data may be nil for size-only modelling; Size is always the
@@ -42,6 +46,14 @@ type Buffer struct {
 	// Tag carries application metadata (block ids etc.) out of band;
 	// it does not contribute to the wire size.
 	Tag int64
+	// Deadline is the virtual time by which this buffer's update must
+	// reach the end of the pipeline (0 = none). It travels on the wire
+	// (streams with StreamSpec.Deadlines use an extended header) so
+	// every downstream stage can shed or degrade against it.
+	Deadline sim.Time
+	// Degraded marks a buffer sent at reduced resolution by the
+	// DegradeQuality shed policy; Size is the reduced byte count.
+	Degraded bool
 
 	// src identifies the connection the buffer arrived on so that the
 	// demand-driven ack can be routed back; it is nil on the producer
@@ -54,14 +66,31 @@ const (
 	wireData uint8 = iota + 1
 	wireEOW
 	wireAck
+	// wireCredit returns one flow-control credit on the reverse path.
+	wireCredit
 )
 
 // headerSize is the on-stream framing header: kind, flags, uow, size,
-// tag.
-const headerSize = 24
+// tag. Streams with deadlines armed extend it by the 8-byte deadline;
+// the header size is fixed per stream (both ends know it from the
+// spec), so fault-free streams stay byte-identical to the original
+// framing. Reverse-path messages (acks, credits) always use the base
+// header.
+const (
+	headerSize    = 24
+	extHeaderSize = headerSize + 8
+)
 
 // header flags.
-const flagReal uint8 = 1 // payload carries real bytes
+const (
+	flagReal     uint8 = 1 // payload carries real bytes
+	flagDegraded uint8 = 2 // reduced-resolution partial update
+)
+
+// degradeShift is the resolution reduction of DegradeQuality: a
+// degraded buffer ships Size >> degradeShift bytes (quarter volume),
+// the "partial update" of the paper's latency-guarantee experiments.
+const degradeShift = 2
 
 // putHeader encodes the framing header.
 func putHeader(dst []byte, kind, flags uint8, uow int, size int, tag int64) {
@@ -74,6 +103,9 @@ func putHeader(dst []byte, kind, flags uint8, uow int, size int, tag int64) {
 	put32(dst[4:], uint32(uow))
 	put64(dst[8:], uint64(size))
 	put64(dst[16:], uint64(tag))
+	if len(dst) >= extHeaderSize {
+		put64(dst[headerSize:], 0)
+	}
 }
 
 func parseHeader(src []byte) (kind, flags uint8, uow int, size int, tag int64) {
@@ -81,6 +113,22 @@ func parseHeader(src []byte) (kind, flags uint8, uow int, size int, tag int64) {
 		panic("datacutter: short header")
 	}
 	return src[0], src[1], int(get32(src[4:])), int(get64(src[8:])), int64(get64(src[16:]))
+}
+
+// putDeadline writes the extended-header deadline field.
+func putDeadline(dst []byte, d sim.Time) {
+	if len(dst) < extHeaderSize {
+		panic("datacutter: short extended header buffer")
+	}
+	put64(dst[headerSize:], uint64(d))
+}
+
+// parseDeadline reads the extended-header deadline field.
+func parseDeadline(src []byte) sim.Time {
+	if len(src) < extHeaderSize {
+		panic("datacutter: short extended header")
+	}
+	return sim.Time(get64(src[headerSize:]))
 }
 
 func put32(b []byte, v uint32) {

@@ -95,3 +95,94 @@ func TestFailoverToSurvivingCopy(t *testing.T) {
 		t.Fatalf("survivor received %d buffers, want at least %d", received[0], perUOW)
 	}
 }
+
+// TestRedialReArmsOpTimeout is a regression test for redialed
+// connections coming up without the stream's OpTimeout armed. A
+// healable partition kills both consumer connections, so the writer
+// redials copy 0 — and then copy 0's node crashes. A crashed node
+// sends nothing, ever: no FIN, no acks. The only way the writer can
+// notice is its own per-operation deadline on the *redialed*
+// connection; without the re-arm it blocks on the silent connection
+// forever and the workload strands mid-stream instead of failing over
+// to the surviving copy.
+func TestRedialReArmsOpTimeout(t *testing.T) {
+	r := newFaultRig(3, core.KindSocketVIA, fault.Plan{
+		Seed: 5,
+		Partitions: []fault.Partition{
+			{A: "n0", B: "n1", From: 1 * sim.Millisecond, To: 1200 * sim.Microsecond},
+			{A: "n0", B: "n2", From: 1 * sim.Millisecond, To: 1200 * sim.Microsecond},
+		},
+		Crashes: []fault.NodeCrash{{Node: "n1", At: 6 * sim.Millisecond}},
+	})
+	const total = 200
+	// Re-dispatch can deliver a buffer twice (delivered-but-unacked
+	// buffers are reclaimed at teardown), so coverage is counted by
+	// distinct tag, shared across copies.
+	seen := map[int64]bool{}
+	src := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			out := ctx.Output("s")
+			for i := 0; i < total; i++ {
+				if err := out.Write(ctx.Proc(), &Buffer{Size: 16 * 1024, Tag: int64(i)}); err != nil {
+					return err
+				}
+				// Pace the offered load so the workload is still
+				// mid-stream at the partition and at the crash.
+				ctx.Proc().Sleep(50 * sim.Microsecond)
+			}
+			return out.EndOfWork(ctx.Proc())
+		}}
+	}
+	// The sinks poll: losing every producer connection ends the unit of
+	// work from the reader's point of view, but here the producer
+	// redials, so a copy keeps asking until the workload is covered —
+	// with a virtual-time bound so a stranded run terminates.
+	sink := func(int) Filter {
+		return &funcFilter{process: func(ctx *Context) error {
+			in := ctx.Input("s")
+			for len(seen) < total && ctx.Proc().Now() < 5*sim.Second {
+				if b, ok := in.Read(ctx.Proc()); ok {
+					seen[b.Tag] = true
+				} else {
+					ctx.Proc().Sleep(200 * sim.Microsecond)
+				}
+			}
+			return nil
+		}}
+	}
+	g := r.rt.Instantiate(GroupSpec{
+		Filters: []FilterSpec{
+			{Name: "src", New: src, Placement: []string{"n0"}},
+			{Name: "dst", New: sink, Placement: []string{"n1", "n2"}},
+		},
+		Streams: []StreamSpec{{
+			Name: "s", From: "src", To: "dst",
+			Policy:         DemandDriven,
+			OpTimeout:      1 * sim.Millisecond,
+			RedialAttempts: 2,
+			RedialSeed:     9,
+		}},
+	})
+	// The crashed copy never finishes, so the done signal cannot fire;
+	// run the event heap dry instead of WaitDone.
+	g.Start(1)
+	end := r.k.RunAll()
+	if err := g.Err(); err != nil {
+		t.Fatalf("group error: %v", err)
+	}
+	w := g.WriterOf("src", 0, "s")
+	// Redial one: copy 0 after the partition heals. Redial two is the
+	// regression's teeth: only a re-armed timeout detects the crashed
+	// copy 0 and brings copy 1 back instead.
+	if w.Redials() < 2 {
+		t.Fatalf("redials = %d, want >= 2 (OpTimeout not re-armed on redialed conn?)", w.Redials())
+	}
+	if len(seen) < total {
+		t.Fatalf("delivered %d distinct buffers, want %d (writer stuck on silent redialed conn?)", len(seen), total)
+	}
+	// Without the re-arm the run strands until the sinks' give-up
+	// bound; with it, failover completes promptly.
+	if limit := 1 * sim.Second; end > limit {
+		t.Fatalf("run ended at %v, want well under %v", end, limit)
+	}
+}

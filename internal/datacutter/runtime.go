@@ -45,6 +45,9 @@ type Group struct {
 	doneLeft int
 	doneSig  *sim.Signal
 	errs     []error
+	// listeners kept open past initial wiring for redial-armed streams;
+	// closed when the group finishes.
+	listeners []core.Listener
 }
 
 // Instantiate builds the filter copies, binds every logical stream's
@@ -116,14 +119,26 @@ func (g *Group) wireStream(ss StreamSpec) {
 		panic(fmt.Sprintf("datacutter: stream %s references unknown filters %s -> %s", ss.Name, ss.From, ss.To))
 	}
 
+	needsReverse := ss.Policy == DemandDriven || ss.Acks || ss.CreditWindow > 0
 	writers := make([]*StreamWriter, len(prods))
 	for i, pc := range prods {
 		w := &StreamWriter{
 			name: ss.Name, policy: ss.Policy,
-			targets:    make([]*streamConn, len(conss)),
-			maxUnacked: ss.MaxUnacked,
-			ackCond:    sim.NewCond(k),
-			redispatch: ss.Policy == DemandDriven || ss.Acks,
+			targets:      make([]*streamConn, len(conss)),
+			maxUnacked:   ss.MaxUnacked,
+			ackCond:      sim.NewCond(k),
+			redispatch:   ss.Policy == DemandDriven || ss.Acks,
+			creditWindow: ss.CreditWindow,
+			deadlines:    ss.Deadlines,
+			shed:         ss.Shed,
+			onShed:       ss.OnShed,
+			opTimeout:    ss.OpTimeout,
+			needsReverse: needsReverse,
+			ep:           rt.fab.Endpoint(pc.node.Name()),
+		}
+		if ss.RedialAttempts > 0 {
+			w.redialPol = core.DefaultRetryPolicy(ss.RedialSeed ^ int64(i+1))
+			w.redialPol.Attempts = ss.RedialAttempts
 		}
 		if _, dup := pc.outputs[ss.Name]; dup {
 			panic("datacutter: duplicate stream name " + ss.Name)
@@ -134,12 +149,18 @@ func (g *Group) wireStream(ss StreamSpec) {
 
 	for j, cc := range conss {
 		r := &StreamReader{
-			name:    ss.Name,
-			policy:  ss.Policy,
-			acks:    ss.Acks,
-			inbox:   sim.NewQueue[inboxItem](k, cc.spec.InboxDepth),
-			nconns:  len(prods),
-			eowSeen: make(map[int]int),
+			name:         ss.Name,
+			policy:       ss.Policy,
+			acks:         ss.Acks,
+			inbox:        sim.NewQueue[inboxItem](k, cc.spec.InboxDepth),
+			nconns:       len(prods),
+			eowSeen:      make(map[int]int),
+			creditWindow: ss.CreditWindow,
+			deadlines:    ss.Deadlines,
+			shedPolicy:   ss.Shed,
+			onShed:       ss.OnShed,
+			onDeliver:    ss.OnDeliver,
+			redial:       ss.RedialAttempts > 0,
 		}
 		if _, dup := cc.inputs[ss.Name]; dup {
 			panic("datacutter: duplicate stream name " + ss.Name)
@@ -157,21 +178,34 @@ func (g *Group) wireStream(ss StreamSpec) {
 			}
 		}
 
-		// Acceptor: one inbound connection per producer copy.
+		// Acceptor: one inbound connection per producer copy. With
+		// redial armed it keeps accepting replacement connections (the
+		// group closes the listener when it finishes); every accepted
+		// connection — original or replacement — gets the stream's
+		// OpTimeout armed.
 		j := j
+		redial := ss.RedialAttempts > 0
+		if redial {
+			g.listeners = append(g.listeners, listener)
+		}
 		k.Go(fmt.Sprintf("dc-accept/%s/%s.%d", ss.Name, ss.To, j), func(p *sim.Proc) {
-			for n := 0; n < len(prods); n++ {
+			for n := 0; redial || n < len(prods); n++ {
 				conn, err := listener.Accept(p)
 				if err != nil {
-					g.errs = append(g.errs, err)
+					if n < len(prods) {
+						g.errs = append(g.errs, err)
+					}
 					return
 				}
 				if ss.OpTimeout > 0 {
 					conn.SetTimeout(ss.OpTimeout)
 				}
 				sc := &streamConn{conn: conn}
-				k.Go(fmt.Sprintf("dc-read/%s/%s.%d.%d", ss.Name, ss.To, j, n), r.connReaderLoop(sc, closedOne))
-				g.setup.Arrive()
+				rejoin := n >= len(prods)
+				k.Go(fmt.Sprintf("dc-read/%s/%s.%d.%d", ss.Name, ss.To, j, n), r.connReaderLoop(sc, closedOne, rejoin))
+				if !rejoin {
+					g.setup.Arrive()
+				}
 			}
 			listener.Close()
 		})
@@ -189,9 +223,15 @@ func (g *Group) wireStream(ss StreamSpec) {
 				if ss.OpTimeout > 0 {
 					conn.SetTimeout(ss.OpTimeout)
 				}
-				sc := &streamConn{conn: conn, record: ss.RecordAckLatency}
+				sc := &streamConn{
+					conn:    conn,
+					record:  ss.RecordAckLatency,
+					credits: ss.CreditWindow,
+					raddr:   cc.node.Name(),
+					svc:     svc,
+				}
 				w.targets[j] = sc
-				if ss.Policy == DemandDriven || ss.Acks {
+				if needsReverse {
 					k.Go(fmt.Sprintf("dc-ack/%s/%s.%d<-%s.%d", ss.Name, ss.From, i, ss.To, j), w.ackReaderLoop(sc))
 				}
 				g.setup.Arrive()
@@ -241,6 +281,9 @@ func (g *Group) Start(uows int) {
 			}
 			g.doneLeft--
 			if g.doneLeft == 0 {
+				for _, l := range g.listeners {
+					l.Close()
+				}
 				g.doneSig.Fire(nil)
 			}
 		})

@@ -35,6 +35,77 @@ func (p Policy) String() string {
 	return "rr"
 }
 
+// ShedPolicy selects what a stream does with a buffer it cannot move
+// in time: when a bounded consumer inbox is full, or when the buffer's
+// deadline has already expired.
+type ShedPolicy int
+
+const (
+	// Block is the default: pure backpressure. Producers block until
+	// the consumer drains; nothing is ever shed.
+	Block ShedPolicy = iota
+	// DropOldest admits a fresh buffer into a full inbox by evicting
+	// the oldest buffered data element (control markers are never
+	// evicted), and drops deadline-expired buffers at the producer.
+	DropOldest
+	// DropNewest rejects the incoming buffer when the inbox stays full
+	// past the buffer's remaining deadline budget, and drops
+	// deadline-expired buffers at the producer.
+	DropNewest
+	// DegradeQuality never drops at the producer: a deadline-expired
+	// buffer is sent at reduced resolution (Size >> degradeShift, the
+	// paper's partial-update semantics) so the consumer still gets a
+	// lower-quality update inside its window. Inbox admission behaves
+	// like DropNewest.
+	DegradeQuality
+)
+
+func (s ShedPolicy) String() string {
+	switch s {
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	case DegradeQuality:
+		return "degrade"
+	}
+	return "block"
+}
+
+// ShedCause says where and why a buffer left the pipeline without
+// normal delivery.
+type ShedCause int
+
+const (
+	// ShedExpired: the buffer's deadline had already passed at send.
+	ShedExpired ShedCause = iota
+	// ShedOldest: evicted from a full inbox in favour of fresh work.
+	ShedOldest
+	// ShedNewest: rejected at a full inbox.
+	ShedNewest
+	// ShedStale: arrived at the consumer after its deadline.
+	ShedStale
+	// ShedLost: reclaimed from a failed copy after its unit of work
+	// already ended; re-sending it would corrupt UOW accounting.
+	ShedLost
+)
+
+func (c ShedCause) String() string {
+	switch c {
+	case ShedExpired:
+		return "expired"
+	case ShedOldest:
+		return "oldest"
+	case ShedNewest:
+		return "newest"
+	case ShedStale:
+		return "stale"
+	case ShedLost:
+		return "lost"
+	}
+	return "unknown"
+}
+
 // FilterSpec declares one filter and the placement of its transparent
 // copies (one copy per listed node).
 type FilterSpec struct {
@@ -70,11 +141,45 @@ type StreamSpec struct {
 	// demand-driven.
 	MaxUnacked int
 	// OpTimeout bounds every blocking Send and Recv on the stream's
-	// connections (applied via core.Conn.SetTimeout at wiring time).
-	// Zero leaves operations unbounded. Fault scenarios set it so a
-	// crashed peer surfaces as core.ErrTimeout and triggers failover
-	// instead of blocking the filter forever.
+	// connections (applied via core.Conn.SetTimeout at wiring time and
+	// re-armed on every connection re-established by redial). Zero
+	// leaves operations unbounded. Fault scenarios set it so a crashed
+	// peer surfaces as core.ErrTimeout and triggers failover instead of
+	// blocking the filter forever.
 	OpTimeout sim.Time
+	// CreditWindow arms credit-based flow control: the consumer copy
+	// grants each producer connection this many credits; a data buffer
+	// consumes one at send, and the consumer returns it (a credit
+	// message on the reverse path) when the buffer leaves its inbox —
+	// into the filter or shed. Producers block deterministically when a
+	// connection is out of credits, so a slow consumer pushes back
+	// instead of growing queues: VIA-style credits over SocketVIA,
+	// receive-window semantics over the kernel path. 0 disables.
+	CreditWindow int
+	// Deadlines arms deadline propagation: buffers carry their
+	// Deadline on the wire (an extended header) and the shed policy
+	// applies to expired or un-admittable buffers. Writing a buffer
+	// with a non-zero Deadline to a stream without Deadlines panics.
+	Deadlines bool
+	// Shed selects the overload behaviour of the stream (see
+	// ShedPolicy). Block, the default, is pure backpressure.
+	Shed ShedPolicy
+	// OnShed, when set, observes every buffer the stream sheds, with
+	// its cause, synchronously in simulation order. The chaos harness
+	// uses it for exact work accounting; it must not block.
+	OnShed func(*Buffer, ShedCause)
+	// OnDeliver, when set, observes every buffer handed to the
+	// consuming filter, before the delivery acknowledgment. The chaos
+	// harness uses it to record delivery atomically with the hand-off.
+	OnDeliver func(*Buffer)
+	// RedialAttempts arms producer-side connection re-establishment:
+	// when every transparent consumer copy is dead, the writer redials
+	// dead copies (capped, jittered, seeded backoff; this many dial
+	// attempts per try) instead of failing with ErrNoLiveCopies.
+	// Re-established connections get OpTimeout re-armed. 0 disables.
+	RedialAttempts int
+	// RedialSeed roots the redial backoff jitter (per producer copy).
+	RedialSeed int64
 }
 
 // GroupSpec declares a filter group.

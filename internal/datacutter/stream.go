@@ -13,6 +13,13 @@ import (
 // consumer filter has failed, leaving nowhere to dispatch work.
 var ErrNoLiveCopies = errors.New("datacutter: no live consumer copies")
 
+// errRedispatched is an internal marker: the buffer's copy failed
+// mid-send and the buffer re-entered the backlog for redispatch.
+var errRedispatched = errors.New("datacutter: buffer redispatched")
+
+// numShedCauses sizes the per-cause shed counters.
+const numShedCauses = int(ShedLost) + 1
+
 // streamConn is one point-to-point connection of a logical stream.
 // The producer side tracks unacknowledged buffers for demand-driven
 // scheduling; the consumer side uses it to route acks back.
@@ -20,6 +27,17 @@ type streamConn struct {
 	conn    core.Conn
 	unacked int
 	sent    uint64
+
+	// credits is the remaining flow-control window on this connection
+	// (meaningful when the stream's CreditWindow is armed). A data
+	// send consumes one; the consumer returns it when the buffer
+	// leaves its inbox.
+	credits int
+
+	// raddr and svc name the consumer copy's endpoint, kept so a
+	// redial-armed writer can re-establish the connection.
+	raddr string
+	svc   int
 
 	// dead marks the connection failed; the writer routes around it.
 	dead bool
@@ -53,7 +71,7 @@ type StreamWriter struct {
 	uow        int
 	closed     bool
 	maxUnacked int
-	ackCond    *sim.Cond // signalled on every ack when maxUnacked > 0
+	ackCond    *sim.Cond // signalled on every ack/credit when armed
 	// redispatch enables failover re-dispatch: unacknowledged buffers
 	// of a failed copy are re-sent to a survivor. It requires acks
 	// (demand-driven policy or StreamSpec.Acks) to know what is still
@@ -64,11 +82,124 @@ type StreamWriter struct {
 	backlog []pendingBuf
 	// redispatched counts buffers re-sent after a copy failure.
 	redispatched uint64
+
+	// Overload-control configuration (see StreamSpec).
+	creditWindow int
+	deadlines    bool
+	shed         ShedPolicy
+	onShed       func(*Buffer, ShedCause)
+
+	// Redial support: ep is the producer's endpoint, redialPol the
+	// backoff policy (Attempts > 0 arms it), opTimeout the per-op bound
+	// to re-arm on re-established connections. needsReverse says a
+	// fresh connection needs an ack/credit reader process.
+	ep             core.Endpoint
+	redialPol      core.RetryPolicy
+	opTimeout      sim.Time
+	needsReverse   bool
+	redialDisarmed bool
+	redialRounds   int
+	redials        uint64
+
+	written  uint64
+	shedSend uint64
+	degraded uint64
+	lost     uint64
 }
 
 // Redispatched reports how many buffers were re-sent to a surviving
 // copy after a consumer failure.
 func (w *StreamWriter) Redispatched() uint64 { return w.redispatched }
+
+// Written reports how many data buffers the writer handed to a
+// transport (re-dispatched buffers count again).
+func (w *StreamWriter) Written() uint64 { return w.written }
+
+// ShedAtSend reports how many buffers the writer shed because their
+// deadline had expired before they could be sent.
+func (w *StreamWriter) ShedAtSend() uint64 { return w.shedSend }
+
+// DegradedAtSend reports how many buffers were sent at reduced
+// resolution by the DegradeQuality policy.
+func (w *StreamWriter) DegradedAtSend() uint64 { return w.degraded }
+
+// LostToFailover reports how many reclaimed buffers were dropped
+// because their unit of work had already ended (traced as uow-lost).
+func (w *StreamWriter) LostToFailover() uint64 { return w.lost }
+
+// Redials reports how many connections the writer re-established.
+func (w *StreamWriter) Redials() uint64 { return w.redials }
+
+// WaitCreditsIdle blocks until every live target's credit window is
+// fully returned: the stream is quiescent, with no buffer in flight or
+// parked in a consumer inbox. Producers call it before closing a
+// credit-armed stream so conservation can be checked at quiesce. A
+// credit lost in transit either arrives eventually (kernel TCP
+// retransmits) or breaks the connection, whose dead target is then
+// excused — a wait that never returns is a flow-control leak, which is
+// exactly what the chaos watchdog flags.
+func (w *StreamWriter) WaitCreditsIdle(p *sim.Proc) {
+	if w.creditWindow <= 0 {
+		return
+	}
+	for {
+		settled := true
+		for _, t := range w.targets {
+			if !t.dead && t.credits < w.creditWindow {
+				settled = false
+			}
+		}
+		if settled {
+			return
+		}
+		w.ackCond.Wait(p)
+	}
+}
+
+// WaitQuiesce blocks until the stream has fully drained: every live
+// target has no unacknowledged buffer (when acks are armed) and its
+// credit window fully returned (when credits are armed), and the
+// re-dispatch backlog is empty. Producers call it before Close so no
+// buffer's fate is left undecided: an in-flight buffer either gets
+// acknowledged, or its connection breaks — surfacing here, where the
+// ack reader can still reclaim it (after Close it retires quietly) —
+// and the reclaimed entry is flushed, which re-dispatches it or sheds
+// it as lost. Without the wait, a consumer that tears down a stalled
+// connection after the producer closed would take the sent-but-unacked
+// buffers with it, unaccounted. Returns the flush error, if any.
+func (w *StreamWriter) WaitQuiesce(p *sim.Proc) error {
+	for {
+		if err := w.flushBacklog(p); err != nil {
+			return err
+		}
+		settled := true
+		for _, t := range w.targets {
+			if t.dead {
+				continue
+			}
+			if w.redispatch && t.unacked > 0 {
+				settled = false
+				break
+			}
+			if w.creditWindow > 0 && t.credits < w.creditWindow {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return nil
+		}
+		w.ackCond.Wait(p)
+	}
+}
+
+// CreditState reports the remaining credits and liveness of one target
+// connection, for flow-control invariant checks (credit conservation:
+// at quiesce every live connection is back at the full window).
+func (w *StreamWriter) CreditState(target int) (credits int, dead bool) {
+	t := w.targets[target]
+	return t.credits, t.dead
+}
 
 // LiveTargets reports how many consumer copies are still reachable.
 func (w *StreamWriter) LiveTargets() int {
@@ -105,18 +236,24 @@ func (w *StreamWriter) Sent() []uint64 {
 
 // pick chooses the destination copy for the next buffer, blocking
 // under demand-driven routing while every live copy is at its demand
-// window. It skips failed copies and returns nil when none survive.
+// window (or out of credits). It skips failed copies; when none
+// survive it attempts redial (if armed) and returns nil once that too
+// is exhausted.
 func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 	switch w.policy {
 	case RoundRobin:
-		for range w.targets {
-			t := w.targets[w.rr]
-			w.rr = (w.rr + 1) % len(w.targets)
-			if !t.dead {
-				return t
+		for {
+			for range w.targets {
+				t := w.targets[w.rr]
+				w.rr = (w.rr + 1) % len(w.targets)
+				if !t.dead {
+					return t
+				}
+			}
+			if !w.tryRedial(p) {
+				return nil
 			}
 		}
-		return nil
 	case DemandDriven:
 		for {
 			var best *streamConn
@@ -129,6 +266,9 @@ func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 				if w.maxUnacked > 0 && t.unacked >= w.maxUnacked {
 					continue
 				}
+				if w.creditWindow > 0 && t.credits == 0 {
+					continue
+				}
 				if best == nil || t.unacked < best.unacked {
 					best = t
 				}
@@ -137,33 +277,194 @@ func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 				return best
 			}
 			if !alive {
+				if w.tryRedial(p) {
+					continue
+				}
 				return nil
 			}
 			// Every live copy is at its demand window; a broadcast on
-			// ack arrival or copy failure re-evaluates.
-			w.ackCond.Wait(p)
+			// ack/credit arrival or copy failure re-evaluates. With
+			// credits and an op timeout armed, a copy that returns no
+			// credit within the bound is declared stalled and failed
+			// over — the reverse path may be silently gone (e.g. the
+			// consumer timed out its ack sends during a partition).
+			if w.creditWindow > 0 && w.opTimeout > 0 {
+				if !w.ackCond.WaitTimeout(p, w.opTimeout) {
+					w.failStalled(p)
+				}
+			} else {
+				w.ackCond.Wait(p)
+			}
 		}
 	}
 	panic("datacutter: unknown policy")
 }
 
+// tryRedial re-establishes the connection to one dead consumer copy
+// (lowest index first). It reports whether a copy was restored; a
+// fully failed round disarms further redial so exhausted writers fail
+// fast with ErrNoLiveCopies instead of paying the backoff per buffer.
+// maxRedialRounds bounds how many times a writer re-enters redial:
+// recovery is a bounded mechanism, not an infinite retry loop, so a
+// consumer that keeps dying cannot livelock virtual time.
+const maxRedialRounds = 16
+
+func (w *StreamWriter) tryRedial(p *sim.Proc) bool {
+	if w.redialPol.Attempts <= 0 || w.redialDisarmed {
+		return false
+	}
+	w.redialRounds++
+	if w.redialRounds > maxRedialRounds {
+		w.redialDisarmed = true
+		return false
+	}
+	for j, t := range w.targets {
+		if !t.dead {
+			continue
+		}
+		c, err := core.Redial(p, w.ep, t.raddr, t.svc, w.redialPol)
+		if err != nil {
+			continue
+		}
+		// Re-arm the per-operation deadline on the fresh connection:
+		// the replacement must detect the next stall exactly like the
+		// original did, or a second fault blocks the writer forever.
+		if w.opTimeout > 0 {
+			c.SetTimeout(w.opTimeout)
+		}
+		t.conn = c
+		t.dead = false
+		t.unacked = 0
+		t.credits = w.creditWindow
+		t.pending = nil
+		t.pendingSends = nil
+		w.redials++
+		p.Kernel().Trace("datacutter", "redial", int64(j), w.name)
+		hpsmon.Instant(p, "datacutter", "redial", w.name)
+		if w.needsReverse {
+			name := "dc-ack-redial/" + w.name
+			p.Kernel().Go(name, w.ackReaderLoop(t))
+		}
+		return true
+	}
+	w.redialDisarmed = true
+	return false
+}
+
+// shedAtSend applies the producer-side deadline check: an expired
+// buffer is shed (Drop policies) or degraded to a partial update
+// (DegradeQuality). It reports whether the buffer was shed and must
+// not be sent.
+func (w *StreamWriter) shedAtSend(p *sim.Proc, buf *Buffer) bool {
+	if !w.deadlines || w.shed == Block || buf.Deadline == 0 || p.Now() < buf.Deadline {
+		return false
+	}
+	if w.shed == DegradeQuality {
+		if !buf.Degraded {
+			buf.Degraded = true
+			if buf.Size > 1 {
+				buf.Size >>= degradeShift
+				if buf.Size == 0 {
+					buf.Size = 1
+				}
+				if buf.Data != nil {
+					buf.Data = buf.Data[:buf.Size]
+				}
+			}
+			w.degraded++
+			p.Kernel().Trace("datacutter", "degrade", int64(buf.Size), w.name)
+			hpsmon.Count(p.Kernel(), "datacutter", "shed.degraded", 1)
+			hpsmon.Instant(p, "datacutter", "degrade", w.name)
+		}
+		return false
+	}
+	w.shedSend++
+	p.Kernel().Trace("datacutter", "shed-expired", int64(buf.Size), w.name)
+	hpsmon.Count(p.Kernel(), "datacutter", "shed.expired", 1)
+	hpsmon.Instant(p, "datacutter", "shed-expired", w.name)
+	if w.onShed != nil {
+		w.onShed(buf, ShedExpired)
+	}
+	return true
+}
+
+// failStalled fails the first live target over after a credit-stall
+// timeout (deterministic victim: lowest index).
+func (w *StreamWriter) failStalled(p *sim.Proc) {
+	for _, t := range w.targets {
+		if !t.dead {
+			w.failTarget(p, t, errors.New("datacutter: credit stall timeout"))
+			return
+		}
+	}
+}
+
+// awaitCredit blocks until the target has send credit or dies. It
+// reports whether the target is still live. With an op timeout armed,
+// a copy that returns no credit within the bound is failed over
+// instead of stalling the producer forever.
+func (w *StreamWriter) awaitCredit(p *sim.Proc, t *streamConn) bool {
+	if w.creditWindow <= 0 || t.credits > 0 {
+		return !t.dead
+	}
+	sc := hpsmon.Begin(p, "datacutter", "credit-stall", w.name)
+	hpsmon.Count(p.Kernel(), "datacutter", "credit.stalls", 1)
+	for t.credits == 0 && !t.dead {
+		if w.opTimeout > 0 {
+			if !w.ackCond.WaitTimeout(p, w.opTimeout) {
+				w.failTarget(p, t, errors.New("datacutter: credit stall timeout"))
+				break
+			}
+		} else {
+			w.ackCond.Wait(p)
+		}
+	}
+	sc.End()
+	return !t.dead
+}
+
 // Write sends a buffer to one consumer copy chosen by the stream's
-// policy. It blocks until the transport has buffered the bytes. When a
+// policy. It blocks until the transport has buffered the bytes (and,
+// with credits armed, until the chosen copy grants a credit). When a
 // copy's connection fails mid-send, the copy is marked dead and the
 // buffer (plus, on acknowledged streams, the copy's unacknowledged
 // backlog) is re-dispatched to a survivor; Write fails with
-// ErrNoLiveCopies only once every copy is gone.
+// ErrNoLiveCopies only once every copy is gone and redial (if armed)
+// exhausted. Deadline-expired buffers are shed or degraded per the
+// stream's ShedPolicy instead of being sent.
 func (w *StreamWriter) Write(p *sim.Proc, buf *Buffer) error {
 	if w.closed {
 		panic("datacutter: write on closed stream " + w.name)
 	}
+	w.checkDeadline(buf)
 	if err := w.flushBacklog(p); err != nil {
 		return err
 	}
+	err := w.dispatch(p, buf)
+	if err == errRedispatched {
+		// The buffer joined the backlog via the failed copy's pending
+		// list; flush re-dispatches it with the rest.
+		return w.flushBacklog(p)
+	}
+	return err
+}
+
+// dispatch routes one buffer: shed check, copy choice, credit wait,
+// transport send, failover on error.
+func (w *StreamWriter) dispatch(p *sim.Proc, buf *Buffer) error {
 	for {
+		if w.shedAtSend(p, buf) {
+			return nil
+		}
 		t := w.pick(p)
 		if t == nil {
 			return ErrNoLiveCopies
+		}
+		if !w.awaitCredit(p, t) {
+			continue // the copy died while we stalled; re-pick
+		}
+		if w.shedAtSend(p, buf) {
+			return nil // the deadline expired during the credit stall
 		}
 		err := w.writeTo(p, t, buf)
 		if err == nil {
@@ -171,17 +472,33 @@ func (w *StreamWriter) Write(p *sim.Proc, buf *Buffer) error {
 		}
 		w.failTarget(p, t, err)
 		if w.redispatch {
-			// The buffer joined the backlog via the failed copy's
-			// pending list; flush re-dispatches it with the rest.
-			return w.flushBacklog(p)
+			return errRedispatched
 		}
 	}
 }
 
+// checkDeadline rejects deadline-carrying buffers on streams that were
+// not armed for them: the wire framing would silently drop the field.
+func (w *StreamWriter) checkDeadline(buf *Buffer) {
+	if buf.Deadline != 0 && !w.deadlines {
+		panic("datacutter: buffer with deadline on stream " + w.name +
+			" without StreamSpec.Deadlines")
+	}
+}
+
 // WriteTo sends a buffer to an explicit consumer copy, for application
-// level schedulers that bypass the built-in policies.
+// level schedulers that bypass the built-in policies. Shed policies
+// and credits apply exactly as in Write.
 func (w *StreamWriter) WriteTo(p *sim.Proc, target int, buf *Buffer) error {
-	return w.writeTo(p, w.targets[target], buf)
+	w.checkDeadline(buf)
+	if w.shedAtSend(p, buf) {
+		return nil
+	}
+	t := w.targets[target]
+	if w.awaitCredit(p, t) && w.shedAtSend(p, buf) {
+		return nil
+	}
+	return w.writeTo(p, t, buf)
 }
 
 func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
@@ -192,8 +509,18 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 			panic("datacutter: buffer data/size mismatch")
 		}
 	}
-	hdr := make([]byte, headerSize)
+	if buf.Degraded {
+		flags |= flagDegraded
+	}
+	hdrSize := headerSize
+	if w.deadlines {
+		hdrSize = extHeaderSize
+	}
+	hdr := make([]byte, hdrSize)
 	putHeader(hdr, wireData, flags, w.uow, buf.Size, buf.Tag)
+	if w.deadlines {
+		putDeadline(hdr, buf.Deadline)
+	}
 	p.Kernel().Trace("datacutter", "buffer-out", int64(buf.Size), w.name)
 	hpsmon.Count(p.Kernel(), "datacutter", "buffers.out", 1)
 	hpsmon.Count(p.Kernel(), "datacutter", "bytes.out", int64(buf.Size))
@@ -201,6 +528,9 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 	hpsmon.FlowSend(p, w.name, w.uow, buf.Tag)
 	t.unacked++
 	t.sent++
+	if w.creditWindow > 0 {
+		t.credits--
+	}
 	if w.redispatch {
 		t.pending = append(t.pending, pendingBuf{buf: buf, uow: w.uow})
 	}
@@ -216,6 +546,9 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 		}
 	}
 	sc.End()
+	if err == nil {
+		w.written++
+	}
 	return err
 }
 
@@ -250,21 +583,26 @@ func (w *StreamWriter) flushBacklog(p *sim.Proc) error {
 		e := w.backlog[0]
 		w.backlog = w.backlog[1:]
 		if e.uow != w.uow {
+			w.lost++
 			p.Kernel().Trace("datacutter", "uow-lost", int64(e.buf.Size), w.name)
 			hpsmon.Instant(p, "datacutter", "uow-lost", w.name)
+			if w.onShed != nil {
+				w.onShed(e.buf, ShedLost)
+			}
 			continue
 		}
-		t := w.pick(p)
-		if t == nil {
-			return ErrNoLiveCopies
-		}
-		if err := w.writeTo(p, t, e.buf); err != nil {
-			// The entry returns to the backlog through t.pending.
-			w.failTarget(p, t, err)
+		err := w.dispatch(p, e.buf)
+		switch err {
+		case nil:
+			w.redispatched++
+			hpsmon.Count(p.Kernel(), "datacutter", "redispatched", 1)
+		case errRedispatched:
+			// The entry returned to the backlog through the failed
+			// copy's pending list; keep draining.
 			continue
+		default:
+			return err
 		}
-		w.redispatched++
-		hpsmon.Count(p.Kernel(), "datacutter", "redispatched", 1)
 	}
 	return nil
 }
@@ -272,12 +610,18 @@ func (w *StreamWriter) flushBacklog(p *sim.Proc) error {
 // EndOfWork broadcasts the end-of-work marker for the current unit of
 // work to every surviving consumer copy and advances the writer to the
 // next one. Outstanding re-dispatch backlog flushes first so reclaimed
-// buffers stay inside their unit of work.
+// buffers stay inside their unit of work. Markers are control traffic:
+// they consume no credit, so a credit-starved stream still makes
+// progress through its unit-of-work boundaries.
 func (w *StreamWriter) EndOfWork(p *sim.Proc) error {
 	if err := w.flushBacklog(p); err != nil {
 		return err
 	}
-	hdr := make([]byte, headerSize)
+	hdrSize := headerSize
+	if w.deadlines {
+		hdrSize = extHeaderSize
+	}
+	hdr := make([]byte, hdrSize)
 	putHeader(hdr, wireEOW, 0, w.uow, 0, 0)
 	live := 0
 	for _, t := range w.targets {
@@ -309,39 +653,63 @@ func (w *StreamWriter) Close(p *sim.Proc) {
 	}
 }
 
-// ackReaderLoop runs on the producer side of each connection of a
-// demand-driven stream, absorbing acknowledgments. A failed or
-// garbled reverse stream fails the copy over instead of panicking:
-// under fault injection a broken or corrupted connection is an
-// operating condition, not a protocol bug.
+// ackReaderLoop runs on the producer side of each connection of an
+// acknowledged or credit-armed stream, absorbing acks and returned
+// credits. A failed or garbled reverse stream fails the copy over
+// instead of panicking: under fault injection a broken or corrupted
+// connection is an operating condition, not a protocol bug.
 func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		hdr := make([]byte, headerSize)
 		for {
 			if _, err := t.conn.RecvFull(p, hdr); err != nil {
-				// Clean EOF and the writer's own shutdown retire the
-				// loop quietly; anything else is a consumer failure.
-				if !errors.Is(err, io.EOF) && !errors.Is(err, core.ErrConnClosed) &&
-					!w.closed && !t.dead {
-					w.failTarget(p, t, err)
+				// The writer's own shutdown (or a target already failed
+				// over) retires the loop quietly — checked first, or the
+				// idle-timeout re-arm below would tick forever on a
+				// closed stream.
+				if w.closed || t.dead {
+					return
 				}
+				if errors.Is(err, core.ErrTimeout) && t.unacked == 0 &&
+					(w.creditWindow <= 0 || t.credits >= w.creditWindow) {
+					// An armed op timeout on a connection that owes us
+					// nothing: the reverse path is idle, not stalled
+					// (demand-driven routing can starve a copy of sends
+					// for longer than the timeout). Keep listening.
+					continue
+				}
+				// Any other error — including a peer-side close, the
+				// consumer tearing down a connection it declared lost —
+				// must fail the copy over here, or its unacknowledged
+				// buffers are never reclaimed: the demand-driven picker
+				// would avoid the high-unacked connection forever and
+				// never discover the breakage.
+				w.failTarget(p, t, err)
 				return
 			}
 			kind, _, _, _, _ := parseHeader(hdr)
-			if kind != wireAck {
+			switch kind {
+			case wireAck:
+				if t.unacked > 0 {
+					t.unacked--
+				}
+				if len(t.pending) > 0 {
+					// Acks arrive in send order, so the head is acked.
+					t.pending = t.pending[1:]
+				}
+				if t.record && len(t.pendingSends) > 0 {
+					t.ackLatencies = append(t.ackLatencies, p.Now()-t.pendingSends[0])
+					t.pendingSends = t.pendingSends[1:]
+				}
+			case wireCredit:
+				if w.creditWindow <= 0 || t.credits >= w.creditWindow {
+					w.failTarget(p, t, errors.New("datacutter: credit overflow on reverse stream"))
+					return
+				}
+				t.credits++
+			default:
 				w.failTarget(p, t, errors.New("datacutter: garbled reverse-stream message"))
 				return
-			}
-			if t.unacked > 0 {
-				t.unacked--
-			}
-			if len(t.pending) > 0 {
-				// Acks arrive in send order, so the head is acked.
-				t.pending = t.pending[1:]
-			}
-			if t.record && len(t.pendingSends) > 0 {
-				t.ackLatencies = append(t.ackLatencies, p.Now()-t.pendingSends[0])
-				t.pendingSends = t.pendingSends[1:]
 			}
 			if w.ackCond != nil {
 				w.ackCond.Broadcast()
@@ -352,10 +720,11 @@ func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
 
 // inboxItem is one delivered stream element on the consumer side.
 type inboxItem struct {
-	buf  *Buffer
-	eow  bool
-	uow  int  // for eow markers: the unit of work they terminate
-	lost bool // the producer connection behind this slot ended
+	buf    *Buffer
+	eow    bool
+	uow    int  // for eow markers: the unit of work they terminate
+	lost   bool // the producer connection behind this slot ended
+	rejoin bool // a redialed producer connection came back
 }
 
 // StreamReader is a consumer copy's handle on a logical stream,
@@ -373,11 +742,32 @@ type StreamReader struct {
 	uow     int
 	stash   []*Buffer // buffers that arrived for a future unit of work
 
+	creditWindow int
+	deadlines    bool
+	shedPolicy   ShedPolicy
+	onShed       func(*Buffer, ShedCause)
+	onDeliver    func(*Buffer)
+	redial       bool
+
 	received uint64
+	shed     [numShedCauses]uint64
 }
 
 // Received reports the number of data buffers delivered to the filter.
 func (r *StreamReader) Received() uint64 { return r.received }
+
+// ShedCount reports how many buffers the consumer side shed for one
+// cause (ShedOldest, ShedNewest, ShedStale).
+func (r *StreamReader) ShedCount(cause ShedCause) uint64 { return r.shed[cause] }
+
+// ShedTotal reports the total consumer-side shed count.
+func (r *StreamReader) ShedTotal() uint64 {
+	var n uint64
+	for _, c := range r.shed {
+		n += c
+	}
+	return n
+}
 
 // Read returns the next buffer of the current unit of work. ok is
 // false when the unit of work is complete (all producer copies sent
@@ -393,18 +783,67 @@ func (r *StreamReader) Read(p *sim.Proc) (*Buffer, bool) {
 }
 
 func (r *StreamReader) read(p *sim.Proc) (*Buffer, bool) {
+	for {
+		b, ok := r.next(p)
+		if !ok {
+			return nil, false
+		}
+		if r.staleDrop(b, p.Now()) {
+			r.shedBuf(p, b, ShedStale)
+			continue
+		}
+		r.deliver(p, b)
+		return b, true
+	}
+}
+
+// staleDrop reports whether a buffer should be shed because it reached
+// the consumer after its deadline (Drop policies only: DegradeQuality
+// still delivers — a late partial update beats nothing, and the
+// producer already reduced it).
+func (r *StreamReader) staleDrop(b *Buffer, now sim.Time) bool {
+	if r.shedPolicy != DropOldest && r.shedPolicy != DropNewest {
+		return false
+	}
+	return b.Deadline > 0 && now > b.Deadline
+}
+
+// next produces the next data buffer of the current unit of work,
+// without delivering it.
+func (r *StreamReader) next(p *sim.Proc) (*Buffer, bool) {
 	// Serve buffers that arrived early for what is now the current UOW.
 	for i, b := range r.stash {
 		if b.UOW == r.uow {
 			r.stash = append(r.stash[:i], r.stash[i+1:]...)
-			r.deliver(p, b)
 			return b, true
 		}
 	}
 	for {
+		if r.nconns <= 0 {
+			// Every producer connection is gone: data for this unit of
+			// work cannot arrive, so don't park on an inbox nobody
+			// feeds. Only a redial rejoin (already queued) revives the
+			// stream.
+			item, ok := r.inbox.TryGet()
+			if !ok {
+				return nil, false
+			}
+			if item.rejoin {
+				r.nconns++
+				p.Kernel().Trace("datacutter", "producer-rejoin", int64(r.nconns), r.name)
+			}
+			continue
+		}
 		item, ok := r.inbox.Get(p)
 		if !ok {
 			return nil, false // stream closed
+		}
+		if item.rejoin {
+			// A redialed producer connection is back: expect its
+			// end-of-work markers again.
+			r.nconns++
+			p.Kernel().Trace("datacutter", "producer-rejoin", int64(r.nconns), r.name)
+			continue
 		}
 		if item.lost {
 			// A producer connection ended; stop waiting for its
@@ -431,23 +870,33 @@ func (r *StreamReader) read(p *sim.Proc) (*Buffer, bool) {
 			}
 			continue
 		}
+		if item.buf.UOW < r.uow {
+			// Late redelivery for a unit of work this reader already
+			// declared complete (its connections were lost at the
+			// time): the work is gone; account it and move on.
+			r.shedBuf(p, item.buf, ShedLost)
+			continue
+		}
 		if item.buf.UOW != r.uow {
 			r.stash = append(r.stash, item.buf)
 			continue
 		}
-		r.deliver(p, item.buf)
 		return item.buf, true
 	}
 }
 
-// deliver counts the buffer and acknowledges it when the stream's
-// policy calls for acks.
+// deliver counts the buffer, returns its flow-control credit and
+// acknowledges it when the stream's policy calls for acks.
 func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
+	if r.onDeliver != nil {
+		r.onDeliver(b)
+	}
 	r.received++
 	p.Kernel().Trace("datacutter", "buffer-in", int64(b.Size), r.name)
 	hpsmon.Count(p.Kernel(), "datacutter", "buffers.in", 1)
 	hpsmon.Count(p.Kernel(), "datacutter", "bytes.in", int64(b.Size))
 	hpsmon.FlowRecv(p, r.name, b.UOW, b.Tag)
+	r.returnCredit(p, b)
 	if (r.policy == DemandDriven || r.acks) && b.src != nil && !b.src.dead {
 		hdr := make([]byte, headerSize)
 		putHeader(hdr, wireAck, 0, b.UOW, 0, 0)
@@ -456,6 +905,75 @@ func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
 			// on its own side. Mark the conn so later acks are skipped.
 			b.src.dead = true
 		}
+	}
+}
+
+// returnCredit hands the buffer's flow-control credit back to its
+// producer. Credits return when the buffer leaves the inbox — whether
+// into the filter or shed — so the window never leaks.
+func (r *StreamReader) returnCredit(p *sim.Proc, b *Buffer) {
+	if r.creditWindow <= 0 || b.src == nil || b.src.dead {
+		return
+	}
+	hdr := make([]byte, headerSize)
+	putHeader(hdr, wireCredit, 0, b.UOW, 0, 0)
+	if err := b.src.conn.Send(p, hdr); err != nil {
+		b.src.dead = true
+	}
+}
+
+// shedBuf accounts one consumer-side shed buffer and returns its
+// credit.
+func (r *StreamReader) shedBuf(p *sim.Proc, b *Buffer, cause ShedCause) {
+	r.shed[cause]++
+	p.Kernel().Trace("datacutter", "shed", int64(b.Size), r.name)
+	switch cause {
+	case ShedOldest:
+		hpsmon.Count(p.Kernel(), "datacutter", "shed.oldest", 1)
+		hpsmon.Instant(p, "datacutter", "shed-oldest", r.name)
+	case ShedNewest:
+		hpsmon.Count(p.Kernel(), "datacutter", "shed.newest", 1)
+		hpsmon.Instant(p, "datacutter", "shed-newest", r.name)
+	case ShedLost:
+		hpsmon.Count(p.Kernel(), "datacutter", "shed.lost", 1)
+		hpsmon.Instant(p, "datacutter", "shed-lost", r.name)
+	default:
+		hpsmon.Count(p.Kernel(), "datacutter", "shed.stale", 1)
+		hpsmon.Instant(p, "datacutter", "shed-stale", r.name)
+	}
+	if r.onShed != nil {
+		r.onShed(b, cause)
+	}
+	r.returnCredit(p, b)
+}
+
+// admit places an arriving data buffer into the inbox under the
+// stream's shed policy. Control markers always use a blocking put:
+// they are never shed.
+func (r *StreamReader) admit(p *sim.Proc, item inboxItem) {
+	switch r.shedPolicy {
+	case DropOldest:
+		for !r.inbox.TryPut(item) {
+			old, ok := r.inbox.Evict(func(it inboxItem) bool { return it.buf != nil })
+			if !ok {
+				// Only control markers are buffered; wait for space.
+				r.inbox.Put(p, item)
+				return
+			}
+			r.shedBuf(p, old.buf, ShedOldest)
+		}
+	case DropNewest, DegradeQuality:
+		// Wait at most the buffer's remaining deadline budget for a
+		// slot; without a deadline the put is non-blocking.
+		var wait sim.Time
+		if item.buf.Deadline > 0 {
+			wait = item.buf.Deadline - p.Now()
+		}
+		if !r.inbox.PutTimeout(p, item, wait) {
+			r.shedBuf(p, item.buf, ShedNewest)
+		}
+	default:
+		r.inbox.Put(p, item)
 	}
 }
 
@@ -470,20 +988,49 @@ func (w *StreamWriter) AckLatencies(target int) []sim.Time {
 // just retires the connection; a broken transport or a garbled header
 // (possible under injected corruption) additionally enqueues a lost
 // marker so the reader stops expecting end-of-work markers from this
-// producer.
-func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim.Proc) {
+// producer. On redial-armed streams a replacement connection announces
+// itself with a rejoin marker first, and conn termination never closes
+// the shared inbox (lost markers carry the accounting instead).
+func (r *StreamReader) connReaderLoop(sc *streamConn, closed func(), rejoin bool) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
+		if rejoin {
+			r.inbox.Put(p, inboxItem{rejoin: true})
+		}
 		lost := func(p *sim.Proc) {
 			sc.dead = true
+			// Tear the connection down fully: a half-open connection
+			// (consumer timed out, producer side still healthy) would
+			// let the producer keep sending into a void — the close
+			// surfaces as a send/ack error over there and triggers
+			// failover, so the in-flight buffers are re-dispatched
+			// instead of silently vanishing.
+			sc.conn.Close(p)
 			r.inbox.Put(p, inboxItem{lost: true})
-			closed()
+			if !r.redial {
+				closed()
+			}
 		}
-		hdr := make([]byte, headerSize)
+		hdrSize := headerSize
+		if r.deadlines {
+			hdrSize = extHeaderSize
+		}
+		hdr := make([]byte, hdrSize)
 		var scratch [32 * 1024]byte
 		for {
 			if _, err := sc.conn.RecvFull(p, hdr); err != nil {
 				if errors.Is(err, io.EOF) {
-					closed()
+					if r.redial {
+						// The producer closed this connection — orderly
+						// shutdown or failover teardown. Either way it is
+						// gone: post the lost marker so the reader stops
+						// expecting its end-of-work markers (a rejoin
+						// restores the count), or a sink waiting on a
+						// failed-over connection would park forever.
+						sc.dead = true
+						r.inbox.Put(p, inboxItem{lost: true})
+					} else {
+						closed()
+					}
 				} else {
 					lost(p)
 				}
@@ -495,6 +1042,10 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim
 				r.inbox.Put(p, inboxItem{eow: true, uow: uow})
 			case wireData:
 				buf := &Buffer{UOW: uow, Size: size, Tag: tag, src: sc}
+				if r.deadlines {
+					buf.Deadline = parseDeadline(hdr)
+					buf.Degraded = flags&flagDegraded != 0
+				}
 				if flags&flagReal != 0 {
 					buf.Data = make([]byte, size)
 					if _, err := sc.conn.RecvFull(p, buf.Data); err != nil {
@@ -516,7 +1067,7 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func()) func(p *sim
 						}
 					}
 				}
-				r.inbox.Put(p, inboxItem{buf: buf})
+				r.admit(p, inboxItem{buf: buf})
 			default:
 				p.Kernel().Trace("datacutter", "garbled-header", 0, r.name)
 				lost(p)

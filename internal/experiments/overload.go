@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/stats"
+	"hpsockets/internal/vizapp"
+)
+
+// E16 drives the visualization pipeline past its capacity and measures
+// what happens to the application's update-rate guarantee under each
+// transport. Offered load is expressed relative to the *kernel TCP*
+// pipeline's measured capacity, and the per-update deadline is derived
+// from TCP's unloaded response time — so both transports chase the
+// same absolute guarantee, and the headroom SocketVIA's lower overhead
+// buys shows up directly: at offered rates just past TCP's capacity,
+// TCP degrades or misses updates while SocketVIA still holds.
+//
+// The pipeline runs with bounded inboxes, credit-based backpressure
+// and the DegradeQuality shed policy: an update that cannot make its
+// deadline at full resolution is sent at quarter volume instead of
+// being dropped — the paper's interactive-visualization bargain of a
+// coarse image over a stale one.
+
+// e16Mults is the offered-load sweep, as multiples of TCP capacity.
+var e16Mults = []float64{0.6, 0.9, 1.2, 1.5}
+
+// e16Block is the distribution block size of the overload runs: the
+// repartitioning sweet spot region of the Figure 7 family.
+const e16Block = 64 << 10
+
+// e16Slack scales TCP's unloaded response time into the update-rate
+// guarantee, covering pipeline fill and arrival jitter at sub-capacity
+// load.
+const e16Slack = 2.0
+
+// e16CreditWindow bounds each stream's in-flight buffers per consumer.
+const e16CreditWindow = 4
+
+// e16Queries is the update count per cell: long enough for a
+// past-capacity backlog to grow through the guarantee's slack, which
+// a handful of updates cannot (the backlog grows by the capacity
+// shortfall per update).
+const e16Queries = 12
+
+// e16Latency measures the unloaded end-to-end response time of one
+// complete update: a short sequential probe, no deadlines armed.
+func e16Latency(o Options, kind core.Kind) sim.Time {
+	cfg := o.pipeConfig(kind, e16Block, true, true)
+	queries := make([]vizapp.Query, 3)
+	for i := range queries {
+		queries[i] = cfg.CompleteQuery()
+	}
+	res := vizapp.RunPipeline(cfg, queries)
+	if res.Err != nil {
+		panic("experiments: e16 latency probe failed: " + res.Err.Error())
+	}
+	return res.MeanResponse()
+}
+
+// e16Cell is the outcome of one transport × offered-rate run.
+type e16Cell struct {
+	held, partial, missed int
+	degraded              uint64
+	shed                  uint64
+}
+
+func runOverload(o Options, kind core.Kind, arrival, update sim.Time) e16Cell {
+	cfg := o.pipeConfig(kind, e16Block, true, false)
+	cfg.ArrivalPeriod = arrival
+	cfg.UpdatePeriod = update
+	cfg.Shed = datacutter.DegradeQuality
+	cfg.CreditWindow = e16CreditWindow
+	queries := make([]vizapp.Query, e16Queries)
+	for i := range queries {
+		queries[i] = cfg.CompleteQuery()
+	}
+	res := vizapp.RunPipeline(cfg, queries)
+	if res.Err != nil {
+		panic("experiments: e16 overload run failed: " + res.Err.Error())
+	}
+	var c e16Cell
+	c.held, c.partial, c.missed = res.HoldMissCounts()
+	c.degraded = res.DegradedSent
+	c.shed = res.ShedSend + res.ShedInbox
+	return c
+}
+
+// FigOverload reproduces E16: update-rate guarantee outcomes versus
+// offered load. X is offered load relative to the TCP pipeline's
+// measured capacity; per transport the table reports how many updates
+// held the guarantee at full resolution, arrived degraded or late
+// (partial), or missed entirely, plus producer+inbox shed counts.
+func FigOverload(o Options) *stats.Table {
+	capTCP := UpdateRate(o, core.KindTCP, true, e16Block)
+	latTCP := e16Latency(o, core.KindTCP)
+	update := sim.Time(float64(latTCP) * e16Slack)
+
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	cells := make([]e16Cell, len(kinds)*len(e16Mults))
+	o.parMap(len(cells), func(i int) {
+		kind := kinds[i/len(e16Mults)]
+		m := e16Mults[i%len(e16Mults)]
+		arrival := sim.Time(float64(sim.Second) / (m * capTCP))
+		cells[i] = runOverload(o, kind, arrival, update)
+	})
+
+	t := &stats.Table{
+		Title: fmt.Sprintf(
+			"E16: Update guarantee under overload (guarantee %.2f ms, TCP capacity %.1f upd/s)",
+			update.Millis(), capTCP),
+		XLabel: "offered/cap_tcp",
+		YLabel: "updates",
+		X:      e16Mults,
+	}
+	for ki, kind := range kinds {
+		held := make([]float64, len(e16Mults))
+		partial := make([]float64, len(e16Mults))
+		missed := make([]float64, len(e16Mults))
+		shed := make([]float64, len(e16Mults))
+		for mi := range e16Mults {
+			c := cells[ki*len(e16Mults)+mi]
+			held[mi] = float64(c.held)
+			partial[mi] = float64(c.partial)
+			missed[mi] = float64(c.missed)
+			shed[mi] = float64(c.shed)
+		}
+		t.AddSeries(fmt.Sprintf("%s_held", kind), held)
+		t.AddSeries(fmt.Sprintf("%s_partial", kind), partial)
+		t.AddSeries(fmt.Sprintf("%s_missed", kind), missed)
+		t.AddSeries(fmt.Sprintf("%s_shed", kind), shed)
+	}
+	return t
+}

@@ -174,13 +174,16 @@ func (in *Injector) Corrupts() uint64 { return in.corrupts }
 // silence the frame, then partition windows, then per-link
 // probabilistic loss and corruption.
 func (in *Injector) Judge(now sim.Time, f *netsim.Frame) netsim.Disposition {
+	k := in.cl.Kernel()
 	if in.nodeFailed(f.Src) || in.nodeFailed(f.Dst) {
 		in.drops++
+		hpsmon.Count(k, "fault", "drop.crash", 1)
 		return netsim.Drop
 	}
 	for _, pt := range in.plan.Partitions {
 		if now >= pt.From && now < pt.To && betweenPair(f, pt.A, pt.B) {
 			in.drops++
+			hpsmon.Count(k, "fault", "drop.partition", 1)
 			return netsim.Drop
 		}
 	}
@@ -190,10 +193,12 @@ func (in *Injector) Judge(now sim.Time, f *netsim.Frame) netsim.Disposition {
 		}
 		if lf.DropProb > 0 && in.rng.Float64() < lf.DropProb {
 			in.drops++
+			hpsmon.Count(k, "fault", "drop.link", 1)
 			return netsim.Drop
 		}
 		if lf.CorruptProb > 0 && in.rng.Float64() < lf.CorruptProb {
 			in.corrupts++
+			hpsmon.Count(k, "fault", "corrupt.link", 1)
 			return netsim.Corrupt
 		}
 	}

@@ -326,7 +326,7 @@ func (c *Conn) Recv(p *sim.Proc, buf []byte) (int, error) {
 	// buffer behind what we could now advertise, push a fresh ack so a
 	// window-blocked sender resumes.
 	if c.read+int64(cfg.RcvBuf)-c.lastAdvLimit >= int64(cfg.RcvBuf)/2 {
-		c.st.softQ.TryPut(softItem{flushConn: c, flushForce: true})
+		_ = c.st.softQ.TryPut(softItem{flushConn: c, flushForce: true})
 	}
 	return n, nil
 }

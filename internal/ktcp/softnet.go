@@ -60,7 +60,7 @@ func (st *Stack) handleSeg(p *sim.Proc, seg *segment) {
 			panic(fmt.Sprintf("ktcp: connect to unbound service %d on %s", seg.svc, st.node.Name()))
 		}
 		st.synSeen[key] = true
-		l.q.TryPut(seg)
+		_ = l.q.TryPut(seg)
 	case segSYNACK:
 		c := st.conns[seg.dstConn]
 		if c == nil || c.established {
@@ -136,7 +136,7 @@ func (st *Stack) armAckTimer(c *Conn) {
 }
 
 func (c *Conn) onAckTimer() {
-	c.st.softQ.TryPut(softItem{flushConn: c})
+	_ = c.st.softQ.TryPut(softItem{flushConn: c})
 }
 
 // emitAck generates a cumulative ack for the connection and queues it
@@ -151,7 +151,7 @@ func (st *Stack) emitAck(p *sim.Proc, c *Conn) {
 	ack := st.allocSeg(true)
 	ack.kind, ack.srcPort, ack.srcConn, ack.dstConn = segAck, st.node.Name(), c.id, c.peerConn
 	ack.cumAck, ack.rwnd = c.rcvd, rwnd
-	st.ackQ.TryPut(ack)
+	_ = st.ackQ.TryPut(ack)
 	st.acksOut++
 }
 

@@ -172,7 +172,7 @@ func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
 			st.freeSeg(f.Payload.(*segment))
 			return
 		}
-		st.softQ.TryPut(softItem{seg: f.Payload.(*segment)})
+		_ = st.softQ.TryPut(softItem{seg: f.Payload.(*segment)})
 	})
 	k.Go("ktcp-softnet/"+node.Name(), st.softnetLoop)
 	k.Go("ktcp-acktx/"+node.Name(), st.ackTxLoop)

@@ -292,8 +292,11 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 func (p *Port) deliverFrame(f *Frame) {
 	p.received++
 	p.rxBytes += int64(f.Size)
+	hpsmon.Count(p.net.k, "netsim", "frames.in", 1)
+	hpsmon.Count(p.net.k, "netsim", "bytes.in", int64(f.Size))
 	if f.Corrupt {
 		p.corrupted++
+		hpsmon.Count(p.net.k, "netsim", "frames.corrupt.in", 1)
 	}
 	h := p.handlers[f.Proto]
 	if h == nil {

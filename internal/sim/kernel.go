@@ -224,6 +224,13 @@ func (k *Kernel) RunAll() Time { return k.Run(0) }
 // Pending reports the number of scheduled (possibly canceled) events.
 func (k *Kernel) Pending() int { return len(k.heap) }
 
+// Live reports the number of scheduled events that have not been
+// canceled — the events that would still fire if the kernel kept
+// running. A positive count after Run returned at its horizon means
+// the simulation had not quiesced (watchdogs use this to flag
+// virtual-time livelock).
+func (k *Kernel) Live() int { return len(k.heap) - k.ncanceled }
+
 // maybeCompact removes canceled events from the heap once they
 // outnumber the live ones. Pop order is unaffected: (at, seq) is a
 // total order, so the minimum is the minimum whatever the heap's

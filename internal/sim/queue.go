@@ -4,9 +4,15 @@ package sim
 type closeSentinel struct{}
 
 // queuePutter is a parked producer holding the item it wants to add.
+// Timed putters carry their wait generation and the timer of their
+// expiry so admission can atomically decide between hand-off and
+// timeout (whichever cancels the other first wins).
 type queuePutter[T any] struct {
-	p    *Proc
-	item T
+	p     *Proc
+	item  T
+	timed bool
+	gen   uint64
+	timer Timer
 }
 
 // Queue is a FIFO channel between processes. A capacity of 0 means
@@ -73,6 +79,54 @@ func (q *Queue[T]) Put(p *Proc, item T) bool {
 	return true
 }
 
+// PutTimeout adds an item, blocking at most d while a bounded queue is
+// full. It reports whether the item was accepted; false means the
+// queue was closed or the timeout expired with the queue still full.
+// A non-positive d degenerates to TryPut.
+func (q *Queue[T]) PutTimeout(p *Proc, item T, d Time) bool {
+	if q.TryPut(item) {
+		return true
+	}
+	if d <= 0 || q.closed {
+		return false
+	}
+	w := &queuePutter[T]{p: p, item: item, timed: true}
+	w.gen = p.beginWait()
+	w.timer = q.k.atWake(q.k.now+d, p, w.gen, timeoutSentinel{})
+	q.putters = append(q.putters, w)
+	v := p.park()
+	switch v.(type) {
+	case closeSentinel:
+		return false
+	case timeoutSentinel:
+		// The entry is skipped (and dropped) by admitPutter/Close when
+		// its turn comes: Stop on its expired timer reports false.
+		return false
+	}
+	return true
+}
+
+// Evict removes and returns the oldest buffered item matching the
+// predicate, without waking or blocking anybody beyond admitting one
+// parked producer into the freed slot. Load-shedding consumers use it
+// to drop stale work in favour of fresh arrivals.
+func (q *Queue[T]) Evict(match func(T) bool) (item T, ok bool) {
+	for i := range q.items {
+		if !match(q.items[i]) {
+			continue
+		}
+		item = q.items[i]
+		copy(q.items[i:], q.items[i+1:])
+		var zero T
+		q.items[len(q.items)-1] = zero
+		q.items = q.items[:len(q.items)-1]
+		q.admitPutter()
+		return item, true
+	}
+	var zero T
+	return zero, false
+}
+
 // TryPut adds an item without blocking; it reports whether the item
 // was accepted.
 func (q *Queue[T]) TryPut(item T) bool {
@@ -137,15 +191,20 @@ func (q *Queue[T]) pop() T {
 }
 
 // admitPutter moves one parked producer's item into freed space.
+// Timed putters whose expiry already fired are dropped: their producer
+// has moved on and the item was reported rejected.
 func (q *Queue[T]) admitPutter() {
-	if len(q.putters) == 0 {
+	for len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		if w.timed && !w.timer.Stop() {
+			continue
+		}
+		q.items = append(q.items, w.item)
+		q.puts++
+		q.k.atDispatch(q.k.now, w.p, nil)
 		return
 	}
-	w := q.putters[0]
-	q.putters = q.putters[1:]
-	q.items = append(q.items, w.item)
-	q.puts++
-	q.k.atDispatch(q.k.now, w.p, nil)
 }
 
 // Close marks the queue closed and wakes every blocked getter and
@@ -162,6 +221,9 @@ func (q *Queue[T]) Close() {
 		q.k.atDispatch(q.k.now, g, closeSentinel{})
 	}
 	for _, w := range ps {
+		if w.timed && !w.timer.Stop() {
+			continue // its timeout fired first; the producer moved on
+		}
 		q.k.atDispatch(q.k.now, w.p, closeSentinel{})
 	}
 }

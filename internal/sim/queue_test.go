@@ -294,3 +294,162 @@ func TestResourceOverReleasePanics(t *testing.T) {
 	}()
 	r.Release(1)
 }
+
+func TestQueuePutTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	var ok bool
+	var at Time
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1) // fills the queue
+		ok = q.PutTimeout(p, 2, 100)
+		at = p.Now()
+	})
+	k.RunAll()
+	if ok {
+		t.Fatal("PutTimeout on a stuck-full queue reported accepted")
+	}
+	if at != 100 {
+		t.Fatalf("PutTimeout returned at %v, want 100", at)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue holds %d items, want 1 (rejected item buffered?)", q.Len())
+	}
+}
+
+func TestQueuePutTimeoutAdmittedBeforeExpiry(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	var ok bool
+	var at Time
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1)
+		ok = q.PutTimeout(p, 2, 100)
+		at = p.Now()
+	})
+	k.GoAfter(40, "cons", func(p *Proc) { q.Get(p) })
+	k.RunAll()
+	if !ok {
+		t.Fatal("PutTimeout rejected although a slot freed before expiry")
+	}
+	if at != 40 {
+		t.Fatalf("PutTimeout admitted at %v, want 40", at)
+	}
+	if v, _ := q.TryGet(); v != 2 {
+		t.Fatalf("buffered item = %d, want 2", v)
+	}
+}
+
+func TestQueuePutTimeoutNonPositiveIsTryPut(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	var first, second bool
+	k.Go("prod", func(p *Proc) {
+		first = q.PutTimeout(p, 1, 0)  // empty queue: accepted immediately
+		second = q.PutTimeout(p, 2, 0) // full queue, zero wait: rejected
+	})
+	end := k.RunAll()
+	if !first || second {
+		t.Fatalf("PutTimeout(d=0) = %v, %v; want true, false", first, second)
+	}
+	if end != 0 {
+		t.Fatalf("zero-wait puts advanced time to %v", end)
+	}
+}
+
+func TestQueuePutTimeoutCloseWakes(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	var ok bool
+	var at Time
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1)
+		ok = q.PutTimeout(p, 2, 1000)
+		at = p.Now()
+	})
+	k.GoAfter(30, "closer", func(p *Proc) { q.Close() })
+	k.RunAll()
+	if ok {
+		t.Fatal("PutTimeout on a closed queue reported accepted")
+	}
+	if at != 30 {
+		t.Fatalf("PutTimeout woke at %v, want 30 (close time)", at)
+	}
+}
+
+func TestQueuePutTimeoutExpiredEntryNotAdmitted(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 1)
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1)
+		q.PutTimeout(p, 2, 100) // expires at 100, long before the Get
+	})
+	var got int
+	var residual bool
+	k.GoAfter(200, "cons", func(p *Proc) {
+		got, _ = q.Get(p)
+		_, residual = q.TryGet()
+	})
+	k.RunAll()
+	if got != 1 {
+		t.Fatalf("Get = %d, want 1", got)
+	}
+	if residual {
+		t.Fatal("expired putter's item was admitted after its timeout")
+	}
+}
+
+func TestQueueEvictRemovesOldestMatch(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	k.Go("prod", func(p *Proc) {
+		for i := 1; i <= 4; i++ {
+			q.Put(p, i)
+		}
+	})
+	k.RunAll()
+	v, ok := q.Evict(func(n int) bool { return n%2 == 0 })
+	if !ok || v != 2 {
+		t.Fatalf("Evict(even) = %d, %v; want 2, true", v, ok)
+	}
+	if _, ok := q.Evict(func(n int) bool { return n > 10 }); ok {
+		t.Fatal("Evict matched a nonexistent item")
+	}
+	var rest []int
+	for {
+		v, ok := q.TryGet()
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	if len(rest) != 3 || rest[0] != 1 || rest[1] != 3 || rest[2] != 4 {
+		t.Fatalf("remaining order = %v, want [1 3 4]", rest)
+	}
+}
+
+func TestQueueEvictAdmitsParkedPutter(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 2)
+	var putDone Time
+	k.Go("prod", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Put(p, 3) // blocks: queue full until the eviction frees a slot
+		putDone = p.Now()
+	})
+	k.GoAfter(60, "shedder", func(p *Proc) {
+		if v, ok := q.Evict(func(int) bool { return true }); !ok || v != 1 {
+			t.Errorf("Evict = %d, %v; want 1, true", v, ok)
+		}
+	})
+	k.RunAll()
+	if putDone != 60 {
+		t.Fatalf("blocked Put admitted at %v, want 60 (eviction time)", putDone)
+	}
+	a, _ := q.TryGet()
+	b, _ := q.TryGet()
+	if a != 2 || b != 3 {
+		t.Fatalf("queue after eviction = [%d %d], want [2 3]", a, b)
+	}
+}

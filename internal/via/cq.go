@@ -45,4 +45,4 @@ func (cq *CQ) Poll() (Completion, bool) { return cq.q.TryGet() }
 func (cq *CQ) Len() int { return cq.q.Len() }
 
 // post delivers a completion to the queue (adapter side).
-func (cq *CQ) post(c Completion) { cq.q.TryPut(c) }
+func (cq *CQ) post(c Completion) { _ = cq.q.TryPut(c) }

@@ -182,7 +182,7 @@ func NewProvider(node *cluster.Node, net *netsim.Network, cfg Config) *Provider 
 		if f.Corrupt {
 			pk.corrupt = true
 		}
-		pr.rxQ.TryPut(pk)
+		_ = pr.rxQ.TryPut(pk)
 	})
 	k.Go("via-txdesc/"+node.Name(), pr.txDescLoop)
 	k.Go("via-txwire/"+node.Name(), pr.txWireLoop)
@@ -355,7 +355,7 @@ func (pr *Provider) handlePacket(p *sim.Proc, pk *packet) {
 		if a == nil {
 			panic(fmt.Sprintf("via: connect to unbound service %d on %s", pk.svc, pr.node.Name()))
 		}
-		a.q.TryPut(&connReq{srcPort: pk.srcPort, srcVI: pk.srcVI})
+		_ = a.q.TryPut(&connReq{srcPort: pk.srcPort, srcVI: pk.srcVI})
 	case pkConnAck:
 		vi := pr.vis[pk.dstVI]
 		if vi == nil {

@@ -65,7 +65,7 @@ func (vi *VI) PostRDMAWrite(p *sim.Proc, desc *Desc, handle uint32, offset int) 
 	w := vi.pr.newSendWork()
 	w.vi, w.desc = vi, desc
 	w.rdma, w.rdmaHandle, w.rdmaOffset = true, handle, offset
-	vi.pr.sendWQ.TryPut(w)
+	_ = vi.pr.sendWQ.TryPut(w)
 	return nil
 }
 

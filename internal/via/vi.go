@@ -166,7 +166,7 @@ func (vi *VI) PostRecv(p *sim.Proc, desc *Desc) error {
 	vi.pr.node.Overhead(p, vi.pr.cfg.PostRecvCPU)
 	vi.pr.node.Kernel().Trace("via", "post-recv", int64(desc.Len), "")
 	hpsmon.Count(vi.pr.node.Kernel(), "via", "descs.posted.recv", 1)
-	vi.recvDescs.TryPut(desc)
+	_ = vi.recvDescs.TryPut(desc)
 	return nil
 }
 
@@ -194,7 +194,7 @@ func (vi *VI) PostSend(p *sim.Proc, desc *Desc) error {
 	hpsmon.Count(vi.pr.node.Kernel(), "via", "descs.posted.send", 1)
 	w := vi.pr.newSendWork()
 	w.vi, w.desc = vi, desc
-	vi.pr.sendWQ.TryPut(w)
+	_ = vi.pr.sendWQ.TryPut(w)
 	return nil
 }
 

@@ -39,6 +39,23 @@ type PipelineConfig struct {
 	Sequential bool
 	// InboxDepth bounds buffered blocks per filter copy (default 2).
 	InboxDepth int
+	// ArrivalPeriod, when non-zero, paces the offered load: query i
+	// becomes available at virtual time i*ArrivalPeriod and the
+	// repositories wait for it (an update-rate client instead of a
+	// closed loop).
+	ArrivalPeriod sim.Time
+	// UpdatePeriod, when non-zero, arms the update-rate guarantee:
+	// every block of query i carries the deadline
+	// i*ArrivalPeriod + UpdatePeriod through all three streams
+	// (requires ArrivalPeriod), and the Shed policy decides what
+	// happens when the pipeline cannot keep it.
+	UpdatePeriod sim.Time
+	// Shed is the overload policy of all three streams (default Block:
+	// pure backpressure).
+	Shed datacutter.ShedPolicy
+	// CreditWindow arms credit-based flow control on all three streams
+	// (0 = transport backpressure only).
+	CreditWindow int
 	// Hook, when set, receives the simulation kernel before the run —
 	// e.g. to attach a trace.Recorder.
 	Hook func(k *sim.Kernel)
@@ -95,6 +112,61 @@ type Result struct {
 	// run — where the bottleneck sits.
 	Utilization map[string]float64
 	Err         error
+
+	// Update-rate accounting, populated when UpdatePeriod is armed.
+	// Deadlines[i] is query i's guarantee; Expected[i] the block count
+	// of a complete update; Blocks[i] and DegradedBlocks[i] what the
+	// visualization filter actually received.
+	Deadlines      []sim.Time
+	Expected       []int
+	Blocks         []int
+	DegradedBlocks []int
+	// Aggregate shed counters over all streams: deadline-expired drops
+	// at producers, inbox-shed (oldest/newest/stale) at consumers, and
+	// blocks sent at reduced resolution.
+	ShedSend     uint64
+	ShedInbox    uint64
+	DegradedSent uint64
+}
+
+// UpdateOutcome classifies one query against its guarantee.
+type UpdateOutcome int
+
+const (
+	// Held: the complete update arrived inside the window.
+	Held UpdateOutcome = iota
+	// Partial: something arrived inside the window, but blocks were
+	// shed or degraded — the paper's partial-update fallback.
+	Partial
+	// Missed: the update finished after its deadline (or delivered
+	// nothing).
+	Missed
+)
+
+// Outcome classifies query i (meaningful only with UpdatePeriod set).
+func (r Result) Outcome(i int) UpdateOutcome {
+	if r.Done[i] > r.Deadlines[i] || r.Blocks[i] == 0 {
+		return Missed
+	}
+	if r.Blocks[i] < r.Expected[i] || r.DegradedBlocks[i] > 0 {
+		return Partial
+	}
+	return Held
+}
+
+// HoldMissCounts tallies the outcomes of all queries.
+func (r Result) HoldMissCounts() (held, partial, missed int) {
+	for i := range r.Done {
+		switch r.Outcome(i) {
+		case Held:
+			held++
+		case Partial:
+			partial++
+		default:
+			missed++
+		}
+	}
+	return held, partial, missed
 }
 
 // ResponseTimes returns per-query response times.
@@ -146,10 +218,23 @@ type pipelineApp struct {
 	start   []sim.Time
 	done    []sim.Time
 
+	// update-rate accounting (UpdatePeriod armed): blocks and degraded
+	// blocks the visualization filter received per query.
+	blocks   []int
+	degraded []int
+
 	// sequential-mode gating: an interactive client submits query i
 	// only after query i-1 completed.
 	completed int
 	gate      *sim.Cond
+}
+
+// deadline returns query uow's guarantee (0 when not armed).
+func (app *pipelineApp) deadline(uow int) sim.Time {
+	if app.cfg.UpdatePeriod == 0 {
+		return 0
+	}
+	return sim.Time(uow)*app.cfg.ArrivalPeriod + app.cfg.UpdatePeriod
 }
 
 // RunPipeline executes the Figure 5 pipeline over the given query
@@ -160,6 +245,9 @@ func RunPipeline(cfg PipelineConfig, queries []Query) Result {
 	}
 	if len(queries) == 0 {
 		panic("vizapp: no queries")
+	}
+	if cfg.UpdatePeriod > 0 && cfg.ArrivalPeriod == 0 {
+		panic("vizapp: UpdatePeriod requires ArrivalPeriod")
 	}
 	k := sim.NewKernel()
 	if cfg.Hook != nil {
@@ -185,13 +273,23 @@ func RunPipeline(cfg PipelineConfig, queries []Query) Result {
 	rt := datacutter.NewRuntime(cl, fab)
 
 	app := &pipelineApp{
-		cfg:     cfg,
-		queries: queries,
-		start:   make([]sim.Time, len(queries)),
-		done:    make([]sim.Time, len(queries)),
-		gate:    sim.NewCond(k),
+		cfg:      cfg,
+		queries:  queries,
+		start:    make([]sim.Time, len(queries)),
+		done:     make([]sim.Time, len(queries)),
+		blocks:   make([]int, len(queries)),
+		degraded: make([]int, len(queries)),
+		gate:     sim.NewCond(k),
 	}
 
+	stream := func(name, from, to string) datacutter.StreamSpec {
+		return datacutter.StreamSpec{
+			Name: name, From: from, To: to,
+			Deadlines:    cfg.UpdatePeriod > 0,
+			Shed:         cfg.Shed,
+			CreditWindow: cfg.CreditWindow,
+		}
+	}
 	spec := datacutter.GroupSpec{
 		Filters: []datacutter.FilterSpec{
 			{Name: "repo", New: app.newRepo, Placement: repoNodes, InboxDepth: cfg.InboxDepth},
@@ -200,9 +298,9 @@ func RunPipeline(cfg PipelineConfig, queries []Query) Result {
 			{Name: "viz", New: app.newViz, Placement: []string{"viz"}, InboxDepth: cfg.InboxDepth},
 		},
 		Streams: []datacutter.StreamSpec{
-			{Name: "s1", From: "repo", To: "clip"},
-			{Name: "s2", From: "clip", To: "subsample"},
-			{Name: "s3", From: "subsample", To: "viz"},
+			stream("s1", "repo", "clip"),
+			stream("s2", "clip", "subsample"),
+			stream("s3", "subsample", "viz"),
 		},
 	}
 	g := rt.Instantiate(spec)
@@ -213,6 +311,48 @@ func RunPipeline(cfg PipelineConfig, queries []Query) Result {
 		util[node.Name()] = node.CPU().Utilization()
 	}
 	res := Result{Start: app.start, Done: app.done, End: end, Utilization: util, Err: g.Err()}
+	if cfg.UpdatePeriod > 0 {
+		res.Deadlines = make([]sim.Time, len(queries))
+		res.Expected = make([]int, len(queries))
+		for i, q := range queries {
+			res.Deadlines[i] = app.deadline(i)
+			for b := 0; b < q.Blocks; b++ {
+				if app.blockBytes(b, q.Blocks) > 0 {
+					res.Expected[i]++
+				}
+			}
+		}
+		res.Blocks = app.blocks
+		res.DegradedBlocks = app.degraded
+		for _, sn := range []string{"s1", "s2", "s3"} {
+			var from string
+			switch sn {
+			case "s1":
+				from = "repo"
+			case "s2":
+				from = "clip"
+			default:
+				from = "subsample"
+			}
+			var to string
+			switch sn {
+			case "s1":
+				to = "clip"
+			case "s2":
+				to = "subsample"
+			default:
+				to = "viz"
+			}
+			for c := 0; c < g.Copies(from); c++ {
+				w := g.WriterOf(from, c, sn)
+				res.ShedSend += w.ShedAtSend()
+				res.DegradedSent += w.DegradedAtSend()
+			}
+			for c := 0; c < g.Copies(to); c++ {
+				res.ShedInbox += g.ReaderOf(to, c, sn).ShedTotal()
+			}
+		}
+	}
 	if !g.Done().Fired() && res.Err == nil {
 		res.Err = fmt.Errorf("vizapp: pipeline deadlocked at %v", end)
 	}
@@ -230,11 +370,21 @@ func (app *pipelineApp) newRepo(copy int) datacutter.Filter {
 	return &repoFilter{app: app, copy: copy}
 }
 
+// holdUntil sleeps to an absolute virtual time. Blocking goes through
+// the explicit proc argument, per the sim discipline.
+func holdUntil(p *sim.Proc, target sim.Time) { p.Sleep(target - p.Now()) }
+
 func (f *repoFilter) Init(ctx *datacutter.Context) error {
 	uow := ctx.UOW()
 	if f.app.cfg.Sequential {
 		for f.app.completed < uow {
 			f.app.gate.Wait(ctx.Proc())
+		}
+	}
+	if ap := f.app.cfg.ArrivalPeriod; ap > 0 {
+		// Paced load: query uow arrives at uow*ap; wait for it.
+		if target := sim.Time(uow) * ap; ctx.Now() < target {
+			holdUntil(ctx.Proc(), target)
 		}
 	}
 	if f.copy == 0 {
@@ -254,7 +404,7 @@ func (f *repoFilter) Process(ctx *datacutter.Context) error {
 		if size == 0 {
 			continue
 		}
-		buf := &datacutter.Buffer{Size: size, Tag: int64(b)}
+		buf := &datacutter.Buffer{Size: size, Tag: int64(b), Deadline: app.deadline(ctx.UOW())}
 		if err := out.WriteTo(ctx.Proc(), f.copy, buf); err != nil {
 			return err
 		}
@@ -303,9 +453,11 @@ func (f *relayFilter) Process(ctx *datacutter.Context) error {
 			ctx.Compute(sim.Time(b.Size) * cpb)
 		}
 		// Stay on this copy's chain; converge when the next stage has
-		// fewer copies (the single visualization filter).
+		// fewer copies (the single visualization filter). The deadline
+		// and degradation travel with the block.
 		target := f.copy % out.Targets()
-		if err := out.WriteTo(ctx.Proc(), target, &datacutter.Buffer{Size: b.Size, Tag: b.Tag}); err != nil {
+		fwd := &datacutter.Buffer{Size: b.Size, Tag: b.Tag, Deadline: b.Deadline, Degraded: b.Degraded}
+		if err := out.WriteTo(ctx.Proc(), target, fwd); err != nil {
 			return err
 		}
 	}
@@ -325,6 +477,7 @@ func (f *vizFilter) Init(ctx *datacutter.Context) error { return nil }
 
 func (f *vizFilter) Process(ctx *datacutter.Context) error {
 	in := ctx.Input("s3")
+	uow := ctx.UOW()
 	for {
 		b, ok := in.Read(ctx.Proc())
 		if !ok {
@@ -333,8 +486,11 @@ func (f *vizFilter) Process(ctx *datacutter.Context) error {
 		if cpb := f.app.cfg.ComputePerByte; cpb > 0 {
 			ctx.Compute(sim.Time(b.Size) * cpb)
 		}
+		f.app.blocks[uow]++
+		if b.Degraded {
+			f.app.degraded[uow]++
+		}
 	}
-	uow := ctx.UOW()
 	f.app.done[uow] = ctx.Now()
 	f.app.completed = uow + 1
 	f.app.gate.Broadcast()
