@@ -2,14 +2,17 @@
 // BENCH_<date>.json file: ns/op, B/op and allocs/op of the figure
 // micro-benchmarks (via testing.Benchmark, in process), plus the
 // wall-clock time of the full quick figure set sequentially and at
-// GOMAXPROCS workers. Each snapshot embeds the pre-optimization
-// baseline so allocation regressions are visible without digging
-// through git history.
+// GOMAXPROCS workers, plus the wall-clock time of a whole-repo
+// hpslint run (build excluded) so the analysis cost stays visible as
+// the interprocedural engine grows. Each snapshot embeds the
+// pre-optimization baseline so allocation regressions are visible
+// without digging through git history.
 //
 // Usage:
 //
 //	bench                    # full snapshot, writes BENCH_<date>.json
 //	bench -skip-figures      # benchmarks only (seconds instead of minutes)
+//	bench -skip-lint         # skip the timed hpslint run
 //	bench -out path.json     # explicit output path
 package main
 
@@ -18,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -39,6 +44,14 @@ type FigureRun struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// LintRun is one timed whole-repo hpslint run (the binary is built
+// first, outside the timer — the number is analysis cost, not
+// compile cost).
+type LintRun struct {
+	Seconds  float64 `json:"seconds"`
+	Findings int     `json:"findings"`
+}
+
 // Snapshot is the whole file.
 type Snapshot struct {
 	Date       string      `json:"date"`
@@ -46,6 +59,7 @@ type Snapshot struct {
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	Benchmarks []Result    `json:"benchmarks"`
 	Figures    []FigureRun `json:"figures_quick,omitempty"`
+	Hpslint    *LintRun    `json:"hpslint,omitempty"`
 	Baseline   Baseline    `json:"baseline"`
 }
 
@@ -70,6 +84,7 @@ var baseline = Baseline{
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	skipFigures := flag.Bool("skip-figures", false, "skip the timed quick figure set (minutes)")
+	skipLint := flag.Bool("skip-lint", false, "skip the timed whole-repo hpslint run")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -109,6 +124,16 @@ func main() {
 		})
 	}
 
+	if !*skipLint {
+		fmt.Fprintln(os.Stderr, "bench: hpslint ./...")
+		lint, err := timeHpslint()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		snap.Hpslint = lint
+	}
+
 	if !*skipFigures {
 		for _, workers := range figureWorkerCounts() {
 			fmt.Fprintf(os.Stderr, "bench: quick figure set, %d worker(s)...\n", workers)
@@ -134,6 +159,37 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(*out)
+}
+
+// timeHpslint builds cmd/hpslint to a scratch binary, then times one
+// whole-repo -json run. Findings (exit 1) are measured, not fatal;
+// only a load failure (exit 2) aborts the snapshot.
+func timeHpslint() (*LintRun, error) {
+	tmp, err := os.MkdirTemp("", "bench-hpslint-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "hpslint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/hpslint")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return nil, fmt.Errorf("building hpslint: %w", err)
+	}
+
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	raw, err := cmd.Output()
+	seconds := time.Since(start).Seconds()
+	if ee, ok := err.(*exec.ExitError); err != nil && (!ok || ee.ExitCode() != 1) {
+		return nil, fmt.Errorf("running hpslint: %w", err)
+	}
+	var findings []json.RawMessage
+	if err := json.Unmarshal(raw, &findings); err != nil {
+		return nil, fmt.Errorf("parsing hpslint -json output: %w", err)
+	}
+	return &LintRun{Seconds: seconds, Findings: len(findings)}, nil
 }
 
 // figureWorkerCounts picks the timed worker counts: sequential always,

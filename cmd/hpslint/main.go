@@ -6,23 +6,36 @@
 //
 //	go run ./cmd/hpslint ./...
 //	go run ./cmd/hpslint -determinism=false ./internal/sim
+//	go run ./cmd/hpslint -json ./... > findings.json
 //
-// Exit status is 0 when no diagnostics were reported, 1 when any
-// analyzer reported a finding, and 2 on a loading or internal error.
+// A finding can be suppressed at its line (or the line above) with
+//
+//	//hpslint:ignore <analyzer> <reason>
+//
+// and suppressions that no longer match anything are themselves
+// reported. Exit status is 0 when no diagnostics were reported, 1 when
+// any analyzer reported a finding, and 2 on a loading or internal
+// error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"hpsockets/internal/analysis/bufalias"
 	"hpsockets/internal/analysis/closecheck"
 	"hpsockets/internal/analysis/determinism"
 	"hpsockets/internal/analysis/framework"
 	"hpsockets/internal/analysis/litname"
+	"hpsockets/internal/analysis/offpath"
 	"hpsockets/internal/analysis/poolsafe"
 	"hpsockets/internal/analysis/procdiscipline"
+	"hpsockets/internal/analysis/seamcheck"
 	"hpsockets/internal/analysis/shedcheck"
 )
 
@@ -34,6 +47,8 @@ var all = []*framework.Analyzer{
 	shedcheck.Analyzer,
 	poolsafe.Analyzer,
 	litname.Analyzer,
+	offpath.Analyzer,
+	seamcheck.Analyzer,
 }
 
 func main() {
@@ -46,6 +61,8 @@ func run() int {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
 	}
 	showErrors := flag.Bool("typeerrors", false, "also print type-check errors for analyzed packages")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (byte-stable ordering)")
+	allowFile := flag.String("seamcheck.allow", seamcheck.AllowFile, "path of the seam allowlist")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: hpslint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
@@ -55,6 +72,7 @@ func run() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	seamcheck.AllowFile = *allowFile
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -62,7 +80,9 @@ func run() int {
 	}
 
 	var analyzers []*framework.Analyzer
+	known := make(map[string]bool, len(all))
 	for _, a := range all {
+		known[a.Name] = true
 		if *enabled[a.Name] {
 			analyzers = append(analyzers, a)
 		}
@@ -89,8 +109,17 @@ func run() int {
 	for _, e := range errs {
 		fmt.Fprintln(os.Stderr, "hpslint:", e)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	diags = framework.ApplyDirectives(pkgs[0].Fset, diags, framework.CollectDirectives(pkgs), known)
+
+	if *jsonOut {
+		if err := printJSON(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "hpslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	switch {
 	case len(errs) > 0:
@@ -99,6 +128,64 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printJSON emits the findings as an indented JSON array in byte-stable
+// order: file, line, analyzer (column and message as tiebreaks).
+func printJSON(diags []framework.AnalyzerDiagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := d.Fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:     relPath(pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer.Name,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// relPath reports name relative to the working directory when it lies
+// under it, so output is stable across machines.
+func relPath(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return name
 }
 
 func firstLine(s string) string {

@@ -39,47 +39,49 @@ import (
 )
 
 // Run loads each fixture package (an import path under testdata/src),
-// applies the analyzer, and reports mismatches against the fixtures'
-// want expectations as test errors.
+// applies the analyzer — per package with the whole-program view
+// attached, or once over the program for program-level analyzers —
+// and reports mismatches against the fixtures' want expectations as
+// test errors.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
 	t.Helper()
-	ld := &loader{
-		src:  filepath.Join(testdata, "src"),
-		fset: token.NewFileSet(),
-		pkgs: make(map[string]*fixturePkg),
-	}
-	ld.stdlib = importer.ForCompiler(ld.fset, "gc", ld.stdlibExport)
-	for _, path := range pkgpaths {
-		runPackage(t, ld, a, path)
-	}
-}
-
-func runPackage(t *testing.T, ld *loader, a *framework.Analyzer, path string) {
-	t.Helper()
-	fp, err := ld.load(path)
-	if err != nil {
-		t.Errorf("loading fixture package %q: %v", path, err)
+	ld, prog, listed := load(t, testdata, pkgpaths)
+	if prog == nil {
 		return
-	}
-	for _, e := range fp.errors {
-		t.Errorf("fixture package %q: %v", path, e)
 	}
 
 	var diags []framework.Diagnostic
-	pass := &framework.Pass{
-		Analyzer:  a,
-		Fset:      ld.fset,
-		Files:     fp.files,
-		Pkg:       fp.types,
-		TypesInfo: fp.info,
-		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Errorf("analyzer %s on %q: %v", a.Name, path, err)
-		return
+	report := func(d framework.Diagnostic) { diags = append(diags, d) }
+	if a.RunProgram != nil {
+		pass := &framework.ProgramPass{Analyzer: a, Prog: prog, Fset: ld.fset, Report: report}
+		if _, err := a.RunProgram(pass); err != nil {
+			t.Errorf("analyzer %s: %v", a.Name, err)
+			return
+		}
+	} else {
+		for _, fp := range listed {
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      ld.fset,
+				Files:     fp.files,
+				Pkg:       fp.types,
+				TypesInfo: fp.info,
+				Report:    report,
+				Prog:      prog,
+			}
+			if _, err := a.Run(pass); err != nil {
+				t.Errorf("analyzer %s on %q: %v", a.Name, fp.types.Path(), err)
+				return
+			}
+		}
 	}
 
-	wants := collectWants(t, ld.fset, fp.files)
+	wants := make(map[string][]*want)
+	for _, fp := range listed {
+		for k, ws := range collectWants(t, ld.fset, fp.files) {
+			wants[k] = append(wants[k], ws...)
+		}
+	}
 	for _, d := range diags {
 		pos := ld.fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
@@ -99,6 +101,58 @@ func runPackage(t *testing.T, ld *loader, a *framework.Analyzer, path string) {
 			}
 		}
 	}
+}
+
+// Load loads fixture packages and builds the whole-program view over
+// them (and their transitive fixture imports), for tests that drive an
+// analyzer directly rather than through want comments.
+func Load(t *testing.T, testdata string, pkgpaths ...string) *framework.Program {
+	t.Helper()
+	_, prog, _ := load(t, testdata, pkgpaths)
+	return prog
+}
+
+func load(t *testing.T, testdata string, pkgpaths []string) (*loader, *framework.Program, []*fixturePkg) {
+	t.Helper()
+	ld := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "gc", ld.stdlibExport)
+	var listed []*fixturePkg
+	for _, path := range pkgpaths {
+		fp, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture package %q: %v", path, err)
+			return ld, nil, nil
+		}
+		for _, e := range fp.errors {
+			t.Errorf("fixture package %q: %v", path, e)
+		}
+		listed = append(listed, fp)
+	}
+	var pkgs []*framework.Package
+	var paths []string
+	for path := range ld.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		fp := ld.pkgs[path]
+		if fp.types == nil {
+			continue
+		}
+		pkgs = append(pkgs, &framework.Package{
+			Path:      path,
+			Name:      fp.types.Name(),
+			Fset:      ld.fset,
+			Files:     fp.files,
+			Types:     fp.types,
+			TypesInfo: fp.info,
+		})
+	}
+	return ld, framework.BuildProgram(ld.fset, pkgs), listed
 }
 
 type want struct {

@@ -21,10 +21,15 @@ var Analyzer = &framework.Analyzer{
 
 For each core.Conn bound from a call result in a function (for
 example "c, err := ep.Dial(...)" or an Accept), the function body must
-contain a Close call on it — plain or deferred — on some path. A conn
-that escapes the function (returned, stored in a struct, slice, map or
-channel, captured by value elsewhere, or passed to another function)
-is the recipient's responsibility and is not flagged.`,
+contain a Close call on it — plain, deferred, as a bound method value,
+or inside a helper the conn is passed to — on some path. Ownership
+transfers interprocedurally: a conn handed to a function whose summary
+shows it closes the argument counts as closed; one handed to a
+function that stores or returns it has escaped and is the recipient's
+responsibility; but a helper that demonstrably drops the conn on the
+floor leaves the leak in the caller, and it is reported there. A conn
+that escapes directly (returned, stored in a struct, slice, map or
+channel) is never flagged.`,
 	Run: run,
 }
 
@@ -45,6 +50,9 @@ type connState struct {
 	id      *ast.Ident // the defining identifier
 	closed  bool
 	escaped bool
+	// droppedBy names the last helper the conn was passed to whose
+	// summary shows it neither closes nor retains the argument.
+	droppedBy string
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
@@ -90,40 +98,52 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 		if !tracked {
 			return true
 		}
-		classifyUse(st, id, stack)
+		classifyUse(pass, st, id, stack)
 		return true
 	})
 
 	for _, st := range conns {
-		if !st.closed && !st.escaped {
-			pass.Reportf(st.id.Pos(),
-				"core.Conn %s is never closed in this function and does not escape: call or defer %s.Close before every return",
-				st.id.Name, st.id.Name)
+		if st.closed || st.escaped {
+			continue
 		}
+		if st.droppedBy != "" {
+			pass.Reportf(st.id.Pos(),
+				"core.Conn %s is never closed: %s neither closes nor retains it, so the leak stays in this function",
+				st.id.Name, st.droppedBy)
+			continue
+		}
+		pass.Reportf(st.id.Pos(),
+			"core.Conn %s is never closed in this function and does not escape: call or defer %s.Close before every return",
+			st.id.Name, st.id.Name)
 	}
 }
 
 // classifyUse updates st for one use of the conn identifier given its
 // enclosing-node stack.
-func classifyUse(st *connState, id *ast.Ident, stack []ast.Node) {
+func classifyUse(pass *framework.Pass, st *connState, id *ast.Ident, stack []ast.Node) {
 	parent := stack[len(stack)-2]
 	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
 		// Method call or field access on the conn itself.
 		if sel.Sel.Name == "Close" {
-			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
-				st.closed = true
+			if len(stack) >= 3 {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+					st.closed = true
+					return
+				}
 			}
+			// A bound method value (f := c.Close; defer f()) closes
+			// wherever it is eventually called; treat the binding as
+			// the hand-off of the close obligation.
+			st.closed = true
 		}
 		return
 	}
-	// Any bare use of the conn value — as a call argument, return
-	// value, assignment source, composite-literal element, channel
-	// send, map/slice store — hands responsibility elsewhere.
 	switch p := parent.(type) {
 	case *ast.CallExpr:
-		if p.Fun != id {
-			st.escaped = true
+		if p.Fun == id {
+			return
 		}
+		classifyHandOff(pass, st, id, p)
 	case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr, *ast.IndexExpr:
 		st.escaped = true
 	case *ast.AssignStmt:
@@ -135,6 +155,74 @@ func classifyUse(st *connState, id *ast.Ident, stack []ast.Node) {
 	case *ast.BinaryExpr:
 		// Comparisons (c != nil) do not leak the conn.
 	}
+}
+
+// classifyHandOff resolves what passing the conn to a call does with
+// it, using the callee's interprocedural summary when one exists.
+// Without a summary (dynamic call, export-data-only callee, no
+// program view) the conn conservatively escapes, exactly the
+// intraprocedural behavior.
+func classifyHandOff(pass *framework.Pass, st *connState, id *ast.Ident, call *ast.CallExpr) {
+	if pass.Prog == nil {
+		st.escaped = true
+		return
+	}
+	callee := pass.Prog.ResolveCall(pass.TypesInfo, call)
+	if callee == nil || callee.Conversion || callee.Builtin != "" {
+		st.escaped = true
+		return
+	}
+	argIdx := -1
+	for k, arg := range call.Args {
+		if ast.Unparen(arg) == id {
+			argIdx = k
+		}
+	}
+	if argIdx < 0 {
+		// The conn is the receiver of a method call or buried in a
+		// larger argument expression; neither transfers ownership.
+		return
+	}
+	if callee.Iface {
+		j := callee.ParamIndexOfArg(argIdx)
+		if j >= 0 && len(callee.Impls) > 0 && implsAllClose(callee.Impls, j) {
+			st.closed = true
+		} else {
+			st.escaped = true
+		}
+		return
+	}
+	sum := callee.Summary
+	if sum == nil {
+		st.escaped = true
+		return
+	}
+	j := callee.ParamIndexOfArg(argIdx)
+	if j < 0 {
+		st.escaped = true // variadic bundle
+		return
+	}
+	switch {
+	case sum.ClosesParam(j):
+		st.closed = true
+	case sum.EscapesParam(j):
+		st.escaped = true
+	default:
+		// The helper provably drops the conn: the obligation never
+		// left this function.
+		if callee.Fn != nil {
+			st.droppedBy = callee.Fn.Name()
+		}
+	}
+}
+
+func implsAllClose(impls []*framework.FuncSummary, j int) bool {
+	for _, s := range impls {
+		if !s.ClosesParam(j) {
+			return false
+		}
+	}
+	return true
 }
 
 // isConnType reports whether t is the named interface Conn from a

@@ -1,0 +1,380 @@
+// Call-graph construction for the interprocedural analyzers.
+//
+// A Program ties together every package loaded from source, a
+// CHA-style call graph over them, and per-function dataflow summaries
+// (summary.go) serialized through a per-package fact cache (facts.go).
+// The shape mirrors how the x/tools analysis facts mechanism moves
+// information between packages: each package's facts are encoded once,
+// after the package is summarized, and every downstream consumer —
+// including the analyzers themselves — reads them back through the
+// decoder, so the serialized form is the only channel.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Program is the whole-program view the interprocedural analyzers run
+// against: every source-loaded package, its functions keyed by a
+// stable symbol, and class-hierarchy dispatch sets for interface
+// methods. Functions imported only through export data have no bodies
+// and therefore no entry here; calls to them resolve conservatively.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs is in dependency (topological) order: a package appears
+	// after everything it imports.
+	Pkgs []*Package
+	// Funcs maps a symbol (see Symbol) to its declaration.
+	Funcs map[string]*FuncInfo
+	// Impls maps an interface-method symbol to the symbols of every
+	// known concrete method implementing it (CHA over the loaded
+	// packages), sorted.
+	Impls map[string][]string
+
+	pkgByPath map[string]*Package
+	facts     map[string][]byte                  // pkg path -> encoded PackageFacts
+	decoded   map[string]map[string]*FuncSummary // lazily decoded facts
+}
+
+// FuncInfo is one function or method with a source body.
+type FuncInfo struct {
+	Symbol string
+	Pkg    *Package
+	Decl   *ast.FuncDecl
+	Fn     *types.Func
+}
+
+// Symbol returns the stable cross-package name of fn:
+// "path/to/pkg.Func" for package functions, "(path/to/pkg.T).Method"
+// or "(*path/to/pkg.T).Method" for methods. Generic functions and
+// methods are identified by their origin (uninstantiated) form.
+func Symbol(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		if fn.Pkg() == nil {
+			return fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	ptr := ""
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+		ptr = "*"
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return fmt.Sprintf("(%s%s).%s", ptr, recv.String(), fn.Name())
+	}
+	named = named.Origin()
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return fmt.Sprintf("(%s%s).%s", ptr, obj.Name(), fn.Name())
+	}
+	return fmt.Sprintf("(%s%s.%s).%s", ptr, obj.Pkg().Path(), obj.Name(), fn.Name())
+}
+
+// BuildProgram assembles the program view over pkgs (any order),
+// builds the CHA dispatch sets, and computes and serializes the
+// per-function summaries package by package in dependency order.
+func BuildProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	prog := &Program{
+		Fset:      fset,
+		Funcs:     make(map[string]*FuncInfo),
+		Impls:     make(map[string][]string),
+		pkgByPath: make(map[string]*Package),
+		facts:     make(map[string][]byte),
+		decoded:   make(map[string]map[string]*FuncSummary),
+	}
+	for _, p := range pkgs {
+		if p.Types == nil {
+			continue
+		}
+		prog.pkgByPath[p.Path] = p
+	}
+	prog.Pkgs = topoSort(pkgs, prog.pkgByPath)
+
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.TypesInfo.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				sym := Symbol(obj)
+				prog.Funcs[sym] = &FuncInfo{Symbol: sym, Pkg: p, Decl: fd, Fn: obj}
+			}
+		}
+	}
+
+	prog.buildCHA()
+
+	for _, p := range prog.Pkgs {
+		prog.summarizePackage(p)
+	}
+	return prog
+}
+
+// topoSort orders packages so imports precede importers. Unreachable
+// cycles cannot occur (the compiler rejects import cycles); packages
+// with type errors simply sort by their available import edges.
+func topoSort(pkgs []*Package, byPath map[string]*Package) []*Package {
+	in := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		if p.Types != nil {
+			in = append(in, p)
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Path < in[j].Path })
+	var out []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range in {
+		visit(p)
+	}
+	return out
+}
+
+// buildCHA populates Impls: for every named interface and every named
+// concrete type among the loaded packages, if *T implements I then
+// each of I's methods dispatches to T's corresponding method.
+func (prog *Program) buildCHA() {
+	var ifaces []*types.Named
+	var concretes []*types.Named
+	for _, p := range prog.Pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, named)
+				}
+			} else {
+				concretes = append(concretes, named)
+			}
+		}
+	}
+	for _, iface := range ifaces {
+		it := iface.Underlying().(*types.Interface)
+		for _, c := range concretes {
+			if c.TypeParams().Len() > 0 {
+				continue // generic types need instantiation; out of CHA scope
+			}
+			if !types.Implements(types.NewPointer(c), it) {
+				continue
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				m := it.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(c), true, m.Pkg(), m.Name())
+				impl, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				key := ifaceMethodSymbol(iface, m)
+				prog.Impls[key] = append(prog.Impls[key], Symbol(impl))
+			}
+		}
+	}
+	for key := range prog.Impls {
+		sort.Strings(prog.Impls[key])
+	}
+}
+
+// ifaceMethodSymbol names an interface method independently of the
+// (possibly embedded) interface it was selected through.
+func ifaceMethodSymbol(iface *types.Named, m *types.Func) string {
+	obj := iface.Obj()
+	if obj.Pkg() == nil {
+		return fmt.Sprintf("(%s).%s", obj.Name(), m.Name())
+	}
+	return fmt.Sprintf("(%s.%s).%s", obj.Pkg().Path(), obj.Name(), m.Name())
+}
+
+// Callee is the static resolution of one call expression.
+type Callee struct {
+	// Fn is the statically named callee (its Origin for generics);
+	// nil for builtins, conversions and dynamic calls through function
+	// values.
+	Fn *types.Func
+	// Symbol is Fn's symbol ("" when Fn is nil).
+	Symbol string
+	// Builtin names a builtin callee ("append", "len", ...).
+	Builtin string
+	// Conversion marks a type conversion, not a call.
+	Conversion bool
+	// Iface marks dispatch through an interface method; Impls holds
+	// the summaries of every known implementation (may be empty).
+	Iface bool
+	Impls []*FuncSummary
+	// Summary is the callee's dataflow summary, nil when the callee
+	// has no source body among the loaded packages (or is dynamic).
+	Summary *FuncSummary
+	// RecvArg is the receiver expression for method calls (sel.X).
+	RecvArg ast.Expr
+	// sig is the callee signature for argument/parameter mapping.
+	sig *types.Signature
+}
+
+// HasRecv reports whether the callee is a method (its summary's
+// parameter 0 is the receiver).
+func (c *Callee) HasRecv() bool { return c.sig != nil && c.sig.Recv() != nil }
+
+// ParamIndexOfArg maps the i'th call argument to the callee summary's
+// parameter index (receiver included as 0 for methods). It returns -1
+// when the argument lands in a variadic bundle, where per-parameter
+// facts do not apply.
+func (c *Callee) ParamIndexOfArg(i int) int {
+	if c.sig == nil {
+		return -1
+	}
+	off := 0
+	if c.sig.Recv() != nil {
+		off = 1
+	}
+	if c.sig.Variadic() && i >= c.sig.Params().Len()-1 {
+		return -1
+	}
+	if i >= c.sig.Params().Len() {
+		return -1
+	}
+	return i + off
+}
+
+// ResolveCall statically resolves call using info (the type
+// information of the package containing it) and the program's facts.
+// It returns nil for calls that name nothing resolvable (calling a
+// function-typed field, a local closure variable, ...).
+func (prog *Program) ResolveCall(info *types.Info, call *ast.CallExpr) *Callee {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return &Callee{Builtin: obj.Name()}
+		case *types.TypeName:
+			return &Callee{Conversion: true}
+		case *types.Func:
+			return prog.calleeForFunc(obj, nil)
+		}
+		if tv, ok := info.Types[fun]; ok && tv.IsType() {
+			return &Callee{Conversion: true}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return &Callee{Conversion: true}
+		}
+		sel, ok := info.Selections[fun]
+		if !ok {
+			// Package-qualified call: pkg.Func(...).
+			if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				return prog.calleeForFunc(obj, nil)
+			}
+			if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+				return &Callee{Conversion: true}
+			}
+			return nil
+		}
+		if sel.Kind() != types.MethodVal {
+			return nil // calling a function-typed field: dynamic
+		}
+		fn, _ := sel.Obj().(*types.Func)
+		if fn == nil {
+			return nil
+		}
+		c := prog.calleeForFunc(fn, fun.X)
+		// Interface dispatch: the method is selected from an
+		// interface; resolve the CHA implementation set.
+		if isInterfaceRecv(sel.Recv()) {
+			c.Iface = true
+			c.Summary = nil
+			if named := namedOf(sel.Recv()); named != nil {
+				key := ifaceMethodSymbol(named, fn)
+				for _, implSym := range prog.Impls[key] {
+					if s := prog.Summary(implSym); s != nil {
+						c.Impls = append(c.Impls, s)
+					}
+				}
+			}
+		}
+		return c
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType, *ast.StarExpr, *ast.InterfaceType:
+		return &Callee{Conversion: true}
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Generic instantiation: resolve the underlying identifier.
+		var x ast.Expr
+		if ie, ok := ast.Unparen(call.Fun).(*ast.IndexExpr); ok {
+			x = ie.X
+		} else {
+			x = ast.Unparen(call.Fun).(*ast.IndexListExpr).X
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if obj, ok := info.Uses[id].(*types.Func); ok {
+				return prog.calleeForFunc(obj, nil)
+			}
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				return &Callee{Conversion: true}
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func (prog *Program) calleeForFunc(fn *types.Func, recvArg ast.Expr) *Callee {
+	fn = fn.Origin()
+	sym := Symbol(fn)
+	sig, _ := fn.Type().(*types.Signature)
+	return &Callee{
+		Fn:      fn,
+		Symbol:  sym,
+		Summary: prog.Summary(sym),
+		RecvArg: recvArg,
+		sig:     sig,
+	}
+}
+
+func isInterfaceRecv(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named != nil {
+		return named.Origin()
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package framework_test
+
+import (
+	"bytes"
+	"go/ast"
+	"reflect"
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/framework"
+)
+
+// loadCha loads the CHA fixture (and its core dependency) into a
+// whole-program view.
+func loadCha(t *testing.T) *framework.Program {
+	t.Helper()
+	prog := analysistest.Load(t, "../testdata", "chafix")
+	if prog == nil {
+		t.Fatal("fixture program did not load")
+	}
+	return prog
+}
+
+// TestCHADispatch checks the class-hierarchy dispatch sets: both
+// implementations of Closer.Shut are found and sorted.
+func TestCHADispatch(t *testing.T) {
+	prog := loadCha(t)
+	got := prog.Impls["(chafix.Closer).Shut"]
+	want := []string{"(chafix.Messy).Shut", "(chafix.Tidy).Shut"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Impls[(chafix.Closer).Shut] = %v, want %v", got, want)
+	}
+}
+
+// TestSummaries checks the dataflow facts the engine derives for the
+// fixture functions, including the cross-package close.
+func TestSummaries(t *testing.T) {
+	prog := loadCha(t)
+	cases := []struct {
+		symbol string
+		check  func(*framework.FuncSummary) bool
+		desc   string
+	}{
+		{"(chafix.Tidy).Shut", func(s *framework.FuncSummary) bool { return s.ClosesParam(1) },
+			"Tidy.Shut closes its conn parameter"},
+		{"(chafix.Messy).Shut", func(s *framework.FuncSummary) bool { return !s.ClosesParam(1) && !s.EscapesParam(1) },
+			"Messy.Shut neither closes nor escapes its conn"},
+		{"chafix.ShutAll", func(s *framework.FuncSummary) bool { return !s.ClosesParam(1) },
+			"ShutAll cannot close: one CHA implementation drops the conn"},
+		{"chafix.CloseRemote", func(s *framework.FuncSummary) bool { return s.ClosesParam(0) },
+			"CloseRemote closes through core.CloseQuiet across the package boundary"},
+		{"chafix.Stash", func(s *framework.FuncSummary) bool { return s.EscapesParam(0) },
+			"Stash escapes its conn into a global"},
+		{"chafix.Fresh", func(s *framework.FuncSummary) bool { return s.Allocates },
+			"Fresh allocates (make)"},
+		{"chafix.Flat", func(s *framework.FuncSummary) bool { return !s.Allocates },
+			"Flat is allocation-free"},
+		{"core.CloseQuiet", func(s *framework.FuncSummary) bool { return s.ClosesParam(0) },
+			"the dependency's own summary closes its parameter"},
+	}
+	for _, c := range cases {
+		s := prog.Summary(c.symbol)
+		if s == nil {
+			t.Errorf("no summary for %s", c.symbol)
+			continue
+		}
+		if !c.check(s) {
+			t.Errorf("%s: %s; got %+v", c.symbol, c.desc, s)
+		}
+	}
+}
+
+// TestResolveCall checks static call resolution: a cross-package edge
+// carries the callee's summary, and interface dispatch carries the CHA
+// implementation set.
+func TestResolveCall(t *testing.T) {
+	prog := loadCha(t)
+
+	callIn := func(symbol string) *ast.CallExpr {
+		fi := prog.Funcs[symbol]
+		if fi == nil {
+			t.Fatalf("no function %s", symbol)
+		}
+		var call *ast.CallExpr
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && call == nil {
+				call = c
+			}
+			return true
+		})
+		if call == nil {
+			t.Fatalf("no call in %s", symbol)
+		}
+		return call
+	}
+
+	info := prog.Funcs["chafix.CloseRemote"].Pkg.TypesInfo
+	callee := prog.ResolveCall(info, callIn("chafix.CloseRemote"))
+	if callee == nil || callee.Symbol != "core.CloseQuiet" {
+		t.Fatalf("CloseRemote callee = %+v, want core.CloseQuiet", callee)
+	}
+	if callee.Summary == nil || !callee.Summary.ClosesParam(0) {
+		t.Errorf("cross-package callee summary = %+v, want closes param 0", callee.Summary)
+	}
+
+	info = prog.Funcs["chafix.ShutAll"].Pkg.TypesInfo
+	callee = prog.ResolveCall(info, callIn("chafix.ShutAll"))
+	if callee == nil || !callee.Iface {
+		t.Fatalf("ShutAll callee = %+v, want interface dispatch", callee)
+	}
+	if len(callee.Impls) != 2 {
+		t.Errorf("ShutAll dispatch set has %d impls, want 2", len(callee.Impls))
+	}
+}
+
+// TestFactsRoundTrip decodes the serialized fact blob and checks it
+// matches what the program serves, then re-encodes it byte-identically
+// — the serialized form is the only cross-package channel, so it must
+// be lossless and deterministic.
+func TestFactsRoundTrip(t *testing.T) {
+	prog := loadCha(t)
+	blob := prog.FactsBlob("chafix")
+	if len(blob) == 0 {
+		t.Fatal("no facts recorded for chafix")
+	}
+	decoded, err := framework.DecodePackageFacts(blob)
+	if err != nil {
+		t.Fatalf("decoding facts: %v", err)
+	}
+	for sym, want := range decoded {
+		got := prog.Summary(sym)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("summary %s: decoded %+v != served %+v", sym, want, got)
+		}
+	}
+	if prog.Summary("chafix.Flat") != nil && decoded["chafix.Flat"] == nil {
+		t.Error("decoded facts miss chafix.Flat")
+	}
+	re, err := framework.EncodePackageFacts("chafix", decoded)
+	if err != nil {
+		t.Fatalf("re-encoding facts: %v", err)
+	}
+	if !bytes.Equal(blob, re) {
+		t.Errorf("facts round-trip is not byte-stable:\n first = %s\nsecond = %s", blob, re)
+	}
+}

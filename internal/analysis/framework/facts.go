@@ -1,0 +1,84 @@
+// Serialized per-package summary facts.
+//
+// Once a package's functions reach their summary fixpoint, the
+// summaries are encoded into a single deterministic JSON blob — the
+// package's "facts" — and every later read, whether from a dependent
+// package being summarized or from an analyzer pass, goes through the
+// decoder. Keeping the serialized form as the only inter-package
+// channel mirrors the x/tools facts mechanism and guarantees the
+// summaries stay losslessly encodable (callgraph_test.go round-trips
+// them explicitly).
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// PackageFacts is the serialized summary set of one package.
+type PackageFacts struct {
+	Package string         `json:"package"`
+	Funcs   []*FuncSummary `json:"funcs"`
+}
+
+// EncodePackageFacts serializes the summaries deterministically
+// (sorted by symbol).
+func EncodePackageFacts(path string, sums map[string]*FuncSummary) ([]byte, error) {
+	pf := PackageFacts{Package: path, Funcs: make([]*FuncSummary, 0, len(sums))}
+	for _, s := range sums {
+		pf.Funcs = append(pf.Funcs, s)
+	}
+	sort.Slice(pf.Funcs, func(i, j int) bool { return pf.Funcs[i].Symbol < pf.Funcs[j].Symbol })
+	return json.Marshal(&pf)
+}
+
+// DecodePackageFacts parses a blob produced by EncodePackageFacts.
+func DecodePackageFacts(data []byte) (map[string]*FuncSummary, error) {
+	var pf PackageFacts
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Errorf("decoding package facts: %v", err)
+	}
+	out := make(map[string]*FuncSummary, len(pf.Funcs))
+	for _, s := range pf.Funcs {
+		out[s.Symbol] = s
+	}
+	return out, nil
+}
+
+// encodeFacts stores the package's summaries in the fact cache.
+func (prog *Program) encodeFacts(path string, sums map[string]*FuncSummary) {
+	data, err := EncodePackageFacts(path, sums)
+	if err != nil {
+		// Summaries are plain ints/bools/strings; failure here is a
+		// programming error, and dropping the facts only makes the
+		// analyzers conservative.
+		return
+	}
+	prog.facts[path] = data
+	delete(prog.decoded, path) // drop any pre-encoding read
+}
+
+// decodeFacts returns the decoded summary table of one package,
+// reading through the serialized blob on first use.
+func (prog *Program) decodeFacts(path string) map[string]*FuncSummary {
+	if t, ok := prog.decoded[path]; ok {
+		return t
+	}
+	data, ok := prog.facts[path]
+	if !ok {
+		// Not yet encoded (the package is mid-summarization): don't
+		// cache the miss, the facts arrive when its fixpoint lands.
+		return nil
+	}
+	t, err := DecodePackageFacts(data)
+	if err != nil {
+		t = nil
+	}
+	prog.decoded[path] = t
+	return t
+}
+
+// FactsBlob exposes the encoded facts of one package (testing and
+// diagnostics).
+func (prog *Program) FactsBlob(path string) []byte { return prog.facts[path] }

@@ -28,8 +28,13 @@ type Analyzer struct {
 	Name string
 	// Doc is the help text: first sentence is the summary.
 	Doc string
-	// Run applies the analyzer to one package.
+	// Run applies the analyzer to one package. Nil for program-level
+	// analyzers.
 	Run func(*Pass) (any, error)
+	// RunProgram, when set, applies the analyzer once to the whole
+	// loaded program (cross-package checks like seamcheck) instead of
+	// package by package.
+	RunProgram func(*ProgramPass) (any, error)
 }
 
 // Diagnostic is one finding.
@@ -46,6 +51,24 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Prog is the whole-program view (call graph and function
+	// summaries) when the driver built one; analyzers must degrade to
+	// their conservative intraprocedural behavior when it is nil.
+	Prog *Program
+}
+
+// ProgramPass carries a program-level analyzer's view of the whole
+// loaded program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Fset     *token.FileSet
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -125,22 +125,34 @@ func loadTarget(fset *token.FileSet, imp types.Importer, lp *listedPackage) *Pac
 	return pkg
 }
 
-// RunAnalyzers applies each analyzer to each package and returns all
+// RunAnalyzers builds the whole-program view over pkgs (call graph and
+// function summaries), applies each per-package analyzer to each
+// package and each program-level analyzer once, and returns all
 // diagnostics sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]AnalyzerDiagnostic, []error) {
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			fset = p.Fset
+			break
+		}
+	}
+	prog := BuildProgram(fset, pkgs)
+
 	var diags []AnalyzerDiagnostic
 	var errs []error
-	for _, pkg := range pkgs {
-		if pkg.Types == nil {
-			continue
-		}
+	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 			}
 			pass.Report = func(d Diagnostic) {
 				diags = append(diags, AnalyzerDiagnostic{Analyzer: a, Diagnostic: d, Fset: pkg.Fset})
@@ -150,6 +162,29 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]AnalyzerDiagnostic,
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Prog:     prog,
+			Fset:     fset,
+			Report: func(d Diagnostic) {
+				diags = append(diags, AnalyzerDiagnostic{Analyzer: a, Diagnostic: d, Fset: fset})
+			},
+		}
+		if _, err := a.RunProgram(pass); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %v", a.Name, err))
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, errs
+}
+
+// SortDiagnostics orders diags by file, line and column (message as a
+// final tiebreak), the byte-stable order every output mode relies on.
+func SortDiagnostics(diags []AnalyzerDiagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := diags[i].Fset.Position(diags[i].Pos), diags[j].Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -158,9 +193,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]AnalyzerDiagnostic,
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags, errs
 }
 
 // AnalyzerDiagnostic pairs a diagnostic with its source analyzer.

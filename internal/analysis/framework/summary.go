@@ -1,0 +1,582 @@
+// Per-function dataflow summaries.
+//
+// For every function with a source body the engine computes a small,
+// monotone fact set — which parameters it closes, which it releases to
+// a pool, which escape into the object graph, and whether it allocates
+// on any path — by a forward walk over the body that consults the
+// summaries of its callees. Packages are processed in dependency
+// order, so cross-package callee summaries are always final (and are
+// read back through the serialized fact cache, facts.go); recursion
+// within a package is handled by iterating the package's functions to
+// a fixpoint, which terminates because every fact only ever flips from
+// false to true.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FuncSummary is the serializable dataflow summary of one function.
+// Parameters are numbered with the receiver first (index 0) for
+// methods; plain functions start at 0 with their first parameter.
+type FuncSummary struct {
+	Symbol string `json:"symbol"`
+	// Params is the parameter count including any receiver.
+	Params int `json:"params"`
+	// HasRecv marks methods (parameter 0 is the receiver).
+	HasRecv bool `json:"has_recv,omitempty"`
+	// Closes lists parameters on which the function calls Close
+	// (directly or through a callee) on some path.
+	Closes []int `json:"closes,omitempty"`
+	// Releases lists parameters the function hands back to a pool
+	// free-list (directly or through a callee) on some path.
+	Releases []int `json:"releases,omitempty"`
+	// Escapes lists parameters that flow into the object graph:
+	// returned, stored into a field, global, slice, map or channel, or
+	// passed to a function that escapes them or is unknown.
+	Escapes []int `json:"escapes,omitempty"`
+	// Allocates reports whether any path through the function may
+	// allocate (conservatively true for calls into packages loaded
+	// only from export data).
+	Allocates bool `json:"allocates,omitempty"`
+}
+
+// ClosesParam reports whether parameter i is closed on some path.
+func (s *FuncSummary) ClosesParam(i int) bool { return s != nil && containsInt(s.Closes, i) }
+
+// ReleasesParam reports whether parameter i is pool-released on some path.
+func (s *FuncSummary) ReleasesParam(i int) bool { return s != nil && containsInt(s.Releases, i) }
+
+// EscapesParam reports whether parameter i escapes into the object graph.
+func (s *FuncSummary) EscapesParam(i int) bool { return s != nil && containsInt(s.Escapes, i) }
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func addInt(xs []int, x int) []int {
+	if containsInt(xs, x) {
+		return xs
+	}
+	xs = append(xs, x)
+	sort.Ints(xs)
+	return xs
+}
+
+// PoolReleasers are the free-list release primitives, matched by
+// callee name. A call to one of these releases its final argument when
+// the callee either has no source body (conservative) or demonstrably
+// retains its parameter — a releaser-named helper that never stores
+// its argument anywhere is not a release, which is what lets the
+// summary engine clear no-op doubles of these names.
+var PoolReleasers = map[string]bool{
+	"FreeFrame":    true,
+	"freeSeg":      true,
+	"freePacket":   true,
+	"freeSendWork": true,
+	"releaseEvent": true,
+}
+
+// Summary returns the dataflow summary recorded for symbol, decoded
+// from its package's serialized facts, or nil when the symbol has no
+// source body among the loaded packages.
+func (prog *Program) Summary(symbol string) *FuncSummary {
+	fi, ok := prog.Funcs[symbol]
+	if !ok {
+		return nil
+	}
+	return prog.decodeFacts(fi.Pkg.Path)[symbol]
+}
+
+// summarizePackage computes the summaries of every function in p to a
+// fixpoint and serializes them into the fact cache. Callees in other
+// packages are resolved through their already-encoded facts; callees
+// in p resolve against the in-progress table.
+func (prog *Program) summarizePackage(p *Package) {
+	var fns []*FuncInfo
+	for _, fi := range prog.Funcs {
+		if fi.Pkg == p {
+			fns = append(fns, fi)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Symbol < fns[j].Symbol })
+
+	live := make(map[string]*FuncSummary, len(fns))
+	for _, fi := range fns {
+		live[fi.Symbol] = newSummary(fi)
+	}
+	lookup := func(sym string) *FuncSummary {
+		if s, ok := live[sym]; ok {
+			return s
+		}
+		return prog.Summary(sym)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			next := prog.summarizeFunc(fi, lookup)
+			if !summaryEqual(live[fi.Symbol], next) {
+				live[fi.Symbol] = next
+				changed = true
+			}
+		}
+	}
+	prog.encodeFacts(p.Path, live)
+}
+
+func newSummary(fi *FuncInfo) *FuncSummary {
+	params, hasRecv := paramObjs(fi)
+	return &FuncSummary{Symbol: fi.Symbol, Params: len(params), HasRecv: hasRecv}
+}
+
+func summaryEqual(a, b *FuncSummary) bool {
+	return a.Allocates == b.Allocates &&
+		intsEqual(a.Closes, b.Closes) &&
+		intsEqual(a.Releases, b.Releases) &&
+		intsEqual(a.Escapes, b.Escapes)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// paramObjs returns the parameter objects of fi in summary order
+// (receiver first). Unnamed and blank parameters yield nil slots.
+func paramObjs(fi *FuncInfo) ([]types.Object, bool) {
+	var objs []types.Object
+	hasRecv := false
+	info := fi.Pkg.TypesInfo
+	if fi.Decl.Recv != nil && len(fi.Decl.Recv.List) == 1 {
+		hasRecv = true
+		f := fi.Decl.Recv.List[0]
+		if len(f.Names) == 1 && f.Names[0].Name != "_" {
+			objs = append(objs, info.Defs[f.Names[0]])
+		} else {
+			objs = append(objs, nil)
+		}
+	}
+	if fi.Decl.Type.Params != nil {
+		for _, f := range fi.Decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				objs = append(objs, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					objs = append(objs, nil)
+				} else {
+					objs = append(objs, info.Defs[name])
+				}
+			}
+		}
+	}
+	return objs, hasRecv
+}
+
+// summarizeFunc recomputes fi's summary with callee summaries resolved
+// through lookup.
+func (prog *Program) summarizeFunc(fi *FuncInfo, lookup func(string) *FuncSummary) *FuncSummary {
+	params, hasRecv := paramObjs(fi)
+	s := &FuncSummary{Symbol: fi.Symbol, Params: len(params), HasRecv: hasRecv}
+	indexOf := func(obj types.Object) int {
+		if obj == nil {
+			return -1
+		}
+		for i, p := range params {
+			if p == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	info := fi.Pkg.TypesInfo
+
+	WithStackNode(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			prog.applyCallFacts(info, n, indexOf, s, lookup, enclosedInBranch(stack))
+			if !s.Allocates && prog.callAllocates(info, n, lookup) {
+				s.Allocates = true
+			}
+		case *ast.Ident:
+			i := indexOf(info.Uses[n])
+			if i >= 0 {
+				classifyParamUse(info, s, i, n, stack)
+			}
+		case *ast.CompositeLit, *ast.FuncLit, *ast.GoStmt:
+			s.Allocates = true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				s.Allocates = true
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !s.Allocates {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isStringType(tv.Type) {
+					s.Allocates = true
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// applyCallFacts propagates the callee's parameter facts onto fi's
+// parameters appearing as arguments (or receiver) of call. Releases do
+// not propagate out of conditional branches: "may release" is too weak
+// a fact to taint every caller-side use after the call.
+func (prog *Program) applyCallFacts(info *types.Info, call *ast.CallExpr, indexOf func(types.Object) int, s *FuncSummary, lookup func(string) *FuncSummary, branched bool) {
+	callee := prog.ResolveCall(info, call)
+	if callee != nil && callee.Symbol != "" {
+		// Prefer the in-flight table for same-package callees.
+		if ls := lookup(callee.Symbol); ls != nil {
+			callee.Summary = ls
+		}
+	}
+	at := func(argIdx int, arg ast.Expr) {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			return
+		}
+		i := indexOf(info.Uses[id])
+		if i < 0 {
+			return
+		}
+		switch {
+		case callee == nil:
+			// Dynamic call: the parameter flows to unknown code.
+			s.Escapes = addInt(s.Escapes, i)
+		case callee.Conversion:
+			// A conversion neither retains nor frees by itself; the
+			// converted value's uses are classified where they occur.
+		case callee.Builtin != "":
+			if callee.Builtin == "append" {
+				s.Escapes = addInt(s.Escapes, i)
+			}
+		case callee.Iface:
+			if argIdx < 0 {
+				// A dispatched method call on the parameter itself:
+				// the Close root is classified at the selector, and
+				// dispatch alone does not escape the receiver.
+				return
+			}
+			// Interface dispatch over the argument: close facts apply
+			// only when every known implementation agrees.
+			j := callee.ParamIndexOfArg(argIdx)
+			if j >= 0 && len(callee.Impls) > 0 && allClose(callee.Impls, j) {
+				s.Closes = addInt(s.Closes, i)
+			} else {
+				s.Escapes = addInt(s.Escapes, i)
+			}
+		default:
+			j := -1
+			if argIdx >= 0 {
+				j = callee.ParamIndexOfArg(argIdx)
+			} else if callee.HasRecv() {
+				j = 0
+			}
+			sum := callee.Summary
+			if sum == nil {
+				// No source body: conservative hand-off, plus the
+				// name-matched pool release primitives.
+				s.Escapes = addInt(s.Escapes, i)
+				if isNamedRelease(callee, call, arg) && !branched {
+					s.Releases = addInt(s.Releases, i)
+				}
+				return
+			}
+			if j < 0 {
+				// Variadic bundle: the bundle slice owns the value.
+				s.Escapes = addInt(s.Escapes, i)
+				return
+			}
+			if sum.ClosesParam(j) {
+				s.Closes = addInt(s.Closes, i)
+			}
+			if sum.EscapesParam(j) {
+				s.Escapes = addInt(s.Escapes, i)
+			}
+			if !branched {
+				if sum.ReleasesParam(j) {
+					s.Releases = addInt(s.Releases, i)
+				} else if isNamedRelease(callee, call, arg) && sum.EscapesParam(j) {
+					// Release primitive root: a releaser-named callee
+					// that retains its parameter pools it.
+					s.Releases = addInt(s.Releases, i)
+				}
+			}
+		}
+	}
+	for k, arg := range call.Args {
+		at(k, arg)
+	}
+	if callee != nil && callee.RecvArg != nil {
+		at(-1, callee.RecvArg)
+	}
+}
+
+// isNamedRelease reports whether call is a pool-release primitive by
+// name with arg as the released (final) argument.
+func isNamedRelease(callee *Callee, call *ast.CallExpr, arg ast.Expr) bool {
+	if callee.Fn == nil || !PoolReleasers[callee.Fn.Name()] {
+		return false
+	}
+	return len(call.Args) > 0 && call.Args[len(call.Args)-1] == arg
+}
+
+func allClose(impls []*FuncSummary, j int) bool {
+	for _, s := range impls {
+		if !s.ClosesParam(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// enclosedInBranch reports whether the innermost node of stack sits
+// under an if, switch, select or loop inside the function body —
+// facts like "releases its argument" stay intraprocedural then,
+// because they only hold on some paths.
+func enclosedInBranch(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// classifyParamUse records how one appearance of parameter i affects
+// the summary: Close calls close it, stores and sends escape it.
+// Call-argument positions are handled by applyCallFacts.
+func classifyParamUse(info *types.Info, s *FuncSummary, i int, id *ast.Ident, stack []ast.Node) {
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			return
+		}
+		sel, ok := info.Selections[p]
+		if !ok || sel.Kind() == types.FieldVal {
+			return // field read/write through the param: no escape
+		}
+		// Method selection on the parameter itself.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == p {
+				if p.Sel.Name == "Close" && len(call.Args) == 0 {
+					s.Closes = addInt(s.Closes, i)
+				}
+				return // other method calls neither close nor escape the receiver
+			}
+		}
+		// Method value bound without a call: the parameter is captured.
+		s.Escapes = addInt(s.Escapes, i)
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+		s.Escapes = addInt(s.Escapes, i)
+	case *ast.IndexExpr:
+		if p.Index == id {
+			return // used as an index, not stored
+		}
+		s.Escapes = addInt(s.Escapes, i)
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs == id {
+				s.Escapes = addInt(s.Escapes, i)
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			s.Escapes = addInt(s.Escapes, i)
+		}
+	}
+}
+
+// callAllocates reports whether evaluating call may allocate, given
+// the callee summaries available.
+func (prog *Program) callAllocates(info *types.Info, call *ast.CallExpr, lookup func(string) *FuncSummary) bool {
+	callee := prog.ResolveCall(info, call)
+	if callee == nil {
+		return true // dynamic call: unknown
+	}
+	switch {
+	case callee.Conversion:
+		return conversionAllocates(info, call)
+	case callee.Builtin != "":
+		switch callee.Builtin {
+		case "len", "cap", "copy", "delete", "clear", "min", "max", "real", "imag", "complex", "recover":
+			return false
+		default: // append, make, new, panic, print, println, unsafe.*
+			return true
+		}
+	case callee.Iface:
+		if len(callee.Impls) == 0 {
+			return true
+		}
+		for _, s := range callee.Impls {
+			if s.Allocates {
+				return true
+			}
+		}
+		return false
+	default:
+		sum := callee.Summary
+		if callee.Symbol != "" && lookup != nil {
+			if ls := lookup(callee.Symbol); ls != nil {
+				sum = ls
+			}
+		}
+		if sum == nil {
+			return true // export-data only: unknown body
+		}
+		return sum.Allocates
+	}
+}
+
+// conversionAllocates reports whether the type conversion in call
+// copies into a fresh allocation: string <-> byte/rune slices and
+// conversions into interfaces do, numeric and same-shape conversions
+// do not.
+func conversionAllocates(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || len(call.Args) != 1 {
+		return true
+	}
+	dst := tv.Type
+	if tv.Value != nil {
+		return false // constant-folded
+	}
+	if _, ok := dst.Underlying().(*types.Interface); ok {
+		return true
+	}
+	src := info.Types[call.Args[0]].Type
+	if src == nil {
+		return true
+	}
+	dstU, srcU := dst.Underlying(), src.Underlying()
+	if isStringType(dst) && !isStringType(src) {
+		return true // []byte/[]rune -> string copies
+	}
+	if _, ok := dstU.(*types.Slice); ok {
+		if isStringType(src) {
+			return true // string -> []byte/[]rune copies
+		}
+	}
+	_, _ = dstU, srcU
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// ReleasedArg is one object handed back to a pool by a call.
+type ReleasedArg struct {
+	Obj types.Object
+	// Callee is the name of the function the object was passed to.
+	Callee string
+}
+
+// ReleasedArgs returns the identifier arguments of call that the
+// callee releases to a free-list: arguments at parameters the callee's
+// summary marks as released, or — when the callee has no source body —
+// the final argument of a name-matched release primitive.
+func (prog *Program) ReleasedArgs(info *types.Info, call *ast.CallExpr) []ReleasedArg {
+	callee := prog.ResolveCall(info, call)
+	if callee == nil || callee.Fn == nil || callee.Iface {
+		return nil
+	}
+	var out []ReleasedArg
+	consider := func(argIdx int, arg ast.Expr) {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return
+		}
+		j := -1
+		if argIdx >= 0 {
+			j = callee.ParamIndexOfArg(argIdx)
+		} else if callee.HasRecv() {
+			j = 0
+		}
+		switch {
+		case callee.Summary == nil:
+			// Export-data-only callee: keep the name-based contract.
+			if PoolReleasers[callee.Fn.Name()] && len(call.Args) > 0 && call.Args[len(call.Args)-1] == arg {
+				out = append(out, ReleasedArg{Obj: obj, Callee: callee.Fn.Name()})
+			}
+		case j >= 0 && callee.Summary.ReleasesParam(j):
+			out = append(out, ReleasedArg{Obj: obj, Callee: callee.Fn.Name()})
+		case j >= 0 && PoolReleasers[callee.Fn.Name()] && callee.Summary.EscapesParam(j) &&
+			len(call.Args) > 0 && call.Args[len(call.Args)-1] == arg:
+			// Release primitive root: releaser-named and demonstrably
+			// retains the argument.
+			out = append(out, ReleasedArg{Obj: obj, Callee: callee.Fn.Name()})
+		}
+	}
+	for k, arg := range call.Args {
+		consider(k, arg)
+	}
+	if callee.RecvArg != nil {
+		consider(-1, callee.RecvArg)
+	}
+	return out
+}
+
+// ExprAllocates reports whether evaluating e may allocate, resolving
+// calls through the program's summaries. Identifiers, field reads,
+// indexing, comparisons and arithmetic on non-strings are free;
+// composite literals, closures, address-taking, string concatenation
+// and calls to unknown or allocating functions are not.
+func (prog *Program) ExprAllocates(info *types.Info, e ast.Expr) bool {
+	allocates := false
+	WithStackNode(e, func(n ast.Node, stack []ast.Node) bool {
+		if allocates {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if prog.callAllocates(info, n, nil) {
+				allocates = true
+				return false
+			}
+		case *ast.CompositeLit, *ast.FuncLit:
+			allocates = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				allocates = true
+				return false
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isStringType(tv.Type) {
+					allocates = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return allocates
+}

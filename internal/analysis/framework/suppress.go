@@ -1,0 +1,136 @@
+// //hpslint:ignore suppression directives.
+//
+// A source line can opt out of one analyzer's findings with a comment
+//
+//	c, _ := ep.Dial(addr) //hpslint:ignore closecheck adopted by the session table below
+//
+// The directive names exactly one analyzer and must carry a reason; it
+// suppresses that analyzer's diagnostics on its own line and on the
+// line directly below it (so a standalone comment line covers the
+// statement it precedes). A directive that suppresses nothing is
+// itself reported — stale suppressions are how exemptions outlive the
+// code they excused.
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "//hpslint:ignore"
+
+// Directive is one parsed //hpslint:ignore comment.
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	// Malformed carries the parse problem ("" when well-formed).
+	Malformed string
+	used      bool
+}
+
+// CollectDirectives parses every //hpslint:ignore comment in pkgs.
+func CollectDirectives(pkgs []*Package) []*Directive {
+	var dirs []*Directive
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					dirs = append(dirs, parseDirective(p.Fset, c))
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+func parseDirective(fset *token.FileSet, c *ast.Comment) *Directive {
+	pos := fset.Position(c.Pos())
+	d := &Directive{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		d.Malformed = "malformed //hpslint:ignore directive: want //hpslint:ignore <analyzer> <reason>"
+		return d
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.Malformed = "//hpslint:ignore directive names no analyzer: want //hpslint:ignore <analyzer> <reason>"
+		return d
+	}
+	d.Analyzer = fields[0]
+	if len(fields) < 2 {
+		d.Malformed = "//hpslint:ignore " + d.Analyzer + " gives no reason: a suppression must say why"
+		return d
+	}
+	d.Reason = strings.Join(fields[1:], " ")
+	return d
+}
+
+// ignoreAnalyzer attributes directive problems (malformed or unused
+// directives) in diagnostic output.
+var ignoreAnalyzer = &Analyzer{
+	Name: "ignore",
+	Doc:  "report malformed and unused //hpslint:ignore directives",
+}
+
+// ApplyDirectives removes diagnostics suppressed by dirs and appends a
+// diagnostic for every malformed directive, every directive naming an
+// analyzer outside known, and every directive that suppressed nothing.
+// The result is re-sorted.
+func ApplyDirectives(fset *token.FileSet, diags []AnalyzerDiagnostic, dirs []*Directive, known map[string]bool) []AnalyzerDiagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	// Index well-formed directives by file and the two lines they cover.
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key]*Directive)
+	for _, d := range dirs {
+		if d.Malformed != "" {
+			continue
+		}
+		index[key{d.File, d.Line, d.Analyzer}] = d
+		index[key{d.File, d.Line + 1, d.Analyzer}] = d
+	}
+	var kept []AnalyzerDiagnostic
+	for _, ad := range diags {
+		pos := ad.Fset.Position(ad.Pos)
+		if d, ok := index[key{pos.Filename, pos.Line, ad.Analyzer.Name}]; ok {
+			d.used = true
+			continue
+		}
+		kept = append(kept, ad)
+	}
+	for _, d := range dirs {
+		var msg string
+		switch {
+		case d.Malformed != "":
+			msg = d.Malformed
+		case known != nil && !known[d.Analyzer]:
+			msg = "//hpslint:ignore names unknown analyzer " + d.Analyzer
+		case !d.used:
+			msg = "unused //hpslint:ignore " + d.Analyzer + " directive suppresses nothing: delete it"
+		default:
+			continue
+		}
+		if fset == nil {
+			continue
+		}
+		kept = append(kept, AnalyzerDiagnostic{
+			Analyzer:   ignoreAnalyzer,
+			Fset:       fset,
+			Diagnostic: Diagnostic{Pos: d.Pos, Message: msg},
+		})
+	}
+	SortDiagnostics(kept)
+	return kept
+}

@@ -1,0 +1,95 @@
+package framework_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/closecheck"
+	"hpsockets/internal/analysis/framework"
+)
+
+// TestApplyDirectives runs closecheck over the ignorefix fixture and
+// applies its //hpslint:ignore directives: findings on (or under) a
+// matching directive disappear, mismatched and unused directives are
+// themselves reported.
+func TestApplyDirectives(t *testing.T) {
+	prog := analysistest.Load(t, "../testdata", "ignorefix")
+	if prog == nil {
+		t.Fatal("fixture program did not load")
+	}
+	var pkg *framework.Package
+	for _, p := range prog.Pkgs {
+		if p.Path == "ignorefix" {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		t.Fatal("ignorefix package not loaded")
+	}
+
+	var diags []framework.AnalyzerDiagnostic
+	pass := &framework.Pass{
+		Analyzer:  closecheck.Analyzer,
+		Fset:      prog.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Prog:      prog,
+		Report: func(d framework.Diagnostic) {
+			diags = append(diags, framework.AnalyzerDiagnostic{
+				Analyzer: closecheck.Analyzer, Fset: prog.Fset, Diagnostic: d,
+			})
+		},
+	}
+	if _, err := closecheck.Analyzer.Run(pass); err != nil {
+		t.Fatalf("closecheck: %v", err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("closecheck reported %d findings before suppression, want 4", len(diags))
+	}
+
+	known := map[string]bool{"closecheck": true, "poolsafe": true}
+	kept := framework.ApplyDirectives(prog.Fset, diags, framework.CollectDirectives([]*framework.Package{pkg}), known)
+
+	var msgs []string
+	for _, d := range kept {
+		msgs = append(msgs, d.Analyzer.Name+": "+d.Message)
+	}
+	wantSubstrings := []string{
+		"closecheck: core.Conn c is never closed",              // reported()
+		"closecheck: core.Conn c is never closed",              // wrongAnalyzer(): poolsafe directive does not suppress
+		"ignore: unused //hpslint:ignore poolsafe",             // the mismatched directive
+		"ignore: unused //hpslint:ignore closecheck",           // the standalone directive that matched nothing
+		"ignore: //hpslint:ignore directive names no analyzer", // bare //hpslint:ignore
+		"ignore: //hpslint:ignore names unknown analyzer nosuch",
+	}
+	if len(kept) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics after suppression, want %d:\n%s",
+			len(kept), len(wantSubstrings), strings.Join(msgs, "\n"))
+	}
+	remaining := append([]string(nil), msgs...)
+	for _, w := range wantSubstrings {
+		found := -1
+		for i, m := range remaining {
+			if strings.Contains(m, w) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("missing diagnostic containing %q in:\n%s", w, strings.Join(msgs, "\n"))
+			continue
+		}
+		remaining = append(remaining[:found], remaining[found+1:]...)
+	}
+
+	// Exactly two of the four findings were suppressed (suppressed()
+	// and lineAbove()); the directive bookkeeping diagnostics carry
+	// positions in the fixture file, not token.NoPos.
+	for _, d := range kept {
+		if !d.Pos.IsValid() {
+			t.Errorf("diagnostic with invalid position: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package offpath defines an analyzer that keeps telemetry call sites
+// free on the monitor-off path.
+//
+// The monitor contract (internal/sim.Monitor, internal/hpsmon) is that
+// with no monitor attached a hook costs one nil check and allocates
+// nothing — that is what makes it safe to leave instrumentation in the
+// hot paths that the paper's figures time. Two ways a call site breaks
+// the contract:
+//
+//   - calling a sim.Monitor method on a value that was never
+//     nil-checked, which panics (or forces a stub monitor) the moment
+//     telemetry is off;
+//   - passing an allocating expression (fmt.Sprintf, string concat, a
+//     composite literal) to an hpsmon helper — the helper nil-checks
+//     internally, but its arguments are evaluated unconditionally, so
+//     the allocation happens on every call even with telemetry off.
+package offpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "offpath",
+	Doc: `keep telemetry call sites allocation-free when the monitor is off
+
+Every sim.Monitor method call must be dominated by a nil check of the
+same monitor value — "if m := k.Monitor(); m != nil { m.Count(...) }",
+an early return "if s.m == nil { return }", or a guard on the same
+field chain. Arguments of hpsmon helper calls must be allocation-free
+(the helpers guard internally, but arguments evaluate before the call);
+an argument that must allocate — a dynamic detail string, say — belongs
+behind "if hpsmon.Enabled(k) { ... }", which the analyzer recognizes
+and exempts.`,
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// posRange is a half-open source interval within which a guard holds.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	// guards[key] are the ranges where the monitor value named by key
+	// is proven non-nil; telemetryOn are the ranges where telemetry as
+	// a whole is proven on (an Enabled check or any monitor nil check),
+	// which exempts allocating hpsmon arguments.
+	guards := make(map[string][]posRange)
+	var telemetryOn []posRange
+
+	framework.WithStackNode(body, func(n ast.Node, stack []ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond := ast.Unparen(ifs.Cond)
+
+		// "if X != nil { ... }": X is non-nil inside the body.
+		if x := nilCompared(cond, token.NEQ); x != nil {
+			rng := posRange{ifs.Body.Pos(), ifs.Body.End()}
+			if key := exprKey(pass.TypesInfo, x); key != "" && isMonitorExpr(pass.TypesInfo, x) {
+				guards[key] = append(guards[key], rng)
+			}
+			if isMonitorExpr(pass.TypesInfo, x) {
+				telemetryOn = append(telemetryOn, rng)
+			}
+			return true
+		}
+		// "if X == nil { return }": X is non-nil after the if, to the
+		// end of its enclosing statement list.
+		if x := nilCompared(cond, token.EQL); x != nil && terminates(ifs.Body) {
+			rng := posRange{ifs.End(), enclosingListEnd(stack)}
+			if key := exprKey(pass.TypesInfo, x); key != "" && isMonitorExpr(pass.TypesInfo, x) {
+				guards[key] = append(guards[key], rng)
+			}
+			if isMonitorExpr(pass.TypesInfo, x) {
+				telemetryOn = append(telemetryOn, rng)
+			}
+			return true
+		}
+		// "if hpsmon.Enabled(k) { ... }" and the early-return negation.
+		if isEnabledCall(pass.TypesInfo, cond) {
+			telemetryOn = append(telemetryOn, posRange{ifs.Body.Pos(), ifs.Body.End()})
+			return true
+		}
+		if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT &&
+			isEnabledCall(pass.TypesInfo, ast.Unparen(u.X)) && terminates(ifs.Body) {
+			telemetryOn = append(telemetryOn, posRange{ifs.End(), enclosingListEnd(stack)})
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Rule 1: a method call on a sim.Monitor value.
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal &&
+			isMonitorType(s.Recv()) {
+			key := exprKey(pass.TypesInfo, sel.X)
+			if key == "" || !inAny(guards[key], call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"sim.Monitor call %s is not nil-guarded: with telemetry off the monitor is nil, guard it with `if m != nil`",
+					renderCallee(pass, sel))
+			}
+			return true
+		}
+		// Rule 2: allocation-free arguments to hpsmon hooks.
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && isHpsmonHook(fn) {
+			if inAny(telemetryOn, call.Pos()) {
+				return true // proven on: the allocation is telemetry's own cost
+			}
+			if pass.Prog == nil {
+				return true
+			}
+			for i, arg := range call.Args {
+				if pass.Prog.ExprAllocates(pass.TypesInfo, arg) {
+					pass.Reportf(arg.Pos(),
+						"argument %d of hpsmon.%s allocates even when telemetry is off: build it behind `if hpsmon.Enabled(k)`",
+						i+1, fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// nilCompared returns X when cond is "X <op> nil" or "nil <op> X".
+func nilCompared(cond ast.Expr, op token.Token) ast.Expr {
+	b, ok := cond.(*ast.BinaryExpr)
+	if !ok || b.Op != op {
+		return nil
+	}
+	if isNil(b.Y) {
+		return ast.Unparen(b.X)
+	}
+	if isNil(b.X) {
+		return ast.Unparen(b.Y)
+	}
+	return nil
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether the block always leaves the enclosing
+// statement list (its last statement is a return, branch, or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingListEnd is the end of the innermost statement list holding
+// the node under inspection (stack's last element).
+func enclosingListEnd(stack []ast.Node) token.Pos {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.BlockStmt:
+			return s.End()
+		case *ast.CaseClause:
+			return s.End()
+		case *ast.CommClause:
+			return s.End()
+		}
+	}
+	return token.NoPos
+}
+
+// exprKey names a monitor-holding expression stably: an identifier by
+// its object, a field chain by the base object and field names. Other
+// shapes (call results, index expressions) return "" — they cannot be
+// matched against a guard.
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("obj:%p", obj)
+	case *ast.SelectorExpr:
+		base := exprKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// isMonitorExpr reports whether e's static type is the sim.Monitor
+// interface.
+func isMonitorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isMonitorType(tv.Type)
+}
+
+// isMonitorType matches the named interface Monitor from a package
+// named "sim" (the real internal/sim and the fixture stub alike).
+func isMonitorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Monitor" || obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}
+
+// isHpsmonFunc matches package-level functions of a package named
+// "hpsmon".
+func isHpsmonFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Name() != "hpsmon" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// isHpsmonHook matches the instrumentation hooks — hpsmon functions
+// whose first parameter is the *sim.Kernel or *sim.Proc they hang off.
+// These run on simulation hot paths and must stay allocation-free with
+// telemetry off; constructors and exporters (NewCollector, NewRegistry)
+// run once at setup and may allocate freely.
+func isHpsmonHook(fn *types.Func) bool {
+	if !isHpsmonFunc(fn) {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "sim" &&
+		(obj.Name() == "Kernel" || obj.Name() == "Proc")
+}
+
+// isEnabledCall matches a call to hpsmon.Enabled.
+func isEnabledCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Enabled" && isHpsmonFunc(fn)
+}
+
+func inAny(ranges []posRange, p token.Pos) bool {
+	for _, r := range ranges {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// renderCallee prints "m.Count" / "s.m.SpanEnd" for the diagnostic.
+func renderCallee(pass *framework.Pass, sel *ast.SelectorExpr) string {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return x.Name + "." + sel.Sel.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return id.Name + "." + x.Sel.Name + "." + sel.Sel.Name
+		}
+	}
+	return "(monitor)." + sel.Sel.Name
+}

@@ -1,0 +1,12 @@
+package offpath_test
+
+import (
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/offpath"
+)
+
+func TestOffPath(t *testing.T) {
+	analysistest.Run(t, "../testdata", offpath.Analyzer, "offpath")
+}

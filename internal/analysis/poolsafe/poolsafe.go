@@ -24,27 +24,21 @@ var Analyzer = &framework.Analyzer{
 	Name: "poolsafe",
 	Doc: `forbid use of a pooled object after it was released to a free-list
 
-Within one function, once a variable is passed to a pool release
-function (FreeFrame, freeSeg, freePacket, freeSendWork, releaseEvent),
-later uses of that variable — field access, indexing, or passing it to
-any call — are flagged. Reassigning the variable ends the tracking; a
-release on a path that leaves its enclosing block or case clause
-(return, continue, break, goto) does not taint code after it; and
-sibling branches — the else arm, other case clauses — are alternatives
-to the release, never its successors, so uses there are clean.`,
+Within one function, once a variable is released to a pool, later uses
+of that variable — field access, indexing, or passing it to any call —
+are flagged. Release points are resolved interprocedurally: a call
+releases its argument when the callee's dataflow summary says so,
+which covers both the primitives (FreeFrame, freeSeg, freePacket,
+freeSendWork, releaseEvent — provided their bodies actually retain the
+argument; a releaser-named no-op is not a release) and any helper that
+hands its parameter to one of them unconditionally. Reassigning the
+variable ends the tracking; a release on a path that leaves its
+enclosing block or case clause (return, continue, break, goto) does
+not taint code after it; sibling branches — the else arm, other case
+clauses — are alternatives to the release, never its successors, so
+uses there are clean; and a deferred release happens at return, so it
+taints nothing.`,
 	Run: run,
-}
-
-// releasers are the free-list release entry points, matched by callee
-// name with the released object as the sole argument. Name-based
-// matching deliberately covers both the exported netsim API and the
-// package-private ktcp/via/sim helpers.
-var releasers = map[string]bool{
-	"FreeFrame":    true,
-	"freeSeg":      true,
-	"freePacket":   true,
-	"freeSendWork": true,
-	"releaseEvent": true,
 }
 
 // posRange is a half-open source interval.
@@ -91,13 +85,16 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 	framework.WithStackNode(body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if obj, fn := releaseArg(pass, n); obj != nil {
+			if inDefer(stack) {
+				break // a deferred release runs at return; it taints nothing
+			}
+			for _, rel := range releasedArgs(pass, n) {
 				limit, excludes := computeReach(n, stack)
-				releases[obj] = append(releases[obj], release{
+				releases[rel.Obj] = append(releases[rel.Obj], release{
 					call:     n,
 					limit:    limit,
 					excludes: excludes,
-					fn:       fn,
+					fn:       rel.Callee,
 				})
 			}
 		case *ast.AssignStmt:
@@ -236,10 +233,15 @@ func inSiblingBranch(excludes []posRange, p token.Pos) bool {
 	return false
 }
 
-// releaseArg returns the object handed to a pool release call and the
-// callee name, or nil. The released value must be the call's final
-// argument (methods like Network.FreeFrame take only it).
-func releaseArg(pass *framework.Pass, call *ast.CallExpr) (types.Object, string) {
+// releasedArgs resolves the objects call releases to a pool. With the
+// whole-program view this is summary-driven (framework.ReleasedArgs);
+// without one it falls back to name-matching the release primitives
+// with the released object as the final argument, the intraprocedural
+// contract.
+func releasedArgs(pass *framework.Pass, call *ast.CallExpr) []framework.ReleasedArg {
+	if pass.Prog != nil {
+		return pass.Prog.ReleasedArgs(pass.TypesInfo, call)
+	}
 	var name string
 	switch fun := call.Fun.(type) {
 	case *ast.SelectorExpr:
@@ -247,16 +249,34 @@ func releaseArg(pass *framework.Pass, call *ast.CallExpr) (types.Object, string)
 	case *ast.Ident:
 		name = fun.Name
 	default:
-		return nil, ""
+		return nil
 	}
-	if !releasers[name] || len(call.Args) == 0 {
-		return nil, ""
+	if !framework.PoolReleasers[name] || len(call.Args) == 0 {
+		return nil
 	}
 	id, ok := call.Args[len(call.Args)-1].(*ast.Ident)
 	if !ok {
-		return nil, ""
+		return nil
 	}
-	return pass.TypesInfo.Uses[id], name
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return []framework.ReleasedArg{{Obj: obj, Callee: name}}
+}
+
+// inDefer reports whether the innermost node of stack is the call of a
+// defer statement.
+func inDefer(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
 }
 
 func killedBetween(kills []token.Pos, lo, hi token.Pos) bool {

@@ -1,0 +1,257 @@
+// Package seamcheck defines a program-level analyzer that enforces the
+// sim/real seam: the application-side packages (internal/core,
+// internal/datacutter, internal/vizapp) may reach the simulation-side
+// packages (internal/sim, internal/netsim, internal/ktcp, internal/via)
+// only through the surface allowlisted in seam.allow.
+//
+// The seam is the contract the planned sim-to-real transport refactor
+// depends on: every package-level symbol the application side touches
+// on the simulation side is one more point the real transport must
+// reproduce. Keeping that surface in a checked-in file makes growth
+// deliberate — widening the seam is a reviewed diff to seam.allow, not
+// an accident of convenience — and the unused-entry rule shrinks it
+// back as call sites disappear.
+package seamcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"hpsockets/internal/analysis/framework"
+)
+
+// AllowFile is the path of the seam allowlist, relative to the working
+// directory (cmd/hpslint overrides it with -seamcheck.allow).
+var AllowFile = "seam.allow"
+
+var Analyzer = &framework.Analyzer{
+	Name: "seamcheck",
+	Doc: `restrict sim-side references from app-side packages to the seam.allow surface
+
+Consumer packages may use a package-level symbol of a target package
+only when a seam.allow entry covers the pair. The file declares the
+seam itself:
+
+	consumer internal/core        # app side (defaults: core, datacutter, vizapp)
+	target   internal/sim         # sim side (defaults: sim, netsim, ktcp, via)
+	allow    internal/core sim.Kernel
+	allow    * sim.Time           # any consumer
+
+Package patterns match whole trailing path segments, so internal/core
+matches hpsockets/internal/core. consumer/target lines replace the
+defaults when present. Every allow entry must match at least one
+reference — unused entries are errors, so the recorded surface never
+outlives the code that needed it (enforced only when the entry's
+consumer packages are part of the run, so analyzing a package subset
+does not declare the surface dead). A missing seam.allow is an empty
+allowlist: every seam reference is flagged.`,
+	RunProgram: run,
+}
+
+// defaults describe the real repository's seam; a seam.allow that
+// declares its own consumer/target lines replaces them (fixtures do).
+var (
+	defaultConsumers = []string{"internal/core", "internal/datacutter", "internal/vizapp"}
+	defaultTargets   = []string{"internal/sim", "internal/netsim", "internal/ktcp", "internal/via"}
+)
+
+// allowEntry is one parsed allow line.
+type allowEntry struct {
+	line     int
+	consumer string // package pattern, or "*" for any consumer
+	symbol   string // pkgname.Name on the target side
+	used     bool
+}
+
+type config struct {
+	consumers []string
+	targets   []string
+	allows    []*allowEntry
+	// problems are parse diagnostics, as (line, message).
+	problems []lineMsg
+}
+
+type lineMsg struct {
+	line int
+	msg  string
+}
+
+func run(pass *framework.ProgramPass) (any, error) {
+	data, err := os.ReadFile(AllowFile)
+	if err != nil {
+		data = nil // missing file: empty allowlist, defaults apply
+	}
+	cfg := parseAllow(data)
+
+	// A virtual token file gives the allowlist's own diagnostics real
+	// file:line positions.
+	vf := pass.Fset.AddFile(AllowFile, -1, len(data)+1)
+	vf.SetLinesForContent(append(data, '\n'))
+	atLine := func(n int) token.Pos {
+		if n < 1 || n > vf.LineCount() {
+			return vf.Pos(0)
+		}
+		return vf.LineStart(n)
+	}
+
+	for _, p := range pass.Prog.Pkgs {
+		if !matchAny(p.Path, cfg.consumers) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.TypesInfo.Uses[id]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg() == p.Types {
+					return true
+				}
+				if obj.Parent() != obj.Pkg().Scope() {
+					return true // methods and fields ride on an already-allowed type
+				}
+				if !matchAny(obj.Pkg().Path(), cfg.targets) {
+					return true
+				}
+				sym := obj.Pkg().Name() + "." + obj.Name()
+				if e := cfg.lookup(p.Path, sym); e != nil {
+					e.used = true
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"%s reaches %s outside the seam surface: widen the seam deliberately with `allow %s %s` in %s, or route through an allowlisted symbol",
+					p.Path, sym, consumerPattern(p.Path, cfg.consumers), sym, AllowFile)
+				return true
+			})
+		}
+	}
+
+	for _, pr := range cfg.problems {
+		pass.Report(framework.Diagnostic{Pos: atLine(pr.line), Message: pr.msg})
+	}
+	// An entry is provably unused only when its consumer packages were
+	// actually loaded: a run over a package subset (hpslint ./cmd/foo)
+	// sees no references from packages it did not load, and must not
+	// declare the whole surface dead.
+	consumerLoaded := func(pattern string) bool {
+		for _, p := range pass.Prog.Pkgs {
+			if pattern == "*" {
+				if matchAny(p.Path, cfg.consumers) {
+					return true
+				}
+			} else if matchPath(p.Path, pattern) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range cfg.allows {
+		if !e.used && consumerLoaded(e.consumer) {
+			pass.Report(framework.Diagnostic{
+				Pos: atLine(e.line),
+				Message: fmt.Sprintf(
+					"unused seam.allow entry `allow %s %s`: no consumer references it, delete the entry",
+					e.consumer, e.symbol),
+			})
+		}
+	}
+	return nil, nil
+}
+
+// parseAllow reads the allowlist. Lines are whitespace-separated
+// fields; '#' starts a comment; blank lines are skipped.
+func parseAllow(data []byte) *config {
+	cfg := &config{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := i + 1
+		if idx := strings.IndexByte(raw, '#'); idx >= 0 {
+			raw = raw[:idx]
+		}
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "consumer":
+			if len(fields) != 2 {
+				cfg.problems = append(cfg.problems, lineMsg{line, "seam.allow: consumer takes exactly one package pattern"})
+				continue
+			}
+			cfg.consumers = append(cfg.consumers, fields[1])
+		case "target":
+			if len(fields) != 2 {
+				cfg.problems = append(cfg.problems, lineMsg{line, "seam.allow: target takes exactly one package pattern"})
+				continue
+			}
+			cfg.targets = append(cfg.targets, fields[1])
+		case "allow":
+			if len(fields) != 3 || !strings.Contains(fields[2], ".") {
+				cfg.problems = append(cfg.problems, lineMsg{line, "seam.allow: want `allow <consumer-pattern> <pkg.Symbol>`"})
+				continue
+			}
+			cfg.allows = append(cfg.allows, &allowEntry{line: line, consumer: fields[1], symbol: fields[2]})
+		default:
+			cfg.problems = append(cfg.problems, lineMsg{line, "seam.allow: unknown directive " + fields[0]})
+		}
+	}
+	if cfg.consumers == nil {
+		cfg.consumers = defaultConsumers
+	}
+	if cfg.targets == nil {
+		cfg.targets = defaultTargets
+	}
+	sort.Slice(cfg.allows, func(i, j int) bool { return cfg.allows[i].line < cfg.allows[j].line })
+	return cfg
+}
+
+// lookup finds the allow entry covering one consumer package's use of
+// symbol, preferring an exact consumer pattern over the wildcard.
+func (cfg *config) lookup(consumerPath, symbol string) *allowEntry {
+	var wild *allowEntry
+	for _, e := range cfg.allows {
+		if e.symbol != symbol {
+			continue
+		}
+		if e.consumer == "*" {
+			if wild == nil {
+				wild = e
+			}
+			continue
+		}
+		if matchPath(consumerPath, e.consumer) {
+			return e
+		}
+	}
+	return wild
+}
+
+// matchPath reports whether path matches pattern: equal, or pattern is
+// a whole trailing segment sequence of path.
+func matchPath(path, pattern string) bool {
+	return path == pattern || strings.HasSuffix(path, "/"+pattern)
+}
+
+func matchAny(path string, patterns []string) bool {
+	for _, p := range patterns {
+		if matchPath(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// consumerPattern names the configured consumer pattern that matched
+// path, for the suggested allow line.
+func consumerPattern(path string, patterns []string) string {
+	for _, p := range patterns {
+		if matchPath(path, p) {
+			return p
+		}
+	}
+	return path
+}

@@ -1,0 +1,104 @@
+package seamcheck
+
+import (
+	"strings"
+	"testing"
+
+	"hpsockets/internal/analysis/analysistest"
+	"hpsockets/internal/analysis/framework"
+)
+
+// TestSeamCheck drives the analyzer through want comments with an
+// allowlist whose every entry is referenced.
+func TestSeamCheck(t *testing.T) {
+	defer func(old string) { AllowFile = old }(AllowFile)
+	AllowFile = "../testdata/seam_allow_good"
+	analysistest.Run(t, "../testdata", Analyzer, "seamcore")
+}
+
+// runOn runs the analyzer over the fixture program with a given
+// allowlist and returns the rendered diagnostics.
+func runOn(t *testing.T, allowFile string) []string {
+	t.Helper()
+	defer func(old string) { AllowFile = old }(AllowFile)
+	AllowFile = allowFile
+	prog := analysistest.Load(t, "../testdata", "seamcore")
+	if prog == nil {
+		t.Fatal("fixture program did not load")
+	}
+	var got []string
+	pass := &framework.ProgramPass{
+		Analyzer: Analyzer,
+		Prog:     prog,
+		Fset:     prog.Fset,
+		Report: func(d framework.Diagnostic) {
+			pos := prog.Fset.Position(d.Pos)
+			got = append(got, strings.TrimPrefix(pos.Filename, "../testdata/")+":"+d.Message)
+		},
+	}
+	if _, err := Analyzer.RunProgram(pass); err != nil {
+		t.Fatalf("seamcheck: %v", err)
+	}
+	return got
+}
+
+// TestUnusedEntryAndParseErrors checks the allowlist's own hygiene
+// diagnostics: a never-referenced entry and a malformed line are both
+// reported at their positions in the allow file.
+func TestUnusedEntryAndParseErrors(t *testing.T) {
+	got := runOn(t, "../testdata/seam_allow_unused")
+	wantSubstrings := []string{
+		"seamcore reaches seamsim.Tuning outside the seam surface", // Hidden is allowed here, Tuning is not
+		"unused seam.allow entry `allow seamcore seamsim.Spare`",
+		"seam.allow: unknown directive badline",
+	}
+	for _, w := range wantSubstrings {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q in %q", w, got)
+		}
+	}
+	for _, g := range got {
+		if strings.Contains(g, "seamsim.Hidden outside") {
+			t.Errorf("seamsim.Hidden is allowlisted in this file but was flagged: %s", g)
+		}
+	}
+	if len(got) != len(wantSubstrings) {
+		t.Errorf("got %d diagnostics, want %d: %q", len(got), len(wantSubstrings), got)
+	}
+	// Hygiene diagnostics carry allow-file positions.
+	for _, g := range got[1:] {
+		if !strings.HasPrefix(g, "seam_allow_unused:") {
+			t.Errorf("allowlist diagnostic not positioned in the allow file: %s", g)
+		}
+	}
+}
+
+// TestEmptyAllowlist: a seam with no allow entries flags every
+// reference across it, so gutting seam.allow fails loudly. (A missing
+// file behaves the same way on the real repo, where the default
+// consumer/target patterns apply.)
+func TestEmptyAllowlist(t *testing.T) {
+	got := runOn(t, "../testdata/seam_allow_empty")
+	if len(got) == 0 {
+		t.Fatal("empty allowlist produced no diagnostics; the seam is unenforced")
+	}
+	for _, w := range []string{"seamsim.Kernel", "seamsim.NewKernel", "seamsim.Time", "seamsim.Hidden", "seamsim.Tuning"} {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w+" outside the seam surface") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected %s to be flagged with an empty allowlist, got %q", w, got)
+		}
+	}
+}

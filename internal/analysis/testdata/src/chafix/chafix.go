@@ -1,0 +1,45 @@
+// Fixture for the call-graph builder tests: interface dispatch,
+// cross-package edges and summary propagation.
+package chafix
+
+import "core"
+
+// Closer is dispatched through CHA: both implementations below are
+// found by the builder.
+type Closer interface {
+	Shut(c core.Conn)
+}
+
+// Tidy closes the conn it is given.
+type Tidy struct{}
+
+func (Tidy) Shut(c core.Conn) { c.Close() }
+
+// Messy drops the conn on the floor.
+type Messy struct{}
+
+func (Messy) Shut(c core.Conn) { _ = c == nil }
+
+// ShutAll dispatches Shut through the interface: because Messy does
+// not close, the conn cannot be considered closed here.
+func ShutAll(cl Closer, c core.Conn) {
+	cl.Shut(c)
+}
+
+// CloseRemote closes through another package's helper, so the fact
+// crosses a package boundary via the serialized cache.
+func CloseRemote(c core.Conn) {
+	core.CloseQuiet(c)
+}
+
+// Stash retains the conn in a package global.
+var stash []core.Conn
+
+func Stash(c core.Conn) {
+	stash = append(stash, c)
+}
+
+// Fresh allocates; Flat does not.
+func Fresh(n int) []int { return make([]int, n) }
+
+func Flat(a, b int) int { return a + b }

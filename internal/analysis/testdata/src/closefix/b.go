@@ -1,0 +1,78 @@
+// Interprocedural fixtures for the closecheck analyzer: hand-offs
+// resolved through callee summaries rather than assumed to escape.
+package closefix
+
+import "core"
+
+var droppedConns int
+
+// drop inspects the conn and forgets it: its summary neither closes
+// nor retains the parameter, so the close obligation never leaves the
+// caller.
+func drop(c core.Conn) {
+	if c != nil {
+		droppedConns++
+	}
+}
+
+// True positive the intraprocedural analyzer missed: passing the conn
+// to any function used to count as an escape, hiding this leak.
+func droppedOnFloor(e *core.Endpoint) {
+	c, _ := e.Dial("b") // want `core\.Conn c is never closed: drop neither closes nor retains it`
+	drop(c)
+}
+
+// discard drops transitively — its only use of the conn is handing it
+// to drop, whose summary shows the conn goes nowhere.
+func discard(c core.Conn) {
+	drop(c)
+}
+
+func droppedTransitively(e *core.Endpoint) {
+	c, _ := e.Dial("b") // want `core\.Conn c is never closed: discard neither closes nor retains it`
+	discard(c)
+}
+
+// Resolved false positive: a bound Close method value hands off the
+// close obligation; the intraprocedural analyzer saw neither a Close
+// call nor an escape and flagged it.
+func methodValue(e *core.Endpoint) error {
+	c, _ := e.Dial("b")
+	f := c.Close
+	defer f()
+	return c.Send(nil)
+}
+
+// Near miss: the helper lives in another package, so its summary
+// arrives through the serialized fact cache.
+func closedAcrossPackages(e *core.Endpoint) {
+	c, _ := e.Dial("b")
+	c.Send(nil)
+	core.CloseQuiet(c)
+}
+
+// closeIfIdle closes only on one path, but "closes on some path" is
+// the same contract the analyzer applies within a single function.
+func closeIfIdle(c core.Conn, idle bool) {
+	if idle {
+		c.Close()
+	}
+}
+
+func conditionallyClosed(e *core.Endpoint, idle bool) {
+	c, _ := e.Dial("b")
+	closeIfIdle(c, idle)
+}
+
+// keep retains the conn in a package-level table: the conn escapes
+// through the helper and the obligation moves with it.
+var table []core.Conn
+
+func keep(c core.Conn) {
+	table = append(table, c)
+}
+
+func retainedByHelper(e *core.Endpoint) {
+	c, _ := e.Dial("b")
+	keep(c)
+}

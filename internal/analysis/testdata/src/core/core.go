@@ -13,3 +13,7 @@ type Endpoint struct{}
 
 // Dial opens a stub connection.
 func (e *Endpoint) Dial(remote string) (Conn, error) { return nil, nil }
+
+// CloseQuiet closes c and discards the error, so analyzer fixtures can
+// exercise a close that happens in another package.
+func CloseQuiet(c Conn) { _ = c.Close() }

@@ -35,3 +35,16 @@ func InstantK(k *sim.Kernel, component, name, detail string) {}
 
 // FlowSend registers a flow origin (dynamic key allowed).
 func FlowSend(p *sim.Proc, stream string, uow int, tag int64) {}
+
+// FlowRecv resolves a flow's consumer side.
+func FlowRecv(p *sim.Proc, stream string, uow int, tag int64) {}
+
+// Options configures a collector.
+type Options struct{ Spans bool }
+
+// Collector is a stub monitor implementation.
+type Collector struct{}
+
+// NewCollector builds a monitor. It is a setup-path constructor, not
+// an instrumentation hook.
+func NewCollector(name string, opts Options) *Collector { return &Collector{} }

@@ -1,0 +1,36 @@
+// Fixture for //hpslint:ignore suppression directives.
+package ignorefix
+
+import "core"
+
+// The directive on the offending line suppresses the finding.
+func suppressed(e *core.Endpoint) {
+	c, _ := e.Dial("b") //hpslint:ignore closecheck adopted by the teardown sweep
+	c.Send(nil)
+}
+
+// A directive on its own line covers the statement below it.
+func lineAbove(e *core.Endpoint) {
+	//hpslint:ignore closecheck covered by the session reaper
+	c, _ := e.Dial("b")
+	c.Send(nil)
+}
+
+// No directive: the finding is reported.
+func reported(e *core.Endpoint) {
+	c, _ := e.Dial("b")
+	c.Send(nil)
+}
+
+// A directive for a different analyzer does not suppress closecheck,
+// and is itself reported as unused.
+func wrongAnalyzer(e *core.Endpoint) {
+	c, _ := e.Dial("b") //hpslint:ignore poolsafe belt and braces that match nothing
+	c.Send(nil)
+}
+
+//hpslint:ignore closecheck nothing on the next line leaks
+
+//hpslint:ignore
+
+//hpslint:ignore nosuch the analyzer name is made up

@@ -1,0 +1,116 @@
+// Fixture for the offpath analyzer.
+package offpath
+
+import (
+	"fmt"
+
+	"hpsmon"
+	"sim"
+)
+
+// Near miss: the canonical guard — the monitor is non-nil inside the
+// if body, and its arguments only evaluate there.
+func guarded(k *sim.Kernel) {
+	if m := k.Monitor(); m != nil {
+		m.Count(k.Now(), "nic", "tx", 1)
+	}
+}
+
+// A monitor method call with no guard anywhere panics the moment
+// telemetry is off.
+func unguarded(k *sim.Kernel) {
+	m := k.Monitor()
+	m.Count(k.Now(), "nic", "tx", 1) // want `sim\.Monitor call m\.Count is not nil-guarded`
+}
+
+// Near miss: the early-return guard proves m non-nil for the rest of
+// the function.
+func earlyReturn(k *sim.Kernel) {
+	m := k.Monitor()
+	if m == nil {
+		return
+	}
+	m.Gauge(k.Now(), "nic", "depth", 3)
+}
+
+// A guard on one variable proves nothing about another.
+func wrongGuard(k *sim.Kernel, other sim.Monitor) {
+	if other != nil {
+		m := k.Monitor()
+		m.Count(k.Now(), "nic", "tx", 1) // want `sim\.Monitor call m\.Count is not nil-guarded`
+	}
+}
+
+// scope mirrors hpsmon.Scope: a struct field holding the monitor.
+type scope struct {
+	m sim.Monitor
+}
+
+// Near miss: the field guard covers later uses of the same field chain.
+func (s scope) end(k *sim.Kernel) {
+	if s.m == nil {
+		return
+	}
+	s.m.Gauge(k.Now(), "nic", "depth", 1)
+}
+
+// The field is used without any guard.
+func (s scope) leakyEnd(k *sim.Kernel) {
+	s.m.Gauge(k.Now(), "nic", "depth", 1) // want `sim\.Monitor call s\.m\.Gauge is not nil-guarded`
+}
+
+// Calling through the accessor result cannot be matched to a guard and
+// is flagged even under a nil check of the same expression — bind the
+// monitor to a variable instead.
+func throughAccessor(k *sim.Kernel) {
+	if k.Monitor() != nil {
+		k.Monitor().Count(k.Now(), "nic", "tx", 1) // want `sim\.Monitor call \(monitor\)\.Count is not nil-guarded`
+	}
+}
+
+// Near miss: hpsmon helpers guard internally; constant and identifier
+// arguments are free on the off path.
+func cheapArgs(k *sim.Kernel, depth int64) {
+	hpsmon.GaugeSet(k, "nic", "depth", depth)
+	hpsmon.Observe(k, "nic", "lat", sim.Time(depth))
+}
+
+// The detail string allocates on every call, telemetry on or off.
+func allocatingDetail(k *sim.Kernel, id int) {
+	hpsmon.InstantK(k, "nic", "drop", fmt.Sprintf("pkt %d", id)) // want `argument 4 of hpsmon\.InstantK allocates even when telemetry is off`
+}
+
+// String concatenation with a variable is an allocation too.
+func concatDetail(p *sim.Proc, who string) {
+	hpsmon.Instant(p, "nic", "drop", "peer "+who) // want `argument 4 of hpsmon\.Instant allocates even when telemetry is off`
+}
+
+// Near miss: the documented idiom — dynamic detail built behind
+// Enabled costs nothing when telemetry is off.
+func enabledGuard(k *sim.Kernel, id int) {
+	if hpsmon.Enabled(k) {
+		hpsmon.InstantK(k, "nic", "drop", fmt.Sprintf("pkt %d", id))
+	}
+}
+
+// Near miss: the negated Enabled early return.
+func enabledEarlyReturn(k *sim.Kernel, id int) {
+	if !hpsmon.Enabled(k) {
+		return
+	}
+	hpsmon.InstantK(k, "nic", "drop", fmt.Sprintf("pkt %d", id))
+}
+
+// Near miss: a monitor nil check proves telemetry is on just as well
+// as Enabled does.
+func monitorGuardForArgs(k *sim.Kernel, id int) {
+	if m := k.Monitor(); m != nil {
+		hpsmon.InstantK(k, "nic", "drop", fmt.Sprintf("pkt %d", id))
+	}
+}
+
+// Near miss: constructors and exporters run once at setup, when
+// telemetry is being turned on; their arguments may allocate freely.
+func setupPath(run int) *hpsmon.Collector {
+	return hpsmon.NewCollector(fmt.Sprintf("run-%d", run), hpsmon.Options{Spans: true})
+}

@@ -8,10 +8,16 @@ type segment struct {
 
 type stack struct{ pool []*segment }
 
-func (st *stack) freeSeg(s *segment) {}
+// The release primitives genuinely retain their argument — that is
+// what makes them releases under the summary engine; see b.go for a
+// releaser-named no-op that is not one.
+func (st *stack) freeSeg(s *segment) { st.pool = append(st.pool, s) }
 func (st *stack) allocSeg() *segment { return &segment{} }
 func (st *stack) handle(s *segment)  {}
-func freePacket(pk *segment)         {}
+
+var packetPool []*segment
+
+func freePacket(pk *segment) { packetPool = append(packetPool, pk) }
 
 // Reading a field after release is the pooled use-after-free.
 func readAfter(st *stack, seg *segment) int {

@@ -1,0 +1,62 @@
+// Interprocedural fixtures for the poolsafe analyzer: release points
+// resolved through callee summaries rather than callee names.
+package poolsafe
+
+// recycle unconditionally hands its segment to the free-list, so its
+// summary marks the parameter released and callers are tainted just as
+// if they had called freeSeg themselves.
+func recycle(st *stack, seg *segment) {
+	st.freeSeg(seg)
+}
+
+// True positive the name-based analyzer missed: the release happens
+// two frames down, behind a wrapper that is not itself releaser-named.
+func wrapperRelease(st *stack, seg *segment) int {
+	recycle(st, seg)
+	return seg.kind // want `use of seg after recycle released it to the pool`
+}
+
+// meter counts frees without pooling anything. Its freeSeg never
+// retains the argument, so despite the releaser name it is not a
+// release point.
+type meter struct{ frees int }
+
+func (m *meter) freeSeg(s *segment) { m.frees++ }
+
+// Resolved false positive: the intraprocedural analyzer matched the
+// callee name alone and flagged this use; the summary engine sees the
+// no-op body and keeps the segment live.
+func countedUse(m *meter, seg *segment) int {
+	m.freeSeg(seg)
+	return seg.kind
+}
+
+// maybeRecycle releases only on the bad path, so "releases its
+// parameter" is not a fact of the function and callers are not tainted
+// — may-release is too weak to flag every use after the call.
+func maybeRecycle(st *stack, seg *segment, bad bool) {
+	if bad {
+		st.freeSeg(seg)
+	}
+}
+
+func conditionalHelper(st *stack, seg *segment, bad bool) int {
+	maybeRecycle(st, seg, bad)
+	return seg.kind
+}
+
+// Near miss: a deferred release runs at return, after every use in the
+// body, so it taints nothing here (callers after the call are tainted
+// through recycleAtReturn's summary instead).
+func recycleAtReturn(st *stack, seg *segment) int {
+	defer st.freeSeg(seg)
+	seg.kind = 7
+	return seg.kind
+}
+
+// The deferred release is still a release fact of the helper, so a
+// caller using the segment after the helper returns is flagged.
+func useAfterDeferredHelper(st *stack, seg *segment) int {
+	recycleAtReturn(st, seg)
+	return seg.kind // want `use of seg after recycleAtReturn released it to the pool`
+}

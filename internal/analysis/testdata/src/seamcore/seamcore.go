@@ -1,0 +1,19 @@
+// Fixture for the seamcheck analyzer: an application-side consumer
+// reaching across the sim/real seam.
+package seamcore
+
+import "seamsim"
+
+// Run touches the allowed surface: the Kernel type and constructor by
+// name, Time through the wildcard entry, and Kernel methods implicitly
+// (methods ride on the allowed type, they are not separate surface).
+func Run() int64 {
+	var k *seamsim.Kernel = seamsim.NewKernel()
+	return k.Now() + seamsim.Time()
+}
+
+// Leak reaches two symbols the allowlist does not cover.
+func Leak() int {
+	seamsim.Hidden()      // want `seamcore reaches seamsim.Hidden outside the seam surface`
+	return seamsim.Tuning // want `seamcore reaches seamsim.Tuning outside the seam surface`
+}

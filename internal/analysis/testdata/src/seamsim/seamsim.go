@@ -1,0 +1,21 @@
+// Package seamsim is a fixture stub standing in for a simulation-side
+// package behind the seam (internal/sim and friends).
+package seamsim
+
+// Kernel is the allowlisted entry point consumers may construct.
+type Kernel struct{ now int64 }
+
+// NewKernel is part of the allowed seam surface in the fixtures.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now is allowed to every consumer in the fixtures.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Time is a package-level clock reading, allowed via the wildcard.
+func Time() int64 { return 0 }
+
+// Hidden is deliberately outside the fixture allowlist.
+func Hidden() {}
+
+// Tuning is a package-level knob outside the fixture allowlist.
+var Tuning = 16

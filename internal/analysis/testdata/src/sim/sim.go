@@ -10,8 +10,21 @@ type Time int64
 // Signal is a stub of the sim signal.
 type Signal struct{}
 
+// Monitor is a stub of the sim telemetry monitor interface; the
+// offpath analyzer matches it by name and package name.
+type Monitor interface {
+	Count(at Time, component, name string, delta int64)
+	Gauge(at Time, component, name string, value int64)
+}
+
 // Kernel is a stub of the sim kernel.
-type Kernel struct{}
+type Kernel struct{ mon Monitor }
+
+// Monitor reports the attached monitor, nil when telemetry is off.
+func (k *Kernel) Monitor() Monitor { return k.mon }
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return 0 }
 
 // Go starts fn as a new process, like the real Kernel.Go.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
