@@ -10,9 +10,19 @@
 // fabric, so the sweep parallelizes across workers with byte-identical
 // output at any worker count.
 //
+// Besides the seed sweep, two subcommands drive the declarative
+// scenario DSL (see internal/scenario and scenarios/): `chaos run`
+// executes scenario files through the same invariant checker plus
+// their own assertions, and `chaos validate` checks files without
+// running them, with distinct exit codes for parse (3) and semantic
+// (4) errors.
+//
 //	chaos -seeds 100            # check seeds 0..99
 //	chaos -from 500 -seeds 250  # check seeds 500..749
 //	chaos -seed 117 -v          # one scenario, full report
+//	chaos run scenarios/*.yaml  # run the checked-in scenario library
+//	chaos run -shrink 400 -repro /tmp bad.yaml
+//	chaos validate scenarios/wan.yaml
 package main
 
 import (
@@ -26,6 +36,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			os.Exit(runCmd(os.Args[2:]))
+		case "validate":
+			os.Exit(validateCmd(os.Args[2:]))
+		}
+	}
 	var (
 		from    = flag.Int64("from", 0, "first seed of the sweep")
 		seeds   = flag.Int64("seeds", 100, "number of seeds to check")

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"hpsockets/internal/runner"
+	"hpsockets/internal/scenario"
+)
+
+// Subcommand exit codes. Parse and semantic failures are distinct so
+// tooling can tell "the file is gibberish" from "the file describes an
+// impossible scenario" without grepping messages.
+const (
+	exitOK       = 0
+	exitFailures = 1
+	exitUsage    = 2
+	exitParse    = 3
+	exitSemantic = 4
+)
+
+// loadFile reads and parses one scenario file, mapping the error
+// class to an exit code.
+func loadFile(path string) (*scenario.File, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, exitUsage, err
+	}
+	f, err := scenario.Parse(path, data)
+	if err != nil {
+		var pe *scenario.ParseError
+		if errors.As(err, &pe) {
+			return nil, exitParse, err
+		}
+		var se *scenario.SemanticError
+		if errors.As(err, &se) {
+			return nil, exitSemantic, err
+		}
+		return nil, exitUsage, err
+	}
+	return f, exitOK, nil
+}
+
+// validateCmd implements `chaos validate <file>...`: parse and
+// semantically check every file, reporting position-annotated errors.
+// The exit code is the worst error class seen (semantic > parse).
+func validateCmd(args []string) int {
+	fs := flag.NewFlagSet("chaos validate", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: chaos validate <scenario-file>...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+	worst := exitOK
+	for _, path := range fs.Args() {
+		f, code, err := loadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code > worst {
+				worst = code
+			}
+			continue
+		}
+		s := f.Scenario()
+		fmt.Printf("%s: ok (scenario %s, %d nodes, %d events, %d assertions)\n",
+			path, f.Name, 1+s.Copies, len(f.Events), len(f.Assertions))
+	}
+	return worst
+}
+
+// runCmd implements `chaos run <file>...`: compile each scenario,
+// run it through the replay-checked harness, evaluate its assertions,
+// and print results in argument order whatever the worker count.
+func runCmd(args []string) int {
+	fs := flag.NewFlagSet("chaos run", flag.ExitOnError)
+	var (
+		workers   = fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential)")
+		shrink    = fs.Int("shrink", 0, "shrink budget in runs per failing scenario (0 = no shrinking)")
+		telemetry = fs.String("telemetry", "", "directory for per-scenario telemetry exports")
+		repro     = fs.String("repro", "", "directory for shrunk minimal reproducer files")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: chaos run [flags] <scenario-file>...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return exitUsage
+	}
+
+	paths := fs.Args()
+	files := make([]*scenario.File, len(paths))
+	for i, path := range paths {
+		f, code, err := loadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return code
+		}
+		files[i] = f
+	}
+
+	// Every scenario run is hermetic (its own kernel, cluster, fabric),
+	// so the fleet parallelizes freely; results print in argument order.
+	results := make([]scenario.Result, len(files))
+	runner.Map(*workers, len(files), func(i int) {
+		results[i] = scenario.RunFile(files[i])
+	})
+
+	failed := 0
+	for i, r := range results {
+		fmt.Print(r.Render())
+		if *telemetry != "" {
+			path := filepath.Join(*telemetry, r.File.Name+".telemetry.txt")
+			if err := os.WriteFile(path, []byte(r.Report.Telemetry), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return exitUsage
+			}
+		}
+		if r.OK() {
+			continue
+		}
+		failed++
+		if *shrink > 0 {
+			min, runs := scenario.ShrinkFile(files[i], *shrink)
+			out := min.Marshal()
+			fmt.Printf("minimal reproducer (%d shrink runs):\n%s", runs, out)
+			if *repro != "" {
+				path := filepath.Join(*repro, min.Name+".yaml")
+				if err := os.WriteFile(path, out, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return exitUsage
+				}
+				fmt.Printf("reproducer written to %s\n", path)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("chaos: %d/%d scenarios failed\n", failed, len(files))
+		return exitFailures
+	}
+	fmt.Printf("chaos: %d scenarios ok (%s)\n", len(files),
+		strings.Join(names(results), ", "))
+	return exitOK
+}
+
+func names(results []scenario.Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.File.Name
+	}
+	return out
+}

@@ -31,7 +31,8 @@ Flags, in non-test files:
     from an explicitly seeded *rand.Rand instance (rand.New,
     rand.NewSource and friends are allowed);
   - in the deterministic packages (internal/sim, internal/core,
-    internal/datacutter, internal/cluster, internal/experiments),
+    internal/datacutter, internal/cluster, internal/experiments,
+    internal/scenario),
     a range over a map whose body feeds an ordered output — appending
     to a slice declared outside the loop or sending on a channel —
     because map iteration order would leak into results. Iterate over
@@ -79,6 +80,10 @@ var orderedPackages = []string{
 	"internal/datacutter",
 	"internal/cluster",
 	"internal/experiments",
+	// The scenario DSL compiles files into fault plans; map order
+	// leaking into a compiled plan would break byte-identical replay
+	// of checked-in scenarios.
+	"internal/scenario",
 }
 
 func inOrderedPackage(path string) bool {

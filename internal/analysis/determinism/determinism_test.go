@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, "../testdata", determinism.Analyzer, "determinism", "internal/sim", "faultfix")
+	analysistest.Run(t, "../testdata", determinism.Analyzer, "determinism", "internal/sim", "internal/scenario", "faultfix")
 }

@@ -1,0 +1,57 @@
+// Fixture for the determinism analyzer over scenario-DSL-shaped code.
+// The import path "internal/scenario" places it inside the
+// deterministic package scope: a compiled fault plan whose entry
+// order came from map iteration would break byte-identical replay of
+// checked-in scenario files.
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+type condition struct {
+	src, dst string
+	loss     float64
+}
+
+// compileConditions builds plan entries straight out of a map range:
+// the plan's slice order — and with it the serialized scenario — would
+// change from run to run.
+func compileConditions(links map[string]float64) []condition {
+	var out []condition
+	for link, loss := range links { // want `range over map appends to out`
+		out = append(out, condition{src: link, loss: loss})
+	}
+	return out
+}
+
+// stampScenario writes a wall-clock timestamp into a scenario header,
+// which would make two serializations of the same file differ.
+func stampScenario() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now in simulation code`
+}
+
+// Near miss: the canonical fix — collect the map's keys, sort them,
+// then emit entries in sorted order.
+func compileSorted(links map[string]float64) []condition {
+	keys := make([]string, 0, len(links))
+	for k := range links {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]condition, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, condition{src: k, loss: links[k]})
+	}
+	return out
+}
+
+// Near miss: order-insensitive aggregation over a map is fine.
+func totalLoss(links map[string]float64) float64 {
+	total := 0.0
+	for _, p := range links {
+		total += p
+	}
+	return total
+}

@@ -82,9 +82,29 @@ const watchdogHorizon = 10 * sim.Second
 var debugTrace func(*sim.Kernel) sim.TraceFunc
 
 // wireFaulty reports whether the plan can break or starve connections.
+// Pure-shaping conditions (latency, jitter, bandwidth, reordering) are
+// not wire-faulty; lossy or rejecting ones are.
 func (s Scenario) wireFaulty() bool {
-	return len(s.Plan.Links) > 0 || len(s.Plan.Partitions) > 0 || len(s.Plan.Crashes) > 0
+	if len(s.Plan.Links) > 0 || len(s.Plan.Partitions) > 0 || len(s.Plan.Crashes) > 0 {
+		return true
+	}
+	for _, lc := range s.Plan.Conditions {
+		if lc.Profile.Lossy() {
+			return true
+		}
+	}
+	return false
 }
+
+// Normalized exposes the scenario normalization rules to the scenario
+// DSL compiler, which must emit files that are already fixed points of
+// them (otherwise serialized reproducers would drift on reparse).
+func (s Scenario) Normalized() Scenario { return s.normalized() }
+
+// Valid exposes the well-formedness check; the DSL compiler asserts it
+// on every compiled scenario as a belt-and-braces guard behind its own
+// position-annotated semantic validation.
+func (s Scenario) Valid() bool { return s.valid() }
 
 // normalized enforces the validity rules that make a scenario
 // survivable by construction: wire faults require demand-driven
@@ -130,6 +150,14 @@ func (s Scenario) valid() bool {
 	}
 	for _, lf := range s.Plan.Links {
 		if (lf.Src != "" && !nodes[lf.Src]) || (lf.Dst != "" && !nodes[lf.Dst]) {
+			return false
+		}
+	}
+	for _, lc := range s.Plan.Conditions {
+		if (lc.Src != "" && !nodes[lc.Src]) || (lc.Dst != "" && !nodes[lc.Dst]) {
+			return false
+		}
+		if lc.To != 0 && lc.To <= lc.From {
 			return false
 		}
 	}
@@ -228,6 +256,11 @@ type Report struct {
 	Redials     uint64
 	Redispatch  uint64
 	End         sim.Time
+	// Telemetry is the run's full hpsmon registry rendered as a
+	// deterministic table. It is not part of Canonical (invariant 5
+	// already cross-checks the load-bearing counters); scenario replay
+	// checks compare it byte-for-byte across runs.
+	Telemetry string
 }
 
 // OK reports whether every invariant held.
@@ -243,6 +276,9 @@ func (r Report) Canonical() string {
 		s.InboxDepth, s.Policy, s.Shed, s.CreditWindow, s.DeadlineBudget,
 		s.OpTimeout, s.RedialAttempts, s.Gap, s.SpikeEvery, s.ConsumerCost,
 		len(s.Plan.Links), len(s.Plan.Partitions), len(s.Plan.Crashes), len(s.Plan.Slowdowns))
+	if len(s.Plan.Conditions) > 0 {
+		fmt.Fprintf(&b, " conds=%d", len(s.Plan.Conditions))
+	}
 	if s.defect > 0 {
 		fmt.Fprintf(&b, " defect=%d", s.defect)
 	}
@@ -499,7 +535,8 @@ func Run(s Scenario) Report {
 	// Invariant 5: telemetry agreement.
 	reg := coll.Registry()
 	cval := func(comp, name string) int64 { return reg.Counter(comp, name).Value() }
-	faultDrops := cval("fault", "drop.crash") + cval("fault", "drop.partition") + cval("fault", "drop.link")
+	faultDrops := cval("fault", "drop.crash") + cval("fault", "drop.partition") +
+		cval("fault", "drop.link") + cval("fault", "drop.reject")
 	if faultDrops != int64(inj.Drops()) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(
 			"telemetry: fault counters %d != injector drops %d", faultDrops, inj.Drops()))
@@ -534,6 +571,7 @@ func Run(s Scenario) Report {
 			"telemetry: port counters (%d/%d/%d) disagree with hpsmon (%d/%d/%d)",
 			sent, recv, dropped, out, in, droppedC))
 	}
+	rep.Telemetry = reg.RenderString()
 	return rep
 }
 

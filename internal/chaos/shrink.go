@@ -7,7 +7,7 @@ import "hpsockets/internal/datacutter"
 func cost(s Scenario) int {
 	c := s.UOWs*s.BuffersPerUOW + s.Copies*10 + s.InboxDepth + s.CreditWindow +
 		s.BlockBytes/1024 + 25*(len(s.Plan.Links)+len(s.Plan.Partitions)+
-		len(s.Plan.Crashes)+len(s.Plan.Slowdowns))
+		len(s.Plan.Crashes)+len(s.Plan.Slowdowns)+len(s.Plan.Conditions))
 	if s.Shed != datacutter.Block {
 		c += 5
 	}
@@ -48,6 +48,16 @@ func candidates(s Scenario) []Scenario {
 	if len(s.Plan.Links) > 1 {
 		c := s
 		c.Plan.Links = s.Plan.Links[:1]
+		add(c)
+	}
+	if len(s.Plan.Conditions) > 0 {
+		c := s
+		c.Plan.Conditions = nil
+		add(c)
+	}
+	if len(s.Plan.Conditions) > 1 {
+		c := s
+		c.Plan.Conditions = s.Plan.Conditions[:1]
 		add(c)
 	}
 	if len(s.Plan.Partitions) > 0 {
@@ -143,10 +153,23 @@ func candidates(s Scenario) []Scenario {
 // the reduced scenario and the number of runs spent. The input must
 // already fail; otherwise it is returned unchanged.
 func Shrink(s Scenario, budget int) (Scenario, int) {
+	return ShrinkWith(s, budget, nil)
+}
+
+// ShrinkWith is Shrink with a caller-supplied failure predicate: a
+// candidate is kept only while fails(candidate) stays true. The
+// scenario DSL uses this to shrink against its declarative assertions
+// as well as the five harness invariants; each predicate call is
+// assumed to cost two runs against the budget. A nil predicate uses
+// Check (the five invariants alone).
+func ShrinkWith(s Scenario, budget int, failsFn func(Scenario) bool) (Scenario, int) {
 	s = s.normalized()
 	runs := 0
 	fails := func(c Scenario) bool {
 		runs += 2
+		if failsFn != nil {
+			return failsFn(c)
+		}
 		return !Check(c).OK()
 	}
 	if !fails(s) {

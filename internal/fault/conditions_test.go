@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"testing"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/sim"
+)
+
+// reorderedPlans builds the same logical plan with its slices in two
+// different orders.
+func reorderedPlans() (Plan, Plan) {
+	links := []LinkFault{
+		{Src: "a", Dst: "b", DropProb: 8e-3},
+		{Src: "a", Dst: "b", CorruptProb: 5e-3},
+		{Src: "b", Dst: "a", DropProb: 3e-3},
+	}
+	conds := []LinkCondition{
+		{Src: "a", Dst: "b", Profile: Profile{Latency: 20 * sim.Microsecond, Jitter: 5 * sim.Microsecond}},
+		{Src: "b", Dst: "a", Profile: Profile{LossProb: 2e-3}},
+	}
+	pressure := []DescPressure{
+		{Node: "a", Prob: 0.001},
+		{Node: "b", Prob: 0.002},
+	}
+	fwd := Plan{Seed: 99, Links: links, Conditions: conds, Pressure: pressure}
+	rev := Plan{Seed: 99}
+	for i := len(links) - 1; i >= 0; i-- {
+		rev.Links = append(rev.Links, links[i])
+	}
+	for i := len(conds) - 1; i >= 0; i-- {
+		rev.Conditions = append(rev.Conditions, conds[i])
+	}
+	for i := len(pressure) - 1; i >= 0; i-- {
+		rev.Pressure = append(rev.Pressure, pressure[i])
+	}
+	return fwd, rev
+}
+
+// TestPlanEntryOrderInvariance: per-entry rngs are keyed by entry
+// identity, not slice index, so reordering Plan.Links, Plan.Conditions
+// or Plan.Pressure must not change a single outcome.
+func TestPlanEntryOrderInvariance(t *testing.T) {
+	fwd, rev := reorderedPlans()
+	run := func(plan Plan) (int, sim.Time, uint64, uint64) {
+		h := newHarness(core.KindTCP, plan)
+		got, err, end := h.transfer(t, 400_000)
+		if err != nil {
+			t.Fatalf("transfer under plan: %v", err)
+		}
+		return got, end, h.inj.Drops(), h.inj.Corrupts()
+	}
+	got1, end1, drops1, corr1 := run(fwd)
+	got2, end2, drops2, corr2 := run(rev)
+	if got1 != got2 || end1 != end2 || drops1 != drops2 || corr1 != corr2 {
+		t.Fatalf("reordering plan entries changed outcomes:\nfwd=(%d,%v,%d,%d)\nrev=(%d,%v,%d,%d)",
+			got1, end1, drops1, corr1, got2, end2, drops2, corr2)
+	}
+	if drops1 == 0 && corr1 == 0 {
+		t.Fatal("plan injected nothing; the invariance check has no teeth")
+	}
+}
+
+// TestConditionLatencyDelaysTransfer: a latency profile on the data
+// direction stretches completion time but loses nothing.
+func TestConditionLatencyDelaysTransfer(t *testing.T) {
+	base := newHarness(core.KindTCP, Plan{})
+	gotB, errB, endB := base.transfer(t, 200_000)
+	if errB != nil || gotB != 200_000 {
+		t.Fatalf("baseline transfer: got %d err %v", gotB, errB)
+	}
+	slow := newHarness(core.KindTCP, Plan{
+		Seed: 4,
+		Conditions: []LinkCondition{
+			{Src: "a", Dst: "b", Profile: Profile{Latency: 100 * sim.Microsecond}},
+		},
+	})
+	gotS, errS, endS := slow.transfer(t, 200_000)
+	if errS != nil || gotS != 200_000 {
+		t.Fatalf("conditioned transfer: got %d err %v", gotS, errS)
+	}
+	if endS <= endB {
+		t.Fatalf("latency condition did not delay: base %v, conditioned %v", endB, endS)
+	}
+	if slow.inj.Drops() != 0 {
+		t.Fatalf("pure latency condition dropped %d frames", slow.inj.Drops())
+	}
+}
+
+// TestConditionWindowActivates: a lossy condition confined to a window
+// at the end of the horizon never fires for a transfer that finishes
+// before it, and an always-on one does.
+func TestConditionWindowActivates(t *testing.T) {
+	windowed := newHarness(core.KindTCP, Plan{
+		Seed: 11,
+		Conditions: []LinkCondition{
+			{Src: "a", Dst: "b", From: 5 * sim.Second, To: 6 * sim.Second,
+				Profile: Profile{LossEveryN: 2}},
+		},
+	})
+	got, err, end := windowed.transfer(t, 100_000)
+	if err != nil || got != 100_000 {
+		t.Fatalf("transfer before window: got %d err %v", got, err)
+	}
+	if end >= 5*sim.Second {
+		t.Fatalf("transfer ran into the window at %v", end)
+	}
+	if windowed.inj.Drops() != 0 {
+		t.Fatalf("windowed condition fired early: %d drops", windowed.inj.Drops())
+	}
+
+	always := newHarness(core.KindTCP, Plan{
+		Seed: 11,
+		Conditions: []LinkCondition{
+			{Src: "a", Dst: "b", Profile: Profile{LossEveryN: 50}},
+		},
+	})
+	got, err, _ = always.transfer(t, 400_000)
+	if err != nil || got != 400_000 {
+		t.Fatalf("transfer under every-Nth loss: got %d err %v", got, err)
+	}
+	if always.inj.Drops() == 0 {
+		t.Fatal("every-50th loss dropped nothing over ~280 data frames")
+	}
+}
+
+// TestRejectModeCounts: reject-mode losses surface in both the drop
+// and reject counters.
+func TestRejectModeCounts(t *testing.T) {
+	h := newHarness(core.KindTCP, Plan{
+		Seed: 21,
+		Conditions: []LinkCondition{
+			{Src: "a", Dst: "b", Profile: Profile{LossEveryN: 40, Reject: true}},
+		},
+	})
+	got, err, _ := h.transfer(t, 400_000)
+	if err != nil || got != 400_000 {
+		t.Fatalf("transfer under reject-mode loss: got %d err %v", got, err)
+	}
+	if h.inj.Rejects() == 0 {
+		t.Fatal("reject-mode loss rejected nothing")
+	}
+	if h.inj.Rejects() != h.inj.Drops() {
+		t.Fatalf("rejects %d != drops %d for a reject-only plan",
+			h.inj.Rejects(), h.inj.Drops())
+	}
+}
+
+// TestConditionDeterminism: a full profile (latency, jitter, loss,
+// bandwidth, corruption, reorder) reproduces bit-for-bit.
+func TestConditionDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed: 31,
+		Conditions: []LinkCondition{
+			{Src: "a", Dst: "b", Profile: Profile{
+				Latency: 10 * sim.Microsecond, Jitter: 4 * sim.Microsecond,
+				LossProb: 2e-3, BandwidthMbps: 900,
+				CorruptProb: 1e-3, ReorderProb: 5e-3,
+			}},
+		},
+	}
+	run := func() (int, error, sim.Time, uint64, uint64) {
+		h := newHarness(core.KindTCP, plan)
+		got, err, end := h.transfer(t, 300_000)
+		return got, err, end, h.inj.Drops(), h.inj.Corrupts()
+	}
+	got1, err1, end1, d1, c1 := run()
+	got2, err2, end2, d2, c2 := run()
+	if got1 != got2 || end1 != end2 || d1 != d2 || c1 != c2 ||
+		(err1 == nil) != (err2 == nil) {
+		t.Fatalf("nondeterministic conditioned run:\n1=(%d,%v,%v,%d,%d)\n2=(%d,%v,%v,%d,%d)",
+			got1, err1, end1, d1, c1, got2, err2, end2, d2, c2)
+	}
+}

@@ -70,6 +70,11 @@ const (
 	Drop
 	// Corrupt delivers the frame with its Corrupt flag set.
 	Corrupt
+	// Reject loses the frame like Drop but models an active refusal
+	// (aerolab's reject-vs-drop distinction: a RST-style bounce rather
+	// than silent loss). Rejected frames count in both the rejected and
+	// dropped counters so frame conservation still holds.
+	Reject
 )
 
 // FaultModel decides the fate of each transmitted frame. It is
@@ -78,6 +83,41 @@ const (
 // No model installed (the default) means a flawless fabric.
 type FaultModel interface {
 	Judge(now sim.Time, f *Frame) Disposition
+}
+
+// Condition shapes the delivery of a frame that stays on the wire:
+// netem-style added latency (with any jitter already sampled by the
+// model), a bandwidth throttle below the link rate, and FIFO-bypassing
+// reordering. The zero Condition delivers exactly as an unconditioned
+// fabric would.
+type Condition struct {
+	// Delay is extra one-way latency added on top of the configured
+	// wire latency for this frame.
+	Delay sim.Time
+	// RateMbps, when positive and below the link rate, narrows the
+	// downlink serialization of this frame to the given bandwidth.
+	RateMbps float64
+	// Reorder delivers the frame without consulting or advancing the
+	// destination's FIFO downlink horizon, so it may overtake frames
+	// sent earlier (netem's reordering semantics).
+	Reorder bool
+}
+
+// Verdict is a ConditionedFaultModel's combined ruling on one frame:
+// its fate plus, for surviving frames, the link conditions shaping its
+// delivery.
+type Verdict struct {
+	Disposition Disposition
+	Cond        Condition
+}
+
+// ConditionedFaultModel extends FaultModel with per-frame link
+// conditioning. When the installed model implements it, Transmit uses
+// JudgeConditioned instead of Judge; models whose conditions are all
+// zero behave byte-identically to the plain interface.
+type ConditionedFaultModel interface {
+	FaultModel
+	JudgeConditioned(now sim.Time, f *Frame) Verdict
 }
 
 // Handler consumes frames arriving at a port for one protocol. It runs
@@ -101,6 +141,7 @@ type Port struct {
 	sent      uint64
 	received  uint64
 	dropped   uint64
+	rejected  uint64
 	corrupted uint64
 	txBytes   int64
 	rxBytes   int64
@@ -119,6 +160,10 @@ func (p *Port) Received() uint64 { return p.received }
 // installed FaultModel lost on the wire. For every port pair,
 // Sent() at sources equals Received()+Dropped() summed at sinks.
 func (p *Port) Dropped() uint64 { return p.dropped }
+
+// Rejected reports how many of the dropped frames were active
+// rejections rather than silent losses (Rejected() <= Dropped()).
+func (p *Port) Rejected() uint64 { return p.rejected }
 
 // Corrupted reports the number of frames delivered to this port with
 // their Corrupt flag set.
@@ -155,6 +200,9 @@ type Network struct {
 	cfg   Config
 	port  map[string]*Port
 	fault FaultModel
+	// condFault is fault when it also implements conditioning, cached
+	// at SetFaultModel time to keep the per-frame path assertion-free.
+	condFault ConditionedFaultModel
 
 	// framePool recycles delivered frames. One pool per network keeps
 	// it single-kernel (the simulation is single-threaded per kernel,
@@ -193,7 +241,10 @@ func (n *Network) FreeFrame(f *Frame) {
 // SetFaultModel installs (or, with nil, removes) the fault model
 // consulted on every transmit. With no model the fabric is flawless
 // and the transmit path is byte-identical to a build without faults.
-func (n *Network) SetFaultModel(m FaultModel) { n.fault = m }
+func (n *Network) SetFaultModel(m FaultModel) {
+	n.fault = m
+	n.condFault, _ = m.(ConditionedFaultModel)
+}
 
 // New returns an empty network on kernel k.
 func New(k *sim.Kernel, cfg Config) *Network {
@@ -251,13 +302,29 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 
 	// Fault judgement happens after uplink serialization: the sender
 	// always pays for the bits it put on the wire, whatever their fate.
+	var cond Condition
 	if n.fault != nil {
-		switch n.fault.Judge(n.k.Now(), f) {
+		var v Verdict
+		if n.condFault != nil {
+			v = n.condFault.JudgeConditioned(n.k.Now(), f)
+		} else {
+			v.Disposition = n.fault.Judge(n.k.Now(), f)
+		}
+		switch v.Disposition {
 		case Drop:
 			dst.dropped++
 			n.k.Trace("netsim", "frame-drop", int64(f.Size),
 				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
 			hpsmon.Count(n.k, "netsim", "frames.dropped", 1)
+			n.FreeFrame(f)
+			return
+		case Reject:
+			dst.dropped++
+			dst.rejected++
+			n.k.Trace("netsim", "frame-reject", int64(f.Size),
+				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
+			hpsmon.Count(n.k, "netsim", "frames.dropped", 1)
+			hpsmon.Count(n.k, "netsim", "frames.rejected", 1)
 			n.FreeFrame(f)
 			return
 		case Corrupt:
@@ -266,19 +333,38 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 				fmt.Sprintf("%s->%s proto=%d", f.Src, f.Dst, f.Proto))
 			hpsmon.Count(n.k, "netsim", "frames.corrupt", 1)
 		}
+		cond = v.Cond
 	}
 
 	// Cut-through switching: when the downlink is idle, bits flow
 	// through the switch while the uplink is still serializing, so the
 	// tail arrives one wire latency after it left the uplink. When the
 	// downlink is draining earlier frames (converging traffic), this
-	// frame queues behind them and pays its own serialization.
-	tailAt := n.k.Now() + n.cfg.WireLatency
-	arrival := tailAt
-	if q := dst.downHorizon + ser; q > arrival {
-		arrival = q
+	// frame queues behind them and pays its own serialization. Link
+	// conditions stretch the path: extra one-way delay moves the tail,
+	// a bandwidth throttle widens the downlink occupancy, and a
+	// reordered frame skips the FIFO horizon entirely so it can
+	// overtake earlier traffic.
+	serDown := ser
+	if cond.RateMbps > 0 {
+		if s := sim.TransferTime(f.Size, cond.RateMbps); s > serDown {
+			serDown = s
+		}
 	}
-	dst.downHorizon = arrival
+	// headAt is when the frame's head reaches the downlink; the tail
+	// clears it one (possibly throttled) serialization later. With no
+	// throttle headAt+serDown is exactly now+WireLatency+Delay, the
+	// pre-conditioning arrival expression.
+	headAt := n.k.Now() + n.cfg.WireLatency + cond.Delay - ser
+	arrival := headAt + serDown
+	if cond.Reorder {
+		hpsmon.Count(n.k, "netsim", "frames.reordered", 1)
+	} else {
+		if q := dst.downHorizon + serDown; q > arrival {
+			arrival = q
+		}
+		dst.downHorizon = arrival
+	}
 	f.dstPort = dst
 	if f.deliver == nil {
 		// One thunk per Frame object, not per transmission: pooled

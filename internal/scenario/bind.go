@@ -1,0 +1,563 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpsockets/internal/fault"
+	"hpsockets/internal/sim"
+)
+
+// binder walks the document tree into a File, recording the first
+// semantic problem with its position. All validation that makes a
+// scenario runnable by construction lives here, so the compile step
+// (File.Scenario) is pure and infallible.
+type binder struct {
+	file string
+	err  *SemanticError
+}
+
+func (b *binder) fail(n *node, key string, format string, args ...any) {
+	if b.err != nil {
+		return
+	}
+	line, col := n.line, n.col
+	if key != "" {
+		line, col = n.pos(key)
+	}
+	b.err = &SemanticError{File: b.file, Line: line, Col: col,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
+// bind validates and converts a parsed tree into a File.
+func bind(name string, root *node) (*File, error) {
+	b := &binder{file: name}
+	f := &File{}
+	if !root.isMap() {
+		b.fail(root, "", "scenario root must be a mapping")
+		return nil, b.err
+	}
+	b.allowKeys(root, "version", "name", "description", "seed",
+		"fleet", "workload", "links", "events", "assertions")
+
+	if v := b.intKey(root, "version", true, 0); v != Version && b.err == nil {
+		b.fail(root, "version", "unsupported version %d (this build reads version %d)", v, Version)
+	}
+	f.Name = b.strKey(root, "name", true, "")
+	if b.err == nil && !validName(f.Name) {
+		b.fail(root, "name", "name %q must match [a-z0-9-]+", f.Name)
+	}
+	f.Description = b.strKey(root, "description", false, "")
+	f.Seed = int64(b.intKey(root, "seed", false, 1))
+
+	b.bindFleet(f, root)
+	b.bindWorkload(f, root)
+	b.bindLinks(f, root)
+	b.bindEvents(f, root)
+	b.bindAssertions(f, root)
+	b.crossChecks(f, root)
+	if b.err != nil {
+		return nil, b.err
+	}
+	return f, nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- section binders ----
+
+func (b *binder) bindFleet(f *File, root *node) {
+	fl := b.mapKey(root, "fleet", true)
+	if fl == nil {
+		return
+	}
+	b.allowKeys(fl, "copies")
+	f.Fleet.Copies = b.intKey(fl, "copies", true, 0)
+	if b.err == nil && (f.Fleet.Copies < 1 || f.Fleet.Copies > 64) {
+		b.fail(fl, "copies", "copies %d outside 1..64", f.Fleet.Copies)
+	}
+}
+
+func (b *binder) bindWorkload(f *File, root *node) {
+	w := b.mapKey(root, "workload", true)
+	if w == nil {
+		return
+	}
+	b.allowKeys(w, "transport", "uows", "buffers_per_uow", "block_bytes",
+		"inbox_depth", "policy", "shed", "credit_window", "deadline_budget",
+		"op_timeout", "redial_attempts", "gap", "spike_every", "consumer_cost")
+	f.Workload = Workload{
+		Transport:      b.enumKey(w, "transport", "tcp", "tcp", "socketvia"),
+		UOWs:           b.boundedInt(w, "uows", 1, 1, 64),
+		BuffersPerUOW:  b.boundedInt(w, "buffers_per_uow", 8, 1, 4096),
+		BlockBytes:     b.boundedInt(w, "block_bytes", 4096, 1, 1<<20),
+		InboxDepth:     b.boundedInt(w, "inbox_depth", 2, 1, 1024),
+		Policy:         b.enumKey(w, "policy", "rr", "rr", "dd"),
+		Shed:           b.enumKey(w, "shed", "block", "block", "drop-oldest", "drop-newest", "degrade"),
+		CreditWindow:   b.boundedInt(w, "credit_window", 0, 0, 1024),
+		DeadlineBudget: b.durKey(w, "deadline_budget", 0),
+		OpTimeout:      b.durKey(w, "op_timeout", 0),
+		RedialAttempts: b.boundedInt(w, "redial_attempts", 0, 0, 64),
+		Gap:            b.durKey(w, "gap", 0),
+		SpikeEvery:     b.boundedInt(w, "spike_every", 0, 0, 4096),
+		ConsumerCost:   b.durKey(w, "consumer_cost", 0),
+	}
+	if b.err == nil && f.Workload.DeadlineBudget > 0 && f.Workload.Shed == "block" {
+		b.fail(w, "deadline_budget",
+			"deadline_budget requires a shedding policy (shed: block would have nowhere to put expired buffers)")
+	}
+}
+
+func (b *binder) bindLinks(f *File, root *node) {
+	ls := b.seqKey(root, "links")
+	for _, item := range ls {
+		if b.err != nil {
+			return
+		}
+		if !item.isMap() {
+			b.fail(item, "", "each link is a mapping")
+			return
+		}
+		b.allowKeys(item, "from", "to", "latency", "jitter", "loss",
+			"loss_every", "mode", "bandwidth", "corrupt", "reorder")
+		l := Link{
+			From:    b.strKey(item, "from", false, ""),
+			To:      b.strKey(item, "to", false, ""),
+			Profile: b.profile(item),
+		}
+		if b.err == nil && l.Profile.Zero() {
+			b.fail(item, "", "link profile conditions nothing")
+		}
+		f.Links = append(f.Links, l)
+	}
+}
+
+// profile binds the netem-style condition keys of a link or condition
+// event mapping.
+func (b *binder) profile(n *node) fault.Profile {
+	p := fault.Profile{
+		Latency:       b.durKey(n, "latency", 0),
+		Jitter:        b.durKey(n, "jitter", 0),
+		LossProb:      b.probKey(n, "loss"),
+		LossEveryN:    b.boundedInt(n, "loss_every", 0, 0, 1<<20),
+		Reject:        b.enumKey(n, "mode", "drop", "drop", "reject") == "reject",
+		BandwidthMbps: b.floatKey(n, "bandwidth", 0),
+		CorruptProb:   b.probKey(n, "corrupt"),
+		ReorderProb:   b.probKey(n, "reorder"),
+	}
+	if b.err == nil && p.BandwidthMbps < 0 {
+		b.fail(n, "bandwidth", "bandwidth must be positive Mbps")
+	}
+	if b.err == nil && p.Jitter > 0 && p.Latency == 0 {
+		b.fail(n, "jitter", "jitter needs a latency to jitter around")
+	}
+	if b.err == nil && p.Reject && !p.Lossy() {
+		b.fail(n, "mode", "mode: reject needs loss or loss_every to apply to")
+	}
+	return p
+}
+
+func (b *binder) bindEvents(f *File, root *node) {
+	es := b.seqKey(root, "events")
+	for _, item := range es {
+		if b.err != nil {
+			return
+		}
+		if !item.isMap() {
+			b.fail(item, "", "each event is a mapping")
+			return
+		}
+		e := Event{
+			At:     b.durKey(item, "at", 0),
+			Action: b.strKey(item, "action", true, ""),
+		}
+		if b.err != nil {
+			return
+		}
+		switch e.Action {
+		case "partition":
+			b.allowKeys(item, "at", "action", "between", "until")
+			pair := b.seqKey(item, "between")
+			if b.err == nil && len(pair) != 2 {
+				b.fail(item, "between", "partition needs between: [a, b]")
+				return
+			}
+			if b.err != nil {
+				return
+			}
+			e.A, e.B = b.scalarOf(pair[0]), b.scalarOf(pair[1])
+			e.Until = b.durKey(item, "until", 0)
+			if b.err == nil && e.Until <= e.At {
+				b.fail(item, "until", "partition until %v must come after at %v", e.Until, e.At)
+			}
+		case "crash":
+			b.allowKeys(item, "at", "action", "node")
+			e.Node = b.strKey(item, "node", true, "")
+		case "slowdown":
+			b.allowKeys(item, "at", "action", "node", "factor")
+			e.Node = b.strKey(item, "node", true, "")
+			e.Factor = b.floatKey(item, "factor", 0)
+			if b.err == nil && e.Factor < 1 {
+				b.fail(item, "factor", "slowdown factor %g must be >= 1", e.Factor)
+			}
+		case "condition":
+			b.allowKeys(item, "at", "action", "from", "to", "until",
+				"latency", "jitter", "loss", "loss_every", "mode",
+				"bandwidth", "corrupt", "reorder")
+			e.From = b.strKey(item, "from", false, "")
+			e.To = b.strKey(item, "to", false, "")
+			e.Until = b.durKey(item, "until", 0)
+			if b.err == nil && e.Until != 0 && e.Until <= e.At {
+				b.fail(item, "until", "condition until %v must come after at %v", e.Until, e.At)
+			}
+			e.Profile = b.profile(item)
+			if b.err == nil && e.Profile.Zero() {
+				b.fail(item, "", "condition profile conditions nothing")
+			}
+		default:
+			b.fail(item, "action",
+				"unknown action %q (want partition, crash, slowdown, or condition)", e.Action)
+			return
+		}
+		f.Events = append(f.Events, e)
+	}
+}
+
+func (b *binder) bindAssertions(f *File, root *node) {
+	as := b.seqKey(root, "assertions")
+	for _, item := range as {
+		if b.err != nil {
+			return
+		}
+		if !item.isMap() || len(item.keys) != 1 {
+			b.fail(item, "", "each assertion is a single `check: bound` mapping")
+			return
+		}
+		kind := item.keys[0]
+		val := item.vals[kind]
+		a := Assertion{Kind: kind}
+		switch kind {
+		case AssertInvariant:
+			a.Name = b.scalarOf(val)
+			if b.err == nil {
+				if _, ok := invariantNames[a.Name]; !ok {
+					b.fail(item, kind, "unknown invariant %q (want accounting, liveness, credits, replay, or telemetry)", a.Name)
+				}
+			}
+		case AssertDeliveredMin, AssertDeliveredMax, AssertShedMin,
+			AssertShedMax, AssertUnaccountedMax, AssertRedeliveredMax:
+			a.N = b.intOf(val)
+			if b.err == nil && a.N < 0 {
+				b.fail(item, kind, "%s bound must be non-negative", kind)
+			}
+		case AssertEndMax:
+			a.D = b.durOf(val)
+			if b.err == nil && a.D <= 0 {
+				b.fail(item, kind, "end_at_most needs a positive duration")
+			}
+		case AssertNoAbort:
+			if s := b.scalarOf(val); b.err == nil && s != "true" {
+				b.fail(item, kind, "no_abort takes the value true")
+			}
+		default:
+			b.fail(item, kind, "unknown assertion %q", kind)
+			return
+		}
+		f.Assertions = append(f.Assertions, a)
+	}
+}
+
+// crossChecks validates references that need the whole file: node
+// names against the fleet, crash survivability.
+func (b *binder) crossChecks(f *File, root *node) {
+	if b.err != nil {
+		return
+	}
+	nodes := map[string]bool{"src": true}
+	for i := 0; i < f.Fleet.Copies; i++ {
+		nodes[consName(i)] = true
+	}
+	known := func(n *node, key, name string, wildcardOK bool) {
+		if b.err != nil {
+			return
+		}
+		if name == "" {
+			if !wildcardOK {
+				b.fail(n, key, "node name required")
+			}
+			return
+		}
+		if !nodes[name] {
+			b.fail(n, key, "unknown node %q (fleet has src and cons0..cons%d)",
+				name, f.Fleet.Copies-1)
+		}
+	}
+	// Positions for cross-check failures: re-walk the event and link
+	// sequences so messages point at the offending entry.
+	links := root.vals["links"]
+	if links != nil {
+		for i, item := range links.items {
+			if i >= len(f.Links) {
+				break
+			}
+			known(item, "from", f.Links[i].From, true)
+			known(item, "to", f.Links[i].To, true)
+		}
+	}
+	events := root.vals["events"]
+	crashes := 0
+	if events != nil {
+		for i, item := range events.items {
+			if i >= len(f.Events) {
+				break
+			}
+			e := f.Events[i]
+			switch e.Action {
+			case "partition":
+				known(item, "between", e.A, false)
+				known(item, "between", e.B, false)
+			case "crash":
+				known(item, "node", e.Node, false)
+				if b.err == nil && e.Node == "src" {
+					b.fail(item, "node", "crashing src kills the producer; crash a consumer instead")
+				}
+				crashes++
+			case "slowdown":
+				known(item, "node", e.Node, false)
+			case "condition":
+				known(item, "from", e.From, true)
+				known(item, "to", e.To, true)
+			}
+		}
+	}
+	if b.err == nil && crashes >= f.Fleet.Copies {
+		b.fail(root, "events", "%d crashes would leave no live consumer of %d copies",
+			crashes, f.Fleet.Copies)
+	}
+}
+
+// ---- typed accessors over nodes ----
+
+func (b *binder) allowKeys(n *node, allowed ...string) {
+	if b.err != nil {
+		return
+	}
+	for _, k := range n.keys {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			b.fail(n, k, "unknown key %q (allowed: %s)", k, strings.Join(allowed, ", "))
+			return
+		}
+	}
+}
+
+func (b *binder) mapKey(n *node, key string, required bool) *node {
+	if b.err != nil {
+		return nil
+	}
+	child, ok := n.vals[key]
+	if !ok {
+		if required {
+			b.fail(n, "", "missing required section %q", key)
+		}
+		return nil
+	}
+	if !child.isMap() {
+		b.fail(n, key, "%q must be a mapping", key)
+		return nil
+	}
+	return child
+}
+
+func (b *binder) seqKey(n *node, key string) []*node {
+	if b.err != nil {
+		return nil
+	}
+	child, ok := n.vals[key]
+	if !ok {
+		return nil
+	}
+	if !child.started || !child.isSeq {
+		b.fail(n, key, "%q must be a sequence", key)
+		return nil
+	}
+	return child.items
+}
+
+func (b *binder) scalarKey(n *node, key string, required bool) (*node, bool) {
+	if b.err != nil {
+		return nil, false
+	}
+	child, ok := n.vals[key]
+	if !ok {
+		if required {
+			b.fail(n, "", "missing required key %q", key)
+		}
+		return nil, false
+	}
+	if !child.isScal {
+		b.fail(n, key, "%q must be a scalar", key)
+		return nil, false
+	}
+	return child, true
+}
+
+func (b *binder) strKey(n *node, key string, required bool, def string) string {
+	child, ok := b.scalarKey(n, key, required)
+	if !ok {
+		return def
+	}
+	return child.scalar
+}
+
+func (b *binder) enumKey(n *node, key, def string, allowed ...string) string {
+	child, ok := b.scalarKey(n, key, false)
+	if !ok {
+		return def
+	}
+	for _, a := range allowed {
+		if child.scalar == a {
+			return child.scalar
+		}
+	}
+	b.fail(n, key, "%q is not one of %s", child.scalar, strings.Join(allowed, ", "))
+	return def
+}
+
+func (b *binder) intKey(n *node, key string, required bool, def int) int {
+	child, ok := b.scalarKey(n, key, required)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseInt(child.scalar, 10, 64)
+	if err != nil {
+		b.fail(n, key, "%q is not an integer", child.scalar)
+		return def
+	}
+	return int(v)
+}
+
+func (b *binder) boundedInt(n *node, key string, def, lo, hi int) int {
+	v := b.intKey(n, key, false, def)
+	if b.err == nil && (v < lo || v > hi) {
+		b.fail(n, key, "%s %d outside %d..%d", key, v, lo, hi)
+		return def
+	}
+	return v
+}
+
+func (b *binder) floatKey(n *node, key string, def float64) float64 {
+	child, ok := b.scalarKey(n, key, false)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(child.scalar, 64)
+	if err != nil {
+		b.fail(n, key, "%q is not a number", child.scalar)
+		return def
+	}
+	return v
+}
+
+func (b *binder) probKey(n *node, key string) float64 {
+	v := b.floatKey(n, key, 0)
+	if b.err == nil && (v < 0 || v > 1) {
+		b.fail(n, key, "%s %g outside [0, 1]", key, v)
+		return 0
+	}
+	return v
+}
+
+func (b *binder) durKey(n *node, key string, def sim.Time) sim.Time {
+	child, ok := b.scalarKey(n, key, false)
+	if !ok {
+		return def
+	}
+	return b.durOf(child)
+}
+
+// ---- direct scalar coercions (sequence items, assertion values) ----
+
+func (b *binder) scalarOf(n *node) string {
+	if b.err != nil {
+		return ""
+	}
+	if !n.isScal {
+		b.fail(n, "", "expected a scalar")
+		return ""
+	}
+	return n.scalar
+}
+
+func (b *binder) intOf(n *node) int {
+	s := b.scalarOf(n)
+	if b.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		b.fail(n, "", "%q is not an integer", s)
+		return 0
+	}
+	return int(v)
+}
+
+func (b *binder) durOf(n *node) sim.Time {
+	s := b.scalarOf(n)
+	if b.err != nil {
+		return 0
+	}
+	d, err := parseDuration(s)
+	if err != nil {
+		b.fail(n, "", "%v", err)
+		return 0
+	}
+	return d
+}
+
+// parseDuration reads a virtual-time duration: a decimal number with
+// one of the unit suffixes ns, us, ms, s.
+func parseDuration(s string) (sim.Time, error) {
+	units := []struct {
+		suffix string
+		unit   sim.Time
+	}{
+		{"ns", sim.Nanosecond},
+		{"us", sim.Microsecond},
+		{"ms", sim.Millisecond},
+		{"s", sim.Second},
+	}
+	for _, u := range units {
+		if !strings.HasSuffix(s, u.suffix) {
+			continue
+		}
+		num := strings.TrimSuffix(s, u.suffix)
+		if num == "" || strings.HasSuffix(num, "n") || strings.HasSuffix(num, "u") ||
+			strings.HasSuffix(num, "m") {
+			continue // e.g. "5ms" reaching the "s" case with num "5m"
+		}
+		v, err := strconv.ParseFloat(num, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("%q is not a duration (want e.g. 250us, 5ms)", s)
+		}
+		return sim.Time(v*float64(u.unit) + 0.5), nil
+	}
+	return 0, fmt.Errorf("%q is not a duration (want a number with ns, us, ms, or s)", s)
+}

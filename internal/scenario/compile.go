@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"hpsockets/internal/chaos"
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/fault"
+)
+
+func condKey(lc fault.LinkCondition) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%s", lc.Src, lc.Dst, lc.From, lc.To,
+		profileKey(lc.Profile))
+}
+
+// Scenario compiles the file into a runnable chaos scenario. The
+// binder has already rejected anything unrunnable, so compilation is
+// pure and infallible; the result is normalized, so serializing it
+// back out (FromScenario) reparses to the same scenario.
+func (f *File) Scenario() chaos.Scenario {
+	w := f.Workload
+	s := chaos.Scenario{
+		Seed:           f.Seed,
+		Kind:           kindOf(w.Transport),
+		Copies:         f.Fleet.Copies,
+		UOWs:           w.UOWs,
+		BuffersPerUOW:  w.BuffersPerUOW,
+		BlockBytes:     w.BlockBytes,
+		InboxDepth:     w.InboxDepth,
+		Policy:         policyOf(w.Policy),
+		Shed:           shedOf(w.Shed),
+		CreditWindow:   w.CreditWindow,
+		DeadlineBudget: w.DeadlineBudget,
+		OpTimeout:      w.OpTimeout,
+		RedialAttempts: w.RedialAttempts,
+		Gap:            w.Gap,
+		SpikeEvery:     w.SpikeEvery,
+		ConsumerCost:   w.ConsumerCost,
+	}
+	// The ^0x5eed fold matches chaos.Generate, so a DSL scenario and a
+	// generated scenario with the same seed draw the same fault streams.
+	s.Plan.Seed = f.Seed ^ 0x5eed
+	for _, l := range f.Links {
+		s.Plan.Conditions = append(s.Plan.Conditions, fault.LinkCondition{
+			Src: l.From, Dst: l.To, Profile: l.Profile})
+	}
+	for _, e := range f.Events {
+		switch e.Action {
+		case "partition":
+			s.Plan.Partitions = append(s.Plan.Partitions, fault.Partition{
+				A: e.A, B: e.B, From: e.At, To: e.Until})
+		case "crash":
+			s.Plan.Crashes = append(s.Plan.Crashes, fault.NodeCrash{
+				Node: e.Node, At: e.At})
+		case "slowdown":
+			s.Plan.Slowdowns = append(s.Plan.Slowdowns, fault.NodeSlowdown{
+				Node: e.Node, At: e.At, Factor: e.Factor})
+		case "condition":
+			s.Plan.Conditions = append(s.Plan.Conditions, fault.LinkCondition{
+				Src: e.From, Dst: e.To, From: e.At, To: e.Until,
+				Profile: e.Profile})
+		}
+	}
+	// Conditions are judged order-invariantly (each entry owns an
+	// identity-keyed random stream), so their slice order is free;
+	// sorting it canonically makes compile structurally deterministic
+	// whatever order the file lists links and events in, which is what
+	// lets round-trip tests compare plans with DeepEqual.
+	sort.SliceStable(s.Plan.Conditions, func(i, j int) bool {
+		return condKey(s.Plan.Conditions[i]) < condKey(s.Plan.Conditions[j])
+	})
+	s = s.Normalized()
+	if !s.Valid() {
+		// The binder guarantees runnability; reaching here is a bug in
+		// this package, not in the scenario file.
+		panic(fmt.Sprintf("scenario: %q bound to an invalid chaos scenario", f.Name))
+	}
+	return s
+}
+
+func kindOf(s string) core.Kind {
+	if s == "socketvia" {
+		return core.KindSocketVIA
+	}
+	return core.KindTCP
+}
+
+func policyOf(s string) datacutter.Policy {
+	if s == "dd" {
+		return datacutter.DemandDriven
+	}
+	return datacutter.RoundRobin
+}
+
+func shedOf(s string) datacutter.ShedPolicy {
+	switch s {
+	case "drop-oldest":
+		return datacutter.DropOldest
+	case "drop-newest":
+		return datacutter.DropNewest
+	case "degrade":
+		return datacutter.DegradeQuality
+	}
+	return datacutter.Block
+}

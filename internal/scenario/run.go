@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"hpsockets/internal/chaos"
+)
+
+// Result is the outcome of running one scenario file: the harness
+// report (all five chaos invariants) plus the file's own declarative
+// assertions.
+type Result struct {
+	File     *File
+	Report   chaos.Report
+	Failures []string // failed assertions, in file order
+}
+
+// OK reports whether every invariant and every assertion held.
+func (r Result) OK() bool {
+	return r.Report.OK() && len(r.Failures) == 0
+}
+
+// Render is the deterministic human- and diff-facing summary. Two runs
+// of the same file render byte-identically (that is invariant 4 plus
+// the assertion layer being pure); CI diffs this output across runs
+// and worker counts.
+func (r Result) Render() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %s: %s\n", r.File.Name, verdict)
+	b.WriteString(r.Report.Canonical())
+	b.WriteByte('\n')
+	for _, a := range r.File.Assertions {
+		if msg := assertFailure(a, r.Report); msg != "" {
+			fmt.Fprintf(&b, "assert %s: FAIL: %s\n", describeAssertion(a), msg)
+		} else {
+			fmt.Fprintf(&b, "assert %s: ok\n", describeAssertion(a))
+		}
+	}
+	return b.String()
+}
+
+// RunFile compiles and runs the scenario through the replay-checked
+// harness (two runs, byte-compared) and evaluates its assertions.
+func RunFile(f *File) Result {
+	rep := chaos.Check(f.Scenario())
+	return Result{File: f, Report: rep, Failures: Evaluate(f, rep)}
+}
+
+// Evaluate checks the file's assertions against a report and returns
+// one message per failed assertion.
+func Evaluate(f *File, rep chaos.Report) []string {
+	var out []string
+	for _, a := range f.Assertions {
+		if msg := assertFailure(a, rep); msg != "" {
+			out = append(out, fmt.Sprintf("%s: %s", describeAssertion(a), msg))
+		}
+	}
+	return out
+}
+
+func describeAssertion(a Assertion) string {
+	switch a.Kind {
+	case AssertInvariant:
+		return a.Kind + " " + a.Name
+	case AssertEndMax:
+		return fmt.Sprintf("%s %s", a.Kind, durString(a.D))
+	case AssertNoAbort:
+		return a.Kind
+	default:
+		return fmt.Sprintf("%s %d", a.Kind, a.N)
+	}
+}
+
+// assertFailure returns "" when the assertion holds, else the reason.
+func assertFailure(a Assertion, rep chaos.Report) string {
+	switch a.Kind {
+	case AssertInvariant:
+		prefix := invariantNames[a.Name] + ":"
+		for _, v := range rep.Violations {
+			if strings.HasPrefix(v, prefix) {
+				return v
+			}
+		}
+		return ""
+	case AssertDeliveredMin:
+		if rep.Delivered < a.N {
+			return fmt.Sprintf("delivered %d < %d", rep.Delivered, a.N)
+		}
+	case AssertDeliveredMax:
+		if rep.Delivered > a.N {
+			return fmt.Sprintf("delivered %d > %d", rep.Delivered, a.N)
+		}
+	case AssertShedMin:
+		if rep.Shed < a.N {
+			return fmt.Sprintf("shed %d < %d", rep.Shed, a.N)
+		}
+	case AssertShedMax:
+		if rep.Shed > a.N {
+			return fmt.Sprintf("shed %d > %d", rep.Shed, a.N)
+		}
+	case AssertUnaccountedMax:
+		if rep.Unaccounted > a.N {
+			return fmt.Sprintf("unaccounted %d > %d", rep.Unaccounted, a.N)
+		}
+	case AssertRedeliveredMax:
+		if rep.Redelivered > a.N {
+			return fmt.Sprintf("redelivered %d > %d", rep.Redelivered, a.N)
+		}
+	case AssertEndMax:
+		if rep.End > a.D {
+			return fmt.Sprintf("run ended at %v > %v", rep.End, a.D)
+		}
+	case AssertNoAbort:
+		if rep.Aborted {
+			return "producer aborted"
+		}
+		if rep.GroupErr != "" {
+			return "group error: " + rep.GroupErr
+		}
+	}
+	return ""
+}
+
+// ShrinkFile reduces a failing scenario file to a minimal reproducer
+// file via the chaos shrinker, preserving "some invariant or assertion
+// still fails" as the predicate, and returns the reproducer (named
+// <name>-min) plus the number of harness runs spent. A passing file
+// comes back unchanged under its own name.
+func ShrinkFile(f *File, budget int) (*File, int) {
+	fails := func(c chaos.Scenario) bool {
+		rep := chaos.Check(c)
+		return !rep.OK() || len(Evaluate(f, rep)) > 0
+	}
+	shrunk, runs := chaos.ShrinkWith(f.Scenario(), budget, fails)
+	if !fails(shrunk) {
+		return f, runs + 2
+	}
+	min := FromScenario(shrunk, f.Name+"-min",
+		"minimal failing reproducer shrunk from "+f.Name, f.Assertions)
+	return min, runs + 2
+}

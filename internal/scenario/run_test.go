@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLibraryGreenAndReplayStable: every checked-in scenario passes
+// its assertions, and two independent RunFile executions render
+// byte-identical results including the full telemetry export — the
+// replay property the CI scenario-library job diffs for.
+func TestLibraryGreenAndReplayStable(t *testing.T) {
+	for name, data := range libraryFiles(t) {
+		f, err := Parse(name, data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r1 := RunFile(f)
+		r2 := RunFile(f)
+		if !r1.OK() {
+			t.Fatalf("%s: not green:\n%s", name, r1.Render())
+		}
+		if r1.Render() != r2.Render() {
+			t.Fatalf("%s: two runs render differently:\n%s\nvs\n%s",
+				name, r1.Render(), r2.Render())
+		}
+		if r1.Report.Telemetry == "" || r1.Report.Telemetry != r2.Report.Telemetry {
+			t.Fatalf("%s: telemetry exports differ or are empty", name)
+		}
+	}
+}
+
+const failingDoc = `version: 1
+name: doomed
+seed: 5
+fleet:
+  copies: 2
+workload:
+  transport: tcp
+  uows: 2
+  buffers_per_uow: 6
+events:
+  - at: 1ms
+    action: crash
+    node: cons1
+assertions:
+  - invariant: accounting
+  - delivered_at_least: 1000
+`
+
+// TestAssertionFailureReported: an unsatisfiable assertion fails the
+// run with a message naming the bound and the actual value.
+func TestAssertionFailureReported(t *testing.T) {
+	f, err := Parse("doomed.yaml", []byte(failingDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunFile(f)
+	if r.OK() {
+		t.Fatal("impossible assertion passed")
+	}
+	if len(r.Failures) != 1 || !strings.Contains(r.Failures[0], "< 1000") {
+		t.Fatalf("failures = %v, want one mentioning the 1000 bound", r.Failures)
+	}
+	if !strings.Contains(r.Render(), "FAIL") {
+		t.Fatalf("render does not say FAIL:\n%s", r.Render())
+	}
+}
+
+// TestShrinkFileEmitsLoadableReproducer: shrinking a failing file
+// yields a strictly smaller scenario file that parses cleanly and
+// still fails the same way.
+func TestShrinkFileEmitsLoadableReproducer(t *testing.T) {
+	f, err := Parse("doomed.yaml", []byte(failingDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, runs := ShrinkFile(f, 300)
+	if runs <= 0 {
+		t.Fatalf("shrink spent %d runs", runs)
+	}
+	if min.Name != "doomed-min" {
+		t.Fatalf("reproducer name = %q", min.Name)
+	}
+	out := min.Marshal()
+	reparsed, err := Parse("doomed-min.yaml", out)
+	if err != nil {
+		t.Fatalf("reproducer does not parse: %v\n%s", err, out)
+	}
+	r := RunFile(reparsed)
+	if r.OK() {
+		t.Fatalf("reloaded reproducer passes:\n%s", r.Render())
+	}
+	s, orig := reparsed.Scenario(), f.Scenario()
+	if s.Copies*s.UOWs*s.BuffersPerUOW >= orig.Copies*orig.UOWs*orig.BuffersPerUOW {
+		t.Fatalf("reproducer is not smaller: %+v", s)
+	}
+}
+
+// TestShrinkFilePassingUnchanged: a green file comes back unchanged.
+func TestShrinkFilePassingUnchanged(t *testing.T) {
+	doc := strings.Replace(failingDoc, "delivered_at_least: 1000", "delivered_at_least: 1", 1)
+	f, err := Parse("fine.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _ := ShrinkFile(f, 300)
+	if min != f {
+		t.Fatalf("passing file was rewritten to %q", min.Name)
+	}
+}

@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpsockets/internal/chaos"
+	"hpsockets/internal/fault"
+	"hpsockets/internal/sim"
+)
+
+// Marshal renders the file in canonical form: fixed key order, values
+// that differ from the binder's defaults only, durations in the
+// largest evenly-dividing unit, floats in shortest round-trip form.
+// Canonical output is a fixed point: Parse(f.Marshal()) re-marshals to
+// the same bytes, which is what lets shrunk reproducers and replay
+// diffs compare scenario files byte-for-byte.
+func (f *File) Marshal() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "version: %d\n", Version)
+	fmt.Fprintf(&b, "name: %s\n", f.Name)
+	if f.Description != "" {
+		fmt.Fprintf(&b, "description: %s\n", quote(f.Description))
+	}
+	fmt.Fprintf(&b, "seed: %d\n", f.Seed)
+	b.WriteString("fleet:\n")
+	fmt.Fprintf(&b, "  copies: %d\n", f.Fleet.Copies)
+
+	w := f.Workload
+	b.WriteString("workload:\n")
+	fmt.Fprintf(&b, "  transport: %s\n", w.Transport) // always, so the section is never empty
+	writeInt(&b, "  uows", w.UOWs, 1)
+	writeInt(&b, "  buffers_per_uow", w.BuffersPerUOW, 8)
+	writeInt(&b, "  block_bytes", w.BlockBytes, 4096)
+	writeInt(&b, "  inbox_depth", w.InboxDepth, 2)
+	writeStr(&b, "  policy", w.Policy, "rr")
+	writeStr(&b, "  shed", w.Shed, "block")
+	writeInt(&b, "  credit_window", w.CreditWindow, 0)
+	writeDur(&b, "  deadline_budget", w.DeadlineBudget)
+	writeDur(&b, "  op_timeout", w.OpTimeout)
+	writeInt(&b, "  redial_attempts", w.RedialAttempts, 0)
+	writeDur(&b, "  gap", w.Gap)
+	writeInt(&b, "  spike_every", w.SpikeEvery, 0)
+	writeDur(&b, "  consumer_cost", w.ConsumerCost)
+
+	if len(f.Links) > 0 {
+		b.WriteString("links:\n")
+		for _, l := range f.Links {
+			first := true
+			writeItemStr(&b, &first, "from", l.From, "")
+			writeItemStr(&b, &first, "to", l.To, "")
+			writeProfile(&b, &first, l.Profile)
+		}
+	}
+	if len(f.Events) > 0 {
+		b.WriteString("events:\n")
+		for _, e := range f.Events {
+			first := true
+			writeItemStr(&b, &first, "at", durString(e.At), "\x00")
+			writeItemStr(&b, &first, "action", e.Action, "\x00")
+			switch e.Action {
+			case "partition":
+				writeItemStr(&b, &first, "between", "["+e.A+", "+e.B+"]", "\x00")
+				writeItemStr(&b, &first, "until", durString(e.Until), "\x00")
+			case "crash":
+				writeItemStr(&b, &first, "node", e.Node, "\x00")
+			case "slowdown":
+				writeItemStr(&b, &first, "node", e.Node, "\x00")
+				writeItemStr(&b, &first, "factor", ftoaCanon(e.Factor), "\x00")
+			case "condition":
+				writeItemStr(&b, &first, "from", e.From, "")
+				writeItemStr(&b, &first, "to", e.To, "")
+				if e.Until != 0 {
+					writeItemStr(&b, &first, "until", durString(e.Until), "\x00")
+				}
+				writeProfile(&b, &first, e.Profile)
+			}
+		}
+	}
+	if len(f.Assertions) > 0 {
+		b.WriteString("assertions:\n")
+		for _, a := range f.Assertions {
+			switch a.Kind {
+			case AssertInvariant:
+				fmt.Fprintf(&b, "  - %s: %s\n", a.Kind, a.Name)
+			case AssertEndMax:
+				fmt.Fprintf(&b, "  - %s: %s\n", a.Kind, durString(a.D))
+			case AssertNoAbort:
+				fmt.Fprintf(&b, "  - %s: true\n", a.Kind)
+			default:
+				fmt.Fprintf(&b, "  - %s: %d\n", a.Kind, a.N)
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+func writeInt(b *bytes.Buffer, key string, v, def int) {
+	if v != def {
+		fmt.Fprintf(b, "%s: %d\n", key, v)
+	}
+}
+
+func writeStr(b *bytes.Buffer, key, v, def string) {
+	if v != def {
+		fmt.Fprintf(b, "%s: %s\n", key, v)
+	}
+}
+
+func writeDur(b *bytes.Buffer, key string, v sim.Time) {
+	if v != 0 {
+		fmt.Fprintf(b, "%s: %s\n", key, durString(v))
+	}
+}
+
+// writeItemStr writes one key of a sequence item, prefixing the first
+// written key with the dash. def "\x00" means "always write".
+func writeItemStr(b *bytes.Buffer, first *bool, key, v, def string) {
+	if v == def {
+		return
+	}
+	if *first {
+		fmt.Fprintf(b, "  - %s: %s\n", key, v)
+		*first = false
+		return
+	}
+	fmt.Fprintf(b, "    %s: %s\n", key, v)
+}
+
+// writeProfile writes the non-zero netem keys of a condition profile
+// in canonical order.
+func writeProfile(b *bytes.Buffer, first *bool, p fault.Profile) {
+	if p.Latency != 0 {
+		writeItemStr(b, first, "latency", durString(p.Latency), "\x00")
+	}
+	if p.Jitter != 0 {
+		writeItemStr(b, first, "jitter", durString(p.Jitter), "\x00")
+	}
+	if p.LossProb != 0 {
+		writeItemStr(b, first, "loss", ftoaCanon(p.LossProb), "\x00")
+	}
+	if p.LossEveryN != 0 {
+		writeItemStr(b, first, "loss_every", strconv.Itoa(p.LossEveryN), "\x00")
+	}
+	if p.Reject {
+		writeItemStr(b, first, "mode", "reject", "\x00")
+	}
+	if p.BandwidthMbps != 0 {
+		writeItemStr(b, first, "bandwidth", ftoaCanon(p.BandwidthMbps), "\x00")
+	}
+	if p.CorruptProb != 0 {
+		writeItemStr(b, first, "corrupt", ftoaCanon(p.CorruptProb), "\x00")
+	}
+	if p.ReorderProb != 0 {
+		writeItemStr(b, first, "reorder", ftoaCanon(p.ReorderProb), "\x00")
+	}
+}
+
+// durString renders a duration in the largest unit that divides it
+// evenly, the inverse of parseDuration on every value it emits.
+func durString(d sim.Time) string {
+	switch {
+	case d%sim.Second == 0:
+		return fmt.Sprintf("%ds", d/sim.Second)
+	case d%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/sim.Millisecond)
+	case d%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", d/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// ftoaCanon is the shortest decimal that round-trips through
+// strconv.ParseFloat, so probabilities survive serialize/parse cycles
+// bit-for-bit.
+func ftoaCanon(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// quote renders a double-quoted scalar using only the escapes unquote
+// understands.
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// FromScenario lifts a chaos scenario back into file form, carrying
+// the given assertions along — the inverse of File.Scenario used to
+// emit shrunk reproducers. Whole-run conditions become links; windowed
+// ones, partitions, crashes and slowdowns become events sorted by
+// time. Legacy LinkFault entries are translated into equivalent lossy
+// link profiles (same probabilities; the per-entry random stream keys
+// differ, so prefer shrinking DSL-compiled scenarios, whose plans
+// round-trip exactly). Descriptor pressure has no file syntax and is
+// dropped.
+func FromScenario(s chaos.Scenario, name, description string, assertions []Assertion) *File {
+	f := &File{Name: name, Description: description, Seed: s.Seed}
+	f.Fleet.Copies = s.Copies
+	f.Workload = Workload{
+		Transport:      s.Kind.String(),
+		UOWs:           s.UOWs,
+		BuffersPerUOW:  s.BuffersPerUOW,
+		BlockBytes:     s.BlockBytes,
+		InboxDepth:     s.InboxDepth,
+		Policy:         s.Policy.String(),
+		Shed:           s.Shed.String(),
+		CreditWindow:   s.CreditWindow,
+		DeadlineBudget: s.DeadlineBudget,
+		OpTimeout:      s.OpTimeout,
+		RedialAttempts: s.RedialAttempts,
+		Gap:            s.Gap,
+		SpikeEvery:     s.SpikeEvery,
+		ConsumerCost:   s.ConsumerCost,
+	}
+	for _, lf := range s.Plan.Links {
+		f.Links = append(f.Links, Link{From: lf.Src, To: lf.Dst,
+			Profile: fault.Profile{LossProb: lf.DropProb, CorruptProb: lf.CorruptProb}})
+	}
+	for _, lc := range s.Plan.Conditions {
+		if lc.From == 0 && lc.To == 0 {
+			f.Links = append(f.Links, Link{From: lc.Src, To: lc.Dst, Profile: lc.Profile})
+			continue
+		}
+		f.Events = append(f.Events, Event{At: lc.From, Action: "condition",
+			Until: lc.To, From: lc.Src, To: lc.Dst, Profile: lc.Profile})
+	}
+	for _, pt := range s.Plan.Partitions {
+		f.Events = append(f.Events, Event{At: pt.From, Action: "partition",
+			A: pt.A, B: pt.B, Until: pt.To})
+	}
+	for _, cr := range s.Plan.Crashes {
+		f.Events = append(f.Events, Event{At: cr.At, Action: "crash", Node: cr.Node})
+	}
+	for _, sl := range s.Plan.Slowdowns {
+		f.Events = append(f.Events, Event{At: sl.At, Action: "slowdown",
+			Node: sl.Node, Factor: sl.Factor})
+	}
+	sortLinks(f.Links)
+	sortEvents(f.Events)
+	f.Assertions = assertions
+	return f
+}
+
+func sortLinks(ls []Link) {
+	sort.SliceStable(ls, func(i, j int) bool {
+		a, b := ls[i], ls[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return profileKey(a.Profile) < profileKey(b.Profile)
+	})
+}
+
+func sortEvents(es []Event) {
+	rank := map[string]int{"partition": 0, "crash": 1, "slowdown": 2, "condition": 3}
+	sort.SliceStable(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if rank[a.Action] != rank[b.Action] {
+			return rank[a.Action] < rank[b.Action]
+		}
+		return eventKey(a) < eventKey(b)
+	})
+}
+
+func profileKey(p fault.Profile) string {
+	return fmt.Sprintf("%d|%d|%s|%d|%v|%s|%s|%s", p.Latency, p.Jitter,
+		ftoaCanon(p.LossProb), p.LossEveryN, p.Reject,
+		ftoaCanon(p.BandwidthMbps), ftoaCanon(p.CorruptProb), ftoaCanon(p.ReorderProb))
+}
+
+func eventKey(e Event) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%d|%s", e.Node, e.A, e.B, e.From, e.To,
+		e.Until, profileKey(e.Profile))
+}
