@@ -272,6 +272,44 @@ func BenchmarkAblationDemandWindow(b *testing.B) {
 	}
 }
 
+// Allocation budgets for the two headline micro-benchmarks, measured
+// with testing.AllocsPerRun at the ladder-queue/zero-copy change (the
+// simulation is deterministic, so the counts are stable run to run).
+// The guard fails when a change regresses either figure by more than
+// 5% — re-baseline these consciously, with the BENCH_*.json trail,
+// never by bumping the number to silence the test.
+const (
+	fig4aAllocsBudget = 19234
+	fig4bAllocsBudget = 84833
+	allocsSlack       = 1.05
+)
+
+// TestFigureAllocsRegression is the allocation regression guard for
+// the figure hot paths.
+func TestFigureAllocsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard runs the full quick figure micro pair")
+	}
+	o := quick()
+	for _, c := range []struct {
+		name   string
+		budget float64
+		fn     func()
+	}{
+		{"Fig4aLatency", fig4aAllocsBudget, func() { experiments.Fig4aLatency(o) }},
+		{"Fig4bBandwidth", fig4bAllocsBudget, func() { experiments.Fig4bBandwidth(o) }},
+	} {
+		allocs := testing.AllocsPerRun(3, c.fn)
+		limit := c.budget * allocsSlack
+		if allocs > limit {
+			t.Errorf("%s allocates %.0f per run, over the %.0f budget (+5%% slack = %.0f): an allocation regression in the kernel, queue hand-off or wire path",
+				c.name, allocs, c.budget, limit)
+		} else {
+			t.Logf("%s: %.0f allocs per run (budget %.0f)", c.name, allocs, c.budget)
+		}
+	}
+}
+
 func isNaN(f float64) bool { return f != f }
 
 func intLabel(n int) string {

@@ -24,10 +24,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"hpsockets/internal/experiments"
+	"hpsockets/internal/sim"
 )
 
 // Result is one benchmark measurement.
@@ -52,11 +54,27 @@ type LintRun struct {
 	Findings int     `json:"findings"`
 }
 
+// Anchor is a fixed-size, deterministic, allocation-light kernel
+// workload timed once per snapshot. Figure wall-clock times swing with
+// the machine the snapshot ran on (BENCH_2026-08-06 and the first
+// BENCH_2026-08-08 differ 1.9x on identical code — same allocs/op,
+// different hardware class); the anchor pins the machine's single-core
+// speed so snapshot-to-snapshot comparisons can separate "the code got
+// slower" from "the machine got slower".
+type Anchor struct {
+	Events    int     `json:"events"`
+	Seconds   float64 `json:"seconds"`
+	MeventsPS float64 `json:"mevents_per_sec"`
+}
+
 // Snapshot is the whole file.
 type Snapshot struct {
 	Date       string      `json:"date"`
 	GoVersion  string      `json:"go_version"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	CPUModel   string      `json:"cpu_model,omitempty"`
+	NumCPU     int         `json:"num_cpu"`
+	Anchor     *Anchor     `json:"sanity_anchor,omitempty"`
 	Benchmarks []Result    `json:"benchmarks"`
 	Figures    []FigureRun `json:"figures_quick,omitempty"`
 	Hpslint    *LintRun    `json:"hpslint,omitempty"`
@@ -91,11 +109,16 @@ func main() {
 		Date:       time.Now().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
 		Baseline:   baseline,
 	}
 	if *out == "" {
 		*out = "BENCH_" + snap.Date + ".json"
 	}
+
+	fmt.Fprintln(os.Stderr, "bench: sanity anchor...")
+	snap.Anchor = runAnchor()
 
 	// The micro-benchmarks mirror the root package's BenchmarkFig4a/4b:
 	// quick options, sequential, so the numbers are directly comparable
@@ -116,6 +139,29 @@ func main() {
 				bm.run(o)
 			}
 		})
+		snap.Benchmarks = append(snap.Benchmarks, Result{
+			Name:        bm.name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	// Kernel-level micro-benchmarks: the event queue alone (ladder
+	// push/pop churn across every time regime), and the doorbell path
+	// (queue hand-off park/dispatch round trip), the two mechanisms the
+	// figure workloads spend most of their host CPU in.
+	micro := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"EventQueueChurn", benchEventQueueChurn},
+		{"QueueDoorbell", benchQueueDoorbell},
+		{"SerializerUse", benchSerializerUse},
+	}
+	for _, bm := range micro {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
+		r := testing.Benchmark(bm.run)
 		snap.Benchmarks = append(snap.Benchmarks, Result{
 			Name:        bm.name,
 			NsPerOp:     r.NsPerOp(),
@@ -200,6 +246,138 @@ func figureWorkerCounts() []int {
 		counts = append(counts, n)
 	}
 	return counts
+}
+
+// cpuModel reads the processor model from /proc/cpuinfo (Linux); an
+// empty string on other platforms or read failure is recorded as an
+// absent field, never an error.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// anchorEvents is the fixed size of the sanity-anchor workload: large
+// enough to dominate timer noise, small enough to finish in well under
+// a second on any machine class the snapshots have seen.
+const anchorEvents = 2_000_000
+
+// runAnchor times the fixed event-churn workload once.
+func runAnchor() *Anchor {
+	start := time.Now()
+	eventChurn(anchorEvents)
+	secs := time.Since(start).Seconds()
+	return &Anchor{
+		Events:    anchorEvents,
+		Seconds:   secs,
+		MeventsPS: float64(anchorEvents) / secs / 1e6,
+	}
+}
+
+// eventChurn schedules and fires n events with a deterministic
+// xorshift spread covering every ladder regime: same-instant ring
+// hits, near-future bottom inserts, mid-range rung traffic and far
+// top overflow, with a slice of timers armed-and-stopped to exercise
+// cancellation absorption.
+func eventChurn(n int) {
+	k := sim.NewKernel()
+	var rng uint64 = 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	scheduled := 0
+	var reschedule func()
+	reschedule = func() {
+		for burst := 0; burst < 8 && scheduled < n; burst++ {
+			var d sim.Time
+			switch next() % 4 {
+			case 0:
+				d = 0
+			case 1:
+				d = sim.Time(next() % 1000)
+			case 2:
+				d = sim.Time(next() % 1_000_000)
+			default:
+				d = sim.Time(next() % 1_000_000_000)
+			}
+			scheduled++
+			t := k.After(d, reschedule)
+			if next()%8 == 0 {
+				t.Stop()
+			}
+		}
+	}
+	reschedule()
+	k.RunAll()
+}
+
+// benchEventQueueChurn measures the event queue alone: ladder and
+// ring push/pop with mixed horizons, no process machinery.
+func benchEventQueueChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eventChurn(100_000)
+	}
+}
+
+// benchQueueDoorbell measures the doorbell path: a producer posting
+// into a queue with a parked consumer, one park/dispatch round trip
+// per item — the shape of every CQ post, NIC work queue ring and
+// softnet hand-off in the stacks.
+func benchQueueDoorbell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		q := sim.NewQueue[int](k, 0)
+		const items = 10_000
+		k.Go("consumer", func(p *sim.Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+			}
+		})
+		k.Go("producer", func(p *sim.Proc) {
+			for j := 0; j < items; j++ {
+				q.Put(p, j)
+				p.Sleep(1) // re-park the consumer so every put rings the doorbell
+			}
+			q.Close()
+		})
+		k.RunAll()
+	}
+}
+
+// benchSerializerUse measures the collapsed FIFO-resource protocol
+// under contention: four processes sharing one serializer, one sleep
+// per use.
+func benchSerializerUse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		s := sim.NewSerializer(k)
+		const uses = 10_000
+		for pn := 0; pn < 4; pn++ {
+			k.Go("user", func(p *sim.Proc) {
+				for j := 0; j < uses/4; j++ {
+					s.Use(p, 3, 2)
+				}
+			})
+		}
+		k.RunAll()
+	}
 }
 
 // runQuickFigures regenerates the same figure set as `figures -quick`

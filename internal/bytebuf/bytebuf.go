@@ -60,7 +60,17 @@ func (b *Buffer) Append(c Chunk) {
 }
 
 // AppendBytes adds real data to the tail. The buffer keeps a reference
-// to data; callers must not mutate it afterwards.
+// to data; callers must not mutate it afterwards (the bufalias
+// analyzer enforces this at the call sites it can see).
+//
+// The no-mutation contract is what lets the simulated transports be
+// zero-copy on the wire: ktcp segments alias the sender's chunks
+// end to end, and the VIA send engine aliases one private per-message
+// wire buffer across all of its fragments. The fabric never mutates
+// payload bytes — netsim models corruption as a per-frame envelope
+// flag, not a byte flip — so aliased data stays valid from send
+// buffer to receive completion. Any future fault model that wants to
+// rewrite payload bytes in flight must copy the region first.
 func (b *Buffer) AppendBytes(data []byte) {
 	if len(data) == 0 {
 		return

@@ -402,9 +402,7 @@ func (c *Conn) txLoop(p *sim.Proc) {
 		seg := st.allocSeg(cfg.RTO <= 0)
 		seg.data = c.sndBuf.TakeInto(seg.data[:0], n)
 		c.sndCond.Broadcast() // send-buffer space freed
-		st.stackLock.Acquire(p, 1)
-		p.Sleep(cfg.TxPerSegment)
-		st.stackLock.Release(1)
+		st.stackLock.Use(p, cfg.TxPerSegment, 0)
 		seg.kind, seg.srcPort, seg.srcConn, seg.dstConn = segData, st.node.Name(), c.id, c.peerConn
 		seg.seq, seg.length = c.sent, n
 		seg.cumAck, seg.rwnd = c.rcvd, c.rwndAvail()
@@ -422,9 +420,7 @@ func (c *Conn) txLoop(p *sim.Proc) {
 func (c *Conn) transmitFIN(p *sim.Proc) {
 	st := c.st
 	cfg := st.cfg
-	st.stackLock.Acquire(p, 1)
-	p.Sleep(cfg.TxPerSegment)
-	st.stackLock.Release(1)
+	st.stackLock.Use(p, cfg.TxPerSegment, 0)
 	seg := st.allocSeg(cfg.RTO <= 0)
 	seg.kind, seg.srcPort, seg.srcConn, seg.dstConn = segFIN, st.node.Name(), c.id, c.peerConn
 	seg.seq, seg.cumAck, seg.rwnd = c.sent, c.rcvd, c.rwndAvail()

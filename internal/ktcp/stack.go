@@ -78,10 +78,10 @@ type Stack struct {
 	net  *netsim.Network
 	cfg  Config
 
-	dma *sim.Resource
+	dma *sim.Serializer
 	// stackLock serializes per-segment transmit processing, modelling
 	// the coarse kernel locking of Linux 2.2.
-	stackLock *sim.Resource
+	stackLock *sim.Serializer
 
 	softQ     *sim.Queue[softItem]
 	ackQ      *sim.Queue[*segment]
@@ -151,8 +151,8 @@ func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
 		node:      node,
 		net:       net,
 		cfg:       cfg,
-		dma:       sim.NewResource(k, 1),
-		stackLock: sim.NewResource(k, 1),
+		dma:       sim.NewSerializer(k),
+		stackLock: sim.NewSerializer(k),
 		softQ:     sim.NewQueue[softItem](k, 0),
 		ackQ:      sim.NewQueue[*segment](k, 0),
 		nicQ:      sim.NewQueue[*netsim.Frame](k, 32),
@@ -299,7 +299,7 @@ func (st *Stack) nicDMALoop(p *sim.Proc) {
 			return
 		}
 		seg := f.Payload.(*segment)
-		st.dma.Use(p, 1, st.cfg.DMAPerOp+sim.Time(float64(seg.length)*st.cfg.DMAPerByte+0.5))
+		st.dma.Use(p, st.cfg.DMAPerOp+sim.Time(float64(seg.length)*st.cfg.DMAPerByte+0.5), 0)
 		st.wireFIFO.Put(p, f)
 	}
 }

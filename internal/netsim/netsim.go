@@ -130,7 +130,7 @@ type Port struct {
 	net  *Network
 	name string
 
-	uplink *sim.Resource // egress serialization, shared across stacks
+	uplink *sim.Serializer // egress serialization, shared across stacks
 	// downHorizon is the time the downlink becomes free; arrival times
 	// are computed against it (event-arithmetic serialization).
 	downHorizon sim.Time
@@ -262,7 +262,7 @@ func (n *Network) Attach(name string) *Port {
 	if p, ok := n.port[name]; ok {
 		return p
 	}
-	p := &Port{net: n, name: name, uplink: sim.NewResource(n.k, 1)}
+	p := &Port{net: n, name: name, uplink: sim.NewSerializer(n.k)}
 	n.port[name] = p
 	return p
 }
@@ -292,9 +292,7 @@ func (n *Network) Transmit(p *sim.Proc, f *Frame) {
 		panic("netsim: frame with non-positive size")
 	}
 	ser := n.serialization(f.Size)
-	src.uplink.Acquire(p, 1)
-	p.Sleep(ser)
-	src.uplink.Release(1)
+	src.uplink.Use(p, ser, 0)
 	src.sent++
 	src.txBytes += int64(f.Size)
 	hpsmon.Count(n.k, "netsim", "frames.out", 1)

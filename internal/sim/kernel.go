@@ -26,8 +26,9 @@ type event struct {
 	gen uint64
 
 	kind uint8
-	// canceled events stay in the heap but are skipped when popped;
-	// the kernel compacts the heap when they pile up.
+	// canceled events stay queued but are skipped when popped; the
+	// ladder absorbs them wholesale when a bucket or the top is
+	// transferred, and the kernel compacts when they pile up.
 	canceled bool
 
 	fn   func() // evFunc
@@ -65,15 +66,37 @@ func (t Timer) Pending() bool {
 
 // Kernel is a discrete-event simulation kernel. The zero value is not
 // usable; create kernels with NewKernel.
+//
+// Scheduled events live in two structures ordered by (at, seq): a
+// FIFO ring for events at exactly the current instant, and a ladder
+// queue (see ladder.go) for everything later. The ring is the fast
+// path: a same-time event is appended and popped with no ordering
+// work at all.
 type Kernel struct {
 	now     Time
-	heap    []*event // min-heap ordered by (at, seq)
 	pool    []*event // recycled events
 	seq     uint64
 	stopped bool
-	// ncanceled counts canceled events still in the heap; when they
-	// outnumber live events the heap is compacted so long-running
-	// kernels that arm and stop many timers don't grow unboundedly.
+
+	// same-virtual-time spill ring: events at k.now, FIFO from nowHead.
+	nowq    []*event
+	nowHead int
+
+	// ladder queue state (ladder.go).
+	bottom   []*event // sorted run, popped from bhead
+	bhead    int
+	rungs    []*rung
+	rungPool []*rung
+	top      []*event // unsorted overflow, at >= topStart
+	topStart Time
+	topMin   Time
+	topMax   Time
+	lsize    int // events in bottom+rungs+top, including canceled
+
+	// ncanceled counts canceled events still queued (ring + ladder);
+	// when they outnumber live events the structures are compacted so
+	// long-running kernels that arm and stop many timers don't grow
+	// unboundedly.
 	ncanceled int
 
 	// process handoff
@@ -104,9 +127,10 @@ func (k *Kernel) EventsFired() uint64 { return k.fired }
 // ProcsSpawned reports the number of processes ever started.
 func (k *Kernel) ProcsSpawned() uint64 { return k.spawned }
 
-// newEvent takes an event from the pool (or allocates one) and
-// schedules it at absolute time t. Scheduling in the past panics: that
-// is always a modelling bug.
+// newEvent takes an event from the pool (or allocates one), stamps it
+// with absolute time t and the next seq, and routes it into the ring
+// or the ladder. Scheduling in the past panics: that is always a
+// modelling bug.
 func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
@@ -122,7 +146,7 @@ func (k *Kernel) newEvent(t Time) *event {
 	e.at = t
 	e.seq = k.seq
 	k.seq++
-	k.heapPush(e)
+	k.schedule(e)
 	return e
 }
 
@@ -176,20 +200,23 @@ func (k *Kernel) atWake(t Time, p *Proc, wgen uint64, v any) Timer {
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Run executes events until the heap is empty, Stop is called, or
+// Run executes events until the queue is empty, Stop is called, or
 // until (when horizon > 0) the clock would pass the horizon. It
 // reports the time at which it stopped. Processes still blocked when
 // Run returns are simply never resumed; their goroutines are parked
 // forever, which Go collects at process exit.
 func (k *Kernel) Run(horizon Time) Time {
 	k.stopped = false
-	for len(k.heap) > 0 && !k.stopped {
-		e := k.heap[0]
+	for !k.stopped {
+		e := k.peekNext()
+		if e == nil {
+			break
+		}
 		if horizon > 0 && e.at > horizon {
 			k.now = horizon
 			return k.now
 		}
-		k.heapPop()
+		k.popNext(e)
 		if e.canceled {
 			k.ncanceled--
 			k.releaseEvent(e)
@@ -222,95 +249,18 @@ func (k *Kernel) Run(horizon Time) Time {
 func (k *Kernel) RunAll() Time { return k.Run(0) }
 
 // Pending reports the number of scheduled (possibly canceled) events.
-func (k *Kernel) Pending() int { return len(k.heap) }
+func (k *Kernel) Pending() int { return len(k.nowq) - k.nowHead + k.lsize }
 
 // Live reports the number of scheduled events that have not been
 // canceled — the events that would still fire if the kernel kept
 // running. A positive count after Run returned at its horizon means
 // the simulation had not quiesced (watchdogs use this to flag
 // virtual-time livelock).
-func (k *Kernel) Live() int { return len(k.heap) - k.ncanceled }
-
-// maybeCompact removes canceled events from the heap once they
-// outnumber the live ones. Pop order is unaffected: (at, seq) is a
-// total order, so the minimum is the minimum whatever the heap's
-// internal layout.
-func (k *Kernel) maybeCompact() {
-	if k.ncanceled < 64 || k.ncanceled <= len(k.heap)/2 {
-		return
-	}
-	live := k.heap[:0]
-	for _, e := range k.heap {
-		if e.canceled {
-			k.releaseEvent(e)
-		} else {
-			live = append(live, e)
-		}
-	}
-	for i := len(live); i < len(k.heap); i++ {
-		k.heap[i] = nil
-	}
-	k.heap = live
-	k.ncanceled = 0
-	for i := len(k.heap)/2 - 1; i >= 0; i-- {
-		k.siftDown(i)
-	}
-}
-
-// The heap is hand-specialized to []*event: going through
-// container/heap costs an interface conversion per operation and
-// defeats inlining on the hottest path in the tree.
+func (k *Kernel) Live() int { return k.Pending() - k.ncanceled }
 
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
-}
-
-func (k *Kernel) heapPush(e *event) {
-	k.heap = append(k.heap, e)
-	h := k.heap
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (k *Kernel) heapPop() *event {
-	h := k.heap
-	e := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = nil
-	k.heap = h[:n]
-	if n > 0 {
-		k.siftDown(0)
-	}
-	return e
-}
-
-func (k *Kernel) siftDown(i int) {
-	h := k.heap
-	n := len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		least := left
-		if right := left + 1; right < n && eventLess(h[right], h[left]) {
-			least = right
-		}
-		if !eventLess(h[least], h[i]) {
-			return
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
 }

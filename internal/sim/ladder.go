@@ -1,0 +1,449 @@
+package sim
+
+import "slices"
+
+// The event queue is a ladder queue (Tang, Goh, Thng: "Ladder queue:
+// An O(1) amortized priority queue") specialized to *event and fronted
+// by a same-virtual-time spill ring:
+//
+//   - nowq is a FIFO ring of events scheduled at exactly k.now. The
+//     clock never runs backwards during Run, so an event scheduled at
+//     the current instant can only be ordered after every other event
+//     at this instant that is already queued — appending preserves the
+//     (at, seq) total order with no queue work at all. This is the
+//     dominant pattern in pipelined filter chains (zero-delay queue
+//     hand-offs, signal fires, Sleep(0) yield points).
+//   - bottom is a sorted run popped from the front; it always holds
+//     the smallest ladder timestamps.
+//   - rungs[0..n) are progressively finer bucket arrays: rungs[0] is
+//     spawned from the unsorted top, and an over-full bucket spawns
+//     the next finer rung over that bucket's time span. Buckets are
+//     only sorted when they become the bottom, so each event is
+//     bucketed O(1) times amortized.
+//   - top is the unsorted overflow for everything at or beyond
+//     topStart; it tracks its own min/max so the next rung spawned
+//     from it covers exactly the occupied span.
+//
+// The structures partition virtual time:
+//
+//	bottom < rungs[last].curStart <= ... <= rungs[0].end <= topStart <= top
+//
+// so the global minimum is always the bottom front (or the ring
+// front, compared lazily at pop time). Same-timestamp events never
+// straddle a partition boundary — boundaries are pure time cuts and
+// ties are broken by seq inside one sorted run — so the pop sequence
+// is exactly the (at, seq) total order the binary heap produced.
+//
+// Canceled events are absorbed (released back to the pool) whenever a
+// bucket or the top is transferred, so tombstones from timer-heavy
+// workloads die wholesale per rung instead of leaking to the pop
+// path one by one.
+const (
+	// ladderBuckets is the fan-out of every rung: the top is split
+	// into at most this many buckets, as is an over-full bucket.
+	ladderBuckets = 64
+	// ladderSpawn is the bucket size beyond which a bucket is split
+	// into a finer rung rather than sorted into the bottom.
+	ladderSpawn = 64
+	// ladderDirect is the top size up to which a top transfer skips
+	// the rung machinery and sorts straight into the bottom. Small
+	// queues — the common simulation regime — stay a two-level
+	// structure with one sort per drain.
+	ladderDirect = 64
+	// ladderMaxRungs bounds rung recursion; at the bound a bucket is
+	// sorted into the bottom regardless of size.
+	ladderMaxRungs = 16
+	// ladderBottomMax bounds the bottom's live window. Past it, sorted
+	// inserts degenerate into the O(window) memmove regime of a flat
+	// array — exactly what happens after a small-but-wide top transfer
+	// sets topStart beyond every future arrival — so the window is
+	// re-bucketed into a rung instead (the ladder paper's THRES rule).
+	ladderBottomMax = 128
+)
+
+// rung is one bucket array of the ladder. Buckets before cur have
+// been consumed; curStart is therefore the lower bound of every event
+// still in the rung. limit is the rung's routing ceiling (exclusive):
+// because bucket widths are rounded up, end() can overshoot the span
+// the rung was spawned to cover, and routing an arrival from the
+// overshoot region into this rung instead of its parent's next bucket
+// would let it pop ahead of earlier (at, seq) events held there. The
+// creation sites set limit to the exact covered span: the parent
+// bucket's upper bound for a child, topStart for a top transfer, the
+// outer floor for a bottom conversion.
+type rung struct {
+	start   Time
+	width   Time
+	limit   Time
+	nb      int
+	cur     int
+	count   int
+	buckets [][]*event
+}
+
+func (r *rung) curStart() Time { return r.start + Time(r.cur)*r.width }
+func (r *rung) end() Time      { return r.start + Time(r.nb)*r.width }
+
+func eventCmp(a, b *event) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// schedule routes a freshly stamped event to the same-time ring or
+// the ladder. The ring guard on the last entry covers the one case
+// where now is not monotone: Run's horizon clamp can move the clock
+// before ring entries left over from a stopped run, and later
+// same-instant arrivals must then take the ordered path.
+func (k *Kernel) schedule(e *event) {
+	if e.at == k.now {
+		if n := len(k.nowq); n == k.nowHead || k.nowq[n-1].at <= e.at {
+			k.nowq = append(k.nowq, e)
+			return
+		}
+	}
+	k.ladderPush(e)
+}
+
+func (k *Kernel) ladderPush(e *event) {
+	k.lsize++
+	if e.at >= k.topStart {
+		if len(k.top) == 0 {
+			k.topMin, k.topMax = e.at, e.at
+		} else {
+			if e.at < k.topMin {
+				k.topMin = e.at
+			}
+			if e.at > k.topMax {
+				k.topMax = e.at
+			}
+		}
+		k.top = append(k.top, e)
+		return
+	}
+	if n := len(k.rungs); n > 0 && e.at >= k.rungs[n-1].curStart() {
+		// Below topStart and inside the active rung ranges: the
+		// innermost rung covering e.at gets it. Walking outwards is
+		// correct because each inner rung's limit is exactly the
+		// outer floor it was spawned under.
+		for i := n - 1; i >= 0; i-- {
+			r := k.rungs[i]
+			if e.at < r.limit {
+				idx := int((e.at - r.start) / r.width)
+				r.buckets[idx] = append(r.buckets[idx], e)
+				r.count++
+				return
+			}
+		}
+		panic("sim: ladder push fell through rungs")
+	}
+	// Below every rung's active range: sorted insert into the bottom.
+	// Near-future arrivals usually land at the end, making this an
+	// append; interior inserts (mid-range timers) binary-search.
+	b := k.bottom
+	if len(b) == k.bhead || !eventLess(e, b[len(b)-1]) {
+		k.bottom = append(b, e)
+	} else {
+		lo, hi := k.bhead, len(b)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if eventLess(e, b[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		k.bottom = append(b, nil)
+		copy(k.bottom[lo+1:], k.bottom[lo:])
+		k.bottom[lo] = e
+	}
+	if len(k.bottom)-k.bhead > ladderBottomMax {
+		k.convertBottom()
+	}
+}
+
+// convertBottom re-buckets the bottom's live window into a new
+// innermost rung spanning everything below the current floor. Without
+// this, one small-but-wide top transfer leaves topStart beyond every
+// future arrival and the bottom accretes into a flat sorted array with
+// O(window) insertion — the regime a large pending set turns quadratic.
+// Canceled events are absorbed in passing, like every other transfer.
+func (k *Kernel) convertBottom() {
+	if len(k.rungs) >= ladderMaxRungs {
+		return
+	}
+	floor := k.topStart
+	if n := len(k.rungs); n > 0 {
+		floor = k.rungs[n-1].curStart()
+	}
+	start := k.bottom[k.bhead].at
+	r := k.newRung(start, floor-start)
+	r.limit = floor
+	for _, e := range k.bottom[k.bhead:] {
+		if e.canceled {
+			k.absorb(e)
+			continue
+		}
+		idx := int((e.at - r.start) / r.width)
+		r.buckets[idx] = append(r.buckets[idx], e)
+		r.count++
+	}
+	clear(k.bottom)
+	k.bottom = k.bottom[:0]
+	k.bhead = 0
+	k.rungs = append(k.rungs, r)
+}
+
+// ladderBound reports a lower bound on the ladder's minimum
+// timestamp, valid while lsize > 0. It lets the pop path skip
+// materializing the ladder minimum when the ring front is strictly
+// earlier — the fast path never touches the queue.
+func (k *Kernel) ladderBound() Time {
+	if k.bhead < len(k.bottom) {
+		return k.bottom[k.bhead].at
+	}
+	if n := len(k.rungs); n > 0 {
+		return k.rungs[n-1].curStart()
+	}
+	return k.topMin
+}
+
+// ladderPeek returns the ladder's minimum event without removing it,
+// or nil when the ladder is empty. It advances the structure as
+// needed: consuming rung buckets into the bottom, spawning finer
+// rungs from over-full buckets, and transferring the top when
+// everything below it has drained. Canceled events are absorbed
+// during every transfer.
+func (k *Kernel) ladderPeek() *event {
+	for {
+		if k.bhead < len(k.bottom) {
+			return k.bottom[k.bhead]
+		}
+		if len(k.bottom) > 0 || k.bhead > 0 {
+			k.bottom = k.bottom[:0]
+			k.bhead = 0
+		}
+		if n := len(k.rungs); n > 0 {
+			r := k.rungs[n-1]
+			for r.cur < r.nb && len(r.buckets[r.cur]) == 0 {
+				r.cur++
+			}
+			if r.cur == r.nb {
+				k.rungs = k.rungs[:n-1]
+				k.rungPool = append(k.rungPool, r)
+				continue
+			}
+			bs := r.buckets[r.cur]
+			bstart := r.curStart()
+			r.cur++
+			r.count -= len(bs)
+			if len(bs) > ladderSpawn && r.width > 1 && len(k.rungs) < ladderMaxRungs {
+				child := k.newRung(bstart, r.width)
+				child.limit = bstart + r.width // the parent bucket's exact span
+				for _, e := range bs {
+					if e.canceled {
+						k.absorb(e)
+						continue
+					}
+					idx := int((e.at - child.start) / child.width)
+					child.buckets[idx] = append(child.buckets[idx], e)
+					child.count++
+				}
+				k.rungs = append(k.rungs, child)
+			} else {
+				for _, e := range bs {
+					if e.canceled {
+						k.absorb(e)
+						continue
+					}
+					k.bottom = append(k.bottom, e)
+				}
+				slices.SortFunc(k.bottom, eventCmp)
+			}
+			clear(bs)
+			r.buckets[r.cur-1] = bs[:0]
+			continue
+		}
+		if len(k.top) > 0 {
+			live := k.top[:0]
+			for _, e := range k.top {
+				if e.canceled {
+					k.absorb(e)
+				} else {
+					live = append(live, e)
+				}
+			}
+			clear(k.top[len(live):])
+			k.top = live
+			if len(k.top) == 0 {
+				return nil
+			}
+			if len(k.top) <= ladderDirect {
+				k.bottom = append(k.bottom, k.top...)
+				clear(k.top)
+				k.top = k.top[:0]
+				k.topStart = k.topMax + 1
+				slices.SortFunc(k.bottom, eventCmp)
+				continue
+			}
+			r := k.newRung(k.topMin, k.topMax-k.topMin+1)
+			r.limit = r.end() // topStart moves to end(), so no overlap above
+			for _, e := range k.top {
+				idx := int((e.at - r.start) / r.width)
+				r.buckets[idx] = append(r.buckets[idx], e)
+				r.count++
+			}
+			clear(k.top)
+			k.top = k.top[:0]
+			k.topStart = r.end()
+			k.rungs = append(k.rungs, r)
+			continue
+		}
+		return nil
+	}
+}
+
+// newRung takes a rung from the pool (or allocates one) sized to
+// cover span starting at start with at most ladderBuckets buckets.
+func (k *Kernel) newRung(start, span Time) *rung {
+	var r *rung
+	if n := len(k.rungPool); n > 0 {
+		r = k.rungPool[n-1]
+		k.rungPool = k.rungPool[:n-1]
+	} else {
+		r = &rung{}
+	}
+	width := (span + ladderBuckets - 1) / ladderBuckets
+	if width < 1 {
+		width = 1
+	}
+	nb := int((span + width - 1) / width)
+	r.start, r.width, r.nb, r.cur, r.count = start, width, nb, 0, 0
+	r.limit = start + span // default: the exact requested span; sites may widen
+	if cap(r.buckets) < nb {
+		old := r.buckets
+		r.buckets = make([][]*event, nb)
+		copy(r.buckets, old)
+	} else {
+		r.buckets = r.buckets[:nb]
+	}
+	return r
+}
+
+// absorb releases a canceled event encountered during a transfer.
+func (k *Kernel) absorb(e *event) {
+	k.lsize--
+	k.ncanceled--
+	k.releaseEvent(e)
+}
+
+// peekNext returns the next event in (at, seq) order across the ring
+// and the ladder without removing it, or nil when the kernel has no
+// scheduled events. A ladder event at the ring front's timestamp was
+// necessarily scheduled before the clock reached it, so it carries a
+// smaller seq and must win; the lazy bound avoids materializing the
+// ladder minimum when the ring front is strictly earlier.
+func (k *Kernel) peekNext() *event {
+	var rf *event
+	if k.nowHead < len(k.nowq) {
+		rf = k.nowq[k.nowHead]
+	}
+	if rf == nil {
+		if k.lsize == 0 {
+			return nil
+		}
+		return k.ladderPeek()
+	}
+	if k.lsize == 0 || rf.at < k.ladderBound() {
+		return rf
+	}
+	lm := k.ladderPeek()
+	if lm != nil && eventLess(lm, rf) {
+		return lm
+	}
+	return rf
+}
+
+// popNext removes the event peekNext just returned: either the ring
+// front or the bottom front (ladderPeek always materializes the
+// ladder minimum into the bottom).
+func (k *Kernel) popNext(e *event) {
+	if h := k.nowHead; h < len(k.nowq) && k.nowq[h] == e {
+		k.nowq[h] = nil
+		k.nowHead++
+		if k.nowHead == len(k.nowq) {
+			k.nowq = k.nowq[:0]
+			k.nowHead = 0
+		}
+		return
+	}
+	k.bottom[k.bhead] = nil
+	k.bhead++
+	k.lsize--
+}
+
+// maybeCompact sweeps canceled events out of the ladder once they
+// outnumber the live ones (same trigger the binary heap used). Ring
+// entries drain at the current instant and are merely recounted. Pop
+// order is unaffected: absorption only removes events that would have
+// been skipped.
+func (k *Kernel) maybeCompact() {
+	if k.ncanceled < 64 || k.ncanceled <= k.Pending()/2 {
+		return
+	}
+	live := k.bottom[:k.bhead]
+	for _, e := range k.bottom[k.bhead:] {
+		if e.canceled {
+			k.lsize--
+			k.releaseEvent(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	clear(k.bottom[len(live):])
+	k.bottom = live
+	for _, r := range k.rungs {
+		for i := r.cur; i < r.nb; i++ {
+			bs := r.buckets[i]
+			kept := bs[:0]
+			for _, e := range bs {
+				if e.canceled {
+					k.lsize--
+					r.count--
+					k.releaseEvent(e)
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			clear(bs[len(kept):])
+			r.buckets[i] = kept
+		}
+	}
+	keptTop := k.top[:0]
+	for _, e := range k.top {
+		if e.canceled {
+			k.lsize--
+			k.releaseEvent(e)
+		} else {
+			keptTop = append(keptTop, e)
+		}
+	}
+	clear(k.top[len(keptTop):])
+	k.top = keptTop
+	n := 0
+	for i := k.nowHead; i < len(k.nowq); i++ {
+		if k.nowq[i].canceled {
+			n++
+		}
+	}
+	k.ncanceled = n
+}

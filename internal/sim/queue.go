@@ -26,6 +26,15 @@ type Queue[T any] struct {
 	putters []*queuePutter[T]
 	closed  bool
 
+	// handoff holds items already committed to dispatched getters, in
+	// dispatch order from hhead (a head-index ring, reset when it
+	// drains, so steady-state hand-offs reuse one backing array).
+	// Carrying the item here instead of in the wake-up event's value
+	// keeps the hand-off monomorphic: boxing a struct T into the
+	// event's `any` slot would allocate per transfer.
+	handoff []T
+	hhead   int
+
 	puts uint64
 	gets uint64
 }
@@ -62,7 +71,8 @@ func (q *Queue[T]) Put(p *Proc, item T) bool {
 		q.getters = q.getters[1:]
 		q.puts++
 		q.gets++
-		q.k.atDispatch(q.k.now, g, item)
+		q.handoff = append(q.handoff, item)
+		q.k.atDispatch(q.k.now, g, nil)
 		return true
 	}
 	if q.cap == 0 || len(q.items) < q.cap {
@@ -138,7 +148,8 @@ func (q *Queue[T]) TryPut(item T) bool {
 		q.getters = q.getters[1:]
 		q.puts++
 		q.gets++
-		q.k.atDispatch(q.k.now, g, item)
+		q.handoff = append(q.handoff, item)
+		q.k.atDispatch(q.k.now, g, nil)
 		return true
 	}
 	if q.cap == 0 || len(q.items) < q.cap {
@@ -167,7 +178,15 @@ func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
 		var zero T
 		return zero, false
 	}
-	return v.(T), true
+	item = q.handoff[q.hhead]
+	var zero T
+	q.handoff[q.hhead] = zero
+	q.hhead++
+	if q.hhead == len(q.handoff) {
+		q.handoff = q.handoff[:0]
+		q.hhead = 0
+	}
+	return item, true
 }
 
 // TryGet removes the oldest item without blocking.

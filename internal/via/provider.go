@@ -37,10 +37,14 @@ type packet struct {
 	// port handler, where the frame envelope is still in hand.
 	corrupt bool
 
-	// data fragments
+	// data fragments. frag is this fragment's view of the bytes; msg,
+	// when non-nil, is the whole message's private wire buffer that
+	// every fragment of the message aliases (see txDescLoop), so the
+	// receiver can complete the descriptor with zero reassembly copies.
 	msgLen  int
 	fragLen int
 	frag    []byte
+	msg     []byte
 	first   bool
 	last    bool
 	imm     uint64
@@ -85,7 +89,13 @@ type Provider struct {
 	node *cluster.Node
 	net  *netsim.Network
 	cfg  Config
-	dma  *sim.Resource
+	// dma stays a counted Resource rather than a sim.Serializer: the
+	// engine is contended from both directions (tx fragments against rx
+	// fragments), and the serializer's collapse of the acquire/release
+	// protocol assigns the wake-up's queue position at arrival instead
+	// of at release, flipping same-instant event orderings that the
+	// byte-identity guarantee of the figures pins down.
+	dma *sim.Resource
 
 	vis    map[uint32]*VI
 	nextVI uint32
@@ -255,6 +265,17 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 		}
 		sc := hpsmon.Begin(p, "via", "send-desc", vi.peerPort)
 		p.Sleep(pr.cfg.NICTxPerDesc)
+		// The DMA engine reads the message out of host memory into one
+		// private wire buffer; every fragment aliases a window of it, so
+		// the host buffer may be reused as soon as the send completes
+		// and the receiver can hand the assembled message to its
+		// descriptor without a reassembly copy. The simulated DMA cost
+		// is still charged per fragment below — only the real-memory
+		// traffic collapses to one copy per message.
+		var wireBuf []byte
+		if desc.Data != nil {
+			wireBuf = append([]byte(nil), desc.Data[:desc.Len]...)
+		}
 		remaining := desc.Len
 		offset := 0
 		first := true
@@ -262,14 +283,6 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 			n := remaining
 			if n > pr.cfg.MTU {
 				n = pr.cfg.MTU
-			}
-			var frag []byte
-			if desc.Data != nil {
-				// The DMA engine reads the bytes out of host memory
-				// here; the wire carries this private copy, so the
-				// host buffer may be reused as soon as the send
-				// completes.
-				frag = append([]byte(nil), desc.Data[offset:offset+n]...)
 			}
 			pr.dmaUse(p, n)
 			p.Sleep(pr.cfg.NICTxPerFrame)
@@ -281,7 +294,10 @@ func (pr *Provider) txDescLoop(p *sim.Proc) {
 			pk.seq = vi.txSeq
 			pk.msgLen = desc.Len
 			pk.fragLen = n
-			pk.frag = frag
+			if wireBuf != nil {
+				pk.frag = wireBuf[offset : offset+n]
+				pk.msg = wireBuf
+			}
 			pk.first = first
 			pk.last = remaining-n == 0
 			pk.imm = desc.Imm
@@ -422,10 +438,17 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	vi.rxSeq++
 	if pk.first {
 		vi.curLen = 0
+		vi.curMsg = nil
 		vi.curParts = vi.curParts[:0]
 	}
 	vi.curLen += pk.fragLen
-	if pk.frag != nil {
+	if pk.msg != nil {
+		// Every fragment of the message aliases one private wire
+		// buffer; in-order reliable delivery (the seq check above)
+		// guarantees that by the last fragment the whole buffer has
+		// arrived, so no per-part accumulation is needed.
+		vi.curMsg = pk.msg
+	} else if pk.frag != nil {
 		vi.curParts = append(vi.curParts, pk.frag)
 	}
 	if !pk.last {
@@ -458,7 +481,15 @@ func (pr *Provider) rxData(p *sim.Proc, pk *packet) {
 	desc.Status = StatusOK
 	desc.XferLen = vi.curLen
 	desc.Imm = pk.imm
-	if len(vi.curParts) == 1 {
+	if vi.curMsg != nil {
+		// Zero-copy hand-off: the descriptor aliases the sender's
+		// private wire buffer. Nothing else retains it — the sender
+		// allocated it for this message alone and netsim never mutates
+		// payload bytes (corruption is an envelope flag) — so ownership
+		// transfers cleanly to the application.
+		desc.Data = vi.curMsg
+		vi.curMsg = nil
+	} else if len(vi.curParts) == 1 {
 		desc.Data = vi.curParts[0]
 	} else if len(vi.curParts) > 1 {
 		buf := make([]byte, 0, vi.curLen)

@@ -47,8 +47,12 @@ type VI struct {
 	closeSig     *sim.Signal
 	remoteClosed bool
 
-	// reassembly state (network is FIFO per connection)
+	// reassembly state (network is FIFO per connection). curMsg holds
+	// the in-flight message's shared wire buffer when the sender
+	// aliased its fragments into one (the zero-copy path); curParts
+	// accumulates independent fragment copies otherwise.
 	curLen   int
+	curMsg   []byte
 	curParts [][]byte
 	rxMsgs   uint64
 
