@@ -28,8 +28,11 @@ import (
 	"testing"
 	"time"
 
+	"hpsockets/internal/core"
 	"hpsockets/internal/experiments"
+	"hpsockets/internal/profile"
 	"hpsockets/internal/sim"
+	"hpsockets/internal/vizapp"
 )
 
 // Result is one benchmark measurement.
@@ -67,18 +70,45 @@ type Anchor struct {
 	MeventsPS float64 `json:"mevents_per_sec"`
 }
 
-// Snapshot is the whole file.
+// ProfileEdge is one park-ledger line of a profile workload: exact
+// deterministic counters, so any drift between snapshots of the same
+// code is a real behavior change, not noise.
+type ProfileEdge struct {
+	Edge        string  `json:"edge"`
+	Parks       uint64  `json:"parks"`
+	SameInstant uint64  `json:"same_instant"`
+	Handoffs    uint64  `json:"handoffs"`
+	ParkedUS    float64 `json:"parked_us"`
+}
+
+// ProfileRecord is the park-ledger totals of one fixed, deterministic
+// profile workload (see runProfileWorkloads). Unlike the timed
+// sections these are virtual-time/event counts: byte-identical
+// across machines, exact across runs.
+type ProfileRecord struct {
+	Workload    string        `json:"workload"`
+	Parks       uint64        `json:"parks"`
+	Wakes       uint64        `json:"wakes"`
+	SameInstant uint64        `json:"same_instant"`
+	Handoffs    uint64        `json:"handoffs"`
+	RingHits    uint64        `json:"ring_hits"`
+	Edges       []ProfileEdge `json:"edges"`
+}
+
+// Snapshot is the whole file. The schema is documented in
+// EXPERIMENTS.md ("BENCH snapshot schema").
 type Snapshot struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	CPUModel   string      `json:"cpu_model,omitempty"`
-	NumCPU     int         `json:"num_cpu"`
-	Anchor     *Anchor     `json:"sanity_anchor,omitempty"`
-	Benchmarks []Result    `json:"benchmarks"`
-	Figures    []FigureRun `json:"figures_quick,omitempty"`
-	Hpslint    *LintRun    `json:"hpslint,omitempty"`
-	Baseline   Baseline    `json:"baseline"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	CPUModel   string          `json:"cpu_model,omitempty"`
+	NumCPU     int             `json:"num_cpu"`
+	Anchor     *Anchor         `json:"sanity_anchor,omitempty"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Figures    []FigureRun     `json:"figures_quick,omitempty"`
+	Hpslint    *LintRun        `json:"hpslint,omitempty"`
+	Profile    []ProfileRecord `json:"profile,omitempty"`
+	Baseline   Baseline        `json:"baseline"`
 }
 
 // Baseline pins the pre-optimization numbers (sequential kernel, no
@@ -100,6 +130,9 @@ var baseline = Baseline{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	skipFigures := flag.Bool("skip-figures", false, "skip the timed quick figure set (minutes)")
 	skipLint := flag.Bool("skip-lint", false, "skip the timed whole-repo hpslint run")
@@ -169,6 +202,9 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 		})
 	}
+
+	fmt.Fprintln(os.Stderr, "bench: profile workloads...")
+	snap.Profile = runProfileWorkloads()
 
 	if !*skipLint {
 		fmt.Fprintln(os.Stderr, "bench: hpslint ./...")
@@ -378,6 +414,55 @@ func benchSerializerUse(b *testing.B) {
 		}
 		k.RunAll()
 	}
+}
+
+// runProfileWorkloads runs one small fixed pipeline per transport
+// with a park ledger attached and records the exact per-edge
+// scheduler counters. The workloads are deterministic and
+// machine-independent, so `bench compare` can hold them to exact
+// equality: an unexplained park-count increase is a scheduler-traffic
+// regression no timer could see.
+func runProfileWorkloads() []ProfileRecord {
+	workloads := []struct {
+		name string
+		kind core.Kind
+	}{
+		{"pipeline/tcp/b32768", core.KindTCP},
+		{"pipeline/socketvia/b32768", core.KindSocketVIA},
+	}
+	var out []ProfileRecord
+	for _, wl := range workloads {
+		cfg := vizapp.DefaultPipelineConfig(wl.kind, 32<<10)
+		cfg.ImageBytes = 4 << 20
+		led := profile.NewLedger()
+		cfg.Hook = led.Attach
+		queries := []vizapp.Query{cfg.CompleteQuery(), cfg.CompleteQuery()}
+		res := vizapp.RunPipeline(cfg, queries)
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "bench: profile workload %s failed: %v\n", wl.name, res.Err)
+			os.Exit(1)
+		}
+		parks, wakes, same, hand := led.Totals()
+		rec := ProfileRecord{
+			Workload:    wl.name,
+			Parks:       parks,
+			Wakes:       wakes,
+			SameInstant: same,
+			Handoffs:    hand,
+			RingHits:    led.RingHits(),
+		}
+		for _, e := range led.Edges() {
+			rec.Edges = append(rec.Edges, ProfileEdge{
+				Edge:        e.Edge,
+				Parks:       e.Parks,
+				SameInstant: e.SameInstant,
+				Handoffs:    e.Handoffs,
+				ParkedUS:    e.Parked.Micros(),
+			})
+		}
+		out = append(out, rec)
+	}
+	return out
 }
 
 // runQuickFigures regenerates the same figure set as `figures -quick`

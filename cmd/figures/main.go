@@ -17,6 +17,7 @@ import (
 
 	"hpsockets/internal/experiments"
 	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/profile"
 	"hpsockets/internal/stats"
 )
 
@@ -28,6 +29,8 @@ func main() {
 		"experiment cells run concurrently; any value emits byte-identical figures")
 	telemetry := flag.String("telemetry", "",
 		"write per-cell hpsmon metrics for the pipeline figures to this file (CSV with a .csv suffix, aligned tables otherwise)")
+	prof := flag.String("profile", "",
+		"write per-cell park ledgers and virtual-time critical paths for the pipeline figures to this file")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -37,6 +40,9 @@ func main() {
 	o.Workers = *workers
 	if *telemetry != "" {
 		o.Telemetry = hpsmon.NewSet()
+	}
+	if *prof != "" {
+		o.Profile = profile.NewSet()
 	}
 	render := func(t *stats.Table) {
 		if *csv {
@@ -92,6 +98,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if o.Profile != nil {
+		if err := writeProfile(o.Profile, *prof); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeProfile renders the collected cell profiles (park ledger +
+// critical path per cell) to path.
+func writeProfile(set *profile.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = set.Render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTelemetry renders the collected cell metrics to path, as CSV

@@ -20,6 +20,8 @@ import (
 
 	"hpsockets/internal/core"
 	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/profile"
+	"hpsockets/internal/sim"
 	"hpsockets/internal/vizapp"
 )
 
@@ -33,6 +35,7 @@ func main() {
 	out := flag.String("out", "", "write Chrome trace-event JSON to this file (required)")
 	flame := flag.Bool("flame", true, "print the flame summary on stdout")
 	metrics := flag.Bool("metrics", true, "print the metrics table on stdout")
+	prof := flag.Bool("profile", true, "print the park ledger and virtual-time critical path on stdout")
 	flag.Parse()
 
 	if *out == "" {
@@ -73,7 +76,11 @@ func main() {
 
 	cellName := fmt.Sprintf("trace/%s/%s/b%d", *kind, *mode, *block)
 	col := hpsmon.NewCollector(cellName, hpsmon.Options{Spans: true})
-	cfg.Hook = col.Attach
+	led := profile.NewLedger()
+	cfg.Hook = func(k *sim.Kernel) {
+		col.Attach(k)
+		led.Attach(k)
+	}
 
 	res := vizapp.RunPipeline(cfg, qs)
 	if res.Err != nil {
@@ -108,6 +115,14 @@ func main() {
 		fmt.Println()
 		if err := col.Registry().Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *prof {
+		fmt.Println()
+		cell := &profile.Cell{Name: cellName, Ledger: led, Source: col}
+		if err := cell.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: profile: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,15 +1,15 @@
-// Package offpath defines an analyzer that keeps telemetry call sites
-// free on the monitor-off path.
+// Package offpath defines an analyzer that keeps telemetry and
+// profiler call sites free on the observer-off path.
 //
-// The monitor contract (internal/sim.Monitor, internal/hpsmon) is that
-// with no monitor attached a hook costs one nil check and allocates
-// nothing — that is what makes it safe to leave instrumentation in the
-// hot paths that the paper's figures time. Two ways a call site breaks
-// the contract:
+// The observer contract (internal/sim.Monitor, internal/sim.Profiler,
+// internal/hpsmon) is that with no observer attached a hook costs one
+// nil check and allocates nothing — that is what makes it safe to
+// leave instrumentation in the hot paths that the paper's figures
+// time. Two ways a call site breaks the contract:
 //
-//   - calling a sim.Monitor method on a value that was never
-//     nil-checked, which panics (or forces a stub monitor) the moment
-//     telemetry is off;
+//   - calling a sim.Monitor or sim.Profiler method on a value that was
+//     never nil-checked, which panics (or forces a stub observer) the
+//     moment the observer is off;
 //   - passing an allocating expression (fmt.Sprintf, string concat, a
 //     composite literal) to an hpsmon helper — the helper nil-checks
 //     internally, but its arguments are evaluated unconditionally, so
@@ -29,14 +29,16 @@ var Analyzer = &framework.Analyzer{
 	Name: "offpath",
 	Doc: `keep telemetry call sites allocation-free when the monitor is off
 
-Every sim.Monitor method call must be dominated by a nil check of the
-same monitor value — "if m := k.Monitor(); m != nil { m.Count(...) }",
-an early return "if s.m == nil { return }", or a guard on the same
-field chain. Arguments of hpsmon helper calls must be allocation-free
-(the helpers guard internally, but arguments evaluate before the call);
-an argument that must allocate — a dynamic detail string, say — belongs
-behind "if hpsmon.Enabled(k) { ... }", which the analyzer recognizes
-and exempts.`,
+Every sim.Monitor and sim.Profiler method call must be dominated by a
+nil check of the same observer value — "if m := k.Monitor(); m != nil
+{ m.Count(...) }", an early return "if s.m == nil { return }", or a
+guard on the same field chain. Arguments of hpsmon helper calls must
+be allocation-free (the helpers guard internally, but arguments
+evaluate before the call); an argument that must allocate — a dynamic
+detail string, say — belongs behind "if hpsmon.Enabled(k) { ... }",
+which the analyzer recognizes and exempts. A Profiler nil check does
+NOT exempt hpsmon arguments: profiling and telemetry switch on
+independently.`,
 	Run: run,
 }
 
@@ -58,10 +60,11 @@ type posRange struct{ lo, hi token.Pos }
 func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
 
 func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
-	// guards[key] are the ranges where the monitor value named by key
-	// is proven non-nil; telemetryOn are the ranges where telemetry as
-	// a whole is proven on (an Enabled check or any monitor nil check),
-	// which exempts allocating hpsmon arguments.
+	// guards[key] are the ranges where the observer value (monitor or
+	// profiler) named by key is proven non-nil; telemetryOn are the
+	// ranges where telemetry as a whole is proven on (an Enabled check
+	// or a *monitor* nil check — a profiler check proves nothing about
+	// telemetry), which exempts allocating hpsmon arguments.
 	guards := make(map[string][]posRange)
 	var telemetryOn []posRange
 
@@ -75,10 +78,10 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 		// "if X != nil { ... }": X is non-nil inside the body.
 		if x := nilCompared(cond, token.NEQ); x != nil {
 			rng := posRange{ifs.Body.Pos(), ifs.Body.End()}
-			if key := exprKey(pass.TypesInfo, x); key != "" && isMonitorExpr(pass.TypesInfo, x) {
+			if key := exprKey(pass.TypesInfo, x); key != "" && observerExprName(pass.TypesInfo, x) != "" {
 				guards[key] = append(guards[key], rng)
 			}
-			if isMonitorExpr(pass.TypesInfo, x) {
+			if observerExprName(pass.TypesInfo, x) == "Monitor" {
 				telemetryOn = append(telemetryOn, rng)
 			}
 			return true
@@ -87,10 +90,10 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 		// end of its enclosing statement list.
 		if x := nilCompared(cond, token.EQL); x != nil && terminates(ifs.Body) {
 			rng := posRange{ifs.End(), enclosingListEnd(stack)}
-			if key := exprKey(pass.TypesInfo, x); key != "" && isMonitorExpr(pass.TypesInfo, x) {
+			if key := exprKey(pass.TypesInfo, x); key != "" && observerExprName(pass.TypesInfo, x) != "" {
 				guards[key] = append(guards[key], rng)
 			}
-			if isMonitorExpr(pass.TypesInfo, x) {
+			if observerExprName(pass.TypesInfo, x) == "Monitor" {
 				telemetryOn = append(telemetryOn, rng)
 			}
 			return true
@@ -116,16 +119,17 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		// Rule 1: a method call on a sim.Monitor value.
-		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal &&
-			isMonitorType(s.Recv()) {
-			key := exprKey(pass.TypesInfo, sel.X)
-			if key == "" || !inAny(guards[key], call.Pos()) {
-				pass.Reportf(call.Pos(),
-					"sim.Monitor call %s is not nil-guarded: with telemetry off the monitor is nil, guard it with `if m != nil`",
-					renderCallee(pass, sel))
+		// Rule 1: a method call on a sim.Monitor or sim.Profiler value.
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if obs := observerTypeName(s.Recv()); obs != "" {
+				key := exprKey(pass.TypesInfo, sel.X)
+				if key == "" || !inAny(guards[key], call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"sim.%s call %s is not nil-guarded: with the observer off it is nil, guard it with `if m != nil`",
+						obs, renderCallee(pass, sel))
+				}
+				return true
 			}
-			return true
 		}
 		// Rule 2: allocation-free arguments to hpsmon hooks.
 		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && isHpsmonHook(fn) {
@@ -227,26 +231,35 @@ func exprKey(info *types.Info, e ast.Expr) string {
 	return ""
 }
 
-// isMonitorExpr reports whether e's static type is the sim.Monitor
-// interface.
-func isMonitorExpr(info *types.Info, e ast.Expr) bool {
+// observerExprName reports which sim observer interface e's static
+// type is: "Monitor", "Profiler", or "" for neither.
+func observerExprName(info *types.Info, e ast.Expr) string {
 	tv, ok := info.Types[e]
-	return ok && isMonitorType(tv.Type)
+	if !ok {
+		return ""
+	}
+	return observerTypeName(tv.Type)
 }
 
-// isMonitorType matches the named interface Monitor from a package
-// named "sim" (the real internal/sim and the fixture stub alike).
-func isMonitorType(t types.Type) bool {
+// observerTypeName matches the named interfaces Monitor and Profiler
+// from a package named "sim" (the real internal/sim and the fixture
+// stub alike), returning the interface name or "".
+func observerTypeName(t types.Type) string {
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	if obj.Name() != "Monitor" || obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
-		return false
+	if obj.Name() != "Monitor" && obj.Name() != "Profiler" {
+		return ""
 	}
-	_, isIface := named.Underlying().(*types.Interface)
-	return isIface
+	if obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
+		return ""
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return ""
+	}
+	return obj.Name()
 }
 
 // isHpsmonFunc matches package-level functions of a package named

@@ -114,3 +114,67 @@ func monitorGuardForArgs(k *sim.Kernel, id int) {
 func setupPath(run int) *hpsmon.Collector {
 	return hpsmon.NewCollector(fmt.Sprintf("run-%d", run), hpsmon.Options{Spans: true})
 }
+
+// Near miss: the canonical profiler guard, the same shape the sim
+// primitives use in parkOn and the queue hand-off fast path.
+func guardedProfiler(k *sim.Kernel, p *sim.Proc) {
+	if pr := k.Profiler(); pr != nil {
+		pr.Park(k.Now(), p, "nic/tx-fifo")
+	}
+}
+
+// A profiler method call with no guard panics whenever profiling is
+// off — exactly the monitor failure mode.
+func unguardedProfiler(k *sim.Kernel, p *sim.Proc) {
+	pr := k.Profiler()
+	pr.Park(k.Now(), p, "nic/tx-fifo") // want `sim\.Profiler call pr\.Park is not nil-guarded`
+}
+
+// Near miss: the early-return guard works for profilers too.
+func profilerEarlyReturn(k *sim.Kernel) {
+	pr := k.Profiler()
+	if pr == nil {
+		return
+	}
+	pr.Handoff(k.Now(), "nic/tx-fifo")
+}
+
+// A monitor guard proves nothing about the profiler, and vice versa:
+// the two observers switch on independently.
+func crossObserverGuard(k *sim.Kernel, p *sim.Proc) {
+	if m := k.Monitor(); m != nil {
+		pr := k.Profiler()
+		pr.Park(k.Now(), p, "nic/tx-fifo") // want `sim\.Profiler call pr\.Park is not nil-guarded`
+	}
+	if pr := k.Profiler(); pr != nil {
+		m := k.Monitor()
+		m.Count(k.Now(), "nic", "tx", 1) // want `sim\.Monitor call m\.Count is not nil-guarded`
+	}
+}
+
+// prober mirrors profile.Ledger's consumers: a struct field holding
+// the profiler, guarded by field chain.
+type prober struct {
+	pr sim.Profiler
+}
+
+// Near miss: the field-chain guard covers later uses.
+func (b prober) hit(k *sim.Kernel) {
+	if b.pr == nil {
+		return
+	}
+	b.pr.Handoff(k.Now(), "nic/tx-fifo")
+}
+
+// The field used without a guard is flagged.
+func (b prober) leakyHit(k *sim.Kernel) {
+	b.pr.Handoff(k.Now(), "nic/tx-fifo") // want `sim\.Profiler call b\.pr\.Handoff is not nil-guarded`
+}
+
+// A profiler nil check does NOT prove telemetry is on: hpsmon
+// arguments must still be allocation-free inside it.
+func profilerGuardIsNotTelemetry(k *sim.Kernel, id int) {
+	if pr := k.Profiler(); pr != nil {
+		hpsmon.InstantK(k, "nic", "drop", fmt.Sprintf("pkt %d", id)) // want `argument 4 of hpsmon\.InstantK allocates even when telemetry is off`
+	}
+}

@@ -17,11 +17,25 @@ type Monitor interface {
 	Gauge(at Time, component, name string, value int64)
 }
 
+// Profiler is a stub of the sim scheduler profiler interface; the
+// offpath analyzer matches it by name and package name, exactly like
+// Monitor.
+type Profiler interface {
+	Park(at Time, p *Proc, edge string)
+	Handoff(at Time, edge string)
+}
+
 // Kernel is a stub of the sim kernel.
-type Kernel struct{ mon Monitor }
+type Kernel struct {
+	mon  Monitor
+	prof Profiler
+}
 
 // Monitor reports the attached monitor, nil when telemetry is off.
 func (k *Kernel) Monitor() Monitor { return k.mon }
+
+// Profiler reports the attached profiler, nil when profiling is off.
+func (k *Kernel) Profiler() Profiler { return k.prof }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return 0 }

@@ -85,6 +85,7 @@ func (c *Cluster) AddNode(name string, cfg Config) *Node {
 		port:   c.net.Attach(name),
 		factor: 1,
 	}
+	n.cpu.SetLabel("cluster/cpu")
 	c.nodes[name] = n
 	c.order = append(c.order, n)
 	return n

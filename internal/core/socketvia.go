@@ -156,6 +156,12 @@ func (e *svEndpoint) newConnDeferred(p *sim.Proc) *svConn {
 		sendPool: sim.NewQueue[*via.Desc](k, 0),
 		ctrlPool: sim.NewQueue[*via.Desc](k, 0),
 	}
+	c.credCond.SetLabel("socketvia/credit-wait")
+	c.rcvCond.SetLabel("socketvia/rcv-wait")
+	c.rendCond.SetLabel("socketvia/rendezvous")
+	c.readySig.SetLabel("socketvia/ready")
+	c.sendPool.SetLabel("socketvia/send-pool")
+	c.ctrlPool.SetLabel("socketvia/ctrl-pool")
 	return c
 }
 

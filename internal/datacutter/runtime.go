@@ -62,6 +62,7 @@ func (rt *Runtime) Instantiate(spec GroupSpec) *Group {
 		byName:  make(map[string][]*filterCopy),
 		doneSig: sim.NewSignal(k),
 	}
+	g.doneSig.SetLabel("datacutter/done")
 	for fi := range spec.Filters {
 		fs := spec.Filters[fi]
 		if len(fs.Placement) == 0 {
@@ -97,9 +98,11 @@ func (rt *Runtime) Instantiate(spec GroupSpec) *Group {
 	if totalConns == 0 {
 		// Degenerate single-filter groups still need a fired barrier.
 		g.setup = sim.NewBarrier(k, 1)
+		g.setup.SetLabel("datacutter/setup")
 		g.setup.Arrive()
 	} else {
 		g.setup = sim.NewBarrier(k, 2*totalConns)
+		g.setup.SetLabel("datacutter/setup")
 	}
 
 	for si := range spec.Streams {
@@ -136,6 +139,7 @@ func (g *Group) wireStream(ss StreamSpec) {
 			needsReverse: needsReverse,
 			ep:           rt.fab.Endpoint(pc.node.Name()),
 		}
+		w.ackCond.SetLabel("datacutter/ack-credit")
 		if ss.RedialAttempts > 0 {
 			w.redialPol = core.DefaultRetryPolicy(ss.RedialSeed ^ int64(i+1))
 			w.redialPol.Attempts = ss.RedialAttempts
@@ -162,6 +166,7 @@ func (g *Group) wireStream(ss StreamSpec) {
 			onDeliver:    ss.OnDeliver,
 			redial:       ss.RedialAttempts > 0,
 		}
+		r.inbox.SetLabel("datacutter/inbox")
 		if _, dup := cc.inputs[ss.Name]; dup {
 			panic("datacutter: duplicate stream name " + ss.Name)
 		}

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/profile"
 	"hpsockets/internal/runner"
 	"hpsockets/internal/sim"
 )
@@ -55,6 +56,13 @@ type Options struct {
 	// the collected cell set — and the rendered export — is identical
 	// at any worker count.
 	Telemetry *hpsmon.Set
+	// Profile, when non-nil, attaches a park ledger and a
+	// span-collecting collector to every pipeline measurement cell and
+	// adopts the resulting profile (park/dispatch attribution +
+	// virtual-time critical path) into the set. Like Telemetry it
+	// forces the full measurement grid, so the report is identical at
+	// any worker count.
+	Profile *profile.Set
 }
 
 // parMap fans the n independent cells of one figure across o.Workers

@@ -7,6 +7,7 @@ import (
 
 	"hpsockets/internal/core"
 	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/profile"
 	"hpsockets/internal/sim"
 	"hpsockets/internal/stats"
 	"hpsockets/internal/vizapp"
@@ -49,7 +50,7 @@ func UpdateRate(o Options, kind core.Kind, compute bool, block int) float64 {
 	}
 	memoMu.Unlock()
 	cfg := o.pipeConfig(kind, block, compute, false)
-	col := o.cellCollector("rate", kind, compute, block, &cfg)
+	col, cell := o.instrumentCell("rate", kind, compute, block, &cfg)
 	queries := make([]vizapp.Query, o.ThroughputQueries)
 	for i := range queries {
 		queries[i] = cfg.CompleteQuery()
@@ -58,9 +59,7 @@ func UpdateRate(o Options, kind core.Kind, compute bool, block int) float64 {
 	if res.Err != nil {
 		panic("experiments: rate run failed: " + res.Err.Error())
 	}
-	if col != nil {
-		o.Telemetry.Adopt(col)
-	}
+	o.adoptCell(col, cell)
 	v := res.UpdatesPerSec()
 	memoMu.Lock()
 	rateMemo[key] = v
@@ -79,7 +78,7 @@ func PartialLatency(o Options, kind core.Kind, compute bool, block int) sim.Time
 	}
 	memoMu.Unlock()
 	cfg := o.pipeConfig(kind, block, compute, true)
-	col := o.cellCollector("lat", kind, compute, block, &cfg)
+	col, cell := o.instrumentCell("lat", kind, compute, block, &cfg)
 	queries := make([]vizapp.Query, o.LatencyQueries)
 	for i := range queries {
 		queries[i] = vizapp.PartialQuery()
@@ -88,9 +87,7 @@ func PartialLatency(o Options, kind core.Kind, compute bool, block int) sim.Time
 	if res.Err != nil {
 		panic("experiments: latency run failed: " + res.Err.Error())
 	}
-	if col != nil {
-		o.Telemetry.Adopt(col)
-	}
+	o.adoptCell(col, cell)
 	v := res.MeanResponse()
 	memoMu.Lock()
 	latMemo[key] = v
@@ -98,24 +95,50 @@ func PartialLatency(o Options, kind core.Kind, compute bool, block int) sim.Time
 	return v
 }
 
-// cellCollector builds the telemetry collector for one measurement
-// cell and hooks it into the cell's pipeline config; nil (and no hook)
-// when telemetry is off. The cell name encodes the full memo key, so
-// every computed grid point lands in a distinct, canonically named
-// slot of the set.
-func (o Options) cellCollector(measure string, kind core.Kind, compute bool, block int, cfg *vizapp.PipelineConfig) *hpsmon.Collector {
-	if o.Telemetry == nil {
-		return nil
+// instrumentCell builds the observability state for one measurement
+// cell and hooks it into the cell's pipeline config: a telemetry
+// collector when Telemetry is on, a profile cell (park ledger + span
+// DAG) when Profile is on, both nil (and no hook) when both are off.
+// The cell name encodes the full memo key, so every computed grid
+// point lands in a distinct, canonically named slot of its set. With
+// both enabled the views share one collector: span collection only
+// appends to the span/flow logs, so the rendered metrics tables are
+// byte-identical with or without -profile.
+func (o Options) instrumentCell(measure string, kind core.Kind, compute bool, block int, cfg *vizapp.PipelineConfig) (*hpsmon.Collector, *profile.Cell) {
+	if o.Telemetry == nil && o.Profile == nil {
+		return nil, nil
 	}
 	c := "nc"
 	if compute {
 		c = "lc"
 	}
-	col := hpsmon.NewCollector(
-		fmt.Sprintf("pipe/%s/%s/%s/b%d", measure, kind, c, block),
-		hpsmon.Options{})
-	cfg.Hook = col.Attach
-	return col
+	name := fmt.Sprintf("pipe/%s/%s/%s/b%d", measure, kind, c, block)
+	col := hpsmon.NewCollector(name, hpsmon.Options{Spans: o.Profile != nil})
+	if o.Profile == nil {
+		cfg.Hook = col.Attach
+		return col, nil
+	}
+	led := profile.NewLedger()
+	cfg.Hook = func(k *sim.Kernel) {
+		col.Attach(k)
+		led.Attach(k)
+	}
+	cell := &profile.Cell{Name: name, Ledger: led, Source: col}
+	if o.Telemetry == nil {
+		return nil, cell
+	}
+	return col, cell
+}
+
+// adoptCell files a finished cell's observability state into the
+// enabled sets.
+func (o Options) adoptCell(col *hpsmon.Collector, cell *profile.Cell) {
+	if col != nil && o.Telemetry != nil {
+		o.Telemetry.Adopt(col)
+	}
+	if cell != nil && o.Profile != nil {
+		o.Profile.Adopt(cell)
+	}
 }
 
 // ResetPipelineMemo clears the process-wide rate/latency memo. Only
@@ -137,11 +160,12 @@ func ResetPipelineMemo() {
 // tables are byte-identical to the cold sequential run, which computes
 // a subset of the same grid lazily.
 func warmPipelineMemo(o Options, compute bool) {
-	// With telemetry on, the warm pass runs even sequentially: it pins
-	// the set of computed (and therefore collected) cells to the full
-	// grid, so the telemetry export is identical at any worker count —
-	// the lazy sequential searches alone would compute only a subset.
-	if o.Workers <= 1 && o.Telemetry == nil {
+	// With telemetry or profiling on, the warm pass runs even
+	// sequentially: it pins the set of computed (and therefore
+	// collected) cells to the full grid, so the exports are identical
+	// at any worker count — the lazy sequential searches alone would
+	// compute only a subset.
+	if o.Workers <= 1 && o.Telemetry == nil && o.Profile == nil {
 		return
 	}
 	kinds := []core.Kind{core.KindTCP, core.KindSocketVIA}

@@ -15,6 +15,14 @@ import (
 // The writer is hand-rolled rather than encoding/json so field order
 // and float formatting are fixed: the export is byte-identical across
 // runs and worker counts.
+//
+// Emission order is pinned to record order, never re-sorted by time:
+// thread metadata by ascending tid, then spans by span id (begin
+// order), then instants and flow arrows in record order. Spans that
+// begin or end at the same virtual instant therefore keep their id
+// order — the viewer sorts by ts itself, and re-sorting here would
+// make equal-time events ambiguous. TestChromeIdenticalEndTimes pins
+// this byte-for-byte.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	ew := &errWriter{w: w}
 	ew.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")

@@ -1,0 +1,84 @@
+package hpsmon
+
+import (
+	"strings"
+	"testing"
+
+	"hpsockets/internal/sim"
+)
+
+// identicalEndRun records two spans with the exact same [0, 5] virtual
+// interval on two processes. Begin order (and so span ids) is b/x
+// then a/x — the reverse of the alphabetical order — which makes any
+// hidden re-sort by time or name visible.
+func identicalEndRun(col *Collector) {
+	k := sim.NewKernel()
+	col.Attach(k)
+	k.Go("w1", func(p *sim.Proc) {
+		sc := Begin(p, "b", "x", "")
+		p.Sleep(5)
+		sc.End()
+	})
+	k.Go("w2", func(p *sim.Proc) {
+		sc := Begin(p, "a", "x", "")
+		p.Sleep(5)
+		sc.End()
+	})
+	k.RunAll()
+}
+
+// Spans ending at the same virtual instant tie on inclusive time; the
+// pinned flame order breaks the tie by path ascending, and two
+// identical runs render byte-identical summaries.
+func TestFlameIdenticalEndTimes(t *testing.T) {
+	render := func() string {
+		col := NewCollector("cell", Options{Spans: true})
+		identicalEndRun(col)
+		var sb strings.Builder
+		if err := col.FlameSummary(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	ia, ib := strings.Index(first, "a/x"), strings.Index(first, "b/x")
+	if ia < 0 || ib < 0 {
+		t.Fatalf("missing paths in summary:\n%s", first)
+	}
+	if ia > ib {
+		t.Fatalf("equal-total tie not broken by path ascending (a/x after b/x):\n%s", first)
+	}
+	if second := render(); second != first {
+		t.Fatalf("flame summary not byte-stable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// The Chrome export keeps equal-time spans in span-id (begin) order —
+// the recorded order, not a re-sort — and is byte-identical across
+// identical runs.
+func TestChromeIdenticalEndTimes(t *testing.T) {
+	export := func() string {
+		col := NewCollector("cell", Options{Spans: true})
+		identicalEndRun(col)
+		var sb strings.Builder
+		if err := col.WriteChromeTrace(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := export()
+	ib := strings.Index(first, `"cat":"b"`)
+	ia := strings.Index(first, `"cat":"a"`)
+	if ia < 0 || ib < 0 {
+		t.Fatalf("missing span events in export:\n%s", first)
+	}
+	if ib > ia {
+		t.Fatalf("span id 1 (cat b) emitted after span id 2 (cat a); equal-time spans must keep id order:\n%s", first)
+	}
+	if !strings.Contains(first, `"span":1,"parent":0`) || !strings.Contains(first, `"span":2,"parent":0`) {
+		t.Fatalf("span ids not recorded in begin order:\n%s", first)
+	}
+	if second := export(); second != first {
+		t.Fatalf("chrome export not byte-stable:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

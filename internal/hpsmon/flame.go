@@ -21,6 +21,11 @@ type frame struct {
 // path — count, inclusive and exclusive virtual time — sorted by
 // inclusive time descending, path ascending on ties. It is the text
 // sibling of the Chrome export: the same tree, collapsed.
+//
+// The sort key (total, path) is a total order — paths are unique map
+// keys — so spans that end at the same virtual instant can never swap
+// lines between runs or worker counts; TestFlameIdenticalEndTimes
+// pins the tie order byte-for-byte.
 func (c *Collector) FlameSummary(w io.Writer) error {
 	if len(c.spans) == 0 {
 		_, err := fmt.Fprintln(w, "(no spans recorded)")
@@ -76,7 +81,7 @@ func (c *Collector) FlameSummary(w io.Writer) error {
 	for _, f := range frames {
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].total != out[j].total {
 			return out[i].total > out[j].total
 		}

@@ -71,9 +71,12 @@ type flowOrigin struct {
 	at   sim.Time
 }
 
-// flow is one recorded causal edge between spans on different
-// processes (exported as a Chrome trace flow arrow).
-type flow struct {
+// Flow is one recorded causal edge between spans on different
+// processes: the consumer span To observed at time At data sent from
+// the producer span From. It is exported as a Chrome trace flow arrow
+// and consumed by internal/profile as the cross-wire edges of the
+// critical-path DAG.
+type Flow struct {
 	From, To sim.SpanID
 	At       sim.Time
 }
@@ -87,7 +90,7 @@ type Collector struct {
 	opts    Options
 	reg     *Registry
 	spans   []Span
-	flows   []flow
+	flows   []Flow
 	origins map[flowKey]flowOrigin
 	insts   []instant
 	// last is the latest virtual time any event carried, used to close
@@ -111,8 +114,17 @@ func (c *Collector) Name() string { return c.name }
 // Registry exposes the collector's metrics.
 func (c *Collector) Registry() *Registry { return c.reg }
 
-// Spans returns the recorded spans in begin order.
+// Spans returns the recorded spans in begin order. Span ids are
+// sequential from 1 in that order, so Spans()[i].ID == i+1.
 func (c *Collector) Spans() []Span { return c.spans }
+
+// Flows returns the recorded cross-process causal edges in record
+// (delivery-time) order.
+func (c *Collector) Flows() []Flow { return c.flows }
+
+// LastTime reports the latest virtual time any recorded event
+// carried; exports use it to close still-open spans.
+func (c *Collector) LastTime() sim.Time { return c.last }
 
 // Attach installs the collector as the kernel's monitor.
 func (c *Collector) Attach(k *sim.Kernel) { k.SetMonitor(c) }
@@ -219,6 +231,6 @@ func (c *Collector) flowRecv(at sim.Time, stream string, uow int, tag int64, spa
 	c.touch(at)
 	c.reg.Histogram("datacutter", "block-latency").Observe(at - o.at)
 	if o.span != 0 && span != 0 {
-		c.flows = append(c.flows, flow{From: o.span, To: span, At: at})
+		c.flows = append(c.flows, Flow{From: o.span, To: span, At: at})
 	}
 }

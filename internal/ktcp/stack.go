@@ -163,6 +163,12 @@ func NewStack(node *cluster.Node, net *netsim.Network, cfg Config) *Stack {
 		synSeen:   make(map[synKey]bool),
 		synConns:  make(map[synKey]*Conn),
 	}
+	st.dma.SetLabel("ktcp/dma")
+	st.stackLock.SetLabel("ktcp/stack-lock")
+	st.softQ.SetLabel("ktcp/softnet")
+	st.ackQ.SetLabel("ktcp/ack-queue")
+	st.nicQ.SetLabel("ktcp/nic-queue")
+	st.wireFIFO.SetLabel("ktcp/wire-fifo")
 	node.Port().Handle(netsim.ProtoIP, func(f *netsim.Frame) {
 		if f.Corrupt {
 			// Checksum failure: the segment is discarded as if lost;
@@ -199,6 +205,7 @@ func (st *Stack) Listen(svc int) *Listener {
 		panic(fmt.Sprintf("ktcp: service %d already bound on %s", svc, st.node.Name()))
 	}
 	l := &Listener{st: st, svc: svc, q: sim.NewQueue[*segment](st.node.Kernel(), 0)}
+	l.q.SetLabel("ktcp/accept")
 	st.listeners[svc] = l
 	return l
 }
@@ -278,6 +285,10 @@ func (st *Stack) newConn() *Conn {
 		sndCond:   sim.NewCond(k),
 		rcvCond:   sim.NewCond(k),
 	}
+	c.connSig.SetLabel("ktcp/handshake")
+	c.closeDone.SetLabel("ktcp/close")
+	c.sndCond.SetLabel("ktcp/snd-buf")
+	c.rcvCond.SetLabel("ktcp/rcv-buf")
 	st.nextConn++
 	st.conns[c.id] = c
 	k.Go(fmt.Sprintf("ktcp-tx/%s/%d", st.node.Name(), c.id), c.txLoop)

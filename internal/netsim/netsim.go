@@ -263,6 +263,7 @@ func (n *Network) Attach(name string) *Port {
 		return p
 	}
 	p := &Port{net: n, name: name, uplink: sim.NewSerializer(n.k)}
+	p.uplink.SetLabel("netsim/uplink")
 	n.port[name] = p
 	return p
 }

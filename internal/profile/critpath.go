@@ -1,0 +1,332 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/sim"
+)
+
+// Segment is one contiguous stretch of virtual time on a critical
+// path, attributed to the span that was the deepest explainer of that
+// stretch. Wire flight between a flow's send and delivery is
+// attributed to the synthetic component/name pair "wire/flight".
+type Segment struct {
+	Span      sim.SpanID
+	Component string
+	Name      string
+	From, To  sim.Time
+}
+
+// Dur reports the segment length.
+func (s Segment) Dur() sim.Time { return s.To - s.From }
+
+// Path is the critical path of one unit-of-work group: the longest
+// causal chain of span and flow edges ending at the group's anchor
+// (its latest-ending root span).
+type Path struct {
+	// UOW is the unit-of-work number parsed from the anchor tree's
+	// span details, or -1 for root spans with no "uow=N" marker.
+	UOW    int
+	Anchor sim.SpanID
+	// AnchorLabel is the anchor span's component/name pair.
+	AnchorLabel string
+	Start, End  sim.Time
+	// Segments covers [Start, End] in chronological order.
+	Segments []Segment
+}
+
+// critWalker carries the indexes one extraction builds over the span
+// and flow sets.
+type critWalker struct {
+	spans   []hpsmon.Span
+	flows   []hpsmon.Flow
+	closeAt sim.Time
+	// children maps a span id to the indices of its child spans,
+	// ascending (spans are in begin order, so ids ascend with index).
+	children map[sim.SpanID][]int
+	// flowsTo maps a consumer span id to the indices of flows
+	// delivered into it, in record order (ascending At).
+	flowsTo map[sim.SpanID][]int
+}
+
+// end resolves a span's close time; open spans close at closeAt, and
+// never before their own start.
+func (cw *critWalker) end(s *hpsmon.Span) sim.Time {
+	if s.End >= 0 {
+		return s.End
+	}
+	if cw.closeAt > s.Start {
+		return cw.closeAt
+	}
+	return s.Start
+}
+
+// uowOf parses the trailing " uow=N" marker convention used by
+// datacutter span details; -1 means unmarked.
+func uowOf(detail string) int {
+	i := strings.LastIndex(detail, "uow=")
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(detail[i+len("uow="):]))
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// CriticalPaths extracts one critical path per unit-of-work group
+// from a collector's span DAG. Spans must be in begin order with
+// sequential ids from 1 (the Collector contract); flows are the
+// cross-process edges recorded by FlowSend/FlowRecv; closeAt closes
+// still-open spans (use Collector.LastTime).
+//
+// Grouping: root spans (Parent == 0) are grouped by the " uow=N"
+// marker in their details; unmarked roots form group -1. Each group's
+// anchor is its latest-ending root, ties broken by the higher span id
+// (the later-begun span). The walk from an anchor is fully
+// deterministic; the tie-break rules are pinned in DESIGN.md §15 and
+// asserted by TestCriticalPathTies.
+func CriticalPaths(spans []hpsmon.Span, flows []hpsmon.Flow, closeAt sim.Time) []Path {
+	cw := &critWalker{
+		spans:    spans,
+		flows:    flows,
+		closeAt:  closeAt,
+		children: make(map[sim.SpanID][]int),
+		flowsTo:  make(map[sim.SpanID][]int),
+	}
+	for i := range spans {
+		if p := spans[i].Parent; p != 0 {
+			cw.children[p] = append(cw.children[p], i)
+		}
+	}
+	for i := range flows {
+		cw.flowsTo[flows[i].To] = append(cw.flowsTo[flows[i].To], i)
+	}
+
+	// Pick each group's anchor.
+	anchors := make(map[int]int) // uow -> span index
+	for i := range spans {
+		if spans[i].Parent != 0 {
+			continue
+		}
+		u := uowOf(spans[i].Detail)
+		j, ok := anchors[u]
+		if !ok {
+			anchors[u] = i
+			continue
+		}
+		ei, ej := cw.end(&spans[i]), cw.end(&spans[j])
+		if ei > ej || (ei == ej && i > j) {
+			anchors[u] = i
+		}
+	}
+	uows := make([]int, 0, len(anchors))
+	for u := range anchors {
+		uows = append(uows, u)
+	}
+	sort.Ints(uows)
+
+	paths := make([]Path, 0, len(uows))
+	for _, u := range uows {
+		paths = append(paths, cw.walk(u, anchors[u]))
+	}
+	return paths
+}
+
+// walk traces the longest causal chain backwards from the anchor.
+// At every step the walker holds a current span and a frontier time t
+// within it; the latest-ending explainer below t — a child span or an
+// incoming flow — is followed, the uncovered gap is attributed to the
+// current span, and the walk descends (or jumps across the wire).
+// When nothing below explains the remaining time the span keeps it
+// and the walk ascends to its parent.
+func (cw *critWalker) walk(uow, anchorIdx int) Path {
+	anchor := &cw.spans[anchorIdx]
+	cur := anchorIdx
+	t := cw.end(anchor)
+	path := Path{
+		UOW:         uow,
+		Anchor:      anchor.ID,
+		AnchorLabel: anchor.Component + "/" + anchor.Name,
+		End:         t,
+	}
+	var segs []Segment
+	emit := func(idx int, from, to sim.Time) {
+		if to > from {
+			s := &cw.spans[idx]
+			segs = append(segs, Segment{
+				Span: s.ID, Component: s.Component, Name: s.Name,
+				From: from, To: to,
+			})
+		}
+	}
+	// The walk terminates on its own for well-formed DAGs (each step
+	// descends, ascends, or crosses a wire edge, all finitely many);
+	// the guard bounds malformed input deterministically.
+	guard := 4*(len(cw.spans)+len(cw.flows)) + 8
+	for steps := 0; steps <= guard; steps++ {
+		s := &cw.spans[cur]
+		// Latest-ending explainer strictly inside (s.Start, t].
+		// Ties: a flow beats a child (the cross-wire dependency is the
+		// more specific cause); among children the higher id wins;
+		// among flows the later-recorded wins. Zero-duration children
+		// carry no path time and are skipped.
+		bestT := sim.Time(-1)
+		child, flowIdx := -1, -1
+		for _, ci := range cw.children[s.ID] {
+			c := &cw.spans[ci]
+			ce := cw.end(c)
+			if ce <= s.Start || ce > t || ce == c.Start {
+				continue
+			}
+			if ce >= bestT {
+				bestT, child, flowIdx = ce, ci, -1
+			}
+		}
+		for _, fi := range cw.flowsTo[s.ID] {
+			at := cw.flows[fi].At
+			if at <= s.Start || at > t {
+				continue
+			}
+			if at >= bestT {
+				bestT, child, flowIdx = at, -1, fi
+			}
+		}
+		switch {
+		case flowIdx >= 0:
+			f := &cw.flows[flowIdx]
+			emit(cur, f.At, t)
+			from := int(f.From - 1)
+			if from < 0 || from >= len(cw.spans) {
+				// Malformed flow: keep the rest and stop.
+				emit(cur, s.Start, f.At)
+				path.Start = s.Start
+				steps = guard
+				break
+			}
+			sender := &cw.spans[from]
+			t = f.At
+			if se := cw.end(sender); se < t {
+				// Wire flight between send-span close and delivery.
+				segs = append(segs, Segment{
+					Span: f.From, Component: "wire", Name: "flight",
+					From: se, To: t,
+				})
+				t = se
+			}
+			cur = from
+		case child >= 0:
+			emit(cur, bestT, t)
+			cur, t = child, bestT
+		default:
+			emit(cur, s.Start, t)
+			if s.Parent == 0 {
+				path.Start = s.Start
+				steps = guard // drop out of the loop
+				break
+			}
+			cur, t = int(s.Parent-1), s.Start
+		}
+		if steps >= guard {
+			break
+		}
+	}
+	// Walked backwards in time; report chronologically.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	path.Segments = segs
+	if len(segs) > 0 && segs[0].From < path.Start {
+		path.Start = segs[0].From
+	}
+	return path
+}
+
+// SegmentStat is the aggregate of all critical-path segments sharing
+// one component/name label.
+type SegmentStat struct {
+	Component, Name string
+	Total           sim.Time
+	Count           int
+}
+
+// Label reports the component/name pair.
+func (s SegmentStat) Label() string { return s.Component + "/" + s.Name }
+
+// AggregateSegments merges the segments of all paths by label and
+// ranks them by total time descending, ties broken by label
+// ascending — the byte-stable report order.
+func AggregateSegments(paths []Path) []SegmentStat {
+	idx := make(map[string]int)
+	var out []SegmentStat
+	for _, p := range paths {
+		for _, seg := range p.Segments {
+			key := seg.Component + "/" + seg.Name
+			i, ok := idx[key]
+			if !ok {
+				i = len(out)
+				idx[key] = i
+				out = append(out, SegmentStat{Component: seg.Component, Name: seg.Name})
+			}
+			out[i].Total += seg.Dur()
+			out[i].Count++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Label() < out[j].Label()
+	})
+	return out
+}
+
+// WriteCriticalPath renders per-group end-to-end lines followed by
+// the merged ranked segment table. The format is byte-stable.
+func WriteCriticalPath(w io.Writer, paths []Path) error {
+	if len(paths) == 0 {
+		_, err := fmt.Fprintf(w, "critical path: no spans recorded\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "critical path: %d unit(s) of work\n", len(paths)); err != nil {
+		return err
+	}
+	for _, p := range paths {
+		group := "(run)"
+		if p.UOW >= 0 {
+			group = fmt.Sprintf("uow %d", p.UOW)
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %12.3f ms end-to-end, %3d segment(s), anchor #%d %s\n",
+			group, (p.End - p.Start).Millis(), len(p.Segments), p.Anchor, p.AnchorLabel); err != nil {
+			return err
+		}
+	}
+	stats := AggregateSegments(paths)
+	var total sim.Time
+	for _, st := range stats {
+		total += st.Total
+	}
+	if _, err := fmt.Fprintf(w, "critical-path segments (all units merged):\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s %7s %6s  %s\n", "total-ms", "share", "segs", "segment"); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(st.Total) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%12.3f %6.1f%% %6d  %s\n",
+			st.Total.Millis(), share, st.Count, st.Label()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

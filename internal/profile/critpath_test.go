@@ -1,0 +1,265 @@
+package profile_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/profile"
+	"hpsockets/internal/sim"
+)
+
+func ms(n int64) sim.Time { return sim.Time(n) * sim.Millisecond }
+
+// span builds a test span; ids must be sequential from 1 in begin
+// order, the Collector contract CriticalPaths documents.
+func span(id, parent sim.SpanID, comp, name, detail string, start, end sim.Time) hpsmon.Span {
+	return hpsmon.Span{
+		ID: id, Parent: parent,
+		Component: comp, Name: name, Detail: detail,
+		Start: start, End: end,
+	}
+}
+
+type wantSeg struct {
+	span     sim.SpanID
+	label    string
+	from, to sim.Time
+}
+
+func checkSegments(t *testing.T, p profile.Path, want []wantSeg) {
+	t.Helper()
+	if len(p.Segments) != len(want) {
+		t.Fatalf("got %d segments, want %d: %+v", len(p.Segments), len(want), p.Segments)
+	}
+	for i, w := range want {
+		g := p.Segments[i]
+		label := g.Component + "/" + g.Name
+		if g.Span != w.span || label != w.label || g.From != w.from || g.To != w.to {
+			t.Errorf("segment %d: got #%d %s [%v, %v], want #%d %s [%v, %v]",
+				i, g.Span, label, g.From, g.To, w.span, w.label, w.from, w.to)
+		}
+	}
+}
+
+// The base case: a root with one child; the child's covered stretch is
+// attributed to it, the uncovered head and tail to the root.
+func TestCriticalPathChain(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=0", 0, ms(10)),
+		span(2, 1, "net", "send", "", ms(2), ms(6)),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(10))
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.UOW != 0 || p.Anchor != 1 || p.Start != 0 || p.End != ms(10) {
+		t.Fatalf("path header: %+v", p)
+	}
+	checkSegments(t, p, []wantSeg{
+		{1, "app/query", 0, ms(2)},
+		{2, "net/send", ms(2), ms(6)},
+		{1, "app/query", ms(6), ms(10)},
+	})
+}
+
+// Two children closing at the same instant: the pinned tie-break is
+// that the higher span id (the later-begun span) wins.
+func TestCriticalPathTies(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=0", 0, ms(8)),
+		span(2, 1, "a", "left", "", ms(1), ms(5)),
+		span(3, 1, "b", "right", "", ms(2), ms(5)),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(8))
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	checkSegments(t, paths[0], []wantSeg{
+		{1, "app/query", 0, ms(2)},
+		{3, "b/right", ms(2), ms(5)},
+		{1, "app/query", ms(5), ms(8)},
+	})
+}
+
+// A flow delivery tying with a child close: the pinned tie-break is
+// that the flow wins — the cross-wire dependency is the more specific
+// cause of the wait ending.
+func TestCriticalPathFlowBeatsChildOnTie(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=0", 0, ms(8)),
+		span(2, 0, "peer", "send", "", 0, ms(5)),
+		span(3, 1, "child", "load", "", ms(1), ms(5)),
+	}
+	flows := []hpsmon.Flow{{From: 2, To: 1, At: ms(5)}}
+	paths := profile.CriticalPaths(spans, flows, ms(8))
+	// Group -1 holds the unmarked sender root; group 0 the query.
+	if len(paths) != 2 || paths[0].UOW != -1 || paths[1].UOW != 0 {
+		t.Fatalf("got %d paths %+v, want groups -1 and 0", len(paths), paths)
+	}
+	checkSegments(t, paths[1], []wantSeg{
+		{2, "peer/send", 0, ms(5)},
+		{1, "app/query", ms(5), ms(8)},
+	})
+	for _, seg := range paths[1].Segments {
+		if seg.Span == 3 {
+			t.Errorf("child/load on the path despite losing the tie to the flow")
+		}
+	}
+}
+
+// A cross-wire join: the walk follows the flow from the reader's tree
+// into the writer's, inserting a synthetic wire/flight segment for the
+// time between the sender's close and the delivery.
+func TestCriticalPathFlowJoin(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "writer", "stream", "", 0, ms(3)),
+		span(2, 0, "reader", "recv", "uow=0", 0, ms(10)),
+		span(3, 1, "net", "tx", "", ms(1), ms(3)),
+		span(4, 2, "net", "rx", "", ms(2), ms(9)),
+	}
+	flows := []hpsmon.Flow{{From: 3, To: 4, At: ms(4)}}
+	paths := profile.CriticalPaths(spans, flows, ms(10))
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (groups -1 and 0)", len(paths))
+	}
+	if paths[0].UOW != -1 || paths[0].Anchor != 1 {
+		t.Fatalf("group -1 header: %+v", paths[0])
+	}
+	checkSegments(t, paths[0], []wantSeg{
+		{1, "writer/stream", 0, ms(1)},
+		{3, "net/tx", ms(1), ms(3)},
+	})
+	p := paths[1]
+	if p.UOW != 0 || p.Anchor != 2 || p.Start != 0 || p.End != ms(10) {
+		t.Fatalf("uow 0 header: %+v", p)
+	}
+	checkSegments(t, p, []wantSeg{
+		{1, "writer/stream", 0, ms(1)},
+		{3, "net/tx", ms(1), ms(3)},
+		{3, "wire/flight", ms(3), ms(4)},
+		{4, "net/rx", ms(4), ms(9)},
+		{2, "reader/recv", ms(9), ms(10)},
+	})
+}
+
+// A failover re-dispatch fork: the failed first attempt and the retry
+// are siblings, and both land on the path — the retry covers its own
+// stretch, the attempt explains the time before the retry began, and
+// the dispatch gap between them stays with the parent. A zero-duration
+// sibling carries no path time and never appears.
+func TestCriticalPathFailoverFork(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=7", 0, ms(10)),
+		span(2, 1, "net", "attempt", "", ms(1), ms(4)),
+		span(3, 1, "net", "retry", "", ms(5), ms(9)),
+		span(4, 1, "net", "probe", "", ms(6), ms(6)),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(10))
+	if len(paths) != 1 || paths[0].UOW != 7 {
+		t.Fatalf("got %d paths %+v, want one for uow 7", len(paths), paths)
+	}
+	checkSegments(t, paths[0], []wantSeg{
+		{1, "app/query", 0, ms(1)},
+		{2, "net/attempt", ms(1), ms(4)},
+		{1, "app/query", ms(4), ms(5)},
+		{3, "net/retry", ms(5), ms(9)},
+		{1, "app/query", ms(9), ms(10)},
+	})
+}
+
+// Anchor selection: the latest-ending root of a group wins; an exact
+// end-time tie goes to the higher span id.
+func TestCriticalPathAnchorTie(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "first", "uow=3", 0, ms(6)),
+		span(2, 0, "app", "second", "uow=3", 0, ms(6)),
+		span(3, 0, "app", "early", "uow=3", 0, ms(4)),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(6))
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	if paths[0].Anchor != 2 || paths[0].AnchorLabel != "app/second" {
+		t.Fatalf("anchor = #%d %s, want #2 app/second (end tie -> higher id)",
+			paths[0].Anchor, paths[0].AnchorLabel)
+	}
+}
+
+// Open spans (End == -1) close at the collector's last virtual time.
+func TestCriticalPathOpenSpans(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=0", 0, -1),
+		span(2, 1, "net", "wait", "", ms(1), -1),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(7))
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if p.Start != 0 || p.End != ms(7) {
+		t.Fatalf("open-span path spans [%v, %v], want [0, 7ms]", p.Start, p.End)
+	}
+	checkSegments(t, p, []wantSeg{
+		{1, "app/query", 0, ms(1)},
+		{2, "net/wait", ms(1), ms(7)},
+	})
+}
+
+// AggregateSegments ranks by total time descending, breaking exact
+// ties by label ascending.
+func TestAggregateSegmentsOrder(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=7", 0, ms(10)),
+		span(2, 1, "net", "attempt", "", ms(1), ms(4)),
+		span(3, 1, "net", "retry", "", ms(5), ms(9)),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(10))
+	stats := profile.AggregateSegments(paths)
+	var got []string
+	for _, s := range stats {
+		got = append(got, s.Label())
+	}
+	// net/retry carries 4 ms; app/query and net/attempt tie at 3 ms
+	// and sort by label.
+	want := []string{"net/retry", "app/query", "net/attempt"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("aggregate order %v, want %v", got, want)
+	}
+	if stats[1].Count != 3 || stats[2].Count != 1 {
+		t.Fatalf("aggregate counts: %+v", stats)
+	}
+}
+
+// The rendered report is pinned byte-for-byte: it is what the CI
+// determinism job diffs, so any format change must be deliberate.
+func TestWriteCriticalPathFormat(t *testing.T) {
+	spans := []hpsmon.Span{
+		span(1, 0, "app", "query", "uow=0", 0, ms(10)),
+		span(2, 1, "net", "send", "", ms(2), ms(6)),
+	}
+	paths := profile.CriticalPaths(spans, nil, ms(10))
+	var buf bytes.Buffer
+	if err := profile.WriteCriticalPath(&buf, paths); err != nil {
+		t.Fatal(err)
+	}
+	want := "critical path: 1 unit(s) of work\n" +
+		"  uow 0          10.000 ms end-to-end,   3 segment(s), anchor #1 app/query\n" +
+		"critical-path segments (all units merged):\n" +
+		"    total-ms   share   segs  segment\n" +
+		"       6.000   60.0%      2  app/query\n" +
+		"       4.000   40.0%      1  net/send\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("report mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	buf.Reset()
+	if err := profile.WriteCriticalPath(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "critical path: no spans recorded\n" {
+		t.Fatalf("empty report: %q", got)
+	}
+}

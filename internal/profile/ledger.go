@@ -1,0 +1,164 @@
+// Package profile is the deterministic profiling layer of the
+// simulated stack. It answers the two questions the telemetry layer
+// cannot: which scheduler edges cost the most host time (the park
+// ledger, fed by sim.Profiler callbacks), and which spans the
+// end-to-end virtual-time latency actually lives in (the critical
+// path, extracted from the hpsmon span/flow DAG).
+//
+// Everything is keyed on virtual time and compile-time edge labels,
+// so two runs of the same experiment render byte-identical reports,
+// and per-cell ledgers merged in canonical order make the output
+// independent of the worker count — the same contract hpsmon holds.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hpsockets/internal/sim"
+)
+
+// EdgeStats accumulates scheduler traffic for one labeled park edge.
+type EdgeStats struct {
+	// Edge is the label the parking primitive carries (see the
+	// registry in DESIGN.md §15).
+	Edge string
+	// Parks counts processes that parked on the edge; each park is a
+	// full goroutine rendezvous with the kernel loop — the host-cost
+	// unit PR 8's profile identified as the wall-clock bound.
+	Parks uint64
+	// Wakes counts parks that resumed. It trails Parks by the procs
+	// still parked when the run stopped.
+	Wakes uint64
+	// SameInstant counts wakes at the same virtual instant as their
+	// park: zero-delay rendezvous that bought no virtual time, the
+	// prime candidates for continuation-passing conversion.
+	SameInstant uint64
+	// Handoffs counts queue Puts that bypassed buffering and handed
+	// the item directly to a parked getter.
+	Handoffs uint64
+	// Parked is the total virtual time processes spent parked on the
+	// edge (summed over completed park/wake pairs).
+	Parked sim.Time
+}
+
+// parkMark remembers one in-flight park, keyed by proc id.
+type parkMark struct {
+	at   sim.Time
+	edge string
+}
+
+// Ledger implements sim.Profiler: it attributes every park, wake and
+// hand-off to its labeled edge and counts same-instant ring pops.
+// Like a telemetry Collector it belongs to exactly one kernel, which
+// serializes all callbacks; parallel experiment cells each use their
+// own ledger and merge through a Set.
+type Ledger struct {
+	edges    map[string]*EdgeStats
+	inflight map[uint64]parkMark
+	ringHits uint64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		edges:    make(map[string]*EdgeStats),
+		inflight: make(map[uint64]parkMark),
+	}
+}
+
+// Attach installs the ledger as the kernel's profiler.
+func (l *Ledger) Attach(k *sim.Kernel) { k.SetProfiler(l) }
+
+func (l *Ledger) edge(label string) *EdgeStats {
+	e := l.edges[label]
+	if e == nil {
+		e = &EdgeStats{Edge: label}
+		l.edges[label] = e
+	}
+	return e
+}
+
+// Park implements sim.Profiler.
+func (l *Ledger) Park(at sim.Time, p *sim.Proc, edge string) {
+	l.edge(edge).Parks++
+	l.inflight[p.ID()] = parkMark{at: at, edge: edge}
+}
+
+// Wake implements sim.Profiler.
+func (l *Ledger) Wake(at sim.Time, p *sim.Proc, edge string) {
+	e := l.edge(edge)
+	e.Wakes++
+	if m, ok := l.inflight[p.ID()]; ok {
+		delete(l.inflight, p.ID())
+		e.Parked += at - m.at
+		if at == m.at {
+			e.SameInstant++
+		}
+	}
+}
+
+// Handoff implements sim.Profiler.
+func (l *Ledger) Handoff(at sim.Time, edge string) {
+	l.edge(edge).Handoffs++
+}
+
+// RingHit implements sim.Profiler.
+func (l *Ledger) RingHit(at sim.Time) { l.ringHits++ }
+
+// RingHits reports the number of events popped from the same-instant
+// spill ring.
+func (l *Ledger) RingHits() uint64 { return l.ringHits }
+
+// Edges returns the per-edge stats ranked by park count descending,
+// ties broken by edge label ascending — the byte-stable ledger order.
+func (l *Ledger) Edges() []EdgeStats {
+	out := make([]EdgeStats, 0, len(l.edges))
+	for _, e := range l.edges {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Parks != out[j].Parks {
+			return out[i].Parks > out[j].Parks
+		}
+		return out[i].Edge < out[j].Edge
+	})
+	return out
+}
+
+// Totals sums the ledger over all edges.
+func (l *Ledger) Totals() (parks, wakes, sameInstant, handoffs uint64) {
+	for _, e := range l.edges {
+		parks += e.Parks
+		wakes += e.Wakes
+		sameInstant += e.SameInstant
+		handoffs += e.Handoffs
+	}
+	return
+}
+
+// Render writes the ranked park ledger. The format is byte-stable:
+// fixed column widths, deterministic ordering, no host quantities.
+func (l *Ledger) Render(w io.Writer) error {
+	parks, wakes, same, hand := l.Totals()
+	if _, err := fmt.Fprintf(w,
+		"park ledger: parks=%d wakes=%d same-instant=%d handoffs=%d ring-hits=%d\n",
+		parks, wakes, same, hand, l.ringHits); err != nil {
+		return err
+	}
+	if len(l.edges) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%10s %10s %10s %12s  %s\n",
+		"parks", "same-inst", "handoffs", "parked-ms", "edge"); err != nil {
+		return err
+	}
+	for _, e := range l.Edges() {
+		if _, err := fmt.Fprintf(w, "%10d %10d %10d %12.3f  %s\n",
+			e.Parks, e.SameInstant, e.Handoffs, e.Parked.Millis(), e.Edge); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package profile_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hpsockets/internal/profile"
+	"hpsockets/internal/sim"
+)
+
+// Direct-feed ledger accounting: parks, wakes, same-instant detection,
+// parked-time summation, and the pinned render format.
+func TestLedgerAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	a := k.Go("a", func(p *sim.Proc) {})
+	b := k.Go("b", func(p *sim.Proc) {})
+
+	l := profile.NewLedger()
+	l.Park(0, a, "q")
+	l.Park(0, b, "q")
+	l.Wake(0, a, "q") // same-instant rendezvous, zero parked time
+	l.Wake(ms(2), b, "q")
+	l.Park(ms(3), a, "s")
+	l.Wake(ms(5), a, "s")
+	l.Handoff(ms(4), "q")
+	l.RingHit(ms(1))
+	l.RingHit(ms(2))
+
+	parks, wakes, same, hand := l.Totals()
+	if parks != 3 || wakes != 3 || same != 1 || hand != 1 || l.RingHits() != 2 {
+		t.Fatalf("totals parks=%d wakes=%d same=%d handoffs=%d ring=%d",
+			parks, wakes, same, hand, l.RingHits())
+	}
+	edges := l.Edges()
+	if len(edges) != 2 || edges[0].Edge != "q" || edges[1].Edge != "s" {
+		t.Fatalf("edge order: %+v", edges)
+	}
+	if edges[0].Parked != ms(2) || edges[1].Parked != ms(2) {
+		t.Fatalf("parked time: q=%v s=%v, want 2ms each", edges[0].Parked, edges[1].Parked)
+	}
+
+	var buf bytes.Buffer
+	if err := l.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "park ledger: parks=3 wakes=3 same-instant=1 handoffs=1 ring-hits=2\n" +
+		"     parks  same-inst   handoffs    parked-ms  edge\n" +
+		"         2          1          1        2.000  q\n" +
+		"         1          0          0        2.000  s\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Edge ranking is parks descending, label ascending on ties.
+func TestLedgerEdgeOrder(t *testing.T) {
+	k := sim.NewKernel()
+	p := k.Go("p", func(*sim.Proc) {})
+	l := profile.NewLedger()
+	for i, edge := range []string{"b", "a", "c", "c"} {
+		l.Park(sim.Time(i), p, edge)
+		l.Wake(sim.Time(i), p, edge)
+	}
+	edges := l.Edges()
+	var got []string
+	for _, e := range edges {
+		got = append(got, e.Edge)
+	}
+	if len(got) != 3 || got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("edge order %v, want [c a b]", got)
+	}
+}
+
+// A real end-to-end run: a labeled queue between two procs produces a
+// byte-identical ledger on every run, parks balance wakes, and the
+// direct hand-off fast path is attributed to the queue's edge.
+func TestLedgerRunDeterminism(t *testing.T) {
+	run := func() string {
+		k := sim.NewKernel()
+		q := sim.NewQueue[int](k, 1)
+		q.SetLabel("test/q")
+		k.Go("prod", func(p *sim.Proc) {
+			for i := 0; i < 4; i++ {
+				q.Put(p, i)
+				p.Sleep(sim.Millisecond)
+			}
+		})
+		k.Go("cons", func(p *sim.Proc) {
+			for i := 0; i < 4; i++ {
+				q.Get(p)
+			}
+		})
+		l := profile.NewLedger()
+		l.Attach(k)
+		k.Run(0)
+		var buf bytes.Buffer
+		if err := l.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parks, wakes, _, handoffs := l.Totals()
+		if parks == 0 {
+			t.Fatal("no parks recorded on a parking workload")
+		}
+		if parks != wakes {
+			t.Fatalf("parks=%d wakes=%d, want balanced on a completed run", parks, wakes)
+		}
+		if handoffs == 0 {
+			t.Fatal("no hand-offs recorded on a rendezvous workload")
+		}
+		return buf.String()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("ledger not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// Set renders cells in name order regardless of adoption order, and
+// the first adopted copy of a name wins.
+func TestSetDeterminism(t *testing.T) {
+	mkCell := func(name, edge string) *profile.Cell {
+		k := sim.NewKernel()
+		p := k.Go("p", func(*sim.Proc) {})
+		l := profile.NewLedger()
+		l.Park(0, p, edge)
+		l.Wake(ms(1), p, edge)
+		return &profile.Cell{Name: name, Ledger: l}
+	}
+	render := func(s *profile.Set) string {
+		var buf bytes.Buffer
+		if err := s.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	fwd, rev := profile.NewSet(), profile.NewSet()
+	fwd.Adopt(mkCell("a", "e1"))
+	fwd.Adopt(mkCell("b", "e2"))
+	rev.Adopt(mkCell("b", "e2"))
+	rev.Adopt(mkCell("a", "e1"))
+	if render(fwd) != render(rev) {
+		t.Fatalf("set render depends on adoption order:\n%s\nvs\n%s", render(fwd), render(rev))
+	}
+
+	s := profile.NewSet()
+	s.Adopt(mkCell("a", "first"))
+	s.Adopt(mkCell("a", "second"))
+	if out := render(s); !bytes.Contains([]byte(out), []byte("first")) ||
+		bytes.Contains([]byte(out), []byte("second")) {
+		t.Fatalf("adopt is not first-wins:\n%s", out)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}

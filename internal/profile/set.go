@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hpsockets/internal/hpsmon"
+)
+
+// Cell bundles one experiment cell's profiling state: the park ledger
+// its kernel ran with and the span-collecting telemetry collector the
+// critical path is extracted from.
+type Cell struct {
+	Name   string
+	Ledger *Ledger
+	// Source provides the span DAG; it must have been created with
+	// Spans enabled. Nil is allowed (ledger-only cells render no
+	// critical path).
+	Source *hpsmon.Collector
+}
+
+// Render writes the cell's park ledger followed by its critical-path
+// report. The output is byte-stable: it depends only on virtual-time
+// quantities and deterministic orderings.
+func (c *Cell) Render(w io.Writer) error {
+	if err := c.Ledger.Render(w); err != nil {
+		return err
+	}
+	if c.Source == nil {
+		return nil
+	}
+	paths := CriticalPaths(c.Source.Spans(), c.Source.Flows(), c.Source.LastTime())
+	return WriteCriticalPath(w, paths)
+}
+
+// Set collects the per-cell profiles of one experiment run. Cells
+// execute concurrently on worker threads; Adopt is the only
+// cross-thread touch point and is mutex-guarded. Rendering walks the
+// cells in lexicographic name order, so the merged report is
+// byte-identical at any worker count (the hpsmon.Set contract).
+type Set struct {
+	mu    sync.Mutex
+	cells map[string]*Cell
+}
+
+// NewSet returns an empty profile set.
+func NewSet() *Set { return &Set{cells: make(map[string]*Cell)} }
+
+// Adopt contributes a finished cell profile under its name. Cells are
+// deterministic, so if the same cell is ever computed twice (a memo
+// race) the copies are identical and the first one wins.
+func (s *Set) Adopt(c *Cell) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cells[c.Name]; ok {
+		return
+	}
+	s.cells[c.Name] = c
+}
+
+// Len reports the number of adopted cells.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Cells returns the adopted cells in canonical (name) order.
+func (s *Set) Cells() []*Cell {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.cells))
+	for name := range s.cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Cell, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.cells[name])
+	}
+	return out
+}
+
+// Render writes every cell's profile under a cell header, in
+// canonical order.
+func (s *Set) Render(w io.Writer) error {
+	for _, c := range s.Cells() {
+		if _, err := fmt.Fprintf(w, "== cell %s\n", c.Name); err != nil {
+			return err
+		}
+		if err := c.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,16 +15,21 @@ package sim
 // per-segment operation and must not allocate.
 type Cond struct {
 	k       *Kernel
+	label   string
 	waiters []waiterRef
 }
 
 // NewCond returns a condition variable on kernel k.
-func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+func NewCond(k *Kernel) *Cond { return &Cond{k: k, label: edgeCond} }
+
+// SetLabel names the profiler edge that waits on this condition park
+// on. The label must be a compile-time constant; see DESIGN.md §15.
+func (c *Cond) SetLabel(label string) { c.label = label }
 
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, waiterRef{p: p, gen: p.beginWait()})
-	p.park()
+	p.parkOn(c.label)
 }
 
 // WaitTimeout parks p until the next Broadcast or until d elapses; it
@@ -33,7 +38,7 @@ func (c *Cond) WaitTimeout(p *Proc, d Time) bool {
 	gen := p.beginWait()
 	c.waiters = append(c.waiters, waiterRef{p: p, gen: gen})
 	t := c.k.atWake(c.k.now+d, p, gen, timeoutSentinel{})
-	got := p.park()
+	got := p.parkOn(c.label)
 	if _, isTimeout := got.(timeoutSentinel); isTimeout {
 		return false
 	}

@@ -111,6 +111,8 @@ type Kernel struct {
 	trace TraceFunc
 	// optional telemetry monitor (see monitor.go)
 	mon Monitor
+	// optional scheduler profiler (see profiler.go)
+	prof Profiler
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -216,7 +218,7 @@ func (k *Kernel) Run(horizon Time) Time {
 			k.now = horizon
 			return k.now
 		}
-		k.popNext(e)
+		fromRing := k.popNext(e)
 		if e.canceled {
 			k.ncanceled--
 			k.releaseEvent(e)
@@ -224,6 +226,11 @@ func (k *Kernel) Run(horizon Time) Time {
 		}
 		k.now = e.at
 		k.fired++
+		if fromRing {
+			if pr := k.prof; pr != nil {
+				pr.RingHit(k.now)
+			}
+		}
 		// Recycle before executing: the handler may schedule new
 		// events (reusing this object is then fine — its fields are
 		// already copied out) and a Stop on this event's timer during

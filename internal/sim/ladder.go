@@ -375,8 +375,10 @@ func (k *Kernel) peekNext() *event {
 
 // popNext removes the event peekNext just returned: either the ring
 // front or the bottom front (ladderPeek always materializes the
-// ladder minimum into the bottom).
-func (k *Kernel) popNext(e *event) {
+// ladder minimum into the bottom). It reports whether the event came
+// from the same-instant ring, which the run loop feeds to the
+// profiler's RingHit counter for live events.
+func (k *Kernel) popNext(e *event) bool {
 	if h := k.nowHead; h < len(k.nowq) && k.nowq[h] == e {
 		k.nowq[h] = nil
 		k.nowHead++
@@ -384,11 +386,12 @@ func (k *Kernel) popNext(e *event) {
 			k.nowq = k.nowq[:0]
 			k.nowHead = 0
 		}
-		return
+		return true
 	}
 	k.bottom[k.bhead] = nil
 	k.bhead++
 	k.lsize--
+	return false
 }
 
 // maybeCompact sweeps canceled events out of the ladder once they

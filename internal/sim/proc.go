@@ -111,12 +111,17 @@ func (p *Proc) Term() *Signal { return p.term }
 // Sleep blocks the process for d of virtual time. Zero-length sleeps
 // still round-trip through the scheduler so that they act as a yield
 // point with deterministic ordering.
-func (p *Proc) Sleep(d Time) {
+func (p *Proc) Sleep(d Time) { p.sleepOn(d, edgeSleep) }
+
+// sleepOn is Sleep with the park attributed to a specific profiler
+// edge; labeled resources route their hold-sleeps through it so the
+// ledger charges the round trip to the resource, not to "sim/sleep".
+func (p *Proc) sleepOn(d Time, edge string) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
 	p.k.atDispatch(p.k.now+d, p, nil)
-	p.park()
+	p.parkOn(edge)
 }
 
 // Wait blocks until the signal fires and returns the fired value. If
@@ -126,7 +131,7 @@ func (p *Proc) Wait(s *Signal) any {
 		return s.value
 	}
 	s.waiters = append(s.waiters, waiterRef{p: p, gen: p.beginWait()})
-	return p.park()
+	return p.parkOn(s.label)
 }
 
 // timeoutSentinel is delivered to a proc when a timed wait expires.
@@ -141,7 +146,7 @@ func (p *Proc) WaitTimeout(s *Signal, d Time) (v any, ok bool) {
 	gen := p.beginWait()
 	s.waiters = append(s.waiters, waiterRef{p: p, gen: gen})
 	t := p.k.atWake(p.k.now+d, p, gen, timeoutSentinel{})
-	got := p.park()
+	got := p.parkOn(s.label)
 	if _, isTimeout := got.(timeoutSentinel); isTimeout {
 		return nil, false
 	}

@@ -20,6 +20,7 @@ type queuePutter[T any] struct {
 // while the queue is empty. Closing wakes all blocked parties.
 type Queue[T any] struct {
 	k       *Kernel
+	label   string
 	cap     int
 	items   []T
 	getters []*Proc
@@ -44,8 +45,13 @@ func NewQueue[T any](k *Kernel, capacity int) *Queue[T] {
 	if capacity < 0 {
 		panic("sim: negative queue capacity")
 	}
-	return &Queue[T]{k: k, cap: capacity}
+	return &Queue[T]{k: k, cap: capacity, label: edgeQueue}
 }
+
+// SetLabel names the profiler edge that parks and hand-offs on this
+// queue are attributed to. The label must be a compile-time constant;
+// see DESIGN.md §15.
+func (q *Queue[T]) SetLabel(label string) { q.label = label }
 
 // Len reports the number of buffered items.
 func (q *Queue[T]) Len() int { return len(q.items) }
@@ -72,6 +78,9 @@ func (q *Queue[T]) Put(p *Proc, item T) bool {
 		q.puts++
 		q.gets++
 		q.handoff = append(q.handoff, item)
+		if pr := q.k.prof; pr != nil {
+			pr.Handoff(q.k.now, q.label)
+		}
 		q.k.atDispatch(q.k.now, g, nil)
 		return true
 	}
@@ -82,7 +91,7 @@ func (q *Queue[T]) Put(p *Proc, item T) bool {
 	}
 	w := &queuePutter[T]{p: p, item: item}
 	q.putters = append(q.putters, w)
-	v := p.park()
+	v := p.parkOn(q.label)
 	if _, wasClosed := v.(closeSentinel); wasClosed {
 		return false
 	}
@@ -104,7 +113,7 @@ func (q *Queue[T]) PutTimeout(p *Proc, item T, d Time) bool {
 	w.gen = p.beginWait()
 	w.timer = q.k.atWake(q.k.now+d, p, w.gen, timeoutSentinel{})
 	q.putters = append(q.putters, w)
-	v := p.park()
+	v := p.parkOn(q.label)
 	switch v.(type) {
 	case closeSentinel:
 		return false
@@ -149,6 +158,9 @@ func (q *Queue[T]) TryPut(item T) bool {
 		q.puts++
 		q.gets++
 		q.handoff = append(q.handoff, item)
+		if pr := q.k.prof; pr != nil {
+			pr.Handoff(q.k.now, q.label)
+		}
 		q.k.atDispatch(q.k.now, g, nil)
 		return true
 	}
@@ -173,7 +185,7 @@ func (q *Queue[T]) Get(p *Proc) (item T, ok bool) {
 		return zero, false
 	}
 	q.getters = append(q.getters, p)
-	v := p.park()
+	v := p.parkOn(q.label)
 	if _, wasClosed := v.(closeSentinel); wasClosed {
 		var zero T
 		return zero, false

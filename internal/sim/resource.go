@@ -13,6 +13,7 @@ type resWaiter struct {
 // also integrates utilization over time for experiment reporting.
 type Resource struct {
 	k     *Kernel
+	label string
 	cap   int
 	inUse int
 	queue []*resWaiter
@@ -26,8 +27,13 @@ func NewResource(k *Kernel, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive")
 	}
-	return &Resource{k: k, cap: capacity}
+	return &Resource{k: k, cap: capacity, label: edgeResource}
 }
+
+// SetLabel names the profiler edge that acquire-parks and hold-sleeps
+// on this resource are attributed to. The label must be a
+// compile-time constant; see DESIGN.md §15.
+func (r *Resource) SetLabel(label string) { r.label = label }
 
 // Cap reports the capacity.
 func (r *Resource) Cap() int { return r.cap }
@@ -66,7 +72,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		return
 	}
 	r.queue = append(r.queue, &resWaiter{p: p, n: n})
-	p.park()
+	p.parkOn(r.label)
 }
 
 // TryAcquire takes n units without blocking and reports success.
@@ -102,6 +108,6 @@ func (r *Resource) Release(n int) {
 // the idiom for "spend d of CPU time".
 func (r *Resource) Use(p *Proc, n int, d Time) {
 	r.Acquire(p, n)
-	p.Sleep(d)
+	p.sleepOn(d, r.label)
 	r.Release(n)
 }

@@ -20,12 +20,20 @@ import "fmt"
 // park/dispatch round trip.
 type Serializer struct {
 	k       *Kernel
+	label   string
 	horizon Time // virtual time at which the resource frees up
 	busy    Time // total occupied time, for utilization reporting
 }
 
 // NewSerializer returns an idle serializer.
-func NewSerializer(k *Kernel) *Serializer { return &Serializer{k: k} }
+func NewSerializer(k *Kernel) *Serializer {
+	return &Serializer{k: k, label: edgeSerializer}
+}
+
+// SetLabel names the profiler edge that Use-sleeps on this serializer
+// are attributed to. The label must be a compile-time constant; see
+// DESIGN.md §15.
+func (s *Serializer) SetLabel(label string) { s.label = label }
 
 // FreeAt reports the virtual time at which the resource is (or will
 // become) free: the start time the next arrival would get.
@@ -57,7 +65,7 @@ func (s *Serializer) Use(p *Proc, hold, post Time) {
 	}
 	s.horizon = start + hold
 	s.busy += hold
-	p.Sleep(s.horizon + post - now)
+	p.sleepOn(s.horizon+post-now, s.label)
 }
 
 // Utilization reports the fraction of virtual time the resource has

@@ -16,13 +16,18 @@ type waiterRef struct {
 // both process and event context.
 type Signal struct {
 	k       *Kernel
+	label   string
 	fired   bool
 	value   any
 	waiters []waiterRef
 }
 
 // NewSignal returns an unfired signal.
-func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k, label: edgeSignal} }
+
+// SetLabel names the profiler edge that waits on this signal park on.
+// The label must be a compile-time constant; see DESIGN.md §15.
+func (s *Signal) SetLabel(label string) { s.label = label }
 
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
@@ -59,6 +64,9 @@ func NewBarrier(k *Kernel, n int) *Barrier {
 	}
 	return &Barrier{remaining: n, sig: NewSignal(k)}
 }
+
+// SetLabel names the profiler edge that waits on this barrier park on.
+func (b *Barrier) SetLabel(label string) { b.sig.SetLabel(label) }
 
 // Arrive records one arrival; the last arrival fires the barrier.
 func (b *Barrier) Arrive() {

@@ -15,7 +15,9 @@ type CQ struct {
 
 // NewCQ creates a completion queue on the provider.
 func (pr *Provider) NewCQ() *CQ {
-	return &CQ{pr: pr, q: sim.NewQueue[Completion](pr.node.Kernel(), 0)}
+	cq := &CQ{pr: pr, q: sim.NewQueue[Completion](pr.node.Kernel(), 0)}
+	cq.q.SetLabel("via/cq")
+	return cq
 }
 
 // Wait blocks until a completion is available and returns it, charging

@@ -187,6 +187,10 @@ func NewProvider(node *cluster.Node, net *netsim.Network, cfg Config) *Provider 
 		rxQ:         sim.NewQueue[*packet](k, 0),
 		listeners:   make(map[int]*Acceptor),
 	}
+	pr.dma.SetLabel("via/dma")
+	pr.sendWQ.SetLabel("via/send-wq")
+	pr.txFIFO.SetLabel("via/tx-fifo")
+	pr.rxQ.SetLabel("via/rx-softirq")
 	node.Port().Handle(netsim.ProtoVIA, func(f *netsim.Frame) {
 		pk := f.Payload.(*packet)
 		if f.Corrupt {
@@ -229,6 +233,7 @@ func (pr *Provider) Listen(svc int) *Acceptor {
 		panic(fmt.Sprintf("via: service %d already listening on %s", svc, pr.node.Name()))
 	}
 	a := &Acceptor{pr: pr, svc: svc, q: sim.NewQueue[*connReq](pr.node.Kernel(), 0)}
+	a.q.SetLabel("via/accept")
 	pr.listeners[svc] = a
 	return a
 }

@@ -82,6 +82,9 @@ func (pr *Provider) NewVI(sendCQ, recvCQ *CQ) *VI {
 		connSig:   sim.NewSignal(pr.node.Kernel()),
 		closeSig:  sim.NewSignal(pr.node.Kernel()),
 	}
+	vi.recvDescs.SetLabel("via/desc-wait")
+	vi.connSig.SetLabel("via/handshake")
+	vi.closeSig.SetLabel("via/close")
 	pr.nextVI++
 	pr.vis[vi.id] = vi
 	return vi

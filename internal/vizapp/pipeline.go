@@ -281,6 +281,7 @@ func RunPipeline(cfg PipelineConfig, queries []Query) Result {
 		degraded: make([]int, len(queries)),
 		gate:     sim.NewCond(k),
 	}
+	app.gate.SetLabel("vizapp/query-gate")
 
 	stream := func(name, from, to string) datacutter.StreamSpec {
 		return datacutter.StreamSpec{
