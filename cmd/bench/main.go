@@ -28,8 +28,12 @@ import (
 	"testing"
 	"time"
 
+	"hpsockets/internal/cluster"
 	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
 	"hpsockets/internal/experiments"
+	"hpsockets/internal/fault"
+	"hpsockets/internal/netsim"
 	"hpsockets/internal/profile"
 	"hpsockets/internal/sim"
 	"hpsockets/internal/vizapp"
@@ -442,28 +446,124 @@ func runProfileWorkloads() []ProfileRecord {
 			fmt.Fprintf(os.Stderr, "bench: profile workload %s failed: %v\n", wl.name, res.Err)
 			os.Exit(1)
 		}
-		parks, wakes, same, hand := led.Totals()
-		rec := ProfileRecord{
-			Workload:    wl.name,
-			Parks:       parks,
-			Wakes:       wakes,
-			SameInstant: same,
-			Handoffs:    hand,
-			RingHits:    led.RingHits(),
-		}
-		for _, e := range led.Edges() {
-			rec.Edges = append(rec.Edges, ProfileEdge{
-				Edge:        e.Edge,
-				Parks:       e.Parks,
-				SameInstant: e.SameInstant,
-				Handoffs:    e.Handoffs,
-				ParkedUS:    e.Parked.Micros(),
-			})
-		}
-		out = append(out, rec)
+		out = append(out, ledgerRecord(wl.name, led))
+	}
+	for _, kind := range []core.Kind{core.KindTCP, core.KindSocketVIA} {
+		out = append(out, runRecoveryProfile(kind))
 	}
 	return out
 }
+
+// ledgerRecord folds one workload's park ledger into a ProfileRecord.
+func ledgerRecord(name string, led *profile.Ledger) ProfileRecord {
+	parks, wakes, same, hand := led.Totals()
+	rec := ProfileRecord{
+		Workload:    name,
+		Parks:       parks,
+		Wakes:       wakes,
+		SameInstant: same,
+		Handoffs:    hand,
+		RingHits:    led.RingHits(),
+	}
+	for _, e := range led.Edges() {
+		rec.Edges = append(rec.Edges, ProfileEdge{
+			Edge:        e.Edge,
+			Parks:       e.Parks,
+			SameInstant: e.SameInstant,
+			Handoffs:    e.Handoffs,
+			ParkedUS:    e.Parked.Micros(),
+		})
+	}
+	return rec
+}
+
+// runRecoveryProfile runs the fixed crash-restart recovery workload
+// with a park ledger attached: one producer feeding a checkpointed,
+// exactly-once consumer whose node crashes mid-run and restarts 1 ms
+// later. The counters pin the scheduler traffic of the whole recovery
+// arc — crash unwind, rejoin redial, resync fast-forward and ledger
+// suppression — so `bench compare` catches any drift in the recovery
+// path's behavior, not just its timing.
+func runRecoveryProfile(kind core.Kind) ProfileRecord {
+	const (
+		uows    = 8
+		perUOW  = 8
+		block   = 16 << 10
+		crashAt = 6 * sim.Millisecond
+	)
+	prof := core.RecoveryProfile()
+	k := sim.NewKernel()
+	led := profile.NewLedger()
+	led.Attach(k)
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("n0", cluster.DefaultConfig())
+	cl.AddNode("n1", cluster.DefaultConfig())
+	fault.Install(cl, fault.Plan{
+		Seed:     42,
+		Crashes:  []fault.NodeCrash{{Node: "n1", At: crashAt}},
+		Restarts: []fault.NodeRestart{{Node: "n1", At: crashAt + sim.Millisecond}},
+	})
+	fab := core.NewFabric(cl, kind, prof)
+	g := datacutter.NewRuntime(cl, fab).Instantiate(datacutter.GroupSpec{
+		Filters: []datacutter.FilterSpec{
+			{Name: "src", Placement: []string{"n0"},
+				New: func(int) datacutter.Filter { return benchRecoverySource{} }},
+			{Name: "dst", Placement: []string{"n1"}, CheckpointEvery: 500 * sim.Microsecond,
+				New: func(int) datacutter.Filter { return benchRecoverySink{} }},
+		},
+		Streams: []datacutter.StreamSpec{{
+			Name: "s", From: "src", To: "dst",
+			Policy:         datacutter.DemandDriven,
+			MaxUnacked:     4,
+			OpTimeout:      2 * sim.Millisecond,
+			RedialAttempts: 8,
+			RedialSeed:     59,
+			ExactlyOnce:    true,
+		}},
+	})
+	g.Start(uows)
+	k.RunAll()
+	if err := g.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: recovery profile workload (%s) failed: %v\n", kind, err)
+		os.Exit(1)
+	}
+	if restartedAt, recoveredAt := g.RecoveryOf("dst", 0); recoveredAt <= restartedAt {
+		fmt.Fprintf(os.Stderr, "bench: recovery profile workload (%s): consumer never recovered\n", kind)
+		os.Exit(1)
+	}
+	return ledgerRecord(fmt.Sprintf("recovery/%s/crash-restart", kind), led)
+}
+
+// benchRecoverySource emits the fixed recovery workload: 8 blocks of
+// 16 KB per unit of work.
+type benchRecoverySource struct{}
+
+func (benchRecoverySource) Init(*datacutter.Context) error { return nil }
+func (benchRecoverySource) Process(ctx *datacutter.Context) error {
+	out := ctx.Output("s")
+	for i := 0; i < 8; i++ {
+		if err := out.Write(ctx.Proc(), &datacutter.Buffer{Size: 16 << 10}); err != nil {
+			return err
+		}
+	}
+	return out.EndOfWork(ctx.Proc())
+}
+func (benchRecoverySource) Finalize(*datacutter.Context) error { return nil }
+
+// benchRecoverySink drains its input.
+type benchRecoverySink struct{}
+
+func (benchRecoverySink) Init(*datacutter.Context) error { return nil }
+func (benchRecoverySink) Process(ctx *datacutter.Context) error {
+	in := ctx.Input("s")
+	for {
+		if _, ok := in.Read(ctx.Proc()); !ok {
+			return nil
+		}
+	}
+}
+func (benchRecoverySink) Finalize(*datacutter.Context) error { return nil }
 
 // runQuickFigures regenerates the same figure set as `figures -quick`
 // (every paper figure; the fault family is opt-in there and timed

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,4a,4b,7a,7b,8a,8b,9a,9b,10,11,pp,micro,fault,overload or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,4a,4b,7a,7b,8a,8b,9a,9b,10,11,pp,micro,fault,overload,recovery or all")
 	quick := flag.Bool("quick", false, "reduced repetition counts")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
@@ -74,16 +74,20 @@ func main() {
 			render(experiments.FigFaultFailover(o))
 		}},
 		{"overload", func() { render(experiments.FigOverload(o)) }},
+		{"recovery", func() {
+			render(experiments.FigRecoveryTiming(o))
+			render(experiments.FigRecoveryCheckpoint(o))
+		}},
 	}
 
 	want := strings.ToLower(*fig)
 	ran := false
 	for _, r := range runners {
-		// The fault and overload families run only when asked for by
-		// name: they are not among the paper's figures, and keeping
-		// them out of "all" leaves the headline output identical to
-		// the fault-free tree.
-		if want == r.name || (want == "all" && r.name != "fault" && r.name != "overload") {
+		// The fault, overload and recovery families run only when asked
+		// for by name: they are not among the paper's figures, and
+		// keeping them out of "all" leaves the headline output identical
+		// to the fault-free tree.
+		if want == r.name || (want == "all" && r.name != "fault" && r.name != "overload" && r.name != "recovery") {
 			r.run()
 			ran = true
 		}

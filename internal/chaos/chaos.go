@@ -17,7 +17,12 @@
 //  4. replay: the same seed reproduces a byte-identical report;
 //  5. telemetry agreement: the fault injector's drop count matches the
 //     hpsmon fault counters, and frames out == frames in + dropped,
-//     both per hpsmon and per netsim port counters.
+//     both per hpsmon and per netsim port counters;
+//  6. exactly-once: when the scenario arms the delivery ledger (every
+//     crash+restart scenario does), no buffer is ever delivered twice,
+//     however failover re-dispatch overlaps the restarted copy's
+//     rejoin, and a restarted node is not excused from liveness — its
+//     copy must finish.
 //
 // A failing scenario is shrunk (see Shrink) to a minimal reproducer by
 // greedy delta debugging over the scenario's fault lists and scalars.
@@ -65,7 +70,14 @@ type Scenario struct {
 	// ConsumerCost is per-buffer processing at the consumer (overload
 	// comes from here plus fault-plan slowdowns).
 	ConsumerCost sim.Time
-	Plan         fault.Plan
+	// CheckpointEvery arms crash-restart recovery on the consumer
+	// copies (required whenever the plan restarts a node; normalized
+	// forces it, with redial, alongside ExactlyOnce).
+	CheckpointEvery sim.Time
+	// ExactlyOnce arms the per-stream delivery ledger; invariant 6
+	// then demands zero redelivered buffers even across crash+restart.
+	ExactlyOnce bool
+	Plan        fault.Plan
 
 	// defect, test-only, breaks the harness's own shed accounting:
 	// every defect-th shed goes unrecorded, which invariant 1 must
@@ -108,7 +120,10 @@ func (s Scenario) Valid() bool { return s.valid() }
 
 // normalized enforces the validity rules that make a scenario
 // survivable by construction: wire faults require demand-driven
-// failover with an armed op timeout. It is a pure function so shrunk
+// failover with an armed op timeout, and node restarts require the
+// full recovery stack — checkpointing on the consumers, redial so
+// producers can rejoin, and the exactly-once ledger so rejoin
+// redelivery stays invisible. It is a pure function so shrunk
 // candidates re-normalize deterministically.
 func (s Scenario) normalized() Scenario {
 	if s.wireFaulty() {
@@ -116,6 +131,15 @@ func (s Scenario) normalized() Scenario {
 		if s.OpTimeout == 0 {
 			s.OpTimeout = 5 * sim.Millisecond
 		}
+	}
+	if len(s.Plan.Restarts) > 0 {
+		if s.CheckpointEvery == 0 {
+			s.CheckpointEvery = 1 * sim.Millisecond
+		}
+		if s.RedialAttempts == 0 {
+			s.RedialAttempts = 4
+		}
+		s.ExactlyOnce = true
 	}
 	return s
 }
@@ -130,8 +154,59 @@ func (s Scenario) valid() bool {
 	for i := 0; i < s.Copies; i++ {
 		nodes[consName(i)] = true
 	}
-	if len(s.Plan.Crashes) >= s.Copies {
-		return false
+	if len(s.Plan.Restarts) == 0 {
+		// Without restarts a crashed copy is down forever, so the
+		// static count rule guarantees a survivor.
+		if len(s.Plan.Crashes) >= s.Copies {
+			return false
+		}
+	} else {
+		// Restarts require the full recovery stack (the runtime refuses
+		// checkpointing without redial, and a restarted copy without a
+		// checkpoint can never rejoin — a guaranteed liveness flag).
+		if s.CheckpointEvery <= 0 || s.RedialAttempts <= 0 {
+			return false
+		}
+		for _, rs := range s.Plan.Restarts {
+			if !nodes[rs.Node] || rs.Node == "src" {
+				return false
+			}
+			covered := false
+			for _, cr := range s.Plan.Crashes {
+				if cr.Node == rs.Node && cr.At < rs.At {
+					covered = true
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		// Down-count sweep: at every instant at least one consumer copy
+		// must be up; a restart removes its node from the down set.
+		type ev struct {
+			at   sim.Time
+			up   bool
+			node string
+		}
+		evs := make([]ev, 0, len(s.Plan.Crashes)+len(s.Plan.Restarts))
+		for _, c := range s.Plan.Crashes {
+			evs = append(evs, ev{c.At, false, c.Node})
+		}
+		for _, rs := range s.Plan.Restarts {
+			evs = append(evs, ev{rs.At, true, rs.Node})
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		down := map[string]bool{}
+		for _, e := range evs {
+			if e.up {
+				delete(down, e.node)
+			} else {
+				down[e.node] = true
+			}
+			if len(down) >= s.Copies {
+				return false
+			}
+		}
 	}
 	for _, c := range s.Plan.Crashes {
 		if !nodes[c.Node] || c.Node == "src" {
@@ -236,6 +311,20 @@ func Generate(seed int64) Scenario {
 		s.Plan.Crashes = append(s.Plan.Crashes, fault.NodeCrash{
 			Node: consName(crashCons), At: crashAt})
 	}
+
+	// Crash-restart recovery draws. Appended after every legacy draw so
+	// scenarios from pre-restart seeds are byte-identical; a restart can
+	// only revive the crash drawn above, so it rides on wantCrash too.
+	restartDelta := sim.Time(1+rng.Intn(4)) * sim.Millisecond
+	ckptEvery := sim.Time(1+rng.Intn(3)) * 500 * sim.Microsecond
+	wantRestart := rng.Intn(2) == 0
+	if wantRestart && len(s.Plan.Crashes) > 0 {
+		cr := s.Plan.Crashes[0]
+		s.Plan.Restarts = append(s.Plan.Restarts, fault.NodeRestart{
+			Node: cr.Node, At: cr.At + restartDelta})
+		s.CheckpointEvery = ckptEvery
+		s.ExactlyOnce = true
+	}
 	return s.normalized()
 }
 
@@ -255,7 +344,14 @@ type Report struct {
 	GroupErr    string
 	Redials     uint64
 	Redispatch  uint64
-	End         sim.Time
+	// Duplicates counts redeliveries the exactly-once ledger suppressed;
+	// Restarts the consumer-copy restart incarnations that ran; MTTR the
+	// worst observed restart-to-first-redelivery gap. All are zero (and
+	// omitted from Canonical) unless the plan restarts a node.
+	Duplicates uint64
+	Restarts   int
+	MTTR       sim.Time
+	End        sim.Time
 	// Telemetry is the run's full hpsmon registry rendered as a
 	// deterministic table. It is not part of Canonical (invariant 5
 	// already cross-checks the load-bearing counters); scenario replay
@@ -279,12 +375,18 @@ func (r Report) Canonical() string {
 	if len(s.Plan.Conditions) > 0 {
 		fmt.Fprintf(&b, " conds=%d", len(s.Plan.Conditions))
 	}
+	if len(s.Plan.Restarts) > 0 {
+		fmt.Fprintf(&b, " restarts=%d ckpt=%s", len(s.Plan.Restarts), s.CheckpointEvery)
+	}
 	if s.defect > 0 {
 		fmt.Fprintf(&b, " defect=%d", s.defect)
 	}
 	fmt.Fprintf(&b, "\n  produced=%d delivered=%d redelivered=%d shed=%d unaccounted=%d aborted=%v redials=%d redispatch=%d end=%s",
 		r.Produced, r.Delivered, r.Redelivered, r.Shed, r.Unaccounted,
 		r.Aborted, r.Redials, r.Redispatch, r.End)
+	if len(s.Plan.Restarts) > 0 {
+		fmt.Fprintf(&b, " copyrestarts=%d dups=%d mttr=%s", r.Restarts, r.Duplicates, r.MTTR)
+	}
 	causes := make([]int, 0, len(r.ShedByCause))
 	for c := range r.ShedByCause {
 		causes = append(causes, int(c))
@@ -448,11 +550,13 @@ func Run(s Scenario) Report {
 	g := rt.Instantiate(datacutter.GroupSpec{
 		Filters: []datacutter.FilterSpec{
 			{Name: "source", New: source, Placement: []string{"src"}, InboxDepth: s.InboxDepth},
-			{Name: "sink", New: sink, Placement: cons, InboxDepth: s.InboxDepth},
+			{Name: "sink", New: sink, Placement: cons, InboxDepth: s.InboxDepth,
+				CheckpointEvery: s.CheckpointEvery},
 		},
 		Streams: []datacutter.StreamSpec{{
 			Name: "work", From: "source", To: "sink",
 			Policy:         s.Policy,
+			ExactlyOnce:    s.ExactlyOnce,
 			OpTimeout:      s.OpTimeout,
 			CreditWindow:   s.CreditWindow,
 			Deadlines:      s.DeadlineBudget > 0,
@@ -480,9 +584,15 @@ func Run(s Scenario) Report {
 		rep.GroupErr = err.Error()
 	}
 
-	crashed := make(map[string]bool)
+	// A crashed node is excused from liveness and credit conservation
+	// only when it stays down: a restart revives it, and its copy is
+	// then held to the same bar as everyone else.
+	downForever := make(map[string]bool)
 	for _, c := range s.Plan.Crashes {
-		crashed[c.Node] = true
+		downForever[c.Node] = true
+	}
+	for _, rs := range s.Plan.Restarts {
+		delete(downForever, rs.Node)
 	}
 
 	// Invariant 1: accounting.
@@ -512,7 +622,7 @@ func Run(s Scenario) Report {
 			"liveness: source neither completed nor failed (virtual-time deadlock)")
 	}
 	for i := range sinkDone {
-		if !sinkDone[i] && !crashed[consName(i)] && rep.GroupErr == "" {
+		if !sinkDone[i] && !downForever[consName(i)] && rep.GroupErr == "" {
 			rep.Violations = append(rep.Violations, fmt.Sprintf(
 				"liveness: sink copy %d on live node did not complete", i))
 		}
@@ -522,7 +632,7 @@ func Run(s Scenario) Report {
 	if s.CreditWindow > 0 && sourceDone {
 		for j := 0; j < w.Targets(); j++ {
 			credits, dead := w.CreditState(j)
-			if dead || crashed[consName(j)] {
+			if dead || downForever[consName(j)] {
 				continue
 			}
 			if credits != s.CreditWindow {
@@ -530,6 +640,22 @@ func Run(s Scenario) Report {
 					"credits: target %d holds %d/%d at quiesce", j, credits, s.CreditWindow))
 			}
 		}
+	}
+
+	// Invariant 6: exactly-once delivery across crash+restart.
+	for i := 0; i < s.Copies; i++ {
+		rep.Duplicates += g.ReaderOf("sink", i, "work").Duplicates()
+		rep.Restarts += g.RestartsOf("sink", i)
+		restartedAt, recoveredAt := g.RecoveryOf("sink", i)
+		if recoveredAt > restartedAt {
+			if ttr := recoveredAt - restartedAt; ttr > rep.MTTR {
+				rep.MTTR = ttr
+			}
+		}
+	}
+	if s.ExactlyOnce && rep.Redelivered > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"exactly-once: %d buffers redelivered despite the ledger", rep.Redelivered))
 	}
 
 	// Invariant 5: telemetry agreement.

@@ -7,9 +7,16 @@ import "hpsockets/internal/datacutter"
 func cost(s Scenario) int {
 	c := s.UOWs*s.BuffersPerUOW + s.Copies*10 + s.InboxDepth + s.CreditWindow +
 		s.BlockBytes/1024 + 25*(len(s.Plan.Links)+len(s.Plan.Partitions)+
-		len(s.Plan.Crashes)+len(s.Plan.Slowdowns)+len(s.Plan.Conditions))
+		len(s.Plan.Crashes)+len(s.Plan.Slowdowns)+len(s.Plan.Conditions)+
+		len(s.Plan.Restarts))
 	if s.Shed != datacutter.Block {
 		c += 5
+	}
+	if s.ExactlyOnce {
+		c += 2
+	}
+	if s.CheckpointEvery > 0 {
+		c += 2
 	}
 	if s.DeadlineBudget > 0 {
 		c += 5
@@ -65,9 +72,18 @@ func candidates(s Scenario) []Scenario {
 		c.Plan.Partitions = nil
 		add(c)
 	}
+	if len(s.Plan.Restarts) > 0 {
+		// Drop the restarts alone: the crash stays, the node stays down,
+		// and the static survivor rule takes over validity.
+		c := s
+		c.Plan.Restarts = nil
+		add(c)
+	}
 	if len(s.Plan.Crashes) > 0 {
+		// A crash-free plan cannot carry valid restarts, so drop both.
 		c := s
 		c.Plan.Crashes = nil
+		c.Plan.Restarts = nil
 		add(c)
 	}
 	if len(s.Plan.Slowdowns) > 0 {
@@ -131,6 +147,14 @@ func candidates(s Scenario) []Scenario {
 	if s.RedialAttempts > 0 {
 		c := s
 		c.RedialAttempts = 0
+		add(c)
+	}
+	if len(s.Plan.Restarts) == 0 && (s.ExactlyOnce || s.CheckpointEvery > 0) {
+		// Recovery leftovers from a dropped restart; with no restart they
+		// are pure overhead.
+		c := s
+		c.ExactlyOnce = false
+		c.CheckpointEvery = 0
 		add(c)
 	}
 	if s.InboxDepth > 1 {

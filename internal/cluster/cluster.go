@@ -37,6 +37,13 @@ type Node struct {
 	// failed marks a crashed node: its CPUs never finish another unit
 	// of work and the fault injector discards all its traffic.
 	failed bool
+	// revive wakes procs halted by the current crash; Restart fires it.
+	// One signal per crash epoch: a signal fires at most once.
+	revive *sim.Signal
+	// restartHooks run inside each Restart instant, in registration
+	// order. They execute in kernel-callback context and must not block.
+	restartHooks []func()
+	restarts     int
 
 	computeBusy sim.Time // total CPU time spent in Compute
 }
@@ -136,25 +143,66 @@ func (n *Node) SetProbabilisticSlowdown(factor, prob float64, seed int64) {
 func (n *Node) SlowFactor() float64 { return n.factor }
 
 // Fail crashes the node at the current instant: every Compute or
-// Overhead call from then on parks its proc forever, modelling a host
-// that stops mid-instruction. Procs already inside a CPU occupancy
-// finish that occupancy (the discrete-event equivalent of in-flight
-// work draining); they hang at their next CPU use. Frame-level
-// isolation of a failed node is the fault injector's job.
-func (n *Node) Fail() { n.failed = true }
+// Overhead call from then on parks its proc until the node restarts
+// (forever, if it never does), modelling a host that stops
+// mid-instruction. Procs already inside a CPU occupancy finish that
+// occupancy (the discrete-event equivalent of in-flight work
+// draining); they hang at their next CPU use. Frame-level isolation of
+// a failed node is the fault injector's job.
+func (n *Node) Fail() {
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.revive = sim.NewSignal(n.k)
+	n.revive.SetLabel("cluster/revive")
+}
+
+// Restart revives a crashed node at the current instant: the failed
+// flag clears, every proc halted in Compute or Overhead resumes the
+// CPU use it was attempting (the OS-reboot view of a protocol stack:
+// its processes pick up where the host stopped), and the registered
+// OnRestart hooks run in registration order. Restarting a live node is
+// a no-op. A node that never restarts behaves exactly as before this
+// method existed: the revive signal simply never fires.
+func (n *Node) Restart() {
+	if !n.failed {
+		return
+	}
+	n.failed = false
+	n.restarts++
+	sig := n.revive
+	n.revive = nil
+	if sig != nil {
+		sig.Fire(nil)
+	}
+	for _, fn := range n.restartHooks {
+		fn()
+	}
+}
+
+// OnRestart registers a hook run inside every Restart instant, after
+// halted procs have been scheduled to resume. Hooks run in
+// kernel-callback context: they may inspect state, fire signals,
+// broadcast conds and spawn procs, but must not block.
+func (n *Node) OnRestart(fn func()) { n.restartHooks = append(n.restartHooks, fn) }
+
+// Restarts reports how many times the node has been restarted.
+func (n *Node) Restarts() int { return n.restarts }
 
 // Failed reports whether the node has crashed.
 func (n *Node) Failed() bool { return n.failed }
 
-// haltIfFailed parks p forever when the node has crashed. Waiting on a
-// signal that never fires is safe under RunAll: the kernel simply
-// never resumes the proc, and the run terminates when live events
-// drain.
+// haltIfFailed parks p while the node is crashed. Waiting on a signal
+// that never fires is safe under RunAll: the kernel simply never
+// resumes the proc, and the run terminates when live events drain. A
+// Restart fires the signal and the proc resumes; the loop re-checks in
+// case the node crashed again in the same instant.
 func (n *Node) haltIfFailed(p *sim.Proc) {
-	if n.failed {
+	for n.failed {
 		n.k.Trace("cluster", "node-halt", 0, n.name+": "+p.Name())
 		hpsmon.Instant(p, "cluster", "node-halt", n.name)
-		p.Wait(sim.NewSignal(n.k))
+		p.Wait(n.revive)
 	}
 }
 

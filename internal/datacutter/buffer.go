@@ -59,6 +59,12 @@ type Buffer struct {
 	// demand-driven ack can be routed back; it is nil on the producer
 	// side.
 	src *streamConn
+
+	// seq is the writer-assigned delivery sequence number on
+	// exactly-once streams (assigned once, at first send, and preserved
+	// across failover re-dispatch so the consumer-side ledger can
+	// suppress the duplicate). 0 means unassigned / not armed.
+	seq uint64
 }
 
 // wire message kinds.
@@ -68,14 +74,20 @@ const (
 	wireAck
 	// wireCredit returns one flow-control credit on the reverse path.
 	wireCredit
+	// wireResync is the first message on a restart-rejoin connection:
+	// its uow field carries the producer's current unit of work, so the
+	// restarted consumer fast-forwards past units whose end-of-work
+	// markers it can no longer receive.
+	wireResync
 )
 
 // headerSize is the on-stream framing header: kind, flags, uow, size,
-// tag. Streams with deadlines armed extend it by the 8-byte deadline;
-// the header size is fixed per stream (both ends know it from the
-// spec), so fault-free streams stay byte-identical to the original
-// framing. Reverse-path messages (acks, credits) always use the base
-// header.
+// tag. Streams with deadlines armed extend it by the 8-byte deadline,
+// and exactly-once streams by the 8-byte delivery sequence number
+// (always the trailing extension); the header size is fixed per stream
+// (both ends know it from the spec), so fault-free streams stay
+// byte-identical to the original framing. Reverse-path messages (acks,
+// credits) always use the base header.
 const (
 	headerSize    = 24
 	extHeaderSize = headerSize + 8
@@ -129,6 +141,23 @@ func parseDeadline(src []byte) sim.Time {
 		panic("datacutter: short extended header")
 	}
 	return sim.Time(get64(src[headerSize:]))
+}
+
+// putSeq writes the exactly-once sequence number, always the trailing
+// 8 bytes of the (possibly deadline-extended) header.
+func putSeq(dst []byte, seq uint64) {
+	if len(dst) < extHeaderSize {
+		panic("datacutter: short exactly-once header buffer")
+	}
+	put64(dst[len(dst)-8:], seq)
+}
+
+// parseSeq reads the trailing exactly-once sequence number.
+func parseSeq(src []byte) uint64 {
+	if len(src) < extHeaderSize {
+		panic("datacutter: short exactly-once header")
+	}
+	return get64(src[len(src)-8:])
 }
 
 func put32(b []byte, v uint32) {

@@ -1,0 +1,136 @@
+package datacutter
+
+import (
+	"hpsockets/internal/hpsmon"
+	"hpsockets/internal/sim"
+)
+
+// Crash-restart recovery (DESIGN.md §16).
+//
+// A filter copy whose FilterSpec.CheckpointEvery is armed runs as a
+// sequence of incarnations. Each incarnation drives units of work from
+// the copy's checkpoint watermark; a node crash unwinds it (the
+// crashUnwind sentinel, thrown by Context.Compute and recovered by the
+// group driver) instead of parking its proc forever. When the node
+// restarts (fault.NodeRestart), the copy's restart hook bumps the
+// incarnation epoch, rewinds every input stream to the checkpoint,
+// asks the producers to rejoin through the redial path, and spawns the
+// next incarnation. The exactly-once ledger makes the overlap of
+// failover re-dispatch and rejoin redelivery safe: a buffer delivered
+// by any incarnation of any copy is never delivered again.
+
+// crashUnwind is the sentinel a recovery-armed Context panics with
+// when its node has crashed (or a restart superseded its incarnation)
+// mid-computation. The group driver recovers it; anything else
+// re-panics.
+type crashUnwind struct {
+	name string
+	copy int
+}
+
+// checkpoint is the durable progress record of one recovery-armed
+// filter copy: the next unit of work to process and the virtual time
+// the watermark was taken. Persistence is modelled by the record
+// living in the runtime, outside the incarnation — the simulated
+// equivalent of a checkpoint file surviving the crash.
+type checkpoint struct {
+	at   sim.Time
+	next int
+}
+
+// dedupLedger is the exactly-once delivery ledger of one logical
+// stream, shared across every consumer copy — failover re-dispatch
+// crosses copies, so a per-copy ledger could not suppress a buffer
+// re-dispatched from a dead copy to a survivor. Sequence numbers are
+// writer-assigned, start at 1 and are unique per buffer, so membership
+// is exactly "this buffer was already delivered".
+type dedupLedger struct {
+	seen map[uint64]struct{}
+}
+
+func newDedupLedger() *dedupLedger {
+	return &dedupLedger{seen: make(map[uint64]struct{})}
+}
+
+// delivered reports whether the sequence was already delivered.
+func (l *dedupLedger) delivered(seq uint64) bool {
+	_, ok := l.seen[seq]
+	return ok
+}
+
+// record marks the sequence delivered.
+func (l *dedupLedger) record(seq uint64) { l.seen[seq] = struct{}{} }
+
+// rejoinGrace bounds how long a restarted incarnation waits for its
+// producers to rejoin before completing vacuously. It must comfortably
+// exceed the worst-case redial backoff (8 attempts capped at 50ms) so
+// a reachable producer always makes it back, and stay well under the
+// chaos watchdog horizon so an unreachable one surfaces as reduced
+// delivery, not a hang.
+const rejoinGrace = 200 * sim.Millisecond
+
+// resetForRejoin re-homes the reader for a new incarnation of a
+// restarted copy: a fresh inbox (the old one is closed, so stale
+// connections' puts are swallowed and a parked zombie getter wakes to
+// find its incarnation superseded), volatile state dropped — a real
+// restart loses its memory; in-flight work is re-accounted by the
+// producers' failover path — and the unit-of-work cursor rewound to
+// the checkpoint. expected producers are awaited for rejoin markers
+// under the grace deadline; note fires at the incarnation's first
+// delivery (the copy's recovery instant). Runs in kernel-callback
+// context: nothing here blocks.
+func (r *StreamReader) resetForRejoin(k *sim.Kernel, fc *filterCopy, from, expected int, note func()) {
+	old := r.inbox
+	r.inbox = sim.NewQueue[inboxItem](k, r.depth)
+	r.inbox.SetLabel("datacutter/inbox")
+	old.Close()
+	r.nconns = 0
+	r.awaitRejoin = expected
+	r.eowSeen = make(map[int]int)
+	if n := len(r.stash); n > 0 {
+		k.Trace("datacutter", "restart-stash-drop", int64(n), r.name)
+		r.stash = nil
+	}
+	r.uow = from
+	r.resyncTo = from
+	r.recoverNote = note
+	if r.graceArmed {
+		r.graceTimer.Stop()
+		r.graceArmed = false
+	}
+	if expected > 0 {
+		r.armGrace(k, fc)
+	}
+}
+
+// armGrace schedules the rejoin grace deadline for the current
+// incarnation. When it fires with rejoins still outstanding and no
+// live connection, it closes the inbox: the parked reader wakes and
+// the incarnation completes vacuously — delivery shrinks, liveness
+// holds, and the producer side's op timeout reclaims anything a late
+// rejoin would have parked. With live connections still feeding the
+// reader it re-arms: the stragglers' lost markers will eventually
+// bring nconns to zero, and the next firing decides.
+func (r *StreamReader) armGrace(k *sim.Kernel, fc *filterCopy) {
+	r.graceArmed = true
+	epoch := fc.epoch
+	r.graceTimer = k.At(k.Now()+rejoinGrace, func() {
+		if !r.graceArmed || fc.epoch != epoch || fc.done {
+			r.graceArmed = false
+			return
+		}
+		if r.awaitRejoin > 0 && r.nconns <= 0 {
+			r.graceArmed = false
+			k.Trace("datacutter", "rejoin-timeout", int64(r.awaitRejoin), r.name)
+			hpsmon.Count(k, "datacutter", "rejoin.timeouts", 1)
+			r.awaitRejoin = 0
+			r.inbox.Close()
+			return
+		}
+		if r.awaitRejoin > 0 {
+			r.armGrace(k, fc)
+			return
+		}
+		r.graceArmed = false
+	})
+}

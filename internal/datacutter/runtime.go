@@ -33,7 +33,28 @@ type filterCopy struct {
 	filter  Filter
 	inputs  map[string]*StreamReader
 	outputs map[string]*StreamWriter
+
+	// Crash-restart recovery state (armed by spec.CheckpointEvery > 0).
+	// epoch counts incarnations: the driver abandons a unit of work when
+	// its captured epoch no longer matches (a restart superseded it).
+	epoch int
+	// done marks the copy finished for group accounting; a restart hook
+	// firing after completion is a no-op.
+	done bool
+	// ckpt is the copy's durable progress watermark.
+	ckpt checkpoint
+	// restarts counts incarnations beyond the first; restartedAt and
+	// recoveredAt bracket the most recent outage for MTTR reporting
+	// (recoveredAt is the new incarnation's first delivery, or its
+	// completion when it finished vacuously).
+	restarts    int
+	restartedAt sim.Time
+	recoveredAt sim.Time
 }
+
+// recoverable reports whether crash-restart recovery is armed for this
+// copy.
+func (fc *filterCopy) recoverable() bool { return fc.spec.CheckpointEvery > 0 }
 
 // Group is an instantiated filter group.
 type Group struct {
@@ -90,6 +111,21 @@ func (rt *Runtime) Instantiate(spec GroupSpec) *Group {
 	}
 	g.doneLeft = len(g.copies)
 
+	// Recovery arming is only coherent when every input stream can be
+	// re-established: a restarted copy's producers come back through the
+	// redial path, so CheckpointEvery without RedialAttempts would strand
+	// the new incarnation with no way to be fed.
+	for _, fs := range spec.Filters {
+		if fs.CheckpointEvery <= 0 {
+			continue
+		}
+		for _, ss := range spec.Streams {
+			if ss.To == fs.Name && ss.RedialAttempts <= 0 {
+				panic(fmt.Sprintf("datacutter: filter %s arms CheckpointEvery but input stream %s has no RedialAttempts", fs.Name, ss.Name))
+			}
+		}
+	}
+
 	// Count connection-setup arrivals: one per side per connection.
 	totalConns := 0
 	for _, ss := range spec.Streams {
@@ -123,6 +159,18 @@ func (g *Group) wireStream(ss StreamSpec) {
 	}
 
 	needsReverse := ss.Policy == DemandDriven || ss.Acks || ss.CreditWindow > 0
+
+	// Exactly-once state is per logical stream, shared across copies:
+	// one sequence source for every producer copy (uniqueness across the
+	// stream) and one delivery ledger for every consumer copy (failover
+	// re-dispatch crosses copies).
+	var ledger *dedupLedger
+	var seqSrc *uint64
+	if ss.ExactlyOnce {
+		ledger = newDedupLedger()
+		seqSrc = new(uint64)
+	}
+
 	writers := make([]*StreamWriter, len(prods))
 	for i, pc := range prods {
 		w := &StreamWriter{
@@ -138,6 +186,8 @@ func (g *Group) wireStream(ss StreamSpec) {
 			opTimeout:    ss.OpTimeout,
 			needsReverse: needsReverse,
 			ep:           rt.fab.Endpoint(pc.node.Name()),
+			exactlyOnce:  ss.ExactlyOnce,
+			seqSrc:       seqSrc,
 		}
 		w.ackCond.SetLabel("datacutter/ack-credit")
 		if ss.RedialAttempts > 0 {
@@ -165,6 +215,10 @@ func (g *Group) wireStream(ss StreamSpec) {
 			onShed:       ss.OnShed,
 			onDeliver:    ss.OnDeliver,
 			redial:       ss.RedialAttempts > 0,
+			exactlyOnce:  ss.ExactlyOnce,
+			ledger:       ledger,
+			k:            k,
+			depth:        cc.spec.InboxDepth,
 		}
 		r.inbox.SetLabel("datacutter/inbox")
 		if _, dup := cc.inputs[ss.Name]; dup {
@@ -234,6 +288,7 @@ func (g *Group) wireStream(ss StreamSpec) {
 					credits: ss.CreditWindow,
 					raddr:   cc.node.Name(),
 					svc:     svc,
+					est:     p.Now(),
 				}
 				w.targets[j] = sc
 				if needsReverse {
@@ -247,6 +302,9 @@ func (g *Group) wireStream(ss StreamSpec) {
 
 // Start launches every filter copy's driver for the given number of
 // units of work. Drivers wait for all stream connections first.
+// Recovery-armed copies additionally register a restart hook on their
+// node: a crash unwinds the incarnation, and fault.NodeRestart spawns
+// the next one from the copy's checkpoint.
 func (g *Group) Start(uows int) {
 	if uows <= 0 {
 		panic("datacutter: Start needs a positive unit-of-work count")
@@ -254,45 +312,207 @@ func (g *Group) Start(uows int) {
 	k := g.rt.cl.Kernel()
 	for _, fc := range g.copies {
 		fc := fc
+		if fc.recoverable() {
+			g.armRestart(fc, uows)
+		}
 		k.Go(fmt.Sprintf("dc-filter/%s.%d", fc.spec.Name, fc.idx), func(p *sim.Proc) {
 			g.setup.Wait(p)
-			ctx := &Context{
-				p:       p,
-				node:    fc.node,
-				name:    fc.spec.Name,
-				copyIdx: fc.idx,
-				copies:  len(g.byName[fc.spec.Name]),
-				inputs:  fc.inputs,
-				outputs: fc.outputs,
-			}
-			for uow := 0; uow < uows; uow++ {
-				ctx.uow = uow
-				detail := fc.spec.Name
-				if hpsmon.Enabled(k) {
-					detail = fmt.Sprintf("%s.%d uow=%d", fc.spec.Name, fc.idx, uow)
-				}
-				sc := hpsmon.Begin(p, "datacutter", "uow", detail)
-				err := g.step(ctx, fc, uow)
-				sc.End()
-				if err != nil {
-					hpsmon.Count(k, "datacutter", "uow.failed", 1)
-					g.errs = append(g.errs, err)
-					break
-				}
-				hpsmon.Count(k, "datacutter", "uow.completed", 1)
-			}
-			for _, w := range fc.outputs {
-				w.Close(p)
-			}
-			g.doneLeft--
-			if g.doneLeft == 0 {
-				for _, l := range g.listeners {
-					l.Close()
-				}
-				g.doneSig.Fire(nil)
-			}
+			g.drive(p, fc, uows, 0, 0)
 		})
 	}
+}
+
+// drive runs one incarnation of a filter copy, from unit of work
+// `from` under incarnation `epoch`. It returns without touching group
+// accounting when a crash parks the copy (a later restart resumes it)
+// or when a restart superseded this incarnation while its proc was
+// parked; it completes the copy otherwise.
+func (g *Group) drive(p *sim.Proc, fc *filterCopy, uows, epoch, from int) {
+	k := g.rt.cl.Kernel()
+	ctx := &Context{
+		p:       p,
+		node:    fc.node,
+		name:    fc.spec.Name,
+		copyIdx: fc.idx,
+		copies:  len(g.byName[fc.spec.Name]),
+		inputs:  fc.inputs,
+		outputs: fc.outputs,
+	}
+	if fc.recoverable() {
+		ctx.fc = fc
+		ctx.epoch = epoch
+	}
+	for uow := from; uow < uows; uow++ {
+		if fc.epoch != epoch {
+			return
+		}
+		if fc.recoverable() && fc.node.Failed() {
+			g.parkCrashed(p, fc)
+			return
+		}
+		ctx.uow = uow
+		detail := fc.spec.Name
+		if hpsmon.Enabled(k) {
+			detail = fmt.Sprintf("%s.%d uow=%d", fc.spec.Name, fc.idx, uow)
+		}
+		sc := hpsmon.Begin(p, "datacutter", "uow", detail)
+		crashed, err := g.stepRecover(ctx, fc, uow)
+		sc.End()
+		if fc.epoch != epoch {
+			// A restart superseded this incarnation while its proc was
+			// parked (the inbox closure woke it into a vacuous return).
+			// Its result is void: counting it or advancing the shared
+			// checkpoint would corrupt the live incarnation's state.
+			return
+		}
+		if crashed {
+			g.parkCrashed(p, fc)
+			return
+		}
+		if err != nil {
+			hpsmon.Count(k, "datacutter", "uow.failed", 1)
+			g.errs = append(g.errs, err)
+			break
+		}
+		hpsmon.Count(k, "datacutter", "uow.completed", 1)
+		g.maybeCheckpoint(p, fc, uow+1)
+	}
+	if fc.epoch != epoch {
+		return
+	}
+	g.finishCopy(p, fc)
+}
+
+// stepRecover runs one unit of work, converting the crashUnwind
+// sentinel of a recovery-armed copy into a flag instead of letting it
+// propagate. Non-recoverable copies never see the sentinel (their
+// Compute halts on the dead node forever, the pre-recovery contract).
+func (g *Group) stepRecover(ctx *Context, fc *filterCopy, uow int) (crashed bool, err error) {
+	if fc.recoverable() {
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := v.(crashUnwind); ok {
+					crashed = true
+					return
+				}
+				panic(v)
+			}
+		}()
+	}
+	return false, g.step(ctx, fc, uow)
+}
+
+// parkCrashed retires a crashed incarnation without touching group
+// accounting: the copy is down, not done. A later restart spawns the
+// next incarnation from the checkpoint; absent one, the group never
+// reports the copy finished — the pre-recovery semantics of a crash,
+// minus the forever-parked proc.
+func (g *Group) parkCrashed(p *sim.Proc, fc *filterCopy) {
+	p.Kernel().Trace("datacutter", "copy-down", int64(fc.ckpt.next), fc.spec.Name)
+	hpsmon.Instant(p, "datacutter", "copy-down", fc.spec.Name)
+}
+
+// finishCopy completes a copy: closes its outputs, settles recovery
+// bookkeeping and decrements the group's outstanding count exactly
+// once.
+func (g *Group) finishCopy(p *sim.Proc, fc *filterCopy) {
+	for _, w := range fc.outputs {
+		w.Close(p)
+	}
+	if fc.done {
+		return
+	}
+	fc.done = true
+	if fc.restartedAt > 0 && fc.recoveredAt == 0 {
+		fc.recoveredAt = p.Now()
+	}
+	if fc.recoverable() {
+		// The copy is complete; close its inboxes (in spec order, for
+		// determinism) so a late rejoin cannot park a producer against a
+		// reader that will never read again — the producer's op timeout
+		// then reclaims and accounts the work.
+		for _, ss := range g.spec.Streams {
+			if ss.To != fc.spec.Name {
+				continue
+			}
+			r := fc.inputs[ss.Name]
+			r.inbox.Close()
+			if r.graceArmed {
+				r.graceTimer.Stop()
+				r.graceArmed = false
+			}
+		}
+	}
+	g.doneLeft--
+	if g.doneLeft == 0 {
+		for _, l := range g.listeners {
+			l.Close()
+		}
+		g.doneSig.Fire(nil)
+	}
+}
+
+// maybeCheckpoint saves the copy's unit-of-work watermark when the
+// checkpoint interval has elapsed. next is the first unit the next
+// incarnation would have to redo: the driver checkpoints only at
+// unit-of-work boundaries, after Finalize returned, so everything
+// below the watermark is fully processed and flushed downstream.
+func (g *Group) maybeCheckpoint(p *sim.Proc, fc *filterCopy, next int) {
+	if !fc.recoverable() {
+		return
+	}
+	if p.Now() < fc.ckpt.at+fc.spec.CheckpointEvery {
+		return
+	}
+	fc.ckpt = checkpoint{at: p.Now(), next: next}
+	p.Kernel().Trace("datacutter", "checkpoint", int64(next), fc.spec.Name)
+	hpsmon.Count(p.Kernel(), "datacutter", "ckpt.saved", 1)
+}
+
+// armRestart registers the copy's restart hook: when the hosting node
+// restarts, the hook retires the crashed incarnation (bumping the
+// epoch so its zombie proc unwinds if still live), rewinds every input
+// stream to the checkpoint, asks the producers to rejoin, and spawns
+// the next incarnation. Runs in kernel-callback context: nothing here
+// blocks.
+func (g *Group) armRestart(fc *filterCopy, uows int) {
+	k := g.rt.cl.Kernel()
+	fc.node.OnRestart(func() {
+		if fc.done {
+			return
+		}
+		fc.epoch++
+		epoch := fc.epoch
+		fc.restarts++
+		fc.restartedAt = k.Now()
+		fc.recoveredAt = 0
+		from := fc.ckpt.next
+		k.Trace("datacutter", "copy-restart", int64(from), fc.spec.Name)
+		hpsmon.Count(k, "datacutter", "copy.restarts", 1)
+		hpsmon.InstantK(k, "datacutter", "copy-restart", fc.spec.Name)
+		note := func() {
+			if fc.recoveredAt == 0 {
+				fc.recoveredAt = k.Now()
+			}
+		}
+		for _, ss := range g.spec.Streams {
+			if ss.To != fc.spec.Name {
+				continue
+			}
+			r := fc.inputs[ss.Name]
+			expected := 0
+			for _, pc := range g.byName[ss.From] {
+				if pc.outputs[ss.Name].requestRejoin(fc.idx, k.Now()) {
+					expected++
+				}
+			}
+			r.resetForRejoin(k, fc, from, expected, note)
+		}
+		k.Go(fmt.Sprintf("dc-filter/%s.%d.r%d", fc.spec.Name, fc.idx, epoch), func(p *sim.Proc) {
+			g.setup.Wait(p)
+			g.drive(p, fc, uows, epoch, from)
+		})
+	})
 }
 
 func (g *Group) step(ctx *Context, fc *filterCopy, uow int) error {
@@ -335,4 +555,27 @@ func (g *Group) ReaderOf(filter string, copy int, stream string) *StreamReader {
 // WriterOf exposes a copy's output stream writer for instrumentation.
 func (g *Group) WriterOf(filter string, copy int, stream string) *StreamWriter {
 	return g.byName[filter][copy].outputs[stream]
+}
+
+// RestartsOf reports how many restart incarnations a copy has run.
+func (g *Group) RestartsOf(filter string, copy int) int {
+	return g.byName[filter][copy].restarts
+}
+
+// RecoveryOf reports the most recent outage bracket of a copy: the
+// restart instant and the recovery instant (the new incarnation's
+// first delivery, or its completion when it finished vacuously; 0 if
+// still recovering). MTTR for the copy is recoveredAt - restartedAt
+// plus the crash-to-restart downtime the fault plan chose.
+func (g *Group) RecoveryOf(filter string, copy int) (restartedAt, recoveredAt sim.Time) {
+	fc := g.byName[filter][copy]
+	return fc.restartedAt, fc.recoveredAt
+}
+
+// CheckpointOf reports a copy's current checkpoint watermark: the
+// virtual time it was taken and the next unit of work a restart would
+// resume from.
+func (g *Group) CheckpointOf(filter string, copy int) (at sim.Time, next int) {
+	fc := g.byName[filter][copy]
+	return fc.ckpt.at, fc.ckpt.next
 }

@@ -117,6 +117,15 @@ type FilterSpec struct {
 	// InboxDepth bounds buffers queued at each copy per input stream
 	// before transport backpressure kicks in (default 2).
 	InboxDepth int
+	// CheckpointEvery arms crash-restart recovery for this filter's
+	// copies: a copy saves a virtual-time-stamped unit-of-work watermark
+	// whenever this much virtual time has passed since the last one, and
+	// a copy whose node restarts (fault.NodeRestart) resumes from its
+	// watermark instead of from zero — its producers rejoin it through
+	// the redial path, so every input stream must have RedialAttempts
+	// armed (Instantiate panics otherwise). 0 disables: a crash stays
+	// terminal for the copy, exactly as before.
+	CheckpointEvery sim.Time
 }
 
 // StreamSpec declares a logical stream between two filters.
@@ -180,6 +189,15 @@ type StreamSpec struct {
 	RedialAttempts int
 	// RedialSeed roots the redial backoff jitter (per producer copy).
 	RedialSeed int64
+	// ExactlyOnce arms the shared per-stream delivery ledger: every data
+	// buffer carries a writer-assigned sequence number (an 8-byte header
+	// extension) and the consumer side suppresses any sequence it has
+	// already delivered — failover re-dispatch plus restart rejoin can
+	// redeliver, but the reader counters stay exactly-once. Suppressed
+	// duplicates still acknowledge and return their credit, so producer
+	// bookkeeping drains normally. 0 disables; the wire framing is then
+	// byte-identical to the pre-ledger protocol.
+	ExactlyOnce bool
 }
 
 // GroupSpec declares a filter group.
@@ -199,6 +217,13 @@ type Context struct {
 	inputs   map[string]*StreamReader
 	outputs  map[string]*StreamWriter
 	userdata any
+
+	// fc and epoch are set on recovery-armed copies (CheckpointEvery >
+	// 0): Compute unwinds the incarnation with a crashUnwind sentinel
+	// when the node has crashed or a restart superseded this
+	// incarnation while its proc was parked inside a CPU occupancy.
+	fc    *filterCopy
+	epoch int
 }
 
 // Proc returns the copy's simulation process.
@@ -220,8 +245,29 @@ func (ctx *Context) UOW() int { return ctx.uow }
 func (ctx *Context) Now() sim.Time { return ctx.p.Now() }
 
 // Compute spends nominal CPU time on the hosting node, subject to the
-// node's heterogeneity model.
-func (ctx *Context) Compute(nominal sim.Time) { ctx.node.Compute(ctx.p, nominal) }
+// node's heterogeneity model. On recovery-armed copies it unwinds the
+// incarnation instead of halting forever when the node has crashed:
+// checked on entry (so a crashed copy never parks on a dead CPU) and
+// again on exit (a proc already inside an occupancy finishes it, then
+// discovers the crash — or that a restart already superseded it).
+func (ctx *Context) Compute(nominal sim.Time) {
+	ctx.checkRevoked()
+	ctx.node.Compute(ctx.p, nominal)
+	ctx.checkRevoked()
+}
+
+// checkRevoked unwinds a recovery-armed incarnation whose node crashed
+// or whose copy was restarted out from under it. The sentinel panic is
+// recovered by the group driver, which parks the copy's state for the
+// next incarnation. Filters without recovery arming are unaffected.
+func (ctx *Context) checkRevoked() {
+	if ctx.fc == nil {
+		return
+	}
+	if ctx.fc.epoch != ctx.epoch || ctx.node.Failed() {
+		panic(crashUnwind{name: ctx.name, copy: ctx.copyIdx})
+	}
+}
 
 // Input returns the named input stream reader.
 func (ctx *Context) Input(stream string) *StreamReader {

@@ -39,6 +39,12 @@ type streamConn struct {
 	raddr string
 	svc   int
 
+	// est is when the current connection was established, so a rejoin
+	// request can tell a stale pre-restart connection (the consumer's
+	// incarnation that held the other end is gone) from one the redial
+	// path already re-established after the restart.
+	est sim.Time
+
 	// dead marks the connection failed; the writer routes around it.
 	dead bool
 	// pending holds sent-but-unacknowledged buffers in send order, kept
@@ -101,6 +107,18 @@ type StreamWriter struct {
 	redialRounds   int
 	redials        uint64
 
+	// Exactly-once support: seqSrc is the per-stream delivery sequence
+	// counter shared by every producer copy; each data buffer is
+	// stamped once, at first send, so re-dispatched duplicates carry
+	// the same sequence and the consumer-side ledger can suppress them.
+	exactlyOnce bool
+	seqSrc      *uint64
+
+	// rejoinReqs queues restarted consumer copies waiting to be
+	// re-admitted; tryRejoin drains it from proc context.
+	rejoinReqs []rejoinReq
+	rejoins    uint64
+
 	written  uint64
 	shedSend uint64
 	degraded uint64
@@ -130,6 +148,23 @@ func (w *StreamWriter) LostToFailover() uint64 { return w.lost }
 // Redials reports how many connections the writer re-established.
 func (w *StreamWriter) Redials() uint64 { return w.redials }
 
+// Rejoins reports how many restarted consumer copies the writer
+// re-admitted (a subset of Redials).
+func (w *StreamWriter) Rejoins() uint64 { return w.rejoins }
+
+// hdrSize is the stream's fixed forward-path framing size: the base
+// header plus the deadline and exactly-once extensions when armed.
+func (w *StreamWriter) hdrSize() int {
+	n := headerSize
+	if w.deadlines {
+		n += 8
+	}
+	if w.exactlyOnce {
+		n += 8
+	}
+	return n
+}
+
 // WaitCreditsIdle blocks until every live target's credit window is
 // fully returned: the stream is quiescent, with no buffer in flight or
 // parked in a consumer inbox. Producers call it before closing a
@@ -143,6 +178,7 @@ func (w *StreamWriter) WaitCreditsIdle(p *sim.Proc) {
 		return
 	}
 	for {
+		w.tryRejoin(p)
 		settled := true
 		for _, t := range w.targets {
 			if !t.dead && t.credits < w.creditWindow {
@@ -169,6 +205,7 @@ func (w *StreamWriter) WaitCreditsIdle(p *sim.Proc) {
 // buffers with it, unaccounted. Returns the flush error, if any.
 func (w *StreamWriter) WaitQuiesce(p *sim.Proc) error {
 	for {
+		w.tryRejoin(p)
 		if err := w.flushBacklog(p); err != nil {
 			return err
 		}
@@ -243,6 +280,7 @@ func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 	switch w.policy {
 	case RoundRobin:
 		for {
+			w.tryRejoin(p)
 			for range w.targets {
 				t := w.targets[w.rr]
 				w.rr = (w.rr + 1) % len(w.targets)
@@ -256,6 +294,7 @@ func (w *StreamWriter) pick(p *sim.Proc) *streamConn {
 		}
 	case DemandDriven:
 		for {
+			w.tryRejoin(p)
 			var best *streamConn
 			alive := false
 			for _, t := range w.targets {
@@ -334,6 +373,7 @@ func (w *StreamWriter) tryRedial(p *sim.Proc) bool {
 		}
 		t.conn = c
 		t.dead = false
+		t.est = p.Now()
 		t.unacked = 0
 		t.credits = w.creditWindow
 		t.pending = nil
@@ -349,6 +389,111 @@ func (w *StreamWriter) tryRedial(p *sim.Proc) bool {
 	}
 	w.redialDisarmed = true
 	return false
+}
+
+// rejoinReq is one queued rejoin request: which consumer copy, and
+// when its node restarted (so the writer can tell stale pre-restart
+// connections from ones already re-established afterwards).
+type rejoinReq struct {
+	target int
+	at     sim.Time
+}
+
+// requestRejoin queues a restarted consumer copy for re-admission and
+// wakes any writer parked at the demand window. Called from the
+// restart hook (kernel-callback context), so it must not block; the
+// redial itself happens in tryRejoin, from writer proc context. It
+// reports whether the writer will attempt the rejoin (false once the
+// stream is closed — the restarted copy then has nothing to wait for).
+func (w *StreamWriter) requestRejoin(target int, at sim.Time) bool {
+	if w.closed {
+		return false
+	}
+	for _, req := range w.rejoinReqs {
+		if req.target == target {
+			return true
+		}
+	}
+	w.rejoinReqs = append(w.rejoinReqs, rejoinReq{target: target, at: at})
+	if w.ackCond != nil {
+		w.ackCond.Broadcast()
+	}
+	return true
+}
+
+// tryRejoin re-establishes the connection to each queued restarted
+// consumer copy through the core.Redial backoff, re-arms its timeout
+// and credit window, announces the writer's current unit of work with
+// a resync message (so the restarted reader fast-forwards past units
+// it can no longer complete) and restores the copy into the routing
+// set. A failed redial drops the request: the consumer side's rejoin
+// grace deadline completes the copy vacuously instead. Unlike
+// tryRedial, rejoin is not subject to the redial-round budget — it
+// runs once per restart event, driven by the fault plan, not by a
+// retry loop.
+func (w *StreamWriter) tryRejoin(p *sim.Proc) {
+	for len(w.rejoinReqs) > 0 {
+		req := w.rejoinReqs[0]
+		w.rejoinReqs = w.rejoinReqs[1:]
+		j := req.target
+		t := w.targets[j]
+		if !t.dead {
+			if t.est > req.at {
+				// The redial path already re-established this connection
+				// after the restart — it just never announced the writer's
+				// position. Send the resync on the live connection so the
+				// restarted reader can fast-forward.
+				hdr := make([]byte, w.hdrSize())
+				putHeader(hdr, wireResync, 0, w.uow, 0, 0)
+				if err := t.conn.Send(p, hdr); err != nil {
+					w.failTarget(p, t, err)
+				}
+				continue
+			}
+			// The rejoin request outran the writer's own crash detection:
+			// the consumer restarted, so a connection predating the
+			// restart is stale even though no send has failed on it yet —
+			// the incarnation holding its other end is gone. Retire it,
+			// reclaiming its outstanding work, and rejoin below.
+			w.failTarget(p, t, errors.New("datacutter: stale connection after consumer restart"))
+		}
+		pol := w.redialPol
+		if pol.Attempts <= 0 {
+			pol = core.DefaultRetryPolicy(int64(j + 1))
+		}
+		c, err := core.Redial(p, w.ep, t.raddr, t.svc, pol)
+		if err != nil {
+			continue
+		}
+		if w.opTimeout > 0 {
+			c.SetTimeout(w.opTimeout)
+		}
+		t.conn = c
+		t.dead = false
+		t.est = p.Now()
+		t.unacked = 0
+		t.credits = w.creditWindow
+		t.pending = nil
+		t.pendingSends = nil
+		hdr := make([]byte, w.hdrSize())
+		putHeader(hdr, wireResync, 0, w.uow, 0, 0)
+		if err := c.Send(p, hdr); err != nil {
+			w.failTarget(p, t, err)
+			continue
+		}
+		w.redials++
+		w.rejoins++
+		p.Kernel().Trace("datacutter", "rejoin", int64(j), w.name)
+		hpsmon.Count(p.Kernel(), "datacutter", "rejoins", 1)
+		hpsmon.Instant(p, "datacutter", "rejoin", w.name)
+		if w.needsReverse {
+			name := "dc-ack-rejoin/" + w.name
+			p.Kernel().Go(name, w.ackReaderLoop(t))
+		}
+		if w.ackCond != nil {
+			w.ackCond.Broadcast()
+		}
+	}
 }
 
 // shedAtSend applies the producer-side deadline check: an expired
@@ -512,14 +657,17 @@ func (w *StreamWriter) writeTo(p *sim.Proc, t *streamConn, buf *Buffer) error {
 	if buf.Degraded {
 		flags |= flagDegraded
 	}
-	hdrSize := headerSize
-	if w.deadlines {
-		hdrSize = extHeaderSize
-	}
-	hdr := make([]byte, hdrSize)
+	hdr := make([]byte, w.hdrSize())
 	putHeader(hdr, wireData, flags, w.uow, buf.Size, buf.Tag)
 	if w.deadlines {
 		putDeadline(hdr, buf.Deadline)
+	}
+	if w.exactlyOnce {
+		if buf.seq == 0 {
+			*w.seqSrc++
+			buf.seq = *w.seqSrc
+		}
+		putSeq(hdr, buf.seq)
 	}
 	p.Kernel().Trace("datacutter", "buffer-out", int64(buf.Size), w.name)
 	hpsmon.Count(p.Kernel(), "datacutter", "buffers.out", 1)
@@ -571,7 +719,17 @@ func (w *StreamWriter) failTarget(p *sim.Proc, t *streamConn, err error) {
 	if w.ackCond != nil {
 		w.ackCond.Broadcast()
 	}
-	t.conn.Close(p)
+	// Abortive close in spirit: the writer must never block draining
+	// data to a copy it has declared dead. A crash-restarted consumer
+	// revives the peer's transport stack but not the superseded reader
+	// incarnation, so the peer keeps acking without consuming — the
+	// receive window closes and a graceful close can wedge forever
+	// behind undeliverable bytes. Park the drain in a reaper proc
+	// instead; the writer moves straight on to failover or rejoin.
+	conn := t.conn
+	p.Kernel().Go("dc-conn-reap/"+w.name, func(p *sim.Proc) {
+		conn.Close(p)
+	})
 }
 
 // flushBacklog re-dispatches buffers reclaimed from failed copies.
@@ -614,14 +772,11 @@ func (w *StreamWriter) flushBacklog(p *sim.Proc) error {
 // they consume no credit, so a credit-starved stream still makes
 // progress through its unit-of-work boundaries.
 func (w *StreamWriter) EndOfWork(p *sim.Proc) error {
+	w.tryRejoin(p)
 	if err := w.flushBacklog(p); err != nil {
 		return err
 	}
-	hdrSize := headerSize
-	if w.deadlines {
-		hdrSize = extHeaderSize
-	}
-	hdr := make([]byte, hdrSize)
+	hdr := make([]byte, w.hdrSize())
 	putHeader(hdr, wireEOW, 0, w.uow, 0, 0)
 	live := 0
 	for _, t := range w.targets {
@@ -659,10 +814,21 @@ func (w *StreamWriter) Close(p *sim.Proc) {
 // instead of panicking: under fault injection a broken or corrupted
 // connection is an operating condition, not a protocol bug.
 func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
+	// Pin the loop to the connection it was spawned for: a restart
+	// rejoin (or redial) replaces t.conn while this loop is parked in
+	// RecvFull on the old one, and resurrects the target — so neither
+	// w.closed nor t.dead identifies the loop as stale. Without the
+	// pin, the old loop's eventual timeout would fail the fresh
+	// connection over and wedge the writer in a redial livelock.
+	c := t.conn
 	return func(p *sim.Proc) {
 		hdr := make([]byte, headerSize)
 		for {
-			if _, err := t.conn.RecvFull(p, hdr); err != nil {
+			_, err := c.RecvFull(p, hdr)
+			if t.conn != c {
+				return // the target moved on to a new connection
+			}
+			if err != nil {
 				// The writer's own shutdown (or a target already failed
 				// over) retires the loop quietly — checked first, or the
 				// idle-timeout re-arm below would tick forever on a
@@ -722,9 +888,10 @@ func (w *StreamWriter) ackReaderLoop(t *streamConn) func(p *sim.Proc) {
 type inboxItem struct {
 	buf    *Buffer
 	eow    bool
-	uow    int  // for eow markers: the unit of work they terminate
+	uow    int  // for eow/resync markers: the unit of work they carry
 	lost   bool // the producer connection behind this slot ended
 	rejoin bool // a redialed producer connection came back
+	resync bool // a rejoining producer announced its current uow
 }
 
 // StreamReader is a consumer copy's handle on a logical stream,
@@ -749,12 +916,46 @@ type StreamReader struct {
 	onDeliver    func(*Buffer)
 	redial       bool
 
+	// Exactly-once support: ledger is the per-stream delivery ledger
+	// shared by every consumer copy (failover re-dispatch crosses
+	// copies); duplicates counts suppressed redeliveries.
+	exactlyOnce bool
+	ledger      *dedupLedger
+	duplicates  uint64
+
+	// Crash-restart recovery state (armed by FilterSpec.CheckpointEvery
+	// on the consuming filter; see resetForRejoin). depth is kept so a
+	// restart can rebuild the inbox at the spec'd capacity.
+	k           *sim.Kernel
+	depth       int
+	awaitRejoin int       // rejoin markers the new incarnation still expects
+	resyncTo    int       // fast-forward target uow announced by resync messages
+	graceTimer  sim.Timer // rejoin grace deadline; stopped when rejoins complete
+	graceArmed  bool
+	recoverNote func() // first-delivery callback of the current incarnation
+
 	received uint64
 	shed     [numShedCauses]uint64
 }
 
 // Received reports the number of data buffers delivered to the filter.
 func (r *StreamReader) Received() uint64 { return r.received }
+
+// Duplicates reports how many redeliveries the exactly-once ledger
+// suppressed.
+func (r *StreamReader) Duplicates() uint64 { return r.duplicates }
+
+// hdrSize mirrors StreamWriter.hdrSize for the consumer side.
+func (r *StreamReader) hdrSize() int {
+	n := headerSize
+	if r.deadlines {
+		n += 8
+	}
+	if r.exactlyOnce {
+		n += 8
+	}
+	return n
+}
 
 // ShedCount reports how many buffers the consumer side shed for one
 // cause (ShedOldest, ShedNewest, ShedStale).
@@ -788,6 +989,10 @@ func (r *StreamReader) read(p *sim.Proc) (*Buffer, bool) {
 		if !ok {
 			return nil, false
 		}
+		if r.ledger != nil && b.seq != 0 && r.ledger.delivered(b.seq) {
+			r.suppressDup(p, b)
+			continue
+		}
 		if r.staleDrop(b, p.Now()) {
 			r.shedBuf(p, b, ShedStale)
 			continue
@@ -795,6 +1000,20 @@ func (r *StreamReader) read(p *sim.Proc) (*Buffer, bool) {
 		r.deliver(p, b)
 		return b, true
 	}
+}
+
+// suppressDup retires a redelivered buffer the exactly-once ledger has
+// already seen: it acknowledges and returns the credit exactly as a
+// delivery would — the re-dispatching producer's bookkeeping must
+// drain — but the filter never sees the buffer and no delivery counter
+// moves.
+func (r *StreamReader) suppressDup(p *sim.Proc, b *Buffer) {
+	r.duplicates++
+	p.Kernel().Trace("datacutter", "dup-suppressed", int64(b.Size), r.name)
+	hpsmon.Count(p.Kernel(), "datacutter", "dup.suppressed", 1)
+	hpsmon.Instant(p, "datacutter", "dup-suppressed", r.name)
+	r.returnCredit(p, b)
+	r.ack(p, b)
 }
 
 // staleDrop reports whether a buffer should be shed because it reached
@@ -811,6 +1030,16 @@ func (r *StreamReader) staleDrop(b *Buffer, now sim.Time) bool {
 // next produces the next data buffer of the current unit of work,
 // without delivering it.
 func (r *StreamReader) next(p *sim.Proc) (*Buffer, bool) {
+	if r.uow < r.resyncTo {
+		// A rejoining producer announced it is already past this unit
+		// of work: its data and end-of-work markers can no longer
+		// arrive. Complete the unit vacuously and advance — this is
+		// the restarted copy replaying from its checkpoint up to the
+		// producers' live position.
+		delete(r.eowSeen, r.uow)
+		r.uow++
+		return nil, false
+	}
 	// Serve buffers that arrived early for what is now the current UOW.
 	for i, b := range r.stash {
 		if b.UOW == r.uow {
@@ -819,7 +1048,7 @@ func (r *StreamReader) next(p *sim.Proc) (*Buffer, bool) {
 		}
 	}
 	for {
-		if r.nconns <= 0 {
+		if r.nconns <= 0 && r.awaitRejoin <= 0 {
 			// Every producer connection is gone: data for this unit of
 			// work cannot arrive, so don't park on an inbox nobody
 			// feeds. Only a redial rejoin (already queued) revives the
@@ -829,20 +1058,31 @@ func (r *StreamReader) next(p *sim.Proc) (*Buffer, bool) {
 				return nil, false
 			}
 			if item.rejoin {
-				r.nconns++
-				p.Kernel().Trace("datacutter", "producer-rejoin", int64(r.nconns), r.name)
+				r.noteRejoin(p)
 			}
 			continue
 		}
+		// With awaitRejoin > 0 a restarted incarnation parks here even
+		// before any connection exists: the rejoin markers are on their
+		// way, and the grace deadline closes the inbox if they never
+		// arrive.
 		item, ok := r.inbox.Get(p)
 		if !ok {
 			return nil, false // stream closed
 		}
 		if item.rejoin {
-			// A redialed producer connection is back: expect its
-			// end-of-work markers again.
-			r.nconns++
-			p.Kernel().Trace("datacutter", "producer-rejoin", int64(r.nconns), r.name)
+			r.noteRejoin(p)
+			continue
+		}
+		if item.resync {
+			if item.uow > r.resyncTo {
+				r.resyncTo = item.uow
+			}
+			if r.uow < r.resyncTo {
+				delete(r.eowSeen, r.uow)
+				r.uow++
+				return nil, false
+			}
 			continue
 		}
 		if item.lost {
@@ -885,9 +1125,32 @@ func (r *StreamReader) next(p *sim.Proc) (*Buffer, bool) {
 	}
 }
 
+// noteRejoin admits one rejoining producer connection: expect its
+// end-of-work markers again, and when a restarted incarnation has now
+// heard from every producer it was waiting for, disarm the rejoin
+// grace deadline.
+func (r *StreamReader) noteRejoin(p *sim.Proc) {
+	r.nconns++
+	p.Kernel().Trace("datacutter", "producer-rejoin", int64(r.nconns), r.name)
+	if r.awaitRejoin > 0 {
+		r.awaitRejoin--
+		if r.awaitRejoin == 0 && r.graceArmed {
+			r.graceTimer.Stop()
+			r.graceArmed = false
+		}
+	}
+}
+
 // deliver counts the buffer, returns its flow-control credit and
 // acknowledges it when the stream's policy calls for acks.
 func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
+	if r.ledger != nil && b.seq != 0 {
+		r.ledger.record(b.seq)
+	}
+	if r.recoverNote != nil {
+		r.recoverNote()
+		r.recoverNote = nil
+	}
 	if r.onDeliver != nil {
 		r.onDeliver(b)
 	}
@@ -897,6 +1160,12 @@ func (r *StreamReader) deliver(p *sim.Proc, b *Buffer) {
 	hpsmon.Count(p.Kernel(), "datacutter", "bytes.in", int64(b.Size))
 	hpsmon.FlowRecv(p, r.name, b.UOW, b.Tag)
 	r.returnCredit(p, b)
+	r.ack(p, b)
+}
+
+// ack acknowledges a buffer to its producer when the stream's policy
+// calls for acks.
+func (r *StreamReader) ack(p *sim.Proc, b *Buffer) {
 	if (r.policy == DemandDriven || r.acks) && b.src != nil && !b.src.dead {
 		hdr := make([]byte, headerSize)
 		putHeader(hdr, wireAck, 0, b.UOW, 0, 0)
@@ -947,17 +1216,20 @@ func (r *StreamReader) shedBuf(p *sim.Proc, b *Buffer, cause ShedCause) {
 	r.returnCredit(p, b)
 }
 
-// admit places an arriving data buffer into the inbox under the
+// admit places an arriving data buffer into the given inbox under the
 // stream's shed policy. Control markers always use a blocking put:
-// they are never shed.
-func (r *StreamReader) admit(p *sim.Proc, item inboxItem) {
+// they are never shed. The inbox is passed explicitly because each
+// incarnation of a restarted copy owns a fresh one — a stale
+// connection keeps feeding the inbox it was spawned against, whose
+// closure swallows the put.
+func (r *StreamReader) admit(p *sim.Proc, inbox *sim.Queue[inboxItem], item inboxItem) {
 	switch r.shedPolicy {
 	case DropOldest:
-		for !r.inbox.TryPut(item) {
-			old, ok := r.inbox.Evict(func(it inboxItem) bool { return it.buf != nil })
+		for !inbox.TryPut(item) {
+			old, ok := inbox.Evict(func(it inboxItem) bool { return it.buf != nil })
 			if !ok {
 				// Only control markers are buffered; wait for space.
-				r.inbox.Put(p, item)
+				inbox.Put(p, item)
 				return
 			}
 			r.shedBuf(p, old.buf, ShedOldest)
@@ -969,11 +1241,11 @@ func (r *StreamReader) admit(p *sim.Proc, item inboxItem) {
 		if item.buf.Deadline > 0 {
 			wait = item.buf.Deadline - p.Now()
 		}
-		if !r.inbox.PutTimeout(p, item, wait) {
+		if !inbox.PutTimeout(p, item, wait) {
 			r.shedBuf(p, item.buf, ShedNewest)
 		}
 	default:
-		r.inbox.Put(p, item)
+		inbox.Put(p, item)
 	}
 }
 
@@ -993,8 +1265,13 @@ func (w *StreamWriter) AckLatencies(target int) []sim.Time {
 // the shared inbox (lost markers carry the accounting instead).
 func (r *StreamReader) connReaderLoop(sc *streamConn, closed func(), rejoin bool) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
+		// Pin this connection to the incarnation it was spawned
+		// against: a restart replaces r.inbox, and a stale connection's
+		// markers must not leak into the new incarnation's accounting.
+		// Puts on the old inbox are swallowed by its closure.
+		inbox := r.inbox
 		if rejoin {
-			r.inbox.Put(p, inboxItem{rejoin: true})
+			inbox.Put(p, inboxItem{rejoin: true})
 		}
 		lost := func(p *sim.Proc) {
 			sc.dead = true
@@ -1005,16 +1282,12 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func(), rejoin bool
 			// failover, so the in-flight buffers are re-dispatched
 			// instead of silently vanishing.
 			sc.conn.Close(p)
-			r.inbox.Put(p, inboxItem{lost: true})
+			inbox.Put(p, inboxItem{lost: true})
 			if !r.redial {
 				closed()
 			}
 		}
-		hdrSize := headerSize
-		if r.deadlines {
-			hdrSize = extHeaderSize
-		}
-		hdr := make([]byte, hdrSize)
+		hdr := make([]byte, r.hdrSize())
 		var scratch [32 * 1024]byte
 		for {
 			if _, err := sc.conn.RecvFull(p, hdr); err != nil {
@@ -1027,7 +1300,7 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func(), rejoin bool
 						// restores the count), or a sink waiting on a
 						// failed-over connection would park forever.
 						sc.dead = true
-						r.inbox.Put(p, inboxItem{lost: true})
+						inbox.Put(p, inboxItem{lost: true})
 					} else {
 						closed()
 					}
@@ -1039,12 +1312,17 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func(), rejoin bool
 			kind, flags, uow, size, tag := parseHeader(hdr)
 			switch kind {
 			case wireEOW:
-				r.inbox.Put(p, inboxItem{eow: true, uow: uow})
+				inbox.Put(p, inboxItem{eow: true, uow: uow})
+			case wireResync:
+				inbox.Put(p, inboxItem{resync: true, uow: uow})
 			case wireData:
 				buf := &Buffer{UOW: uow, Size: size, Tag: tag, src: sc}
 				if r.deadlines {
 					buf.Deadline = parseDeadline(hdr)
 					buf.Degraded = flags&flagDegraded != 0
+				}
+				if r.exactlyOnce {
+					buf.seq = parseSeq(hdr)
 				}
 				if flags&flagReal != 0 {
 					buf.Data = make([]byte, size)
@@ -1067,7 +1345,7 @@ func (r *StreamReader) connReaderLoop(sc *streamConn, closed func(), rejoin bool
 						}
 					}
 				}
-				r.admit(p, inboxItem{buf: buf})
+				r.admit(p, inbox, inboxItem{buf: buf})
 			default:
 				p.Kernel().Trace("datacutter", "garbled-header", 0, r.name)
 				lost(p)

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpsockets/internal/core"
+	"hpsockets/internal/datacutter"
+	"hpsockets/internal/fault"
+	"hpsockets/internal/sim"
+	"hpsockets/internal/stats"
+)
+
+// Experiment family E17: crash-restart recovery of a checkpointed,
+// exactly-once consumer. Where E15b measures failover (the work moves
+// to a survivor and the crashed copy stays dead), E17 crashes the only
+// consumer and brings its node back: the producer must ride out the
+// outage, redial the restarted copy, resync it to the checkpoint
+// watermark, and the delivery ledger must suppress every redelivered
+// buffer. The figures chart what the paper's transports pay for that
+// round trip — time to recover, total completion stretch, units of
+// work replayed from the checkpoint, and duplicates suppressed.
+
+// e17CrashFractions place the crash at fractions of the fault-free
+// runtime (the goodput-dip axis of E17a).
+var e17CrashFractions = []float64{0.25, 0.5, 0.75}
+
+// e17CheckpointIntervals is the checkpoint-interval axis of E17b:
+// coarser checkpoints lose more progress at the crash and replay more
+// units of work after the rejoin.
+var e17CheckpointIntervals = []sim.Time{
+	250 * sim.Microsecond,
+	1 * sim.Millisecond,
+	2 * sim.Millisecond,
+	4 * sim.Millisecond,
+}
+
+const (
+	// e17UOWs slices the load into units of work short enough that the
+	// E17b checkpoint-interval axis bites: with coarse intervals the
+	// watermark lags whole completed units and the restarted copy
+	// replays them.
+	e17UOWs = 64
+	// e17RestartDelay is the outage width: the node restarts this long
+	// after its crash.
+	e17RestartDelay = 1 * sim.Millisecond
+	// e17Checkpoint is the fixed checkpoint interval of the E17a sweep.
+	e17Checkpoint = 500 * sim.Microsecond
+)
+
+// e17SinkFilter logs every unit of work it is driven through (replays
+// included) and timestamps its finish.
+type e17SinkFilter struct {
+	uowLog *[]int
+	finish *sim.Time
+}
+
+func (f *e17SinkFilter) Init(*datacutter.Context) error { return nil }
+func (f *e17SinkFilter) Process(ctx *datacutter.Context) error {
+	*f.uowLog = append(*f.uowLog, ctx.UOW())
+	in := ctx.Input("s")
+	for {
+		if _, ok := in.Read(ctx.Proc()); !ok {
+			*f.finish = ctx.Now()
+			return nil
+		}
+	}
+}
+func (f *e17SinkFilter) Finalize(*datacutter.Context) error { return nil }
+
+// recoveryResult is one E17 run.
+type recoveryResult struct {
+	// Completion is when the (possibly restarted) consumer finished the
+	// last unit of work.
+	Completion sim.Time
+	// MTTR is restart-to-first-redelivery: how long the rejoin protocol
+	// took to put recovered work back in front of the filter.
+	MTTR sim.Time
+	// Replayed counts units of work the restarted incarnation re-drove
+	// from the checkpoint watermark.
+	Replayed int
+	// Duplicates counts redeliveries the exactly-once ledger suppressed.
+	Duplicates uint64
+}
+
+// runCrashRecovery runs one producer feeding a single recovery-armed
+// consumer copy, crashing the consumer's node at crashAt and
+// restarting it e17RestartDelay later (crashAt zero: fault-free
+// baseline).
+func runCrashRecovery(o Options, kind core.Kind, ckptEvery, crashAt sim.Time) recoveryResult {
+	plan := fault.Plan{Seed: o.Seed}
+	if crashAt > 0 {
+		plan.Crashes = []fault.NodeCrash{{Node: "n1", At: crashAt}}
+		plan.Restarts = []fault.NodeRestart{{Node: "n1", At: crashAt + e17RestartDelay}}
+	}
+	r := newFaultRig(2, kind, plan)
+	const block = 16 << 10
+	perUOW := o.LBBytes / (e17UOWs * block)
+	var uowLog []int
+	var finish sim.Time
+	g := datacutter.NewRuntime(r.cl, r.fab).Instantiate(datacutter.GroupSpec{
+		Filters: []datacutter.FilterSpec{
+			{Name: "src", Placement: []string{"n0"},
+				New: func(int) datacutter.Filter { return &e15SourceFilter{perUOW: perUOW, block: block} }},
+			{Name: "dst", Placement: []string{"n1"}, CheckpointEvery: ckptEvery,
+				New: func(int) datacutter.Filter { return &e17SinkFilter{uowLog: &uowLog, finish: &finish} }},
+		},
+		Streams: []datacutter.StreamSpec{{
+			Name: "s", From: "src", To: "dst",
+			Policy:         datacutter.DemandDriven,
+			MaxUnacked:     4,
+			OpTimeout:      2 * sim.Millisecond,
+			RedialAttempts: 8,
+			RedialSeed:     o.Seed + 17,
+			ExactlyOnce:    true,
+		}},
+	})
+	g.Start(e17UOWs)
+	r.k.RunAll()
+	if err := g.Err(); err != nil {
+		panic("experiments: e17 group failed: " + err.Error())
+	}
+	if finish == 0 {
+		panic(fmt.Sprintf("experiments: e17 consumer never finished (%s ckpt %s crash %s)",
+			kind, ckptEvery, crashAt))
+	}
+	res := recoveryResult{
+		Completion: finish,
+		Replayed:   len(uowLog) - e17UOWs,
+		Duplicates: g.ReaderOf("dst", 0, "s").Duplicates(),
+	}
+	if restartedAt, recoveredAt := g.RecoveryOf("dst", 0); recoveredAt > restartedAt {
+		res.MTTR = recoveredAt - restartedAt
+	}
+	return res
+}
+
+// FigRecoveryTiming reproduces E17a: completion time, time to recover
+// and suppressed duplicates of a crash-restarted consumer versus the
+// crash point as a fraction of the fault-free runtime, per transport.
+func FigRecoveryTiming(o Options) *stats.Table {
+	xs := make([]float64, len(e17CrashFractions))
+	for i, f := range e17CrashFractions {
+		xs[i] = f * 100
+	}
+	t := &stats.Table{
+		Title:  "E17a: Crash-restart recovery vs crash point",
+		XLabel: "crash_at_pct_of_baseline",
+		YLabel: "completion (us) / mttr (us) / duplicates",
+		X:      xs,
+	}
+	// Two phases, like E15b: crash points depend on each transport's
+	// fault-free baseline, so the baselines run first.
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	bases := make([]recoveryResult, len(kinds))
+	o.parMap(len(kinds), func(i int) {
+		bases[i] = runCrashRecovery(o, kinds[i], e17Checkpoint, 0)
+	})
+	nf := len(e17CrashFractions)
+	cells := make([]recoveryResult, len(kinds)*nf)
+	o.parMap(len(cells), func(i int) {
+		ki, fi := i/nf, i%nf
+		crashAt := sim.Time(float64(bases[ki].Completion) * e17CrashFractions[fi])
+		cells[i] = runCrashRecovery(o, kinds[ki], e17Checkpoint, crashAt)
+	})
+	for ki, kind := range kinds {
+		us := make([]float64, nf)
+		mttr := make([]float64, nf)
+		dups := make([]float64, nf)
+		for fi := 0; fi < nf; fi++ {
+			res := cells[ki*nf+fi]
+			us[fi] = res.Completion.Micros()
+			mttr[fi] = res.MTTR.Micros()
+			dups[fi] = float64(res.Duplicates)
+		}
+		t.AddSeries(fmt.Sprintf("%s_us", kind), us)
+		t.AddSeries(fmt.Sprintf("%s_mttr_us", kind), mttr)
+		t.AddSeries(fmt.Sprintf("%s_dups", kind), dups)
+	}
+	return t
+}
+
+// FigRecoveryCheckpoint reproduces E17b: completion time and replayed
+// units of work versus the checkpoint interval, with the crash fixed
+// at half the fault-free runtime, per transport. Coarser checkpoints
+// replay more; the completion stretch charts what that redone work
+// costs end to end.
+func FigRecoveryCheckpoint(o Options) *stats.Table {
+	xs := make([]float64, len(e17CheckpointIntervals))
+	for i, ck := range e17CheckpointIntervals {
+		xs[i] = ck.Micros()
+	}
+	t := &stats.Table{
+		Title:  "E17b: Crash-restart recovery vs checkpoint interval",
+		XLabel: "checkpoint_interval_us",
+		YLabel: "completion (us) / replayed uows",
+		X:      xs,
+	}
+	kinds := []core.Kind{core.KindSocketVIA, core.KindTCP}
+	bases := make([]recoveryResult, len(kinds))
+	o.parMap(len(kinds), func(i int) {
+		bases[i] = runCrashRecovery(o, kinds[i], e17Checkpoint, 0)
+	})
+	nc := len(e17CheckpointIntervals)
+	cells := make([]recoveryResult, len(kinds)*nc)
+	o.parMap(len(cells), func(i int) {
+		ki, ci := i/nc, i%nc
+		crashAt := sim.Time(float64(bases[ki].Completion) * 0.5)
+		cells[i] = runCrashRecovery(o, kinds[ki], e17CheckpointIntervals[ci], crashAt)
+	})
+	for ki, kind := range kinds {
+		us := make([]float64, nc)
+		replayed := make([]float64, nc)
+		for ci := 0; ci < nc; ci++ {
+			res := cells[ki*nc+ci]
+			us[ci] = res.Completion.Micros()
+			replayed[ci] = float64(res.Replayed)
+		}
+		t.AddSeries(fmt.Sprintf("%s_us", kind), us)
+		t.AddSeries(fmt.Sprintf("%s_replayed", kind), replayed)
+	}
+	return t
+}

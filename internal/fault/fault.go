@@ -50,8 +50,20 @@ type Partition struct {
 
 // NodeCrash fail-stops a node at virtual time At: every frame to or
 // from it is dropped from then on, and its next computation parks
-// forever (see cluster.Node.Fail).
+// until the node restarts — forever, absent a matching NodeRestart
+// (see cluster.Node.Fail).
 type NodeCrash struct {
+	Node string
+	At   sim.Time
+}
+
+// NodeRestart revives a crashed node at virtual time At: the node
+// leaves the crashed set (its frames flow again and the drop.crash
+// counter stops charging it), halted procs resume, and the node's
+// OnRestart hooks run — the recovery half of a crash→restart window.
+// Install panics unless the plan also crashes the same node strictly
+// earlier: a restart without a preceding crash is a plan bug.
+type NodeRestart struct {
 	Node string
 	At   sim.Time
 }
@@ -132,6 +144,7 @@ type Plan struct {
 	Conditions []LinkCondition
 	Partitions []Partition
 	Crashes    []NodeCrash
+	Restarts   []NodeRestart
 	Slowdowns  []NodeSlowdown
 	Pressure   []DescPressure
 }
@@ -140,6 +153,7 @@ type Plan struct {
 func (pl Plan) Zero() bool {
 	return len(pl.Links) == 0 && len(pl.Conditions) == 0 &&
 		len(pl.Partitions) == 0 && len(pl.Crashes) == 0 &&
+		len(pl.Restarts) == 0 &&
 		len(pl.Slowdowns) == 0 && len(pl.Pressure) == 0
 }
 
@@ -167,6 +181,12 @@ type Injector struct {
 	drops    uint64
 	rejects  uint64
 	corrupts uint64
+	// crashed and restarted count applied node-state transitions, so a
+	// harness can cross-check that every scheduled crash and restart
+	// actually fired (and that the crashed-node set is back in balance
+	// after a crash→restart window).
+	crashed   uint64
+	restarted uint64
 }
 
 type linkState struct {
@@ -264,7 +284,29 @@ func Install(cl *cluster.Cluster, plan Plan) *Injector {
 		k.At(cr.At, func() {
 			k.Trace("fault", "node-crash", 0, node.Name())
 			hpsmon.InstantK(k, "fault", "node-crash", node.Name())
+			inj.crashed++
 			node.Fail()
+		})
+	}
+	for _, rs := range plan.Restarts {
+		node := cl.Node(rs.Node)
+		if node == nil {
+			panic(fmt.Sprintf("fault: restart names unknown node %q", rs.Node))
+		}
+		covered := false
+		for _, cr := range plan.Crashes {
+			if cr.Node == rs.Node && cr.At < rs.At {
+				covered = true
+			}
+		}
+		if !covered {
+			panic(fmt.Sprintf("fault: restart of %q at %v has no strictly earlier crash", rs.Node, rs.At))
+		}
+		k.At(rs.At, func() {
+			k.Trace("fault", "node-restart", 0, node.Name())
+			hpsmon.InstantK(k, "fault", "node-restart", node.Name())
+			inj.restarted++
+			node.Restart()
 		})
 	}
 	for _, sl := range plan.Slowdowns {
@@ -296,6 +338,24 @@ func (in *Injector) Rejects() uint64 { return in.rejects }
 
 // Corrupts reports how many frames the injector damaged in flight.
 func (in *Injector) Corrupts() uint64 { return in.corrupts }
+
+// CrashesApplied reports how many scheduled node crashes have fired.
+func (in *Injector) CrashesApplied() uint64 { return in.crashed }
+
+// RestartsApplied reports how many scheduled node restarts have fired.
+func (in *Injector) RestartsApplied() uint64 { return in.restarted }
+
+// DownNow reports how many cluster nodes are currently in the crashed
+// set — zero again once every crash has been matched by a restart.
+func (in *Injector) DownNow() int {
+	n := 0
+	for _, node := range in.cl.Nodes() {
+		if node.Failed() {
+			n++
+		}
+	}
+	return n
+}
 
 // Judge implements netsim.FaultModel by discarding the conditioning
 // half of the verdict.

@@ -166,6 +166,129 @@ func computeRun(h *harness) sim.Time {
 	return h.k.Now()
 }
 
+// TestRestartAccountingSymmetry proves the injector's crash-restart
+// accounting is symmetric: frames to the crashed node are dropped (and
+// counted) only while it is down, the crashed-node set empties at the
+// restart, traffic flows cleanly afterwards, and the network-wide
+// frame conservation law Sent == Received + Dropped holds across the
+// whole crash -> restart window.
+func TestRestartAccountingSymmetry(t *testing.T) {
+	prof := core.RecoveryProfile()
+	k := sim.NewKernel()
+	net := netsim.New(k, prof.Wire)
+	cl := cluster.New(k, net)
+	cl.AddNode("a", cluster.DefaultConfig())
+	cl.AddNode("b", cluster.DefaultConfig())
+	inj := Install(cl, Plan{
+		Seed:     13,
+		Crashes:  []NodeCrash{{Node: "b", At: 2 * sim.Millisecond}},
+		Restarts: []NodeRestart{{Node: "b", At: 6 * sim.Millisecond}},
+	})
+	f := core.NewFabric(cl, core.KindTCP, prof)
+
+	// Phase 1: a transfer that straddles the crash. The sender times out
+	// against the silent node and gives up; every frame it (and the TCP
+	// machinery) pushed into the void is a counted drop.
+	l1 := f.Endpoint("b").Listen(1)
+	k.Go("server1", func(p *sim.Proc) {
+		c, err := l1.Accept(p)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Recv(p, buf); err != nil {
+				return
+			}
+		}
+	})
+	var phase1Err error
+	k.Go("client1", func(p *sim.Proc) {
+		c, err := f.Endpoint("a").Dial(p, "b", 1)
+		if err != nil {
+			phase1Err = err
+			return
+		}
+		c.SetTimeout(1 * sim.Millisecond)
+		phase1Err = c.SendSize(p, 8_000_000)
+		c.Close(p)
+	})
+
+	// Probe the injector just before the restart fires, then run a
+	// clean transfer afterwards.
+	var downDuringOutage int
+	var dropsDuringOutage uint64
+	k.At(5900*sim.Microsecond, func() {
+		downDuringOutage = inj.DownNow()
+		dropsDuringOutage = inj.Drops()
+	})
+	l2 := f.Endpoint("b").Listen(2)
+	var got2 int
+	k.Go("server2", func(p *sim.Proc) {
+		c, err := l2.Accept(p)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := c.Recv(p, buf)
+			got2 += n
+			if err != nil {
+				return
+			}
+		}
+	})
+	var phase2Err error
+	k.Go("client2", func(p *sim.Proc) {
+		p.Sleep(6100 * sim.Microsecond) // dial only after the restart
+		c, err := f.Endpoint("a").Dial(p, "b", 2)
+		if err != nil {
+			phase2Err = err
+			return
+		}
+		c.SetTimeout(5 * sim.Millisecond)
+		phase2Err = c.SendSize(p, 200_000)
+		c.Close(p)
+	})
+	k.RunAll()
+
+	if !errors.Is(phase1Err, core.ErrTimeout) {
+		t.Fatalf("phase-1 send across crash = %v, want ErrTimeout", phase1Err)
+	}
+	if downDuringOutage != 1 {
+		t.Fatalf("DownNow during outage = %d, want 1", downDuringOutage)
+	}
+	if dropsDuringOutage == 0 {
+		t.Fatal("no frames dropped during the outage")
+	}
+	if inj.CrashesApplied() != 1 || inj.RestartsApplied() != 1 {
+		t.Fatalf("applied crash/restart = %d/%d, want 1/1",
+			inj.CrashesApplied(), inj.RestartsApplied())
+	}
+	if inj.DownNow() != 0 {
+		t.Fatalf("DownNow after restart = %d, want 0", inj.DownNow())
+	}
+	if phase2Err != nil || got2 != 200_000 {
+		t.Fatalf("post-restart transfer: got %d err %v, want clean 200000", got2, phase2Err)
+	}
+	if inj.Drops() != dropsDuringOutage {
+		t.Fatalf("drop count moved after the restart: %d during outage, %d at end (drop.crash leak)",
+			dropsDuringOutage, inj.Drops())
+	}
+	// Network-wide frame conservation across the whole window.
+	pa, pb := net.LookupPort("a"), net.LookupPort("b")
+	sent := pa.Sent() + pb.Sent()
+	recv := pa.Received() + pb.Received()
+	drop := pa.Dropped() + pb.Dropped()
+	if sent != recv+drop {
+		t.Fatalf("frame conservation violated: sent %d != received %d + dropped %d",
+			sent, recv, drop)
+	}
+	if drop == 0 {
+		t.Fatal("port accounting recorded no drops despite the outage")
+	}
+}
+
 func TestDescPressureBreaksSocketVIA(t *testing.T) {
 	plan := Plan{
 		Seed:     9,

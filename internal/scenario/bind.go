@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -96,22 +97,25 @@ func (b *binder) bindWorkload(f *File, root *node) {
 	}
 	b.allowKeys(w, "transport", "uows", "buffers_per_uow", "block_bytes",
 		"inbox_depth", "policy", "shed", "credit_window", "deadline_budget",
-		"op_timeout", "redial_attempts", "gap", "spike_every", "consumer_cost")
+		"op_timeout", "redial_attempts", "gap", "spike_every", "consumer_cost",
+		"checkpoint_every", "exactly_once")
 	f.Workload = Workload{
-		Transport:      b.enumKey(w, "transport", "tcp", "tcp", "socketvia"),
-		UOWs:           b.boundedInt(w, "uows", 1, 1, 64),
-		BuffersPerUOW:  b.boundedInt(w, "buffers_per_uow", 8, 1, 4096),
-		BlockBytes:     b.boundedInt(w, "block_bytes", 4096, 1, 1<<20),
-		InboxDepth:     b.boundedInt(w, "inbox_depth", 2, 1, 1024),
-		Policy:         b.enumKey(w, "policy", "rr", "rr", "dd"),
-		Shed:           b.enumKey(w, "shed", "block", "block", "drop-oldest", "drop-newest", "degrade"),
-		CreditWindow:   b.boundedInt(w, "credit_window", 0, 0, 1024),
-		DeadlineBudget: b.durKey(w, "deadline_budget", 0),
-		OpTimeout:      b.durKey(w, "op_timeout", 0),
-		RedialAttempts: b.boundedInt(w, "redial_attempts", 0, 0, 64),
-		Gap:            b.durKey(w, "gap", 0),
-		SpikeEvery:     b.boundedInt(w, "spike_every", 0, 0, 4096),
-		ConsumerCost:   b.durKey(w, "consumer_cost", 0),
+		Transport:       b.enumKey(w, "transport", "tcp", "tcp", "socketvia"),
+		UOWs:            b.boundedInt(w, "uows", 1, 1, 64),
+		BuffersPerUOW:   b.boundedInt(w, "buffers_per_uow", 8, 1, 4096),
+		BlockBytes:      b.boundedInt(w, "block_bytes", 4096, 1, 1<<20),
+		InboxDepth:      b.boundedInt(w, "inbox_depth", 2, 1, 1024),
+		Policy:          b.enumKey(w, "policy", "rr", "rr", "dd"),
+		Shed:            b.enumKey(w, "shed", "block", "block", "drop-oldest", "drop-newest", "degrade"),
+		CreditWindow:    b.boundedInt(w, "credit_window", 0, 0, 1024),
+		DeadlineBudget:  b.durKey(w, "deadline_budget", 0),
+		OpTimeout:       b.durKey(w, "op_timeout", 0),
+		RedialAttempts:  b.boundedInt(w, "redial_attempts", 0, 0, 64),
+		Gap:             b.durKey(w, "gap", 0),
+		SpikeEvery:      b.boundedInt(w, "spike_every", 0, 0, 4096),
+		ConsumerCost:    b.durKey(w, "consumer_cost", 0),
+		CheckpointEvery: b.durKey(w, "checkpoint_every", 0),
+		ExactlyOnce:     b.boolKey(w, "exactly_once"),
 	}
 	if b.err == nil && f.Workload.DeadlineBudget > 0 && f.Workload.Shed == "block" {
 		b.fail(w, "deadline_budget",
@@ -204,6 +208,9 @@ func (b *binder) bindEvents(f *File, root *node) {
 		case "crash":
 			b.allowKeys(item, "at", "action", "node")
 			e.Node = b.strKey(item, "node", true, "")
+		case "restart":
+			b.allowKeys(item, "at", "action", "node")
+			e.Node = b.strKey(item, "node", true, "")
 		case "slowdown":
 			b.allowKeys(item, "at", "action", "node", "factor")
 			e.Node = b.strKey(item, "node", true, "")
@@ -227,7 +234,7 @@ func (b *binder) bindEvents(f *File, root *node) {
 			}
 		default:
 			b.fail(item, "action",
-				"unknown action %q (want partition, crash, slowdown, or condition)", e.Action)
+				"unknown action %q (want partition, crash, restart, slowdown, or condition)", e.Action)
 			return
 		}
 		f.Events = append(f.Events, e)
@@ -252,11 +259,12 @@ func (b *binder) bindAssertions(f *File, root *node) {
 			a.Name = b.scalarOf(val)
 			if b.err == nil {
 				if _, ok := invariantNames[a.Name]; !ok {
-					b.fail(item, kind, "unknown invariant %q (want accounting, liveness, credits, replay, or telemetry)", a.Name)
+					b.fail(item, kind, "unknown invariant %q (want accounting, liveness, credits, replay, telemetry, or exactly-once)", a.Name)
 				}
 			}
 		case AssertDeliveredMin, AssertDeliveredMax, AssertShedMin,
-			AssertShedMax, AssertUnaccountedMax, AssertRedeliveredMax:
+			AssertShedMax, AssertUnaccountedMax, AssertRedeliveredMax,
+			AssertDuplicatesMax:
 			a.N = b.intOf(val)
 			if b.err == nil && a.N < 0 {
 				b.fail(item, kind, "%s bound must be non-negative", kind)
@@ -266,9 +274,18 @@ func (b *binder) bindAssertions(f *File, root *node) {
 			if b.err == nil && a.D <= 0 {
 				b.fail(item, kind, "end_at_most needs a positive duration")
 			}
+		case AssertMTTRMax:
+			a.D = b.durOf(val)
+			if b.err == nil && a.D <= 0 {
+				b.fail(item, kind, "mttr_at_most needs a positive duration")
+			}
 		case AssertNoAbort:
 			if s := b.scalarOf(val); b.err == nil && s != "true" {
 				b.fail(item, kind, "no_abort takes the value true")
+			}
+		case AssertRecovered:
+			if s := b.scalarOf(val); b.err == nil && s != "true" {
+				b.fail(item, kind, "recovered takes the value true")
 			}
 		default:
 			b.fail(item, kind, "unknown assertion %q", kind)
@@ -316,7 +333,7 @@ func (b *binder) crossChecks(f *File, root *node) {
 		}
 	}
 	events := root.vals["events"]
-	crashes := 0
+	crashes, restarts := 0, 0
 	if events != nil {
 		for i, item := range events.items {
 			if i >= len(f.Events) {
@@ -333,6 +350,19 @@ func (b *binder) crossChecks(f *File, root *node) {
 					b.fail(item, "node", "crashing src kills the producer; crash a consumer instead")
 				}
 				crashes++
+			case "restart":
+				known(item, "node", e.Node, false)
+				covered := false
+				for _, other := range f.Events {
+					if other.Action == "crash" && other.Node == e.Node && other.At < e.At {
+						covered = true
+					}
+				}
+				if b.err == nil && !covered {
+					b.fail(item, "node",
+						"restart of %q needs a strictly earlier crash of the same node", e.Node)
+				}
+				restarts++
 			case "slowdown":
 				known(item, "node", e.Node, false)
 			case "condition":
@@ -341,9 +371,49 @@ func (b *binder) crossChecks(f *File, root *node) {
 			}
 		}
 	}
-	if b.err == nil && crashes >= f.Fleet.Copies {
-		b.fail(root, "events", "%d crashes would leave no live consumer of %d copies",
-			crashes, f.Fleet.Copies)
+	if restarts == 0 {
+		if b.err == nil && crashes >= f.Fleet.Copies {
+			b.fail(root, "events", "%d crashes would leave no live consumer of %d copies",
+				crashes, f.Fleet.Copies)
+		}
+		return
+	}
+	// With restarts, survivability is a sweep, not a count: at every
+	// instant at least one consumer copy must be up. Mirrors the chaos
+	// harness's validity rule so compiled scenarios are valid by
+	// construction.
+	type ev struct {
+		at   sim.Time
+		up   bool
+		node string
+	}
+	// Crashes before restarts at equal instants (conservative, and the
+	// same tie-break the chaos validity sweep uses).
+	var evs []ev
+	for _, e := range f.Events {
+		if e.Action == "crash" {
+			evs = append(evs, ev{e.At, false, e.Node})
+		}
+	}
+	for _, e := range f.Events {
+		if e.Action == "restart" {
+			evs = append(evs, ev{e.At, true, e.Node})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	down := map[string]bool{}
+	for _, e := range evs {
+		if e.up {
+			delete(down, e.node)
+		} else {
+			down[e.node] = true
+		}
+		if b.err == nil && len(down) >= f.Fleet.Copies {
+			b.fail(root, "events",
+				"at %s every consumer copy of %d is down; stagger the crashes or restart sooner",
+				durString(e.at), f.Fleet.Copies)
+			return
+		}
 	}
 }
 
@@ -461,6 +531,21 @@ func (b *binder) boundedInt(n *node, key string, def, lo, hi int) int {
 		return def
 	}
 	return v
+}
+
+func (b *binder) boolKey(n *node, key string) bool {
+	child, ok := b.scalarKey(n, key, false)
+	if !ok {
+		return false
+	}
+	switch child.scalar {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	b.fail(n, key, "%q is not a boolean (want true or false)", child.scalar)
+	return false
 }
 
 func (b *binder) floatKey(n *node, key string, def float64) float64 {

@@ -22,22 +22,24 @@ func condKey(lc fault.LinkCondition) string {
 func (f *File) Scenario() chaos.Scenario {
 	w := f.Workload
 	s := chaos.Scenario{
-		Seed:           f.Seed,
-		Kind:           kindOf(w.Transport),
-		Copies:         f.Fleet.Copies,
-		UOWs:           w.UOWs,
-		BuffersPerUOW:  w.BuffersPerUOW,
-		BlockBytes:     w.BlockBytes,
-		InboxDepth:     w.InboxDepth,
-		Policy:         policyOf(w.Policy),
-		Shed:           shedOf(w.Shed),
-		CreditWindow:   w.CreditWindow,
-		DeadlineBudget: w.DeadlineBudget,
-		OpTimeout:      w.OpTimeout,
-		RedialAttempts: w.RedialAttempts,
-		Gap:            w.Gap,
-		SpikeEvery:     w.SpikeEvery,
-		ConsumerCost:   w.ConsumerCost,
+		Seed:            f.Seed,
+		Kind:            kindOf(w.Transport),
+		Copies:          f.Fleet.Copies,
+		UOWs:            w.UOWs,
+		BuffersPerUOW:   w.BuffersPerUOW,
+		BlockBytes:      w.BlockBytes,
+		InboxDepth:      w.InboxDepth,
+		Policy:          policyOf(w.Policy),
+		Shed:            shedOf(w.Shed),
+		CreditWindow:    w.CreditWindow,
+		DeadlineBudget:  w.DeadlineBudget,
+		OpTimeout:       w.OpTimeout,
+		RedialAttempts:  w.RedialAttempts,
+		Gap:             w.Gap,
+		SpikeEvery:      w.SpikeEvery,
+		ConsumerCost:    w.ConsumerCost,
+		CheckpointEvery: w.CheckpointEvery,
+		ExactlyOnce:     w.ExactlyOnce,
 	}
 	// The ^0x5eed fold matches chaos.Generate, so a DSL scenario and a
 	// generated scenario with the same seed draw the same fault streams.
@@ -53,6 +55,9 @@ func (f *File) Scenario() chaos.Scenario {
 				A: e.A, B: e.B, From: e.At, To: e.Until})
 		case "crash":
 			s.Plan.Crashes = append(s.Plan.Crashes, fault.NodeCrash{
+				Node: e.Node, At: e.At})
+		case "restart":
+			s.Plan.Restarts = append(s.Plan.Restarts, fault.NodeRestart{
 				Node: e.Node, At: e.At})
 		case "slowdown":
 			s.Plan.Slowdowns = append(s.Plan.Slowdowns, fault.NodeSlowdown{

@@ -8,7 +8,7 @@ import (
 )
 
 // Result is the outcome of running one scenario file: the harness
-// report (all five chaos invariants) plus the file's own declarative
+// report (all six chaos invariants) plus the file's own declarative
 // assertions.
 type Result struct {
 	File     *File
@@ -67,9 +67,9 @@ func describeAssertion(a Assertion) string {
 	switch a.Kind {
 	case AssertInvariant:
 		return a.Kind + " " + a.Name
-	case AssertEndMax:
+	case AssertEndMax, AssertMTTRMax:
 		return fmt.Sprintf("%s %s", a.Kind, durString(a.D))
-	case AssertNoAbort:
+	case AssertNoAbort, AssertRecovered:
 		return a.Kind
 	default:
 		return fmt.Sprintf("%s %d", a.Kind, a.N)
@@ -111,9 +111,24 @@ func assertFailure(a Assertion, rep chaos.Report) string {
 		if rep.Redelivered > a.N {
 			return fmt.Sprintf("redelivered %d > %d", rep.Redelivered, a.N)
 		}
+	case AssertDuplicatesMax:
+		if rep.Duplicates > uint64(a.N) {
+			return fmt.Sprintf("ledger suppressed %d duplicates > %d", rep.Duplicates, a.N)
+		}
 	case AssertEndMax:
 		if rep.End > a.D {
 			return fmt.Sprintf("run ended at %v > %v", rep.End, a.D)
+		}
+	case AssertMTTRMax:
+		if rep.MTTR > a.D {
+			return fmt.Sprintf("recovery took %v > %v", rep.MTTR, a.D)
+		}
+	case AssertRecovered:
+		if rep.Restarts == 0 {
+			return "no consumer copy restarted"
+		}
+		if rep.MTTR == 0 {
+			return "restarted copy never redelivered (restart fired after quiesce?)"
 		}
 	case AssertNoAbort:
 		if rep.Aborted {

@@ -2,7 +2,7 @@
 // files describing a fleet topology, a workload shape, netem-style
 // link condition profiles, timed events, and declarative assertions,
 // compiled deterministically into chaos.Scenario + fault.Plan and run
-// through the five-invariant chaos checker.
+// through the six-invariant chaos checker.
 //
 // The file format is a strict YAML subset (two-space indentation,
 // `key: value` mappings, `- ` sequences, `# comments`, double-quoted
@@ -98,6 +98,13 @@ type Workload struct {
 	Gap            sim.Time
 	SpikeEvery     int
 	ConsumerCost   sim.Time
+	// CheckpointEvery arms crash-restart recovery on the consumer
+	// copies; required (and defaulted by normalization) whenever an
+	// event restarts a node.
+	CheckpointEvery sim.Time
+	// ExactlyOnce arms the per-stream delivery ledger; forced on by
+	// normalization whenever an event restarts a node.
+	ExactlyOnce bool
 }
 
 // Link applies a condition profile to one directed fleet link for the
@@ -110,11 +117,11 @@ type Link struct {
 // Event is one timed action.
 type Event struct {
 	At     sim.Time
-	Action string // "partition" | "crash" | "slowdown" | "condition"
+	Action string // "partition" | "crash" | "restart" | "slowdown" | "condition"
 	// Until closes the window for partition and condition events
 	// (0 = until the end of the run for conditions).
 	Until sim.Time
-	// Node names the target of crash and slowdown events.
+	// Node names the target of crash, restart and slowdown events.
 	Node string
 	// A and B name the partitioned pair.
 	A, B string
@@ -150,16 +157,25 @@ const (
 	AssertRedeliveredMax = "redelivered_at_most"
 	AssertEndMax         = "end_at_most"
 	AssertNoAbort        = "no_abort"
+	// AssertRecovered requires that at least one consumer copy actually
+	// restarted mid-run and redelivered after its restart (positive
+	// time-to-recover); AssertDuplicatesMax bounds the redeliveries the
+	// exactly-once ledger suppressed; AssertMTTRMax bounds the worst
+	// restart-to-first-redelivery gap.
+	AssertRecovered     = "recovered"
+	AssertDuplicatesMax = "duplicates_at_most"
+	AssertMTTRMax       = "mttr_at_most"
 )
 
-// invariantNames are the violation prefixes the five-invariant chaos
+// invariantNames are the violation prefixes the six-invariant chaos
 // checker emits, as assertable names.
 var invariantNames = map[string]string{
-	"accounting": "accounting",
-	"liveness":   "liveness",
-	"credits":    "credits",
-	"replay":     "replay",
-	"telemetry":  "telemetry",
+	"accounting":   "accounting",
+	"liveness":     "liveness",
+	"credits":      "credits",
+	"replay":       "replay",
+	"telemetry":    "telemetry",
+	"exactly-once": "exactly-once",
 }
 
 func consName(i int) string { return fmt.Sprintf("cons%d", i) }

@@ -45,6 +45,10 @@ func (f *File) Marshal() []byte {
 	writeDur(&b, "  gap", w.Gap)
 	writeInt(&b, "  spike_every", w.SpikeEvery, 0)
 	writeDur(&b, "  consumer_cost", w.ConsumerCost)
+	writeDur(&b, "  checkpoint_every", w.CheckpointEvery)
+	if w.ExactlyOnce {
+		b.WriteString("  exactly_once: true\n")
+	}
 
 	if len(f.Links) > 0 {
 		b.WriteString("links:\n")
@@ -65,7 +69,7 @@ func (f *File) Marshal() []byte {
 			case "partition":
 				writeItemStr(&b, &first, "between", "["+e.A+", "+e.B+"]", "\x00")
 				writeItemStr(&b, &first, "until", durString(e.Until), "\x00")
-			case "crash":
+			case "crash", "restart":
 				writeItemStr(&b, &first, "node", e.Node, "\x00")
 			case "slowdown":
 				writeItemStr(&b, &first, "node", e.Node, "\x00")
@@ -86,9 +90,9 @@ func (f *File) Marshal() []byte {
 			switch a.Kind {
 			case AssertInvariant:
 				fmt.Fprintf(&b, "  - %s: %s\n", a.Kind, a.Name)
-			case AssertEndMax:
+			case AssertEndMax, AssertMTTRMax:
 				fmt.Fprintf(&b, "  - %s: %s\n", a.Kind, durString(a.D))
-			case AssertNoAbort:
+			case AssertNoAbort, AssertRecovered:
 				fmt.Fprintf(&b, "  - %s: true\n", a.Kind)
 			default:
 				fmt.Fprintf(&b, "  - %s: %d\n", a.Kind, a.N)
@@ -215,20 +219,22 @@ func FromScenario(s chaos.Scenario, name, description string, assertions []Asser
 	f := &File{Name: name, Description: description, Seed: s.Seed}
 	f.Fleet.Copies = s.Copies
 	f.Workload = Workload{
-		Transport:      s.Kind.String(),
-		UOWs:           s.UOWs,
-		BuffersPerUOW:  s.BuffersPerUOW,
-		BlockBytes:     s.BlockBytes,
-		InboxDepth:     s.InboxDepth,
-		Policy:         s.Policy.String(),
-		Shed:           s.Shed.String(),
-		CreditWindow:   s.CreditWindow,
-		DeadlineBudget: s.DeadlineBudget,
-		OpTimeout:      s.OpTimeout,
-		RedialAttempts: s.RedialAttempts,
-		Gap:            s.Gap,
-		SpikeEvery:     s.SpikeEvery,
-		ConsumerCost:   s.ConsumerCost,
+		Transport:       s.Kind.String(),
+		UOWs:            s.UOWs,
+		BuffersPerUOW:   s.BuffersPerUOW,
+		BlockBytes:      s.BlockBytes,
+		InboxDepth:      s.InboxDepth,
+		Policy:          s.Policy.String(),
+		Shed:            s.Shed.String(),
+		CreditWindow:    s.CreditWindow,
+		DeadlineBudget:  s.DeadlineBudget,
+		OpTimeout:       s.OpTimeout,
+		RedialAttempts:  s.RedialAttempts,
+		Gap:             s.Gap,
+		SpikeEvery:      s.SpikeEvery,
+		ConsumerCost:    s.ConsumerCost,
+		CheckpointEvery: s.CheckpointEvery,
+		ExactlyOnce:     s.ExactlyOnce,
 	}
 	for _, lf := range s.Plan.Links {
 		f.Links = append(f.Links, Link{From: lf.Src, To: lf.Dst,
@@ -248,6 +254,9 @@ func FromScenario(s chaos.Scenario, name, description string, assertions []Asser
 	}
 	for _, cr := range s.Plan.Crashes {
 		f.Events = append(f.Events, Event{At: cr.At, Action: "crash", Node: cr.Node})
+	}
+	for _, rs := range s.Plan.Restarts {
+		f.Events = append(f.Events, Event{At: rs.At, Action: "restart", Node: rs.Node})
 	}
 	for _, sl := range s.Plan.Slowdowns {
 		f.Events = append(f.Events, Event{At: sl.At, Action: "slowdown",
@@ -273,7 +282,7 @@ func sortLinks(ls []Link) {
 }
 
 func sortEvents(es []Event) {
-	rank := map[string]int{"partition": 0, "crash": 1, "slowdown": 2, "condition": 3}
+	rank := map[string]int{"partition": 0, "crash": 1, "restart": 2, "slowdown": 3, "condition": 4}
 	sort.SliceStable(es, func(i, j int) bool {
 		a, b := es[i], es[j]
 		if a.At != b.At {
